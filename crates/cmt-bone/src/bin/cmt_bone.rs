@@ -1,0 +1,133 @@
+//! CMT-bone command-line driver.
+//!
+//! ```text
+//! cmt-bone [--ranks P] [--elems NEL] [--n N] [--steps S] [--fields F]
+//!          [--variant basic|opt|spec] [--method pairwise|crystal|allreduce]
+//!          [--net qdr|exa|gbe] [--quiet]
+//! ```
+//!
+//! Runs the mini-app and prints the paper-style report (setup block,
+//! Fig. 7 autotune table, Fig. 4 profile, Figs. 8-10 communication
+//! statistics).
+
+use cmt_bone::{run, Config};
+use cmt_core::KernelVariant;
+use cmt_gs::GsMethod;
+use simmpi::NetworkModel;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cmt-bone [--ranks P] [--elems NEL_PER_RANK] [--n N] [--steps S]\n\
+         \x20                [--fields F] [--variant basic|opt|spec]\n\
+         \x20                [--method pairwise|crystal|allreduce] [--net qdr|exa|gbe]\n\
+         \x20                [--cfl-interval K] [--dealias M] [--euler] [--quiet]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_usize(v: Option<String>) -> usize {
+    v.and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+}
+
+/// Run the compressible-Euler physics mode instead of the proxy loop.
+fn run_euler_mode(cfg: &Config, quiet: bool) {
+    use cmt_bone::{run_euler, EulerRunConfig};
+    use std::f64::consts::PI;
+    let ecfg = EulerRunConfig {
+        n: cfg.n,
+        elems_per_rank: cfg.elems_per_rank,
+        ranks: cfg.ranks,
+        steps: cfg.steps,
+        variant: cfg.variant,
+        method: cfg.method.unwrap_or(cmt_gs::GsMethod::PairwiseExchange),
+        cfl: cfg.cfl,
+        cfl_interval: cfg.cfl_interval,
+        particles_per_elem: 2,
+        ..Default::default()
+    };
+    let mesh = cmt_mesh::MeshConfig::for_ranks(ecfg.ranks, ecfg.elems_per_rank, ecfg.n, true);
+    let ge = mesh.global_elems();
+    let lengths = [ge[0] as f64, ge[1] as f64, ge[2] as f64];
+    let rep = run_euler(&ecfg, move |x, y, _z| cmt_core::eos::Primitive {
+        rho: 1.0 + 0.2 * (2.0 * PI * x / lengths[0]).sin(),
+        vel: [0.5, 0.1 * (2.0 * PI * y / lengths[1]).cos(), 0.0],
+        p: 1.0,
+    });
+    if quiet {
+        println!(
+            "t {:.6}  admissible {}  mass {:+.9e}  particles {}",
+            rep.time, rep.admissible, rep.totals_after[0], rep.particle_count
+        );
+    } else {
+        println!("{}", rep.render());
+    }
+}
+
+fn main() {
+    let mut cfg = Config::default();
+    let mut quiet = false;
+    let mut euler = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--ranks" => cfg.ranks = parse_usize(args.next()),
+            "--elems" => cfg.elems_per_rank = parse_usize(args.next()),
+            "--n" => cfg.n = parse_usize(args.next()),
+            "--steps" => cfg.steps = parse_usize(args.next()),
+            "--fields" => cfg.fields = parse_usize(args.next()),
+            "--cfl-interval" => cfg.cfl_interval = parse_usize(args.next()),
+            "--dealias" => cfg.dealias_m = Some(parse_usize(args.next())),
+            "--variant" => {
+                cfg.variant = match args.next().as_deref() {
+                    Some("basic") => KernelVariant::Basic,
+                    Some("opt") => KernelVariant::Optimized,
+                    Some("spec") => KernelVariant::Specialized,
+                    _ => usage(),
+                }
+            }
+            "--method" => {
+                cfg.method = match args.next().as_deref() {
+                    Some("pairwise") => Some(GsMethod::PairwiseExchange),
+                    Some("crystal") => Some(GsMethod::CrystalRouter),
+                    Some("allreduce") => Some(GsMethod::AllReduce),
+                    _ => usage(),
+                }
+            }
+            "--net" => {
+                cfg.net = match args.next().as_deref() {
+                    Some("qdr") => Some(NetworkModel::qdr_infiniband()),
+                    Some("exa") => Some(NetworkModel::notional_exascale()),
+                    Some("gbe") => Some(NetworkModel::gigabit_ethernet()),
+                    _ => usage(),
+                }
+            }
+            "--quiet" => quiet = true,
+            "--euler" => euler = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage()
+            }
+        }
+    }
+    if let Err(e) = cfg.validate() {
+        eprintln!("invalid configuration: {e}");
+        std::process::exit(2);
+    }
+    if euler {
+        run_euler_mode(&cfg, quiet);
+        return;
+    }
+    let report = run(&cfg);
+    if quiet {
+        println!(
+            "checksum {:.12e}  wall avg {:.4}s max {:.4}s  method {}",
+            report.checksum,
+            report.avg_wall_s(),
+            report.max_wall_s(),
+            report.chosen_method.name()
+        );
+    } else {
+        println!("{}", report.render());
+    }
+}

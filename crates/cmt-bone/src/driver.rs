@@ -1,0 +1,675 @@
+//! The mini-app driver: setup, autotune, and the instrumented timestep
+//! loop.
+
+use std::f64::consts::PI;
+use std::time::Instant;
+
+use cmt_core::face::{self, Face};
+use cmt_core::kernels::{self, DerivDir};
+use cmt_core::ops::{advect_volume_rhs, upwind_face_correction, ElementGeom};
+use cmt_core::poly::Basis;
+use cmt_core::{rk, Field};
+use cmt_gs::{autotune, AutotuneReport, GsHandle, GsMethod, GsOp};
+use cmt_mesh::{MeshConfig, RankMesh};
+use cmt_perf::{MpipReport, Profiler};
+use simmpi::{Rank, ReduceOp, World};
+
+use crate::config::Config;
+use crate::report::RunReport;
+
+/// Profiler region names used by the driver, mirroring the routines of
+/// the paper's Fig. 4 call graph.
+pub(crate) mod regions {
+    /// The derivative (flux-divergence) kernel — the paper's `ax_`.
+    pub const DERIV: &str = "ax_cmt (flux divergence derivs)";
+    /// Surface extraction — the paper's `full2face_cmt`.
+    pub const FULL2FACE: &str = "full2face_cmt";
+    /// The gather-scatter surface exchange — the paper's `gs_op_`.
+    pub const GS_OP: &str = "gs_op_ (numerical flux exchange)";
+    /// Upwind lifting of the exchanged fluxes back into the volume.
+    pub const FLUX_LIFT: &str = "add_face2full (flux lift)";
+    /// Runge-Kutta stage update.
+    pub const RK: &str = "rk_stage_update";
+    /// Timestep-control reduction.
+    pub const CFL: &str = "cfl_allreduce";
+    /// Dealiasing fine-mesh map (paper §V's second matmul workload).
+    pub const DEALIAS: &str = "dealias (fine-mesh map)";
+    /// BR1 viscous passes (gradient + viscous divergence).
+    pub const VISCOUS: &str = "viscous_br1 (grad + div)";
+    /// Whole setup phase (mesh + gs_setup + autotune).
+    pub const SETUP: &str = "setup (gs_setup + autotune)";
+    /// The whole timestep loop.
+    pub const LOOP: &str = "timestep_loop";
+}
+
+/// Final state of one rank's fields, for validation against the serial
+/// reference solver.
+#[derive(Debug, Clone)]
+pub struct SolutionDump {
+    /// Global element id of each local element, in local order.
+    pub global_elem_ids: Vec<usize>,
+    /// Final per-field data, each in `Field` layout.
+    pub fields: Vec<Vec<f64>>,
+    /// Simulated time reached.
+    pub time: f64,
+    /// Timestep used.
+    pub dt: f64,
+}
+
+struct RankOutput {
+    profiler: Profiler,
+    autotune: Option<AutotuneReport>,
+    chosen: GsMethod,
+    checksum: f64,
+    wall_s: f64,
+    modeled_s: f64,
+    solution: Option<SolutionDump>,
+}
+
+/// The smooth initial profile of proxy field `f` (periodic in the global
+/// box of extents `lengths`).
+fn initial_profile(f: usize, x: f64, y: f64, z: f64, lengths: [f64; 3]) -> f64 {
+    let fx = 2.0 * PI * x / lengths[0];
+    let fy = 2.0 * PI * y / lengths[1];
+    let fz = 2.0 * PI * z / lengths[2];
+    (fx + 0.3 * f as f64).sin() * fy.cos() + 0.25 * (fz + 0.7 * f as f64).cos()
+}
+
+/// Stable timestep mirroring [`cmt_core::solver::AdvectionSolver::stable_dt`]
+/// (plus the diffusive limit when viscosity is on, as
+/// [`cmt_core::diffusion::AdvDiffSolver::stable_dt`] computes it).
+fn stable_dt(cfg: &Config, geom: &ElementGeom) -> f64 {
+    let n2 = (cfg.n * cfg.n) as f64;
+    let mut dt = f64::INFINITY;
+    for axis in 0..3 {
+        let h = geom.extent(axis);
+        let c = cfg.velocity[axis].abs();
+        if c > 0.0 {
+            dt = dt.min(cfg.cfl * h / (n2 * c));
+        }
+        if let Some(nu) = cfg.viscosity {
+            dt = dt.min(cfg.cfl * h * h / (n2 * n2 * nu));
+        }
+    }
+    if dt.is_finite() {
+        dt
+    } else {
+        cfg.cfl
+    }
+}
+
+fn rank_main(rank: &mut Rank, cfg: &Config, mesh_cfg: &MeshConfig, collect: bool) -> RankOutput {
+    let start = Instant::now();
+    let mut prof = Profiler::new();
+    let n = cfg.n;
+    let basis = Basis::new(n);
+    let geom = ElementGeom::cube(1.0); // unit-cube elements
+    let lengths = {
+        let ge = mesh_cfg.global_elems();
+        [ge[0] as f64, ge[1] as f64, ge[2] as f64]
+    };
+
+    // ---- setup: mesh, gs discovery, autotune -------------------------
+    prof.enter(regions::SETUP);
+    let mesh = RankMesh::new(mesh_cfg.clone(), rank.rank());
+    let gids = mesh.face_exchange_gids();
+    let handle = GsHandle::setup(rank, &gids);
+    let (chosen, tune_report) = match cfg.method {
+        Some(m) => (m, None),
+        None => {
+            let rep = autotune(rank, &handle, cfg.autotune);
+            (rep.chosen, Some(rep))
+        }
+    };
+    prof.exit();
+
+    // ---- fields -------------------------------------------------------
+    let nel = mesh.nel();
+    let coords = |e: usize, i: usize, j: usize, k: usize| {
+        let gc = mesh.global_elem_coords(e);
+        [
+            gc[0] as f64 + (basis.nodes[i] + 1.0) / 2.0,
+            gc[1] as f64 + (basis.nodes[j] + 1.0) / 2.0,
+            gc[2] as f64 + (basis.nodes[k] + 1.0) / 2.0,
+        ]
+    };
+    let mut u: Vec<Field> = (0..cfg.fields)
+        .map(|f| {
+            Field::from_fn(n, nel, |e, i, j, k| {
+                let [x, y, z] = coords(e, i, j, k);
+                initial_profile(f, x, y, z, lengths)
+            })
+        })
+        .collect();
+    let mut u0: Vec<Field> = u.clone();
+    let mut rhs = Field::zeros(n, nel);
+    let mut scratch = Field::zeros(n, nel);
+    let fpe = face::face_values_per_element(n);
+    let mut faces = vec![0.0; fpe * nel];
+    let mut faces_own = vec![0.0; fpe * nel];
+    let dt = stable_dt(cfg, &geom);
+
+    // Dealiasing operators: interpolation to the m-point fine mesh and
+    // back (paper §V: "an element is first mapped to a finer mesh and
+    // later mapped back").
+    let dealias = cfg.dealias_m.map(|m| {
+        (
+            m,
+            basis.dealias_to(m),
+            basis.dealias_from(m),
+            vec![0.0; m * m * m * nel],
+        )
+    });
+    let mut dealias = dealias;
+
+    // BR1 viscous workspace (gradient fields + q-trace buffers).
+    let mut viscous = cfg.viscosity.map(|nu| {
+        (
+            nu,
+            [
+                Field::zeros(n, nel),
+                Field::zeros(n, nel),
+                Field::zeros(n, nel),
+            ],
+            vec![0.0; fpe * nel], // q own traces
+            vec![0.0; fpe * nel], // q neighbor traces
+        )
+    });
+
+    // ---- timestep loop --------------------------------------------------
+    prof.enter(regions::LOOP);
+    let mut time = 0.0;
+    for step in 0..cfg.steps {
+        for (uf, u0f) in u.iter().zip(u0.iter_mut()) {
+            u0f.as_mut_slice().copy_from_slice(uf.as_slice());
+        }
+        for stage in 0..rk::STAGES {
+            for f in 0..cfg.fields {
+                // (1) flux divergence: the small-matrix-multiply kernel
+                prof.enter(regions::DERIV);
+                advect_volume_rhs(
+                    cfg.variant,
+                    &basis,
+                    &geom,
+                    cfg.velocity,
+                    &u[f],
+                    &mut rhs,
+                    &mut scratch,
+                );
+                prof.exit();
+
+                // (1b) dealiasing round-trip on the RHS (identity on the
+                // resolved polynomial content; pure kernel workload)
+                if let Some((m, up, down, fine)) = dealias.as_mut() {
+                    prof.enter(regions::DEALIAS);
+                    cmt_core::kernels::tensor3_apply(*m, n, up, rhs.as_slice(), fine, nel);
+                    cmt_core::kernels::tensor3_apply(n, *m, down, fine, rhs.as_mut_slice(), nel);
+                    prof.exit();
+                }
+
+                // (2) surface extraction
+                prof.enter(regions::FULL2FACE);
+                face::full2face(n, nel, u[f].as_slice(), &mut faces);
+                faces_own.copy_from_slice(&faces);
+                prof.exit();
+
+                // (3) numerical flux: nearest-neighbor exchange. The
+                // face-exchange ids pair each face point with exactly its
+                // across-face twin, so Add recovers own + neighbor.
+                prof.enter(regions::GS_OP);
+                rank.set_context("faces");
+                handle.gs_op(rank, &mut faces, GsOp::Add, chosen);
+                rank.set_context("main");
+                prof.exit();
+
+                // (4) upwind lifting: neighbor trace = sum - own
+                prof.enter(regions::FLUX_LIFT);
+                for (s, o) in faces.iter_mut().zip(&faces_own) {
+                    *s -= o;
+                }
+                upwind_face_correction(&basis, &geom, cfg.velocity, &faces_own, &faces, &mut rhs);
+                prof.exit();
+
+                // (4v) viscous BR1 passes: gradient with central traces,
+                // then the viscous divergence with its own q-trace
+                // exchange per axis (3 more gs_op calls per field/stage).
+                if let Some((nu, q, qown, qnbr)) = viscous.as_mut() {
+                    prof.enter(regions::VISCOUS);
+                    let n2 = n * n;
+                    let n3 = n2 * n;
+                    let w_end = basis.weights[0];
+                    // gradient volume part
+                    for (axis, dir) in [(0, DerivDir::R), (1, DerivDir::S), (2, DerivDir::T)] {
+                        kernels::deriv(
+                            cfg.variant,
+                            dir,
+                            n,
+                            nel,
+                            &basis.d,
+                            u[f].as_slice(),
+                            q[axis].as_mut_slice(),
+                        );
+                        q[axis].scale(geom.dscale(axis));
+                    }
+                    // gradient lifting: q_a += lift * sign * (u* - u_in),
+                    // u* - u_in = (nbr - own)/2; `faces` holds the
+                    // absolute neighbor trace after step (4).
+                    for e in 0..nel {
+                        for fc in Face::ALL {
+                            let axis = fc.axis();
+                            let sign = fc.sign() as f64;
+                            let lift = geom.dscale(axis) / w_end;
+                            let off = e * fpe + fc.index() * n2;
+                            for p in 0..n2 {
+                                let jump = 0.5 * (faces[off + p] - faces_own[off + p]);
+                                let vi = face::face_point_volume_index(n, fc, p);
+                                q[axis].as_mut_slice()[e * n3 + vi] += lift * sign * jump;
+                            }
+                        }
+                    }
+                    // viscous divergence: volume + central surface flux
+                    for (axis, dir) in [(0, DerivDir::R), (1, DerivDir::S), (2, DerivDir::T)] {
+                        kernels::deriv(
+                            cfg.variant,
+                            dir,
+                            n,
+                            nel,
+                            &basis.d,
+                            q[axis].as_slice(),
+                            scratch.as_mut_slice(),
+                        );
+                        rhs.axpy(*nu * geom.dscale(axis), &scratch);
+                        face::full2face(n, nel, q[axis].as_slice(), qown);
+                        qnbr.copy_from_slice(qown);
+                        rank.set_context("faces_visc");
+                        handle.gs_op(rank, qnbr, GsOp::Add, chosen);
+                        rank.set_context("main");
+                        for (nb, ow) in qnbr.iter_mut().zip(qown.iter()) {
+                            *nb -= ow;
+                        }
+                        for e in 0..nel {
+                            for fc in Face::ALL {
+                                if fc.axis() != axis {
+                                    continue;
+                                }
+                                let sign = fc.sign() as f64;
+                                let lift = geom.dscale(axis) / w_end;
+                                let off = e * fpe + fc.index() * n2;
+                                for p in 0..n2 {
+                                    // F* - F_in = sign nu ((q_own+q_nbr)/2 - q_own)
+                                    //           = sign nu (q_nbr - q_own)/2
+                                    let corr = lift
+                                        * sign
+                                        * *nu
+                                        * 0.5
+                                        * (qnbr[off + p] - qown[off + p]);
+                                    let vi = face::face_point_volume_index(n, fc, p);
+                                    rhs.as_mut_slice()[e * n3 + vi] += corr;
+                                }
+                            }
+                        }
+                    }
+                    prof.exit();
+                }
+
+                // (5) RK stage update
+                prof.enter(regions::RK);
+                rk::stage_update(stage, &mut u[f], &u0[f], &rhs, dt);
+                prof.exit();
+            }
+        }
+        time += dt;
+        // (6) vector reduction: timestep control
+        if (step + 1) % cfg.cfl_interval == 0 {
+            prof.enter(regions::CFL);
+            rank.set_context("cfl");
+            let local_max = u.iter().fold(0.0f64, |m, f| m.max(f.norm_inf()));
+            let _global_max = rank.allreduce_scalar(local_max, ReduceOp::Max);
+            rank.set_context("main");
+            prof.exit();
+        }
+    }
+    prof.exit();
+
+    // Determinism checksum: global sum over all fields.
+    let local_sum: f64 = u.iter().map(|f| f.sum()).sum();
+    rank.set_context("checksum");
+    let checksum = rank.allreduce_scalar(local_sum, ReduceOp::Sum);
+    rank.set_context("main");
+
+    let solution = collect.then(|| SolutionDump {
+        global_elem_ids: (0..nel).map(|le| mesh.global_elem_id(le)).collect(),
+        fields: u.iter().map(|f| f.as_slice().to_vec()).collect(),
+        time,
+        dt,
+    });
+
+    RankOutput {
+        profiler: prof,
+        autotune: tune_report,
+        chosen,
+        checksum,
+        wall_s: start.elapsed().as_secs_f64(),
+        modeled_s: rank.modeled_time_s(),
+        solution,
+    }
+}
+
+fn run_inner(cfg: &Config, collect: bool) -> (RunReport, Vec<SolutionDump>) {
+    cfg.validate().expect("invalid CMT-bone configuration");
+    let mesh_cfg = MeshConfig::for_ranks(cfg.ranks, cfg.elems_per_rank, cfg.n, true);
+    let world = match cfg.net {
+        Some(net) => World::with_network(net),
+        None => World::new(),
+    };
+    let result = world.run(cfg.ranks, |rank| rank_main(rank, cfg, &mesh_cfg, collect));
+
+    let mut merged = Profiler::new();
+    let mut autotune_rep = None;
+    let mut chosen = None;
+    let mut checksum = f64::NAN;
+    let mut rank_wall = Vec::with_capacity(cfg.ranks);
+    let mut modeled = Vec::with_capacity(cfg.ranks);
+    let mut dumps = Vec::new();
+    for out in result.results {
+        merged.merge(&out.profiler);
+        if out.autotune.is_some() && autotune_rep.is_none() {
+            autotune_rep = out.autotune;
+        }
+        chosen.get_or_insert(out.chosen);
+        checksum = out.checksum; // identical on every rank
+        rank_wall.push(out.wall_s);
+        modeled.push(out.modeled_s);
+        if let Some(d) = out.solution {
+            dumps.push(d);
+        }
+    }
+    let report = RunReport {
+        mesh_summary: mesh_cfg.summary(),
+        mesh: mesh_cfg,
+        chosen_method: chosen.expect("at least one rank"),
+        autotune: autotune_rep,
+        profile: merged.report(),
+        comm: MpipReport::from_stats(&result.stats),
+        rank_wall_s: rank_wall,
+        modeled_comm_s: modeled,
+        checksum,
+        steps: cfg.steps,
+        fields: cfg.fields,
+    };
+    (report, dumps)
+}
+
+/// Execute the mini-app and collect the full measurement set.
+pub fn run(cfg: &Config) -> RunReport {
+    run_inner(cfg, false).0
+}
+
+/// Execute the mini-app and additionally return every rank's final fields
+/// (rank order), for validation against the serial reference solver.
+pub fn run_collecting_solution(cfg: &Config) -> (RunReport, Vec<SolutionDump>) {
+    run_inner(cfg, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmt_core::solver::{AdvectionConfig, AdvectionSolver};
+    use cmt_core::KernelVariant;
+
+    fn small_cfg() -> Config {
+        Config {
+            n: 5,
+            elems_per_rank: 8,
+            ranks: 4,
+            steps: 4,
+            fields: 2,
+            cfl_interval: 2,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        // Force the method: the autotuned choice is timing-dependent, but
+        // a fixed method must yield a bitwise-identical checksum.
+        let cfg = Config {
+            method: Some(GsMethod::PairwiseExchange),
+            ..small_cfg()
+        };
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert!(a.checksum.is_finite());
+        assert_eq!(a.checksum, b.checksum, "checksum not deterministic");
+        assert_eq!(a.chosen_method, GsMethod::PairwiseExchange);
+    }
+
+    #[test]
+    fn forced_methods_agree_numerically() {
+        let mut cfg = small_cfg();
+        let mut sums = Vec::new();
+        for m in GsMethod::ALL {
+            cfg.method = Some(m);
+            sums.push(run(&cfg).checksum);
+        }
+        for s in &sums[1..] {
+            assert!((s - sums[0]).abs() < 1e-9 * (1.0 + sums[0].abs()));
+        }
+    }
+
+    #[test]
+    fn profile_contains_fig4_regions_and_deriv_dominates() {
+        let cfg = Config {
+            steps: 6,
+            ..small_cfg()
+        };
+        let rep = run(&cfg);
+        for name in [
+            regions::DERIV,
+            regions::FULL2FACE,
+            regions::GS_OP,
+            regions::RK,
+        ] {
+            assert!(
+                rep.profile.flat.iter().any(|(n, _)| n == name),
+                "missing region {name}"
+            );
+        }
+        // Fig. 4's headline: the derivative kernel is the dominant
+        // compute region (compare against other compute, not against the
+        // thread-contended exchange).
+        let deriv = rep.profile.share(regions::DERIV);
+        assert!(deriv > rep.profile.share(regions::FULL2FACE));
+        assert!(deriv > rep.profile.share(regions::RK));
+    }
+
+    /// The mini-app's proxy loop is a real distributed DG advection: its
+    /// result must match the single-process reference solver.
+    #[test]
+    fn distributed_solution_matches_serial_reference() {
+        let cfg = Config {
+            n: 6,
+            elems_per_rank: 4,
+            ranks: 4,
+            steps: 5,
+            fields: 1,
+            variant: KernelVariant::Optimized,
+            method: Some(GsMethod::PairwiseExchange),
+            ..Default::default()
+        };
+        let mesh_cfg = MeshConfig::for_ranks(cfg.ranks, cfg.elems_per_rank, cfg.n, true);
+        let ge = mesh_cfg.global_elems();
+        let (_, dumps) = run_collecting_solution(&cfg);
+        let dt = dumps[0].dt;
+
+        // serial reference on the identical global mesh
+        let mut serial = AdvectionSolver::new(AdvectionConfig {
+            n: cfg.n,
+            elems: ge,
+            lengths: [ge[0] as f64, ge[1] as f64, ge[2] as f64],
+            velocity: cfg.velocity,
+            variant: cfg.variant,
+        });
+        let lengths = [ge[0] as f64, ge[1] as f64, ge[2] as f64];
+        serial.init(|x, y, z| initial_profile(0, x, y, z, lengths));
+        for _ in 0..cfg.steps {
+            serial.step(dt);
+        }
+
+        // compare element by element via global ids
+        let npts = cfg.n * cfg.n * cfg.n;
+        let mut checked = 0;
+        for dump in &dumps {
+            for (le, &geid) in dump.global_elem_ids.iter().enumerate() {
+                let data = &dump.fields[0][le * npts..(le + 1) * npts];
+                let sdata = &serial.solution().element(geid);
+                for (a, b) in data.iter().zip(sdata.iter()) {
+                    assert!(
+                        (a - b).abs() < 1e-10,
+                        "elem {geid}: {a} vs {b} (diff {})",
+                        (a - b).abs()
+                    );
+                    checked += 1;
+                }
+            }
+        }
+        assert_eq!(checked, serial.nel() * npts);
+    }
+
+    #[test]
+    fn dealias_roundtrip_changes_nothing_but_adds_the_workload() {
+        let base = Config {
+            method: Some(GsMethod::PairwiseExchange),
+            ..small_cfg()
+        };
+        let plain = run(&base);
+        let dealiased = run(&Config {
+            dealias_m: Some(base.n + 3),
+            ..base.clone()
+        });
+        // identity on the polynomial data: same physics to roundoff
+        assert!(
+            (plain.checksum - dealiased.checksum).abs()
+                < 1e-9 * (1.0 + plain.checksum.abs()),
+            "{} vs {}",
+            plain.checksum,
+            dealiased.checksum
+        );
+        // but the dealias region exists and did work
+        assert!(dealiased.profile.share(regions::DEALIAS) > 0.0);
+        assert!(plain.profile.share(regions::DEALIAS) == 0.0);
+    }
+
+    #[test]
+    fn dealias_mesh_must_be_at_least_n() {
+        let cfg = Config {
+            dealias_m: Some(3),
+            n: 5,
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    /// The viscous proxy loop is a real distributed advection–diffusion
+    /// solve: it must match the single-process BR1 reference solver.
+    #[test]
+    fn distributed_viscous_solution_matches_serial_reference() {
+        use cmt_core::diffusion::{AdvDiffConfig, AdvDiffSolver};
+        let cfg = Config {
+            n: 5,
+            elems_per_rank: 4,
+            ranks: 4,
+            steps: 4,
+            fields: 1,
+            viscosity: Some(0.02),
+            method: Some(GsMethod::PairwiseExchange),
+            ..Default::default()
+        };
+        let mesh_cfg = MeshConfig::for_ranks(cfg.ranks, cfg.elems_per_rank, cfg.n, true);
+        let ge = mesh_cfg.global_elems();
+        let lengths = [ge[0] as f64, ge[1] as f64, ge[2] as f64];
+        let (_, dumps) = run_collecting_solution(&cfg);
+        let dt = dumps[0].dt;
+
+        let mut serial = AdvDiffSolver::new(AdvDiffConfig {
+            n: cfg.n,
+            elems: ge,
+            lengths,
+            velocity: cfg.velocity,
+            nu: 0.02,
+            variant: cfg.variant,
+        });
+        serial.init(|x, y, z| initial_profile(0, x, y, z, lengths));
+        for _ in 0..cfg.steps {
+            serial.step(dt);
+        }
+
+        let npts = cfg.n * cfg.n * cfg.n;
+        let mut max_diff = 0.0f64;
+        for dump in &dumps {
+            for (le, &geid) in dump.global_elem_ids.iter().enumerate() {
+                let data = &dump.fields[0][le * npts..(le + 1) * npts];
+                for (a, b) in data.iter().zip(serial.solution().element(geid)) {
+                    max_diff = max_diff.max((a - b).abs());
+                }
+            }
+        }
+        assert!(max_diff < 1e-10, "viscous distributed vs serial: {max_diff}");
+    }
+
+    #[test]
+    fn viscosity_adds_regions_and_shrinks_dt() {
+        let base = Config {
+            n: 6,
+            elems_per_rank: 8,
+            ranks: 2,
+            steps: 2,
+            fields: 1,
+            method: Some(GsMethod::PairwiseExchange),
+            ..Default::default()
+        };
+        let geom = cmt_core::ops::ElementGeom::cube(1.0);
+        let dt_inviscid = super::stable_dt(&base, &geom);
+        let viscous_cfg = Config {
+            viscosity: Some(0.5),
+            ..base.clone()
+        };
+        assert!(super::stable_dt(&viscous_cfg, &geom) < dt_inviscid);
+        let rep = run(&viscous_cfg);
+        assert!(rep.profile.share(regions::VISCOUS) > 0.0);
+        // viscous trace exchanges recorded under their own context
+        assert!(rep
+            .comm
+            .sites
+            .iter()
+            .any(|s| s.site.context.contains("faces_visc")));
+    }
+
+    #[test]
+    fn comm_stats_include_face_exchange() {
+        let rep = run(&Config {
+            method: Some(GsMethod::PairwiseExchange),
+            ..small_cfg()
+        });
+        // pairwise exchange under the "faces" context shows Isend/Wait
+        let found = rep.comm.sites.iter().any(|s| {
+            s.site.op == simmpi::MpiOp::Wait && s.site.context.contains("gs:pairwise")
+        });
+        assert!(found, "missing MPI_Wait at gs:pairwise site");
+        let cfl = rep
+            .comm
+            .sites
+            .iter()
+            .any(|s| s.site.op == simmpi::MpiOp::Allreduce && s.site.context == "cfl");
+        assert!(cfl, "missing cfl allreduce site");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid CMT-bone configuration")]
+    fn invalid_config_rejected() {
+        let _ = run(&Config {
+            n: 1,
+            ..Default::default()
+        });
+    }
+}

@@ -1,0 +1,45 @@
+//! # cmt-bone
+//!
+//! The CMT-bone mini-app (Kumar et al., CLUSTER 2015): a performance proxy
+//! for CMT-nek, the discontinuous-Galerkin spectral-element compressible
+//! multiphase turbulence solver built on Nek5000.
+//!
+//! Per the paper (§IV), the mini-app abstracts CMT-nek's timestep into
+//!
+//! 1. the **flux-divergence** term — small matrix multiplications of the
+//!    `N x N` derivative operator against the `(N, N, N, Nel)` element
+//!    data ([`cmt_core::kernels`], the dominant `ax_`-like cost of
+//!    Fig. 4);
+//! 2. the **numerical-flux** term — `full2face` surface extraction and a
+//!    nearest-neighbor gather–scatter exchange ([`cmt_gs`]);
+//! 3. **vector reductions** — global allreduces for timestep control.
+//!
+//! The proxy's five fields stand in for the conserved variables (mass,
+//! momentum, energy). Rather than stepping meaningless data, this
+//! implementation advances each field with a *real* DG advection operator
+//! assembled from exactly the proxy kernels (upwind fluxes recovered from
+//! the gather-scatter exchange), so the mini-app is simultaneously a
+//! faithful performance proxy and a numerically verifiable program: the
+//! test suite checks the distributed run against the single-process
+//! reference solver of [`cmt_core::solver`].
+//!
+//! Entry points:
+//! * [`Config`] + [`run`] — execute the mini-app and collect the full
+//!   measurement set ([`RunReport`]: Fig. 4 profile, Fig. 7 autotune
+//!   table, Figs. 8-10 communication statistics);
+//! * [`run_collecting_solution`] — same, returning the final fields for
+//!   validation;
+//! * the `cmt-bone` binary — command-line driver printing the paper-style
+//!   reports.
+
+#![warn(missing_docs)]
+
+mod config;
+mod driver;
+pub mod euler;
+mod report;
+
+pub use config::Config;
+pub use driver::{run, run_collecting_solution, SolutionDump};
+pub use euler::{run_euler, EulerRunConfig, EulerRunReport};
+pub use report::RunReport;

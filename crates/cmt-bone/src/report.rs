@@ -1,0 +1,192 @@
+//! Run reports: everything the paper's evaluation section measures, from
+//! one mini-app execution.
+
+use cmt_gs::{AutotuneReport, GsMethod};
+use cmt_mesh::MeshConfig;
+use cmt_perf::{MpipReport, ProfileReport};
+
+/// The full measurement set of one CMT-bone (or Nekbone) run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// The mesh/partition configuration used.
+    pub mesh: MeshConfig,
+    /// Paper-style setup block (the Fig. 7 header).
+    pub mesh_summary: String,
+    /// The gather-scatter method actually used for the surface exchange.
+    pub chosen_method: GsMethod,
+    /// The startup tuning table (Fig. 7 body), when autotuning ran.
+    pub autotune: Option<AutotuneReport>,
+    /// Region profile merged over all ranks (Fig. 4).
+    pub profile: ProfileReport,
+    /// mpiP-style communication statistics (Figs. 8-10).
+    pub comm: MpipReport,
+    /// Per-rank wall time of the whole rank program, seconds.
+    pub rank_wall_s: Vec<f64>,
+    /// Per-rank modelled network time, seconds (zeros without a network
+    /// model).
+    pub modeled_comm_s: Vec<f64>,
+    /// Deterministic global checksum of the final fields.
+    pub checksum: f64,
+    /// Timesteps executed.
+    pub steps: usize,
+    /// Conserved-variable fields stepped.
+    pub fields: usize,
+}
+
+impl RunReport {
+    /// Modelled floating-point work of the whole run (all ranks): the
+    /// derivative kernels (3 per field per stage), the RK updates, and
+    /// the face lift — from the exact operation counts of
+    /// [`cmt_core::cost`].
+    pub fn modeled_flops(&self) -> u64 {
+        use cmt_core::cost;
+        let n = self.mesh.n as u64;
+        let nel = (self.mesh.total_elems()) as u64;
+        let per_stage = cost::grad_counts(n, nel)
+            .plus(cost::rk_stage_counts(n, nel))
+            .plus(cost::face2full_counts(n, nel));
+        per_stage
+            .times(3 * self.steps as u64 * self.fields as u64)
+            .flops
+    }
+
+    /// Achieved modelled flop rate over the slowest rank's wall time,
+    /// flops/second (a coarse utilization indicator, not a benchmark).
+    pub fn flop_rate(&self) -> f64 {
+        self.modeled_flops() as f64 / self.max_wall_s().max(1e-12)
+    }
+
+    /// Slowest rank's wall time (the run's critical path).
+    pub fn max_wall_s(&self) -> f64 {
+        self.rank_wall_s.iter().fold(0.0f64, |m, &v| m.max(v))
+    }
+
+    /// Mean rank wall time.
+    pub fn avg_wall_s(&self) -> f64 {
+        if self.rank_wall_s.is_empty() {
+            0.0
+        } else {
+            self.rank_wall_s.iter().sum::<f64>() / self.rank_wall_s.len() as f64
+        }
+    }
+
+    /// Render the complete paper-style report (setup block, autotune
+    /// table, flat profile, communication summaries).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("Setup:\n");
+        out.push_str(&self.mesh_summary);
+        out.push('\n');
+        out.push_str(&format!(
+            "\nsteps = {}  fields = {}  checksum = {:.12e}\n",
+            self.steps, self.fields, self.checksum
+        ));
+        out.push_str(&format!(
+            "wall time: avg {:.4}s  max {:.4}s   modelled kernel work: {:.2} Gflop ({:.2} Gflop/s)\n",
+            self.avg_wall_s(),
+            self.max_wall_s(),
+            self.modeled_flops() as f64 / 1e9,
+            self.flop_rate() / 1e9,
+        ));
+        out.push_str(&format!("chosen gs method: {}\n", self.chosen_method.name()));
+        if let Some(t) = &self.autotune {
+            out.push_str("\nAutotune (Fig. 7):\n");
+            out.push_str("mini-app   | method             |      avg (s) |      min (s) |      max (s)\n");
+            out.push_str(&t.table("CMT-bone"));
+        }
+        out.push_str("\nExecution profile (Fig. 4):\n");
+        out.push_str(&self.profile.render_flat());
+        out.push_str("\nCall graph edges:\n");
+        out.push_str(&self.profile.render_call_graph());
+        out.push_str("\nMPI time per rank (Fig. 8):\n");
+        out.push_str(&self.comm.render_rank_bars());
+        out.push_str("\nTop MPI call sites (Fig. 9):\n");
+        out.push_str(&self.comm.render_top_sites(20));
+        out.push_str("\nMessage sizes (Fig. 10):\n");
+        out.push_str(&self.comm.render_msg_sizes(10));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{run, Config};
+    use cmt_gs::GsMethod;
+
+    #[test]
+    fn render_produces_all_sections() {
+        let rep = run(&Config {
+            n: 4,
+            elems_per_rank: 4,
+            ranks: 2,
+            steps: 2,
+            fields: 1,
+            ..Default::default()
+        });
+        let text = rep.render();
+        for needle in [
+            "Setup:",
+            "Autotune (Fig. 7)",
+            "Execution profile (Fig. 4)",
+            "MPI time per rank (Fig. 8)",
+            "Top MPI call sites (Fig. 9)",
+            "Message sizes (Fig. 10)",
+            "chosen gs method:",
+        ] {
+            assert!(text.contains(needle), "missing section {needle}");
+        }
+    }
+
+    #[test]
+    fn forced_method_skips_autotune_section() {
+        let rep = run(&Config {
+            n: 4,
+            elems_per_rank: 2,
+            ranks: 2,
+            steps: 1,
+            fields: 1,
+            method: Some(GsMethod::CrystalRouter),
+            ..Default::default()
+        });
+        assert!(rep.autotune.is_none());
+        assert_eq!(rep.chosen_method, GsMethod::CrystalRouter);
+        assert!(!rep.render().contains("Autotune"));
+    }
+
+    #[test]
+    fn modeled_flops_scale_with_steps_and_fields() {
+        let base = Config {
+            n: 4,
+            elems_per_rank: 2,
+            ranks: 2,
+            steps: 2,
+            fields: 1,
+            method: Some(GsMethod::PairwiseExchange),
+            ..Default::default()
+        };
+        let a = run(&base);
+        let b = run(&Config {
+            steps: 4,
+            fields: 2,
+            ..base
+        });
+        assert_eq!(b.modeled_flops(), 4 * a.modeled_flops());
+        assert!(a.flop_rate() > 0.0);
+        assert!(a.render().contains("Gflop"));
+    }
+
+    #[test]
+    fn wall_time_stats_sane() {
+        let rep = run(&Config {
+            n: 4,
+            elems_per_rank: 2,
+            ranks: 3,
+            steps: 1,
+            fields: 1,
+            ..Default::default()
+        });
+        assert_eq!(rep.rank_wall_s.len(), 3);
+        assert!(rep.avg_wall_s() > 0.0);
+        assert!(rep.max_wall_s() >= rep.avg_wall_s());
+    }
+}

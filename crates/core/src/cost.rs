@@ -1,0 +1,162 @@
+//! Analytic operation counts for the CMT-bone kernels.
+//!
+//! The paper reports PAPI total-instruction and total-cycle counts for the
+//! derivative kernels (Figs. 5-6). Real hardware counters are not available
+//! to a portable reproduction, so `cmt-perf` models them from the operation
+//! counts tallied here: floating-point operations, loads and stores per
+//! kernel invocation, exact by construction of each loop nest.
+//!
+//! The counts are *architecture-independent facts about the algorithms*;
+//! translating them into instructions/cycles (vectorization width, loop
+//! overhead per variant, cache penalties) is the model in
+//! `cmt_perf::papi`.
+
+/// Operation counts of one kernel invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpCounts {
+    /// Floating-point operations (adds + multiplies; an FMA counts as 2).
+    pub flops: u64,
+    /// f64 values read from memory (as written in the source loop nest —
+    /// registers/cache reuse is a model concern, not a count concern).
+    pub loads: u64,
+    /// f64 values written to memory.
+    pub stores: u64,
+}
+
+impl OpCounts {
+    /// Elementwise sum.
+    pub fn plus(self, other: OpCounts) -> OpCounts {
+        OpCounts {
+            flops: self.flops + other.flops,
+            loads: self.loads + other.loads,
+            stores: self.stores + other.stores,
+        }
+    }
+
+    /// Scale all counts (e.g. by a timestep count).
+    pub fn times(self, k: u64) -> OpCounts {
+        OpCounts {
+            flops: self.flops * k,
+            loads: self.loads * k,
+            stores: self.stores * k,
+        }
+    }
+
+    /// Total memory traffic in bytes (8 bytes per f64).
+    pub fn bytes(self) -> u64 {
+        8 * (self.loads + self.stores)
+    }
+}
+
+/// One partial-derivative kernel (`dudr`, `duds` or `dudt`):
+/// `n^3 * nel` output points, each an `n`-term dot product.
+///
+/// Per output point: `n` multiplies + `n-1` adds, `n` loads of `u`, `n`
+/// loads of `D`, 1 store. Identical for all three directions — the
+/// *counts* are the same; the access *patterns* (and hence modelled cycles)
+/// differ.
+pub fn deriv_counts(n: u64, nel: u64) -> OpCounts {
+    let pts = n * n * n * nel;
+    OpCounts {
+        flops: pts * (2 * n - 1),
+        loads: pts * 2 * n,
+        stores: pts,
+    }
+}
+
+/// All three derivatives of one field (the gradient).
+pub fn grad_counts(n: u64, nel: u64) -> OpCounts {
+    deriv_counts(n, nel).times(3)
+}
+
+/// `full2face`: gather `6 n^2` values per element.
+pub fn full2face_counts(n: u64, nel: u64) -> OpCounts {
+    let pts = 6 * n * n * nel;
+    OpCounts {
+        flops: 0,
+        loads: pts,
+        stores: pts,
+    }
+}
+
+/// `face2full_add`: scatter-accumulate `6 n^2` values per element.
+pub fn face2full_counts(n: u64, nel: u64) -> OpCounts {
+    let pts = 6 * n * n * nel;
+    OpCounts {
+        flops: pts,
+        loads: 2 * pts,
+        stores: pts,
+    }
+}
+
+/// One RK stage update `u = a*u0 + b*u + c*dt*rhs` over `n^3 * nel` points.
+pub fn rk_stage_counts(n: u64, nel: u64) -> OpCounts {
+    let pts = n * n * n * nel;
+    OpCounts {
+        flops: pts * 5,
+        loads: pts * 3,
+        stores: pts,
+    }
+}
+
+/// Dealias interpolation (`tensor3_apply`) from `n` to `m` points per
+/// direction: three rectangular contractions.
+pub fn tensor3_counts(m: u64, n: u64, nel: u64) -> OpCounts {
+    // r: m*n^2 outputs of n-term dots; s: m^2*n outputs; t: m^3 outputs.
+    let outs = m * n * n + m * m * n + m * m * m;
+    OpCounts {
+        flops: outs * (2 * n - 1),
+        loads: outs * 2 * n,
+        stores: outs,
+    }
+    .times(nel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deriv_counts_match_hand_computation() {
+        // n=2, nel=1: 8 points, each 2 mult + 1 add = 3 flops
+        let c = deriv_counts(2, 1);
+        assert_eq!(c.flops, 24);
+        assert_eq!(c.loads, 32);
+        assert_eq!(c.stores, 8);
+    }
+
+    #[test]
+    fn deriv_is_order_n4() {
+        // Doubling n must scale flops by ~16x asymptotically.
+        let c1 = deriv_counts(16, 1);
+        let c2 = deriv_counts(32, 1);
+        let ratio = c2.flops as f64 / c1.flops as f64;
+        assert!(ratio > 15.0 && ratio < 17.0, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn counts_scale_linearly_in_nel() {
+        let a = deriv_counts(10, 1);
+        let b = deriv_counts(10, 7);
+        assert_eq!(b.flops, 7 * a.flops);
+        assert_eq!(b.loads, 7 * a.loads);
+        assert_eq!(b.stores, 7 * a.stores);
+    }
+
+    #[test]
+    fn arithmetic_helpers() {
+        let a = OpCounts {
+            flops: 1,
+            loads: 2,
+            stores: 3,
+        };
+        let b = a.plus(a).times(2);
+        assert_eq!(b.flops, 4);
+        assert_eq!(b.bytes(), 8 * (8 + 12));
+    }
+
+    #[test]
+    fn grad_is_three_derivs() {
+        assert_eq!(grad_counts(9, 4).flops, 3 * deriv_counts(9, 4).flops);
+    }
+}

@@ -1,0 +1,241 @@
+//! Ideal-gas equation of state and conserved/primitive conversions.
+//!
+//! CMT-nek solves the compressible flow equations for the conserved
+//! vector `U = (rho, rho u, rho v, rho w, E)`; the paper's development
+//! plan lists "real gas models" as future work, with the calorically
+//! perfect ideal gas as the baseline. This module is that baseline:
+//! pressure, sound speed, primitive/conserved conversions, and the
+//! physical-admissibility checks the solver's debug assertions use.
+
+/// Number of conserved variables (mass, three momenta, energy).
+pub const NVARS: usize = 5;
+
+/// Calorically perfect ideal gas.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IdealGas {
+    /// Ratio of specific heats (1.4 for diatomic air).
+    pub gamma: f64,
+}
+
+impl Default for IdealGas {
+    fn default() -> Self {
+        IdealGas { gamma: 1.4 }
+    }
+}
+
+/// Primitive state `(rho, u, v, w, p)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Primitive {
+    /// Density.
+    pub rho: f64,
+    /// Velocity components.
+    pub vel: [f64; 3],
+    /// Pressure.
+    pub p: f64,
+}
+
+impl IdealGas {
+    /// A gas with the given specific-heat ratio.
+    ///
+    /// # Panics
+    /// Panics unless `gamma > 1`.
+    pub fn new(gamma: f64) -> Self {
+        assert!(gamma > 1.0, "gamma must exceed 1, got {gamma}");
+        IdealGas { gamma }
+    }
+
+    /// Pressure from the conserved vector.
+    #[inline]
+    pub fn pressure(&self, u: &[f64; NVARS]) -> f64 {
+        let rho = u[0];
+        let ke = 0.5 * (u[1] * u[1] + u[2] * u[2] + u[3] * u[3]) / rho;
+        (self.gamma - 1.0) * (u[4] - ke)
+    }
+
+    /// Sound speed `sqrt(gamma p / rho)` from the conserved vector.
+    #[inline]
+    pub fn sound_speed(&self, u: &[f64; NVARS]) -> f64 {
+        (self.gamma * self.pressure(u) / u[0]).sqrt()
+    }
+
+    /// Largest signal speed normal to `axis`: `|u_n| + c`.
+    #[inline]
+    pub fn max_wave_speed(&self, u: &[f64; NVARS], axis: usize) -> f64 {
+        (u[1 + axis] / u[0]).abs() + self.sound_speed(u)
+    }
+
+    /// Conserved vector from a primitive state.
+    #[inline]
+    pub fn conserved(&self, w: Primitive) -> [f64; NVARS] {
+        let ke = 0.5 * w.rho * (w.vel[0] * w.vel[0] + w.vel[1] * w.vel[1] + w.vel[2] * w.vel[2]);
+        [
+            w.rho,
+            w.rho * w.vel[0],
+            w.rho * w.vel[1],
+            w.rho * w.vel[2],
+            w.p / (self.gamma - 1.0) + ke,
+        ]
+    }
+
+    /// Primitive state from a conserved vector.
+    #[inline]
+    pub fn primitive(&self, u: &[f64; NVARS]) -> Primitive {
+        Primitive {
+            rho: u[0],
+            vel: [u[1] / u[0], u[2] / u[0], u[3] / u[0]],
+            p: self.pressure(u),
+        }
+    }
+
+    /// Physical admissibility: positive density and pressure, all finite.
+    #[inline]
+    pub fn is_admissible(&self, u: &[f64; NVARS]) -> bool {
+        u.iter().all(|v| v.is_finite()) && u[0] > 0.0 && self.pressure(u) > 0.0
+    }
+
+    /// The inviscid flux along `axis` of the conserved state `u`.
+    #[inline]
+    pub fn flux(&self, u: &[f64; NVARS], axis: usize) -> [f64; NVARS] {
+        let p = self.pressure(u);
+        let un = u[1 + axis] / u[0]; // normal velocity
+        let mut f = [u[0] * un, u[1] * un, u[2] * un, u[3] * un, (u[4] + p) * un];
+        f[1 + axis] += p;
+        f
+    }
+
+    /// Rusanov (local Lax–Friedrichs) numerical flux along `axis` with
+    /// outward normal sign `sign` (`+1` or `-1`):
+    /// `F* = 1/2 (F(ul) + F(ur)) . n  -  1/2 lambda_max (ur - ul)`.
+    ///
+    /// `ul` is the interior trace, `ur` the neighbor trace.
+    #[inline]
+    pub fn rusanov_flux(
+        &self,
+        ul: &[f64; NVARS],
+        ur: &[f64; NVARS],
+        axis: usize,
+        sign: f64,
+    ) -> [f64; NVARS] {
+        let fl = self.flux(ul, axis);
+        let fr = self.flux(ur, axis);
+        let lambda = self.max_wave_speed(ul, axis).max(self.max_wave_speed(ur, axis));
+        let mut out = [0.0; NVARS];
+        for c in 0..NVARS {
+            out[c] = 0.5 * sign * (fl[c] + fr[c]) - 0.5 * lambda * (ur[c] - ul[c]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state() -> (IdealGas, [f64; NVARS]) {
+        let gas = IdealGas::default();
+        let u = gas.conserved(Primitive {
+            rho: 1.2,
+            vel: [0.3, -0.1, 0.2],
+            p: 0.9,
+        });
+        (gas, u)
+    }
+
+    #[test]
+    fn primitive_conserved_roundtrip() {
+        let (gas, u) = state();
+        let w = gas.primitive(&u);
+        assert!((w.rho - 1.2).abs() < 1e-14);
+        assert!((w.vel[0] - 0.3).abs() < 1e-14);
+        assert!((w.vel[1] + 0.1).abs() < 1e-14);
+        assert!((w.p - 0.9).abs() < 1e-13);
+        let u2 = gas.conserved(w);
+        for (a, b) in u.iter().zip(&u2) {
+            assert!((a - b).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn sound_speed_matches_formula() {
+        let (gas, u) = state();
+        let c = gas.sound_speed(&u);
+        assert!((c - (1.4f64 * 0.9 / 1.2).sqrt()).abs() < 1e-13);
+    }
+
+    #[test]
+    fn flux_of_stationary_gas_is_pure_pressure() {
+        let gas = IdealGas::default();
+        let u = gas.conserved(Primitive {
+            rho: 1.0,
+            vel: [0.0; 3],
+            p: 2.0,
+        });
+        for axis in 0..3 {
+            let f = gas.flux(&u, axis);
+            for (c, &fc) in f.iter().enumerate() {
+                let want = if c == 1 + axis { 2.0 } else { 0.0 };
+                assert!((fc - want).abs() < 1e-13, "axis {axis} comp {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn rusanov_is_consistent() {
+        // F*(u, u) = sign * F(u): consistency of the numerical flux.
+        let (gas, u) = state();
+        for axis in 0..3 {
+            for sign in [1.0, -1.0] {
+                let fstar = gas.rusanov_flux(&u, &u, axis, sign);
+                let f = gas.flux(&u, axis);
+                for c in 0..NVARS {
+                    assert!((fstar[c] - sign * f[c]).abs() < 1e-13);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rusanov_is_conservative_across_a_face() {
+        // The flux leaving one element equals the flux entering its
+        // neighbor: F*(ul, ur; +n) = -F*(ur, ul; -n).
+        let gas = IdealGas::default();
+        let ul = gas.conserved(Primitive {
+            rho: 1.0,
+            vel: [0.5, 0.0, 0.1],
+            p: 1.0,
+        });
+        let ur = gas.conserved(Primitive {
+            rho: 0.8,
+            vel: [0.2, -0.3, 0.0],
+            p: 1.3,
+        });
+        for axis in 0..3 {
+            let a = gas.rusanov_flux(&ul, &ur, axis, 1.0);
+            let b = gas.rusanov_flux(&ur, &ul, axis, -1.0);
+            for c in 0..NVARS {
+                assert!((a[c] + b[c]).abs() < 1e-13, "axis {axis} comp {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn admissibility_checks() {
+        let (gas, u) = state();
+        assert!(gas.is_admissible(&u));
+        let mut bad = u;
+        bad[0] = -1.0;
+        assert!(!gas.is_admissible(&bad));
+        let mut vac = u;
+        vac[4] = 0.0; // negative pressure
+        assert!(!gas.is_admissible(&vac));
+        let mut nan = u;
+        nan[2] = f64::NAN;
+        assert!(!gas.is_admissible(&nan));
+    }
+
+    #[test]
+    #[should_panic]
+    fn gamma_must_exceed_one() {
+        let _ = IdealGas::new(1.0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Basic (unoptimized) derivative kernels — the paper's Fig. 6 baseline.
+//!
+//! These are the "textbook" nested loops: one loop per tensor index plus the
+//! contraction loop, in the natural `(k, j, i, m)` order, with *no* loop
+//! fusion and *no* unrolling. Indexing is done through explicit flat-index
+//! arithmetic each iteration, exactly the way a first Fortran port would
+//! write it. The point of this module is to be the honest "before" picture:
+//! `dudt` walks `u` with stride `n^2` in its inner loop and `duds` with
+//! stride `n`, which is why the optimized kernels beat them (by 2.31x for
+//! `dudt` in the paper) while `dudr` — already unit-stride — barely moves
+//! (1.03x).
+//!
+//! Do not "improve" this module; its naivety is load-bearing for the Fig. 5
+//! vs Fig. 6 reproduction.
+
+/// `out[e,i,j,k] = sum_m d[i,m] * u[e,m,j,k]` — contraction over the
+/// unit-stride direction.
+///
+/// Inner-loop operands are taken as row slices so the bounds checks hoist
+/// out of the `m` loop: the Fortran original this mirrors has no per-access
+/// checks, and leaving them in would penalize the baseline for a
+/// Rust-specific cost the paper's comparison never paid. The *loop
+/// structure* (no fusion, no unrolling, per-point dot products) is
+/// unchanged.
+pub fn deriv_r(n: usize, nel: usize, d: &[f64], u: &[f64], out: &mut [f64]) {
+    let n2 = n * n;
+    let n3 = n2 * n;
+    for e in 0..nel {
+        let base = e * n3;
+        for k in 0..n {
+            for j in 0..n {
+                let urow = &u[base + k * n2 + j * n..base + k * n2 + j * n + n];
+                for i in 0..n {
+                    let drow = &d[i * n..i * n + n];
+                    let mut s = 0.0;
+                    for m in 0..n {
+                        s += drow[m] * urow[m];
+                    }
+                    out[base + k * n2 + j * n + i] = s;
+                }
+            }
+        }
+    }
+}
+
+/// `out[e,i,j,k] = sum_m d[j,m] * u[e,i,m,k]` — stride-`n` contraction.
+/// The `D` row is sliced (hoisting its bounds check); the `u` accesses
+/// remain strided by `n`, the access pattern the paper identifies as the
+/// reason `duds` resists optimization.
+pub fn deriv_s(n: usize, nel: usize, d: &[f64], u: &[f64], out: &mut [f64]) {
+    let n2 = n * n;
+    let n3 = n2 * n;
+    for e in 0..nel {
+        let base = e * n3;
+        for k in 0..n {
+            let uslab = &u[base + k * n2..base + k * n2 + n2];
+            for j in 0..n {
+                let drow = &d[j * n..j * n + n];
+                for i in 0..n {
+                    let mut s = 0.0;
+                    for m in 0..n {
+                        s += drow[m] * uslab[m * n + i];
+                    }
+                    out[base + k * n2 + j * n + i] = s;
+                }
+            }
+        }
+    }
+}
+
+/// `out[e,i,j,k] = sum_m d[k,m] * u[e,i,j,m]` — stride-`n^2` contraction,
+/// the worst access pattern and the kernel the paper's loop optimizations
+/// help most (2.31x). The `D` row is sliced like the others; the `u`
+/// walk strides `n^2` per inner iteration, which is the whole problem.
+pub fn deriv_t(n: usize, nel: usize, d: &[f64], u: &[f64], out: &mut [f64]) {
+    let n2 = n * n;
+    let n3 = n2 * n;
+    for e in 0..nel {
+        let base = e * n3;
+        let ue = &u[base..base + n3];
+        for k in 0..n {
+            let drow = &d[k * n..k * n + n];
+            for j in 0..n {
+                for i in 0..n {
+                    let mut s = 0.0;
+                    for m in 0..n {
+                        s += drow[m] * ue[m * n2 + j * n + i];
+                    }
+                    out[base + k * n2 + j * n + i] = s;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poly::Basis;
+
+    #[test]
+    fn linear_field_has_constant_derivative() {
+        let n = 5;
+        let b = Basis::new(n);
+        let x = &b.nodes;
+        // u = 2r - s + 3t
+        let mut u = vec![0.0; n * n * n];
+        for k in 0..n {
+            for j in 0..n {
+                for i in 0..n {
+                    u[(k * n + j) * n + i] = 2.0 * x[i] - x[j] + 3.0 * x[k];
+                }
+            }
+        }
+        let mut ur = vec![0.0; u.len()];
+        let mut us = vec![0.0; u.len()];
+        let mut ut = vec![0.0; u.len()];
+        deriv_r(n, 1, &b.d, &u, &mut ur);
+        deriv_s(n, 1, &b.d, &u, &mut us);
+        deriv_t(n, 1, &b.d, &u, &mut ut);
+        assert!(ur.iter().all(|v| (v - 2.0).abs() < 1e-11));
+        assert!(us.iter().all(|v| (v + 1.0).abs() < 1e-11));
+        assert!(ut.iter().all(|v| (v - 3.0).abs() < 1e-11));
+    }
+
+    #[test]
+    fn multi_element_is_per_element_independent() {
+        let n = 4;
+        let b = Basis::new(n);
+        let n3 = n * n * n;
+        // element 0: zeros; element 1: r^2
+        let mut u = vec![0.0; 2 * n3];
+        for k in 0..n {
+            for j in 0..n {
+                for i in 0..n {
+                    u[n3 + (k * n + j) * n + i] = b.nodes[i] * b.nodes[i];
+                }
+            }
+        }
+        let mut ur = vec![0.0; u.len()];
+        deriv_r(n, 2, &b.d, &u, &mut ur);
+        assert!(ur[..n3].iter().all(|v| v.abs() < 1e-12));
+        for k in 0..n {
+            for j in 0..n {
+                for i in 0..n {
+                    let want = 2.0 * b.nodes[i];
+                    assert!((ur[n3 + (k * n + j) * n + i] - want).abs() < 1e-11);
+                }
+            }
+        }
+    }
+}

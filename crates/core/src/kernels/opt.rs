@@ -1,0 +1,149 @@
+//! Optimized derivative kernels — the paper's Fig. 5 production versions.
+//!
+//! CMT-bone inherits Nek5000's loop transformations: the two outermost loops
+//! are *fused* for the `r` and `t` derivatives and the innermost loop is
+//! unrolled/vectorized. In Rust we express the same transformations as
+//! flattened matrix products whose inner loops are unit-stride slice
+//! iterations the compiler autovectorizes:
+//!
+//! * `dudr = D * U` with `U` reshaped `n x (n^2)`: the `j` and `k` loops
+//!   fuse into one column loop of `n^2` iterations; each output value is a
+//!   unit-stride dot product of length `n`.
+//! * `dudt = U * D^T` with `U` reshaped `(n^2) x n`: the `i` and `j` loops
+//!   fuse into contiguous axpy updates of length `n^2` — long unit-stride
+//!   streams that vectorize perfectly, which is exactly why the paper sees
+//!   its largest win (2.31x) here.
+//! * `duds` cannot fuse across `k` (the `j` contraction sits *between* the
+//!   unit-stride `i` index and the slab index `k`), so it remains a per-slab
+//!   `S * D^T` with axpy runs of only length `n` — matching the paper's
+//!   observation that `duds` gains essentially nothing.
+
+/// Fused `dudr`: for every fused column `c = j + n*k`, compute
+/// `out[:, c] = D * u[:, c]` as `n` unit-stride dot products.
+pub fn deriv_r(n: usize, nel: usize, d: &[f64], u: &[f64], out: &mut [f64]) {
+    let ncols = n * n * nel; // fused (j, k, e) loop
+    for c in 0..ncols {
+        let ucol = &u[c * n..c * n + n];
+        let ocol = &mut out[c * n..c * n + n];
+        for (i, o) in ocol.iter_mut().enumerate() {
+            let drow = &d[i * n..i * n + n];
+            let mut s = 0.0;
+            for (dv, uv) in drow.iter().zip(ucol) {
+                s += dv * uv;
+            }
+            *o = s;
+        }
+    }
+}
+
+/// Per-slab `duds`: for each `k`-slab (an `n x n` matrix with `i` fastest),
+/// `out_slab[:, j] = sum_m d[j, m] * slab[:, m]` — axpy runs of length `n`.
+pub fn deriv_s(n: usize, nel: usize, d: &[f64], u: &[f64], out: &mut [f64]) {
+    let n2 = n * n;
+    let nslabs = n * nel; // fused (k, e) loop
+    for sl in 0..nslabs {
+        let slab = &u[sl * n2..(sl + 1) * n2];
+        let oslab = &mut out[sl * n2..(sl + 1) * n2];
+        for j in 0..n {
+            let drow = &d[j * n..j * n + n];
+            let ocol = &mut oslab[j * n..j * n + n];
+            // first term initializes (no zero-fill pass), rest accumulate
+            let d0 = drow[0];
+            for (o, uv) in ocol.iter_mut().zip(&slab[..n]) {
+                *o = d0 * uv;
+            }
+            for (m, &dv) in drow.iter().enumerate().skip(1) {
+                let ucol = &slab[m * n..m * n + n];
+                for (o, uv) in ocol.iter_mut().zip(ucol) {
+                    *o += dv * uv;
+                }
+            }
+        }
+    }
+}
+
+/// Fused `dudt`: per element, `out[:, k] = sum_m d[k, m] * u[:, m]` where
+/// the fused row index runs over `n^2` contiguous points — long unit-stride
+/// axpy streams.
+pub fn deriv_t(n: usize, nel: usize, d: &[f64], u: &[f64], out: &mut [f64]) {
+    let n2 = n * n;
+    let n3 = n2 * n;
+    for e in 0..nel {
+        let ue = &u[e * n3..(e + 1) * n3];
+        let oe = &mut out[e * n3..(e + 1) * n3];
+        for k in 0..n {
+            let drow = &d[k * n..k * n + n];
+            let ocol = &mut oe[k * n2..(k + 1) * n2];
+            // first term initializes (no zero-fill pass), rest accumulate
+            let d0 = drow[0];
+            for (o, uv) in ocol.iter_mut().zip(&ue[..n2]) {
+                *o = d0 * uv;
+            }
+            for (m, &dv) in drow.iter().enumerate().skip(1) {
+                let ucol = &ue[m * n2..(m + 1) * n2];
+                for (o, uv) in ocol.iter_mut().zip(ucol) {
+                    *o += dv * uv;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::basic;
+    use crate::poly::Basis;
+
+    fn pseudo_random(len: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(6364136223846793005).max(1);
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state as f64 / u64::MAX as f64) * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_basic_for_various_shapes() {
+        for &(n, nel) in &[(2, 1), (3, 4), (7, 2), (10, 3), (16, 1)] {
+            let b = Basis::new(n);
+            let u = pseudo_random(n * n * n * nel, n as u64 * 31 + nel as u64);
+            let mut a = vec![0.0; u.len()];
+            let mut o = vec![0.0; u.len()];
+            for (fb, fo) in [
+                (
+                    basic::deriv_r as fn(usize, usize, &[f64], &[f64], &mut [f64]),
+                    deriv_r as fn(usize, usize, &[f64], &[f64], &mut [f64]),
+                ),
+                (basic::deriv_s, deriv_s),
+                (basic::deriv_t, deriv_t),
+            ] {
+                fb(n, nel, &b.d, &u, &mut a);
+                fo(n, nel, &b.d, &u, &mut o);
+                for (x, y) in a.iter().zip(&o) {
+                    assert!((x - y).abs() < 1e-12 * (1.0 + x.abs()), "n={n} nel={nel}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn output_fully_overwritten() {
+        // Poison the output buffer; kernels must not accumulate into it.
+        let n = 6;
+        let b = Basis::new(n);
+        let u = pseudo_random(n * n * n, 5);
+        let mut o1 = vec![f64::NAN; u.len()];
+        let mut o2 = vec![123.0; u.len()];
+        deriv_t(n, 1, &b.d, &u, &mut o1);
+        deriv_t(n, 1, &b.d, &u, &mut o2);
+        for (a, b) in o1.iter().zip(&o2) {
+            assert!(a.is_finite());
+            assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Const-generic specialized derivative kernels — the Nek `mxm` analogue.
+//!
+//! Nek5000 ships generated matrix-multiply routines with the inner product
+//! fully unrolled for each small matrix size; CMT-bone inherits them. The
+//! Rust analogue is a const-generic kernel: with `N` a compile-time
+//! constant, the inner `0..N` loops have known trip counts and fixed-size
+//! slice windows (`&u[c * N..][..N]` coerced through `[f64; N]`-shaped
+//! iteration), so the compiler fully unrolls and vectorizes them.
+//!
+//! A runtime dispatcher covers the paper's whole range `N in 5..=25` (plus
+//! margin down to 2 and up to 32); other sizes fall back to the
+//! [`crate::kernels::opt`] kernels, which are semantically identical.
+
+use super::opt;
+
+#[inline(always)]
+fn deriv_r_const<const N: usize>(nel: usize, d: &[f64], u: &[f64], out: &mut [f64]) {
+    let ncols = N * N * nel;
+    // Fixed-size row copies let LLVM keep D rows in registers.
+    for c in 0..ncols {
+        let ucol: &[f64; N] = u[c * N..c * N + N].try_into().unwrap();
+        let ocol = &mut out[c * N..c * N + N];
+        for i in 0..N {
+            let drow: &[f64; N] = d[i * N..i * N + N].try_into().unwrap();
+            let mut s = 0.0;
+            for m in 0..N {
+                s += drow[m] * ucol[m];
+            }
+            ocol[i] = s;
+        }
+    }
+}
+
+#[inline(always)]
+fn deriv_s_const<const N: usize>(nel: usize, d: &[f64], u: &[f64], out: &mut [f64]) {
+    let n2 = N * N;
+    let nslabs = N * nel;
+    for sl in 0..nslabs {
+        let slab = &u[sl * n2..(sl + 1) * n2];
+        let oslab = &mut out[sl * n2..(sl + 1) * n2];
+        for j in 0..N {
+            let drow: &[f64; N] = d[j * N..j * N + N].try_into().unwrap();
+            let ocol = &mut oslab[j * N..j * N + N];
+            for i in 0..N {
+                let mut s = 0.0;
+                for m in 0..N {
+                    s += drow[m] * slab[m * N + i];
+                }
+                ocol[i] = s;
+            }
+        }
+    }
+}
+
+#[inline(always)]
+fn deriv_t_const<const N: usize>(nel: usize, d: &[f64], u: &[f64], out: &mut [f64]) {
+    let n2 = N * N;
+    let n3 = n2 * N;
+    for e in 0..nel {
+        let ue = &u[e * n3..(e + 1) * n3];
+        let oe = &mut out[e * n3..(e + 1) * n3];
+        for k in 0..N {
+            let drow: &[f64; N] = d[k * N..k * N + N].try_into().unwrap();
+            let ocol = &mut oe[k * n2..(k + 1) * n2];
+            ocol.fill(0.0);
+            for m in 0..N {
+                let dv = drow[m];
+                let ucol = &ue[m * n2..(m + 1) * n2];
+                for (o, uv) in ocol.iter_mut().zip(ucol) {
+                    *o += dv * uv;
+                }
+            }
+        }
+    }
+}
+
+macro_rules! dispatch {
+    ($func:ident, $n:expr, $nel:expr, $d:expr, $u:expr, $out:expr, $fallback:path) => {
+        match $n {
+            2 => $func::<2>($nel, $d, $u, $out),
+            3 => $func::<3>($nel, $d, $u, $out),
+            4 => $func::<4>($nel, $d, $u, $out),
+            5 => $func::<5>($nel, $d, $u, $out),
+            6 => $func::<6>($nel, $d, $u, $out),
+            7 => $func::<7>($nel, $d, $u, $out),
+            8 => $func::<8>($nel, $d, $u, $out),
+            9 => $func::<9>($nel, $d, $u, $out),
+            10 => $func::<10>($nel, $d, $u, $out),
+            11 => $func::<11>($nel, $d, $u, $out),
+            12 => $func::<12>($nel, $d, $u, $out),
+            13 => $func::<13>($nel, $d, $u, $out),
+            14 => $func::<14>($nel, $d, $u, $out),
+            15 => $func::<15>($nel, $d, $u, $out),
+            16 => $func::<16>($nel, $d, $u, $out),
+            17 => $func::<17>($nel, $d, $u, $out),
+            18 => $func::<18>($nel, $d, $u, $out),
+            19 => $func::<19>($nel, $d, $u, $out),
+            20 => $func::<20>($nel, $d, $u, $out),
+            21 => $func::<21>($nel, $d, $u, $out),
+            22 => $func::<22>($nel, $d, $u, $out),
+            23 => $func::<23>($nel, $d, $u, $out),
+            24 => $func::<24>($nel, $d, $u, $out),
+            25 => $func::<25>($nel, $d, $u, $out),
+            _ => $fallback($n, $nel, $d, $u, $out),
+        }
+    };
+}
+
+/// Specialized `dudr`; falls back to the optimized kernel for `n > 25`.
+pub fn deriv_r(n: usize, nel: usize, d: &[f64], u: &[f64], out: &mut [f64]) {
+    dispatch!(deriv_r_const, n, nel, d, u, out, opt::deriv_r);
+}
+
+/// Specialized `duds`; falls back to the optimized kernel for `n > 25`.
+pub fn deriv_s(n: usize, nel: usize, d: &[f64], u: &[f64], out: &mut [f64]) {
+    dispatch!(deriv_s_const, n, nel, d, u, out, opt::deriv_s);
+}
+
+/// Specialized `dudt`; falls back to the optimized kernel for `n > 25`.
+pub fn deriv_t(n: usize, nel: usize, d: &[f64], u: &[f64], out: &mut [f64]) {
+    dispatch!(deriv_t_const, n, nel, d, u, out, opt::deriv_t);
+}
+
+/// Whether `n` has a dedicated const-generic instantiation (vs falling back
+/// to the runtime-`n` optimized kernel).
+pub fn is_specialized(n: usize) -> bool {
+    (2..=25).contains(&n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::basic;
+    use crate::poly::Basis;
+
+    fn pseudo_random(len: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state as f64 / u64::MAX as f64) * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn specialized_matches_basic_across_dispatch_range() {
+        for n in 2..=26 {
+            // 26 exercises the fallback path
+            let nel = 2;
+            let b = Basis::new(n);
+            let u = pseudo_random(n * n * n * nel, n as u64);
+            let mut a = vec![0.0; u.len()];
+            let mut s = vec![0.0; u.len()];
+            for (fb, fs) in [
+                (
+                    basic::deriv_r as fn(usize, usize, &[f64], &[f64], &mut [f64]),
+                    deriv_r as fn(usize, usize, &[f64], &[f64], &mut [f64]),
+                ),
+                (basic::deriv_s, deriv_s),
+                (basic::deriv_t, deriv_t),
+            ] {
+                fb(n, nel, &b.d, &u, &mut a);
+                fs(n, nel, &b.d, &u, &mut s);
+                for (x, y) in a.iter().zip(&s) {
+                    assert!((x - y).abs() < 1e-12 * (1.0 + x.abs()), "n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dispatch_range_reported_correctly() {
+        assert!(is_specialized(2));
+        assert!(is_specialized(10));
+        assert!(is_specialized(25));
+        assert!(!is_specialized(26));
+        assert!(!is_specialized(1));
+    }
+}

@@ -1,0 +1,55 @@
+//! # cmt-core
+//!
+//! Numerical core of the CMT-bone mini-app (Kumar et al., *CMT-bone: A
+//! Mini-App for Compressible Multiphase Turbulence Simulation Software*,
+//! CLUSTER 2015).
+//!
+//! CMT-bone abstracts the CMT-nek discontinuous-Galerkin spectral-element
+//! solver into three operations; this crate implements the local
+//! (per-process) computational pieces of all of them:
+//!
+//! * **Derivative kernels** ([`kernels`]): the `O(N^4)` small
+//!   matrix-multiplications that compute partial derivatives `du/dr`,
+//!   `du/ds`, `du/dt` of `N x N x N` tensor-product element data against the
+//!   `N x N` spectral differentiation matrix. This is the `ax_`-like hot
+//!   spot of the paper's Fig. 4 and the subject of its Figs. 5-6. Three
+//!   variants are provided: a straightforward [`kernels::basic`]
+//!   implementation, a loop-fused/vectorizing [`kernels::opt`]
+//!   implementation, and const-generic [`kernels::specialized`] versions
+//!   whose inner products the compiler fully unrolls.
+//! * **Face extraction** ([`face`]): `full2face` / `face2full`, building the
+//!   contiguous surface arrays exchanged with nearest neighbors.
+//! * **Polynomial machinery** ([`poly`]): Legendre-Gauss-Lobatto nodes,
+//!   quadrature weights, spectral differentiation matrices, and barycentric
+//!   interpolation operators (used for the dealiasing fine-mesh mapping the
+//!   paper mentions in Section V).
+//! * **Time stepping** ([`rk`]): the 3-stage low-storage TVD Runge-Kutta
+//!   scheme used by CMT-nek's explicit solver.
+//! * **A real DG solver** ([`solver`]): single-process periodic linear
+//!   advection solved with exactly these kernels, used to validate that the
+//!   proxy operations are the genuine spectral-element operations (spectral
+//!   convergence is asserted in the test suite).
+//!
+//! The data layout follows Nek5000: element data is stored `[e][k][j][i]`
+//! with `i` fastest (Fortran-like), so the three derivative directions have
+//! genuinely different memory-access patterns — which is the entire point of
+//! the paper's kernel study.
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod diffusion;
+pub mod eos;
+pub mod euler;
+pub mod face;
+pub mod field;
+pub mod kernels;
+pub mod ops;
+pub mod poly;
+pub mod riemann;
+pub mod rk;
+pub mod solver;
+
+pub use field::Field;
+pub use kernels::{DerivDir, KernelVariant};
+pub use poly::Basis;

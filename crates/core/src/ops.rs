@@ -1,0 +1,268 @@
+//! Physical-space operators assembled from the derivative kernels.
+//!
+//! CMT-bone's elements are uniform Cartesian hexahedra, so the mapping from
+//! the reference element `[-1,1]^3` to a physical element of extents
+//! `(hx, hy, hz)` is diagonal: `d/dx = (2/hx) d/dr` etc. This module builds
+//! the physical gradient and the discontinuous-Galerkin advection
+//! right-hand side (volume term + upwind surface lifting) on top of the
+//! [`crate::kernels`] and [`crate::face`] primitives. It is the glue that
+//! lets the test suite demonstrate that the mini-app's proxy operations are
+//! the *actual* spectral-element operations.
+
+use crate::face::{self, Face};
+use crate::field::Field;
+use crate::kernels::{self, DerivDir, KernelVariant};
+use crate::poly::Basis;
+
+/// Uniform Cartesian element geometry (all elements congruent).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ElementGeom {
+    /// Element extent in x.
+    pub hx: f64,
+    /// Element extent in y.
+    pub hy: f64,
+    /// Element extent in z.
+    pub hz: f64,
+}
+
+impl ElementGeom {
+    /// Cubic elements of edge `h`.
+    pub fn cube(h: f64) -> Self {
+        ElementGeom { hx: h, hy: h, hz: h }
+    }
+
+    /// Reference-to-physical derivative scale `2/h` along `axis`
+    /// (0 = x, 1 = y, 2 = z).
+    #[inline]
+    pub fn dscale(&self, axis: usize) -> f64 {
+        2.0 / self.extent(axis)
+    }
+
+    /// Element extent along `axis`.
+    #[inline]
+    pub fn extent(&self, axis: usize) -> f64 {
+        match axis {
+            0 => self.hx,
+            1 => self.hy,
+            2 => self.hz,
+            _ => panic!("axis must be 0..3, got {axis}"),
+        }
+    }
+}
+
+/// Physical gradient: `(gx, gy, gz) = ((2/hx) du/dr, (2/hy) du/ds, (2/hz) du/dt)`.
+pub fn phys_grad(
+    variant: KernelVariant,
+    basis: &Basis,
+    geom: &ElementGeom,
+    u: &Field,
+    gx: &mut Field,
+    gy: &mut Field,
+    gz: &mut Field,
+) {
+    kernels::grad(variant, &basis.d, u, gx, gy, gz);
+    gx.scale(geom.dscale(0));
+    gy.scale(geom.dscale(1));
+    gz.scale(geom.dscale(2));
+}
+
+/// Volume term of the advection RHS:
+/// `rhs = -(cx du/dx + cy du/dy + cz du/dz)`, computed with a single
+/// scratch field (one derivative at a time, accumulated).
+pub fn advect_volume_rhs(
+    variant: KernelVariant,
+    basis: &Basis,
+    geom: &ElementGeom,
+    vel: [f64; 3],
+    u: &Field,
+    rhs: &mut Field,
+    scratch: &mut Field,
+) {
+    assert_eq!((u.n(), u.nel()), (rhs.n(), rhs.nel()), "rhs shape");
+    assert_eq!((u.n(), u.nel()), (scratch.n(), scratch.nel()), "scratch shape");
+    rhs.fill(0.0);
+    for (axis, dir) in [(0, DerivDir::R), (1, DerivDir::S), (2, DerivDir::T)] {
+        if vel[axis] == 0.0 {
+            continue;
+        }
+        kernels::deriv(
+            variant,
+            dir,
+            u.n(),
+            u.nel(),
+            &basis.d,
+            u.as_slice(),
+            scratch.as_mut_slice(),
+        );
+        rhs.axpy(-vel[axis] * geom.dscale(axis), scratch);
+    }
+}
+
+/// Upwind surface lifting for constant-velocity advection in strong-form
+/// DG-SEM: for every inflow face (`c . n < 0`) add
+///
+/// ```text
+/// rhs[face node] -= (2 / h_axis) / w_end * (F*_n - F_n)
+///                 = (2 / h_axis) / w_end * (-c.n) * (u_nbr - u_in)
+/// ```
+///
+/// where `w_end` is the GLL endpoint weight. On outflow faces the upwind
+/// flux equals the interior flux and the correction vanishes.
+///
+/// `uin` are the element's own face traces (from [`face::full2face`]) and
+/// `unbr` the neighbor traces in *matching face-point order* (what the
+/// gather-scatter exchange delivers).
+pub fn upwind_face_correction(
+    basis: &Basis,
+    geom: &ElementGeom,
+    vel: [f64; 3],
+    uin: &[f64],
+    unbr: &[f64],
+    rhs: &mut Field,
+) {
+    let n = rhs.n();
+    let nel = rhs.nel();
+    let n2 = n * n;
+    let fpe = face::face_values_per_element(n);
+    assert_eq!(uin.len(), fpe * nel, "uin length");
+    assert_eq!(unbr.len(), fpe * nel, "unbr length");
+    let w_end = basis.weights[0];
+    for e in 0..nel {
+        for f in Face::ALL {
+            let axis = f.axis();
+            let cn = vel[axis] * f.sign() as f64;
+            if cn >= 0.0 {
+                continue; // outflow or tangential: F* == F
+            }
+            let lift = geom.dscale(axis) / w_end;
+            let off = e * fpe + f.index() * n2;
+            for p in 0..n2 {
+                let jump = unbr[off + p] - uin[off + p];
+                // -(2/h)/w * (F*_n - F_n) with F*_n - F_n = cn * jump
+                let corr = -lift * cn * jump;
+                let vi = face::face_point_volume_index(n, f, p);
+                let idx = e * n * n2 + vi;
+                rhs.as_mut_slice()[idx] += corr;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phys_grad_scales_reference_gradient() {
+        let n = 5;
+        let basis = Basis::new(n);
+        let geom = ElementGeom {
+            hx: 2.0,
+            hy: 0.5,
+            hz: 4.0,
+        };
+        // u = r + s + t on the reference element
+        let x = basis.nodes.clone();
+        let u = Field::from_fn(n, 1, |_, i, j, k| x[i] + x[j] + x[k]);
+        let mut gx = Field::zeros(n, 1);
+        let mut gy = Field::zeros(n, 1);
+        let mut gz = Field::zeros(n, 1);
+        phys_grad(KernelVariant::Optimized, &basis, &geom, &u, &mut gx, &mut gy, &mut gz);
+        assert!(gx.as_slice().iter().all(|v| (v - 1.0).abs() < 1e-11));
+        assert!(gy.as_slice().iter().all(|v| (v - 4.0).abs() < 1e-11));
+        assert!(gz.as_slice().iter().all(|v| (v - 0.5).abs() < 1e-11));
+    }
+
+    #[test]
+    fn advect_volume_rhs_matches_analytic() {
+        let n = 6;
+        let basis = Basis::new(n);
+        let geom = ElementGeom::cube(2.0); // dscale = 1, physical == reference
+        let x = basis.nodes.clone();
+        // u = x^2 - 2 y + z, c = (1, 2, 3): rhs = -(2x - 4 + 3)
+        let u = Field::from_fn(n, 1, |_, i, j, k| x[i] * x[i] - 2.0 * x[j] + x[k]);
+        let mut rhs = Field::zeros(n, 1);
+        let mut scratch = Field::zeros(n, 1);
+        advect_volume_rhs(
+            KernelVariant::Specialized,
+            &basis,
+            &geom,
+            [1.0, 2.0, 3.0],
+            &u,
+            &mut rhs,
+            &mut scratch,
+        );
+        for k in 0..n {
+            for j in 0..n {
+                for i in 0..n {
+                    let want = -(2.0 * x[i] - 4.0 + 3.0);
+                    let got = rhs.get(0, i, j, k);
+                    assert!((got - want).abs() < 1e-10, "{got} vs {want}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_velocity_gives_zero_rhs() {
+        let basis = Basis::new(4);
+        let geom = ElementGeom::cube(1.0);
+        let u = Field::from_fn(4, 2, |_, i, j, k| (i * j + k) as f64);
+        let mut rhs = Field::from_fn(4, 2, |_, _, _, _| 9.0);
+        let mut scratch = Field::zeros(4, 2);
+        advect_volume_rhs(
+            KernelVariant::Basic,
+            &basis,
+            &geom,
+            [0.0, 0.0, 0.0],
+            &u,
+            &mut rhs,
+            &mut scratch,
+        );
+        assert!(rhs.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn upwind_correction_vanishes_when_traces_agree() {
+        let n = 4;
+        let basis = Basis::new(n);
+        let geom = ElementGeom::cube(1.0);
+        let u = Field::from_fn(n, 2, |e, i, j, k| (e + i + j + k) as f64);
+        let mut faces = vec![0.0; face::face_values_per_element(n) * 2];
+        face::full2face(n, 2, u.as_slice(), &mut faces);
+        let mut rhs = Field::zeros(n, 2);
+        upwind_face_correction(&basis, &geom, [1.0, -0.5, 2.0], &faces, &faces, &mut rhs);
+        assert!(rhs.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn upwind_correction_only_touches_inflow_faces() {
+        let n = 3;
+        let basis = Basis::new(n);
+        let geom = ElementGeom::cube(2.0);
+        let uin = vec![0.0; face::face_values_per_element(n)];
+        let mut unbr = vec![0.0; face::face_values_per_element(n)];
+        // put a nonzero neighbor value on every face; with c = (+1, 0, 0)
+        // only face RMinus (index 0) is inflow.
+        for v in unbr.iter_mut() {
+            *v = 1.0;
+        }
+        let mut rhs = Field::zeros(n, 1);
+        upwind_face_correction(&basis, &geom, [1.0, 0.0, 0.0], &uin, &unbr, &mut rhs);
+        let w_end = basis.weights[0];
+        for k in 0..n {
+            for j in 0..n {
+                for i in 0..n {
+                    let got = rhs.get(0, i, j, k);
+                    if i == 0 {
+                        // lift = (2/h)/w * (-cn) * jump = 1/w * 1 * 1
+                        let want = 1.0 / w_end;
+                        assert!((got - want).abs() < 1e-12, "{got} vs {want}");
+                    } else {
+                        assert_eq!(got, 0.0, "non-inflow node touched at i={i}");
+                    }
+                }
+            }
+        }
+    }
+}

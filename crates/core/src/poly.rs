@@ -1,0 +1,459 @@
+//! Legendre–Gauss–Lobatto (GLL) polynomial machinery.
+//!
+//! CMT-nek (and hence CMT-bone) approximates the conserved variables inside
+//! each hexahedral element by a tensor product of degree-`N-1` polynomials
+//! collocated at the `N` GLL points per direction. Everything downstream —
+//! the derivative matrix whose small matrix-multiplications dominate the
+//! run time, the quadrature weights used by the variational form, and the
+//! interpolation operators used for dealiasing — derives from the machinery
+//! in this module.
+//!
+//! All routines are deterministic, allocation-light, and validated in the
+//! test suite by exactness properties (spectral differentiation is exact on
+//! polynomials of degree `<= N-1`, GLL quadrature is exact on degree
+//! `<= 2N-3`, etc.).
+
+/// Evaluate the Legendre polynomial `L_p(x)` and its derivative `L'_p(x)`
+/// using the three-term recurrence.
+///
+/// Returns `(L_p(x), L'_p(x))`. For `|x| == 1` the derivative is computed
+/// from the known endpoint values to avoid the `1 - x^2` singularity.
+pub fn legendre(p: usize, x: f64) -> (f64, f64) {
+    if p == 0 {
+        return (1.0, 0.0);
+    }
+    if p == 1 {
+        return (x, 1.0);
+    }
+    let mut lm1 = 1.0; // L_{k-1}
+    let mut l = x; // L_k
+    for k in 1..p {
+        let kf = k as f64;
+        let lp1 = ((2.0 * kf + 1.0) * x * l - kf * lm1) / (kf + 1.0);
+        lm1 = l;
+        l = lp1;
+    }
+    // derivative: L'_p = p (x L_p - L_{p-1}) / (x^2 - 1)
+    let denom = x * x - 1.0;
+    let dl = if denom.abs() < 1e-14 {
+        // L'_p(+-1) = (+-1)^{p-1} p (p+1) / 2
+        let sign = if x > 0.0 {
+            1.0
+        } else if p % 2 == 0 {
+            -1.0
+        } else {
+            1.0
+        };
+        sign * (p as f64) * (p as f64 + 1.0) / 2.0
+    } else {
+        (p as f64) * (x * l - lm1) / denom
+    };
+    (l, dl)
+}
+
+/// Compute the `n` Legendre–Gauss–Lobatto nodes on `[-1, 1]`, ascending.
+///
+/// The nodes are `-1`, `+1`, and the roots of `L'_{n-1}`. Interior roots are
+/// found by Newton iteration from Chebyshev–Gauss–Lobatto initial guesses,
+/// which converges in a handful of iterations for every `n` used in practice
+/// (the paper's range is `5 <= n <= 25`; we support any `n >= 2`).
+///
+/// # Panics
+/// Panics if `n < 2` (a Lobatto rule needs both endpoints).
+pub fn gll_nodes(n: usize) -> Vec<f64> {
+    assert!(n >= 2, "GLL rule requires at least 2 nodes, got {n}");
+    let p = n - 1; // polynomial degree
+    let mut x = vec![0.0; n];
+    x[0] = -1.0;
+    x[p] = 1.0;
+    let pf = p as f64;
+    for i in 1..p {
+        // Chebyshev-Gauss-Lobatto initial guess, ascending in i.
+        let mut xi = -(std::f64::consts::PI * i as f64 / pf).cos();
+        // Newton on q(x) = L'_p(x); q'(x) = L''_p via the Legendre ODE:
+        // (1 - x^2) L''_p = 2 x L'_p - p (p+1) L_p.
+        for _ in 0..100 {
+            let (l, dl) = legendre(p, xi);
+            let d2l = (2.0 * xi * dl - pf * (pf + 1.0) * l) / (1.0 - xi * xi);
+            let step = dl / d2l;
+            xi -= step;
+            if step.abs() < 1e-15 {
+                break;
+            }
+        }
+        x[i] = xi;
+    }
+    // Exact symmetry: average with the mirrored node to kill last-ulp drift.
+    for i in 0..n / 2 {
+        let s = 0.5 * (x[i] - x[n - 1 - i]);
+        x[i] = s;
+        x[n - 1 - i] = -s;
+    }
+    if n % 2 == 1 {
+        x[n / 2] = 0.0;
+    }
+    x
+}
+
+/// GLL quadrature weights for the given nodes: `w_i = 2 / (p (p+1) L_p(x_i)^2)`.
+pub fn gll_weights(nodes: &[f64]) -> Vec<f64> {
+    let n = nodes.len();
+    let p = n - 1;
+    let pf = p as f64;
+    nodes
+        .iter()
+        .map(|&x| {
+            let (l, _) = legendre(p, x);
+            2.0 / (pf * (pf + 1.0) * l * l)
+        })
+        .collect()
+}
+
+/// The GLL spectral differentiation matrix `D`, row-major `n x n`:
+/// `(D u)_i = u'(x_i)` exactly for polynomials of degree `<= n-1`.
+///
+/// Standard closed form (Kopriva, *Implementing Spectral Methods*):
+/// `D_ij = L_p(x_i) / (L_p(x_j) (x_i - x_j))` off-diagonal,
+/// `D_00 = -p(p+1)/4`, `D_pp = +p(p+1)/4`, zero elsewhere on the diagonal.
+pub fn diff_matrix(nodes: &[f64]) -> Vec<f64> {
+    let n = nodes.len();
+    let p = n - 1;
+    let pf = p as f64;
+    let l: Vec<f64> = nodes.iter().map(|&x| legendre(p, x).0).collect();
+    let mut d = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                d[i * n + j] = l[i] / (l[j] * (nodes[i] - nodes[j]));
+            }
+        }
+    }
+    d[0] = -pf * (pf + 1.0) / 4.0;
+    d[n * n - 1] = pf * (pf + 1.0) / 4.0;
+    // Negative-sum trick for the remaining diagonal entries: each row of a
+    // differentiation matrix annihilates constants, so the diagonal is the
+    // negated sum of the off-diagonals. This also sharpens the corner
+    // entries against roundoff, so apply it to every row.
+    for i in 0..n {
+        let mut s = 0.0;
+        for j in 0..n {
+            if i != j {
+                s += d[i * n + j];
+            }
+        }
+        d[i * n + i] = -s;
+    }
+    d
+}
+
+/// Barycentric weights for Lagrange interpolation on arbitrary distinct nodes.
+pub fn barycentric_weights(nodes: &[f64]) -> Vec<f64> {
+    let n = nodes.len();
+    let mut w = vec![1.0; n];
+    for j in 0..n {
+        for k in 0..n {
+            if k != j {
+                w[j] /= nodes[j] - nodes[k];
+            }
+        }
+    }
+    w
+}
+
+/// Interpolation matrix `J` (row-major `m x n`) from values at `from` nodes
+/// to values at `to` points: `(J u)_i = u(to_i)` exactly for polynomials of
+/// degree `<= n-1`. Used for the dealiasing fine-mesh mapping (paper §V).
+pub fn interp_matrix(from: &[f64], to: &[f64]) -> Vec<f64> {
+    let n = from.len();
+    let m = to.len();
+    let w = barycentric_weights(from);
+    let mut j_mat = vec![0.0; m * n];
+    for (i, &y) in to.iter().enumerate() {
+        // Exact node hit: Lagrange delta row.
+        if let Some(hit) = from.iter().position(|&x| (x - y).abs() < 1e-13) {
+            j_mat[i * n + hit] = 1.0;
+            continue;
+        }
+        let mut denom = 0.0;
+        for j in 0..n {
+            denom += w[j] / (y - from[j]);
+        }
+        for j in 0..n {
+            j_mat[i * n + j] = (w[j] / (y - from[j])) / denom;
+        }
+    }
+    j_mat
+}
+
+/// A complete reference-element basis: GLL nodes, weights, differentiation
+/// matrix, and its transpose (the transpose is what the `duds`/`dudt`
+/// contractions consume when written as flattened matrix products).
+///
+/// ```
+/// let basis = cmt_core::poly::Basis::new(8);
+/// // Lobatto rule: endpoints included, weights sum to the interval length
+/// assert_eq!(basis.nodes[0], -1.0);
+/// assert_eq!(basis.nodes[7], 1.0);
+/// assert!((basis.weights.iter().sum::<f64>() - 2.0).abs() < 1e-12);
+/// // spectral differentiation is exact on polynomials: d/dx (x^2) = 2x
+/// let u: Vec<f64> = basis.nodes.iter().map(|x| x * x).collect();
+/// for i in 0..8 {
+///     let du: f64 = (0..8).map(|j| basis.d[i * 8 + j] * u[j]).sum();
+///     assert!((du - 2.0 * basis.nodes[i]).abs() < 1e-10);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Basis {
+    /// Points per direction (`N` in the paper; polynomial degree `N-1`).
+    pub n: usize,
+    /// GLL nodes on `[-1, 1]`, ascending.
+    pub nodes: Vec<f64>,
+    /// GLL quadrature weights.
+    pub weights: Vec<f64>,
+    /// Row-major `n x n` differentiation matrix.
+    pub d: Vec<f64>,
+    /// Row-major `n x n` transpose of `d`.
+    pub dt: Vec<f64>,
+}
+
+impl Basis {
+    /// Build the basis for `n` GLL points per direction.
+    ///
+    /// # Panics
+    /// Panics if `n < 2`.
+    pub fn new(n: usize) -> Self {
+        let nodes = gll_nodes(n);
+        let weights = gll_weights(&nodes);
+        let d = diff_matrix(&nodes);
+        let mut dt = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                dt[j * n + i] = d[i * n + j];
+            }
+        }
+        Basis {
+            n,
+            nodes,
+            weights,
+            d,
+            dt,
+        }
+    }
+
+    /// Interpolation matrix from this basis to a finer GLL basis with `m`
+    /// points (the dealiasing "fine mesh"), row-major `m x n`.
+    pub fn dealias_to(&self, m: usize) -> Vec<f64> {
+        interp_matrix(&self.nodes, &gll_nodes(m))
+    }
+
+    /// Interpolation matrix from a finer `m`-point GLL basis back to this
+    /// basis, row-major `n x m`.
+    pub fn dealias_from(&self, m: usize) -> Vec<f64> {
+        interp_matrix(&gll_nodes(m), &self.nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64, what: &str) {
+        assert!(
+            (a - b).abs() <= tol,
+            "{what}: {a} vs {b} (|diff| = {})",
+            (a - b).abs()
+        );
+    }
+
+    #[test]
+    fn legendre_known_values() {
+        // L_2(x) = (3x^2 - 1)/2, L_3(x) = (5x^3 - 3x)/2
+        let (l2, dl2) = legendre(2, 0.5);
+        assert_close(l2, (3.0 * 0.25 - 1.0) / 2.0, 1e-14, "L_2(0.5)");
+        assert_close(dl2, 3.0 * 0.5, 1e-14, "L_2'(0.5)");
+        let (l3, dl3) = legendre(3, -0.3);
+        assert_close(l3, (5.0 * (-0.027) - 3.0 * (-0.3)) / 2.0, 1e-14, "L_3(-0.3)");
+        assert_close(dl3, (15.0 * 0.09 - 3.0) / 2.0, 1e-13, "L_3'(-0.3)");
+    }
+
+    #[test]
+    fn legendre_endpoint_derivative() {
+        for p in 1..12 {
+            let (_, dl) = legendre(p, 1.0);
+            assert_close(
+                dl,
+                p as f64 * (p as f64 + 1.0) / 2.0,
+                1e-10,
+                &format!("L'_{p}(1)"),
+            );
+        }
+    }
+
+    #[test]
+    fn gll_nodes_small_cases_match_known_values() {
+        // n = 3: {-1, 0, 1}
+        let x3 = gll_nodes(3);
+        assert_close(x3[1], 0.0, 1e-15, "n=3 mid node");
+        // n = 4: {-1, -1/sqrt(5), 1/sqrt(5), 1}
+        let x4 = gll_nodes(4);
+        assert_close(x4[1], -(1.0f64 / 5.0).sqrt(), 1e-13, "n=4 node 1");
+        assert_close(x4[2], (1.0f64 / 5.0).sqrt(), 1e-13, "n=4 node 2");
+        // n = 5: {-1, -sqrt(3/7), 0, sqrt(3/7), 1}
+        let x5 = gll_nodes(5);
+        assert_close(x5[1], -(3.0f64 / 7.0).sqrt(), 1e-13, "n=5 node 1");
+        assert_close(x5[2], 0.0, 1e-15, "n=5 mid node");
+    }
+
+    #[test]
+    fn gll_nodes_sorted_symmetric_all_n() {
+        for n in 2..=32 {
+            let x = gll_nodes(n);
+            assert_eq!(x.len(), n);
+            assert_close(x[0], -1.0, 0.0, "first node");
+            assert_close(x[n - 1], 1.0, 0.0, "last node");
+            for i in 1..n {
+                assert!(x[i] > x[i - 1], "nodes not ascending at n={n}, i={i}");
+            }
+            for i in 0..n {
+                assert_close(x[i], -x[n - 1 - i], 1e-15, "symmetry");
+            }
+        }
+    }
+
+    #[test]
+    fn gll_weights_sum_to_two_and_quadrature_exactness() {
+        for n in 2..=20 {
+            let x = gll_nodes(n);
+            let w = gll_weights(&x);
+            let sum: f64 = w.iter().sum();
+            assert_close(sum, 2.0, 1e-12, &format!("weight sum n={n}"));
+            // GLL quadrature is exact for degree <= 2n-3.
+            let maxdeg = if n >= 2 { 2 * n - 3 } else { 0 };
+            for deg in 0..=maxdeg {
+                let q: f64 = x
+                    .iter()
+                    .zip(&w)
+                    .map(|(&xi, &wi)| wi * xi.powi(deg as i32))
+                    .sum();
+                let exact = if deg % 2 == 0 {
+                    2.0 / (deg as f64 + 1.0)
+                } else {
+                    0.0
+                };
+                assert_close(q, exact, 1e-10, &format!("x^{deg} quadrature, n={n}"));
+            }
+        }
+    }
+
+    #[test]
+    fn diff_matrix_exact_on_polynomials() {
+        for n in 2..=16 {
+            let x = gll_nodes(n);
+            let d = diff_matrix(&x);
+            for deg in 0..n {
+                // u = x^deg, u' = deg x^{deg-1}
+                let u: Vec<f64> = x.iter().map(|&xi| xi.powi(deg as i32)).collect();
+                for i in 0..n {
+                    let mut du = 0.0;
+                    for j in 0..n {
+                        du += d[i * n + j] * u[j];
+                    }
+                    let exact = if deg == 0 {
+                        0.0
+                    } else {
+                        deg as f64 * x[i].powi(deg as i32 - 1)
+                    };
+                    assert_close(du, exact, 1e-8, &format!("d(x^{deg}) n={n} row {i}"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn diff_matrix_rows_annihilate_constants() {
+        for n in 2..=20 {
+            let d = diff_matrix(&gll_nodes(n));
+            for i in 0..n {
+                let s: f64 = (0..n).map(|j| d[i * n + j]).sum();
+                assert_close(s, 0.0, 1e-11, &format!("row sum n={n} row {i}"));
+            }
+        }
+    }
+
+    #[test]
+    fn diff_matrix_corner_entries() {
+        for n in 3..=12 {
+            let p = (n - 1) as f64;
+            let d = diff_matrix(&gll_nodes(n));
+            assert_close(d[0], -p * (p + 1.0) / 4.0, 1e-9, "D_00");
+            assert_close(d[n * n - 1], p * (p + 1.0) / 4.0, 1e-9, "D_pp");
+        }
+    }
+
+    #[test]
+    fn interp_matrix_exact_on_polynomials() {
+        let from = gll_nodes(6);
+        let to = gll_nodes(9);
+        let j = interp_matrix(&from, &to);
+        for deg in 0..6 {
+            let u: Vec<f64> = from.iter().map(|&x| x.powi(deg)).collect();
+            for (i, &y) in to.iter().enumerate() {
+                let mut v = 0.0;
+                for k in 0..6 {
+                    v += j[i * 6 + k] * u[k];
+                }
+                assert_close(v, y.powi(deg), 1e-11, &format!("interp x^{deg} at {y}"));
+            }
+        }
+    }
+
+    #[test]
+    fn interp_matrix_identity_on_same_nodes() {
+        let x = gll_nodes(7);
+        let j = interp_matrix(&x, &x);
+        for i in 0..7 {
+            for k in 0..7 {
+                let expect = if i == k { 1.0 } else { 0.0 };
+                assert_close(j[i * 7 + k], expect, 1e-12, "identity interp");
+            }
+        }
+    }
+
+    #[test]
+    fn dealias_roundtrip_preserves_resolved_polynomials() {
+        let b = Basis::new(6);
+        let up = b.dealias_to(9);
+        let down = b.dealias_from(9);
+        // down * up should be identity on degree <= 5 data.
+        let u: Vec<f64> = b.nodes.iter().map(|&x| 1.0 + x + x.powi(4)).collect();
+        let mut fine = [0.0; 9];
+        for i in 0..9 {
+            for k in 0..6 {
+                fine[i] += up[i * 6 + k] * u[k];
+            }
+        }
+        for i in 0..6 {
+            let mut v = 0.0;
+            for k in 0..9 {
+                v += down[i * 9 + k] * fine[k];
+            }
+            assert_close(v, u[i], 1e-11, "dealias roundtrip");
+        }
+    }
+
+    #[test]
+    fn basis_transpose_is_consistent() {
+        let b = Basis::new(8);
+        for i in 0..8 {
+            for j in 0..8 {
+                assert_eq!(b.d[i * 8 + j], b.dt[j * 8 + i]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn basis_rejects_n_below_two() {
+        let _ = Basis::new(1);
+    }
+}

@@ -1,0 +1,406 @@
+//! Exact Riemann solver for the 1D ideal-gas Euler equations.
+//!
+//! The reference solution generator for shock-capturing validation: given
+//! left/right primitive states it computes the star-region pressure and
+//! velocity by Newton iteration on the pressure function (Toro,
+//! *Riemann Solvers and Numerical Methods for Fluid Dynamics*, ch. 4) and
+//! samples the self-similar solution at any `x/t`. Shock capturing is the
+//! first item on the paper's CMT-nek feature roadmap (§III.A); the DG
+//! solver's artificial-viscosity runs are validated against this exact
+//! solution in the test suite.
+
+use crate::eos::{IdealGas, Primitive};
+
+/// A 1D primitive state `(rho, u, p)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct State1d {
+    /// Density.
+    pub rho: f64,
+    /// Velocity.
+    pub u: f64,
+    /// Pressure.
+    pub p: f64,
+}
+
+impl State1d {
+    /// Sound speed under `gas`.
+    pub fn sound_speed(&self, gas: IdealGas) -> f64 {
+        (gas.gamma * self.p / self.rho).sqrt()
+    }
+
+    /// Embed into a 3D primitive state (flow along x).
+    pub fn primitive(&self) -> Primitive {
+        Primitive {
+            rho: self.rho,
+            vel: [self.u, 0.0, 0.0],
+            p: self.p,
+        }
+    }
+}
+
+/// The solved Riemann problem: star-region values plus the input states,
+/// ready for sampling.
+#[derive(Debug, Clone, Copy)]
+pub struct RiemannSolution {
+    gas: IdealGas,
+    left: State1d,
+    right: State1d,
+    /// Star-region pressure.
+    pub p_star: f64,
+    /// Star-region velocity.
+    pub u_star: f64,
+}
+
+/// `f_K(p)` and its derivative for one side (shock or rarefaction branch).
+fn side_fn(gas: IdealGas, p: f64, s: &State1d) -> (f64, f64) {
+    let g = gas.gamma;
+    let a = s.sound_speed(gas);
+    if p > s.p {
+        // shock branch
+        let ak = 2.0 / ((g + 1.0) * s.rho);
+        let bk = (g - 1.0) / (g + 1.0) * s.p;
+        let root = (ak / (p + bk)).sqrt();
+        let f = (p - s.p) * root;
+        let df = root * (1.0 - 0.5 * (p - s.p) / (p + bk));
+        (f, df)
+    } else {
+        // rarefaction branch
+        let pr = p / s.p;
+        let ex = (g - 1.0) / (2.0 * g);
+        let f = 2.0 * a / (g - 1.0) * (pr.powf(ex) - 1.0);
+        let df = 1.0 / (s.rho * a) * pr.powf(-(g + 1.0) / (2.0 * g));
+        (f, df)
+    }
+}
+
+/// Solve the Riemann problem exactly.
+///
+/// # Panics
+/// Panics if the data would generate vacuum (`2a_L/(g-1) + 2a_R/(g-1) <=
+/// u_R - u_L`) or if the inputs are non-physical.
+pub fn solve(gas: IdealGas, left: State1d, right: State1d) -> RiemannSolution {
+    assert!(left.rho > 0.0 && left.p > 0.0, "left state not physical");
+    assert!(right.rho > 0.0 && right.p > 0.0, "right state not physical");
+    let g = gas.gamma;
+    let (al, ar) = (left.sound_speed(gas), right.sound_speed(gas));
+    let du = right.u - left.u;
+    assert!(
+        2.0 * al / (g - 1.0) + 2.0 * ar / (g - 1.0) > du,
+        "initial data generates vacuum"
+    );
+    // initial guess: PVRS (primitive-variable Riemann solver), floored
+    let p_pv = 0.5 * (left.p + right.p)
+        - 0.125 * du * (left.rho + right.rho) * (al + ar);
+    let mut p = p_pv.max(1e-8 * (left.p.min(right.p)));
+    // Newton iteration on f(p) = f_L + f_R + du = 0
+    for _ in 0..100 {
+        let (fl, dfl) = side_fn(gas, p, &left);
+        let (fr, dfr) = side_fn(gas, p, &right);
+        let f = fl + fr + du;
+        let df = dfl + dfr;
+        let step = f / df;
+        let p_new = (p - step).max(1e-10 * p);
+        let change = 2.0 * (p_new - p).abs() / (p_new + p);
+        p = p_new;
+        if change < 1e-14 {
+            break;
+        }
+    }
+    let (fl, _) = side_fn(gas, p, &left);
+    let (fr, _) = side_fn(gas, p, &right);
+    let u_star = 0.5 * (left.u + right.u) + 0.5 * (fr - fl);
+    RiemannSolution {
+        gas,
+        left,
+        right,
+        p_star: p,
+        u_star,
+    }
+}
+
+impl RiemannSolution {
+    /// Sample the self-similar solution at speed `xi = x/t`.
+    pub fn sample(&self, xi: f64) -> State1d {
+        let g = self.gas.gamma;
+        let (l, r) = (self.left, self.right);
+        let (al, ar) = (l.sound_speed(self.gas), r.sound_speed(self.gas));
+        if xi <= self.u_star {
+            // left of the contact
+            if self.p_star > l.p {
+                // left shock
+                let ms = l.u - al * ((g + 1.0) / (2.0 * g) * self.p_star / l.p
+                    + (g - 1.0) / (2.0 * g))
+                    .sqrt();
+                if xi <= ms {
+                    l
+                } else {
+                    let pr = self.p_star / l.p;
+                    let rho = l.rho * (pr + (g - 1.0) / (g + 1.0))
+                        / (pr * (g - 1.0) / (g + 1.0) + 1.0);
+                    State1d {
+                        rho,
+                        u: self.u_star,
+                        p: self.p_star,
+                    }
+                }
+            } else {
+                // left rarefaction
+                let head = l.u - al;
+                let a_star = al * (self.p_star / l.p).powf((g - 1.0) / (2.0 * g));
+                let tail = self.u_star - a_star;
+                if xi <= head {
+                    l
+                } else if xi >= tail {
+                    State1d {
+                        rho: l.rho * (self.p_star / l.p).powf(1.0 / g),
+                        u: self.u_star,
+                        p: self.p_star,
+                    }
+                } else {
+                    // inside the fan
+                    let u = 2.0 / (g + 1.0) * (al + (g - 1.0) / 2.0 * l.u + xi);
+                    let a = 2.0 / (g + 1.0) * (al + (g - 1.0) / 2.0 * (l.u - xi));
+                    let rho = l.rho * (a / al).powf(2.0 / (g - 1.0));
+                    let p = l.p * (a / al).powf(2.0 * g / (g - 1.0));
+                    State1d { rho, u, p }
+                }
+            }
+        } else {
+            // right of the contact (mirror)
+            if self.p_star > r.p {
+                // right shock
+                let ms = r.u + ar * ((g + 1.0) / (2.0 * g) * self.p_star / r.p
+                    + (g - 1.0) / (2.0 * g))
+                    .sqrt();
+                if xi >= ms {
+                    r
+                } else {
+                    let pr = self.p_star / r.p;
+                    let rho = r.rho * (pr + (g - 1.0) / (g + 1.0))
+                        / (pr * (g - 1.0) / (g + 1.0) + 1.0);
+                    State1d {
+                        rho,
+                        u: self.u_star,
+                        p: self.p_star,
+                    }
+                }
+            } else {
+                // right rarefaction
+                let head = r.u + ar;
+                let a_star = ar * (self.p_star / r.p).powf((g - 1.0) / (2.0 * g));
+                let tail = self.u_star + a_star;
+                if xi >= head {
+                    r
+                } else if xi <= tail {
+                    State1d {
+                        rho: r.rho * (self.p_star / r.p).powf(1.0 / g),
+                        u: self.u_star,
+                        p: self.p_star,
+                    }
+                } else {
+                    let u = 2.0 / (g + 1.0) * (-ar + (g - 1.0) / 2.0 * r.u + xi);
+                    let a = 2.0 / (g + 1.0) * (ar - (g - 1.0) / 2.0 * (r.u - xi));
+                    let rho = r.rho * (a / ar).powf(2.0 / (g - 1.0));
+                    let p = r.p * (a / ar).powf(2.0 * g / (g - 1.0));
+                    State1d { rho, u, p }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gas() -> IdealGas {
+        IdealGas { gamma: 1.4 }
+    }
+
+    /// Toro's Test 1 (the Sod problem): known star values.
+    #[test]
+    fn sod_problem_star_values() {
+        let sol = solve(
+            gas(),
+            State1d {
+                rho: 1.0,
+                u: 0.0,
+                p: 1.0,
+            },
+            State1d {
+                rho: 0.125,
+                u: 0.0,
+                p: 0.1,
+            },
+        );
+        assert!((sol.p_star - 0.30313).abs() < 1e-4, "p* = {}", sol.p_star);
+        assert!((sol.u_star - 0.92745).abs() < 1e-4, "u* = {}", sol.u_star);
+    }
+
+    /// Toro's Test 2 (the 123 problem): two rarefactions, low-pressure
+    /// middle.
+    #[test]
+    fn two_rarefactions_123_problem() {
+        let sol = solve(
+            gas(),
+            State1d {
+                rho: 1.0,
+                u: -2.0,
+                p: 0.4,
+            },
+            State1d {
+                rho: 1.0,
+                u: 2.0,
+                p: 0.4,
+            },
+        );
+        assert!((sol.p_star - 0.00189).abs() < 1e-4, "p* = {}", sol.p_star);
+        assert!(sol.u_star.abs() < 1e-10, "u* = {}", sol.u_star);
+    }
+
+    /// Toro's Test 3: strong shock (left blast).
+    #[test]
+    fn left_blast_wave() {
+        let sol = solve(
+            gas(),
+            State1d {
+                rho: 1.0,
+                u: 0.0,
+                p: 1000.0,
+            },
+            State1d {
+                rho: 1.0,
+                u: 0.0,
+                p: 0.01,
+            },
+        );
+        assert!((sol.p_star - 460.894).abs() < 0.1, "p* = {}", sol.p_star);
+        assert!((sol.u_star - 19.5975).abs() < 1e-3, "u* = {}", sol.u_star);
+    }
+
+    #[test]
+    fn trivial_problem_returns_the_state() {
+        let s = State1d {
+            rho: 0.7,
+            u: 0.3,
+            p: 2.0,
+        };
+        let sol = solve(gas(), s, s);
+        assert!((sol.p_star - s.p).abs() < 1e-10);
+        assert!((sol.u_star - s.u).abs() < 1e-10);
+        for xi in [-2.0, -0.5, 0.3, 1.0, 3.0] {
+            let w = sol.sample(xi);
+            assert!((w.rho - s.rho).abs() < 1e-9);
+            assert!((w.u - s.u).abs() < 1e-9);
+            assert!((w.p - s.p).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sampling_far_field_returns_inputs() {
+        let l = State1d {
+            rho: 1.0,
+            u: 0.0,
+            p: 1.0,
+        };
+        let r = State1d {
+            rho: 0.125,
+            u: 0.0,
+            p: 0.1,
+        };
+        let sol = solve(gas(), l, r);
+        let wl = sol.sample(-10.0);
+        let wr = sol.sample(10.0);
+        assert_eq!((wl.rho, wl.u, wl.p), (l.rho, l.u, l.p));
+        assert_eq!((wr.rho, wr.u, wr.p), (r.rho, r.u, r.p));
+    }
+
+    #[test]
+    fn sod_profile_structure() {
+        // at t > 0 the Sod solution is, left to right: undisturbed left
+        // state, rarefaction fan, left-star plateau, contact, right-star
+        // plateau, shock, undisturbed right state.
+        let l = State1d {
+            rho: 1.0,
+            u: 0.0,
+            p: 1.0,
+        };
+        let r = State1d {
+            rho: 0.125,
+            u: 0.0,
+            p: 0.1,
+        };
+        let sol = solve(gas(), l, r);
+        // plateau densities (Toro table 4.3): rho*L ~ 0.42632, rho*R ~ 0.26557
+        let wl = sol.sample(sol.u_star - 0.05);
+        let wr = sol.sample(sol.u_star + 0.05);
+        assert!((wl.rho - 0.42632).abs() < 1e-3, "rho*L = {}", wl.rho);
+        assert!((wr.rho - 0.26557).abs() < 1e-3, "rho*R = {}", wr.rho);
+        // pressure continuous across the contact
+        assert!((wl.p - wr.p).abs() < 1e-9);
+        // monotone density decrease through the fan
+        let mut prev = f64::INFINITY;
+        for i in 0..20 {
+            let xi = -1.1 + i as f64 * 0.05;
+            let w = sol.sample(xi);
+            assert!(w.rho <= prev + 1e-12);
+            prev = w.rho;
+        }
+    }
+
+    #[test]
+    fn symmetry_mirror_problem() {
+        // mirroring left/right and negating velocities mirrors the solution
+        let l = State1d {
+            rho: 1.0,
+            u: 0.2,
+            p: 1.0,
+        };
+        let r = State1d {
+            rho: 0.5,
+            u: -0.1,
+            p: 0.4,
+        };
+        let a = solve(gas(), l, r);
+        let b = solve(
+            gas(),
+            State1d {
+                rho: r.rho,
+                u: -r.u,
+                p: r.p,
+            },
+            State1d {
+                rho: l.rho,
+                u: -l.u,
+                p: l.p,
+            },
+        );
+        assert!((a.p_star - b.p_star).abs() < 1e-10);
+        assert!((a.u_star + b.u_star).abs() < 1e-10);
+        for xi in [-1.0, -0.3, 0.0, 0.4, 1.2] {
+            let wa = a.sample(xi);
+            let wb = b.sample(-xi);
+            assert!((wa.rho - wb.rho).abs() < 1e-9);
+            assert!((wa.u + wb.u).abs() < 1e-9);
+            assert!((wa.p - wb.p).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "vacuum")]
+    fn vacuum_generating_data_rejected() {
+        let _ = solve(
+            gas(),
+            State1d {
+                rho: 1.0,
+                u: -20.0,
+                p: 0.4,
+            },
+            State1d {
+                rho: 1.0,
+                u: 20.0,
+                p: 0.4,
+            },
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! Explicit time integration: the 3-stage strong-stability-preserving
+//! (TVD) Runge–Kutta scheme of Shu & Osher, the explicit integrator used by
+//! CMT-nek's compressible solver.
+//!
+//! Written in the "convex combination" form
+//!
+//! ```text
+//! u <- a_s * u0  +  b_s * u  +  c_s * dt * L(u)
+//! ```
+//!
+//! where `u0` is the solution at the start of the step, so one extra field
+//! of storage suffices (low-storage in the Nek sense).
+
+use crate::field::Field;
+
+/// Per-stage coefficients `(a, b, c)` of the update
+/// `u = a*u0 + b*u + c*dt*rhs`.
+pub const SSP_RK3: [(f64, f64, f64); 3] = [
+    (1.0, 0.0, 1.0),
+    (0.75, 0.25, 0.25),
+    (1.0 / 3.0, 2.0 / 3.0, 2.0 / 3.0),
+];
+
+/// Number of stages.
+pub const STAGES: usize = 3;
+
+/// Apply stage `stage` of SSP-RK3 in place:
+/// `u = a*u0 + b*u + c*dt*rhs`.
+///
+/// # Panics
+/// Panics if `stage >= 3` or field shapes differ.
+pub fn stage_update(stage: usize, u: &mut Field, u0: &Field, rhs: &Field, dt: f64) {
+    let (a, b, c) = SSP_RK3[stage];
+    assert_eq!((u.n(), u.nel()), (u0.n(), u0.nel()), "u0 shape mismatch");
+    assert_eq!((u.n(), u.nel()), (rhs.n(), rhs.nel()), "rhs shape mismatch");
+    let un = u.as_mut_slice();
+    let u0s = u0.as_slice();
+    let rs = rhs.as_slice();
+    let cdt = c * dt;
+    for i in 0..un.len() {
+        un[i] = a * u0s[i] + b * un[i] + cdt * rs[i];
+    }
+}
+
+/// Same stage update on raw slices (used by the mini-app's multi-field
+/// loop, where the five conserved variables live in one flat buffer).
+pub fn stage_update_slice(stage: usize, u: &mut [f64], u0: &[f64], rhs: &[f64], dt: f64) {
+    let (a, b, c) = SSP_RK3[stage];
+    assert_eq!(u.len(), u0.len(), "u0 length mismatch");
+    assert_eq!(u.len(), rhs.len(), "rhs length mismatch");
+    let cdt = c * dt;
+    for i in 0..u.len() {
+        u[i] = a * u0[i] + b * u[i] + cdt * rhs[i];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Integrating du/dt = lambda*u for one step must match the RK3 stability
+    /// polynomial 1 + z + z^2/2 + z^3/6.
+    #[test]
+    fn reproduces_rk3_stability_polynomial() {
+        let lambda = -0.7;
+        let dt = 0.3;
+        let z: f64 = lambda * dt;
+        let mut u = Field::from_fn(2, 1, |_, _, _, _| 1.0);
+        let u0 = u.clone();
+        let mut rhs = Field::zeros(2, 1);
+        for s in 0..STAGES {
+            for (r, v) in rhs
+                .as_mut_slice()
+                .iter_mut()
+                .zip(u.as_slice())
+            {
+                *r = lambda * v;
+            }
+            stage_update(s, &mut u, &u0, &rhs, dt);
+        }
+        let expect = 1.0 + z + z * z / 2.0 + z * z * z / 6.0;
+        for &v in u.as_slice() {
+            assert!((v - expect).abs() < 1e-14, "{v} vs {expect}");
+        }
+    }
+
+    /// Third-order convergence on a nonlinear scalar ODE: du/dt = u^2,
+    /// u(0) = 1, exact u(t) = 1/(1-t).
+    #[test]
+    fn third_order_convergence_on_nonlinear_ode() {
+        let t_end = 0.5;
+        let mut errs = Vec::new();
+        for &steps in &[20usize, 40, 80] {
+            let dt = t_end / steps as f64;
+            let mut u = vec![1.0f64];
+            for _ in 0..steps {
+                let u0 = u.clone();
+                for s in 0..STAGES {
+                    let rhs = vec![u[0] * u[0]];
+                    stage_update_slice(s, &mut u, &u0, &rhs, dt);
+                }
+            }
+            errs.push((u[0] - 1.0 / (1.0 - t_end)).abs());
+        }
+        let rate1 = (errs[0] / errs[1]).log2();
+        let rate2 = (errs[1] / errs[2]).log2();
+        assert!(rate1 > 2.7, "rate1 = {rate1}, errs = {errs:?}");
+        assert!(rate2 > 2.7, "rate2 = {rate2}, errs = {errs:?}");
+    }
+
+    #[test]
+    fn coefficients_are_convex_and_consistent() {
+        for (s, &(a, b, c)) in SSP_RK3.iter().enumerate() {
+            assert!((a + b - 1.0).abs() < 1e-15, "stage {s} not convex");
+            assert!(a >= 0.0 && b >= 0.0 && c > 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn stage_update_rejects_shape_mismatch() {
+        let mut u = Field::zeros(2, 1);
+        let u0 = Field::zeros(2, 2);
+        let rhs = Field::zeros(2, 1);
+        stage_update(0, &mut u, &u0, &rhs, 0.1);
+    }
+}

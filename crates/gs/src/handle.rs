@@ -1,0 +1,236 @@
+//! `gs_setup`: the discovery phase and the exchange-topology handle.
+
+use std::collections::HashMap;
+
+use simmpi::{Rank, ReduceOp};
+
+/// One gather group: all local indices that carry the same global id,
+/// plus where else in the world that id lives.
+#[derive(Debug, Clone)]
+pub(crate) struct Group {
+    /// The global id.
+    pub gid: u64,
+    /// Local indices (into the user's value array) holding this id.
+    pub local_indices: Vec<u32>,
+    /// Globally consistent compact index of this id (dense `0..total`),
+    /// used by the all_reduce method.
+    pub compact: u64,
+}
+
+/// Exchange topology with one touching neighbor rank.
+#[derive(Debug, Clone)]
+pub(crate) struct NeighborList {
+    /// The neighbor's rank.
+    pub rank: usize,
+    /// Group indices shared with this neighbor, ordered by gid — both
+    /// sides sort by gid, so position `i` on our side and theirs refer to
+    /// the same global id.
+    pub groups: Vec<u32>,
+}
+
+/// A configured gather–scatter handle (the result of `gs_setup`).
+///
+/// Reusable across any number of [`GsHandle::gs_op`] calls on value arrays
+/// of the length it was set up with.
+///
+/// ```
+/// use cmt_gs::{GsHandle, GsMethod, GsOp};
+/// use simmpi::World;
+///
+/// // two ranks sharing global id 7: gs_op(Add) combines across ranks
+/// let res = World::new().run(2, |rank| {
+///     let ids = if rank.rank() == 0 { vec![7, 1] } else { vec![2, 7] };
+///     let handle = GsHandle::setup(rank, &ids);
+///     let mut vals = vec![10.0 * (rank.rank() + 1) as f64; 2];
+///     handle.gs_op(rank, &mut vals, GsOp::Add, GsMethod::PairwiseExchange);
+///     vals
+/// });
+/// assert_eq!(res.results[0], vec![30.0, 10.0]); // 10 + 20 at the shared id
+/// assert_eq!(res.results[1], vec![20.0, 30.0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GsHandle {
+    pub(crate) nlocal: usize,
+    pub(crate) groups: Vec<Group>,
+    pub(crate) neighbors: Vec<NeighborList>,
+    /// Total distinct global ids across the world (the all_reduce vector
+    /// length).
+    pub(crate) total_compact: u64,
+}
+
+/// Summary statistics of a handle's topology, for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HandleStats {
+    /// Length of the local value array.
+    pub nlocal: usize,
+    /// Distinct global ids on this rank.
+    pub distinct_local: usize,
+    /// Number of touching neighbor ranks.
+    pub neighbors: usize,
+    /// Total shared (rank-boundary) id slots summed over neighbors — the
+    /// per-`gs_op` send volume in values.
+    pub shared_slots: usize,
+    /// Total distinct global ids in the world.
+    pub total_global: u64,
+}
+
+impl GsHandle {
+    /// Run the discovery phase on `ids` (one global id per local value
+    /// slot) and build the exchange topology.
+    ///
+    /// Collective: every rank of the world must call it with its own ids.
+    pub fn setup(rank: &mut Rank, ids: &[u64]) -> GsHandle {
+        rank.with_context("gs_setup", |rank| Self::setup_inner(rank, ids))
+    }
+
+    fn setup_inner(rank: &mut Rank, ids: &[u64]) -> GsHandle {
+        let p = rank.size();
+        let me = rank.rank();
+
+        // ---- local grouping: distinct gid -> local indices --------------
+        let mut first_seen: HashMap<u64, u32> = HashMap::new();
+        let mut groups: Vec<Group> = Vec::new();
+        for (li, &gid) in ids.iter().enumerate() {
+            match first_seen.entry(gid) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    groups[*e.get() as usize].local_indices.push(li as u32);
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(groups.len() as u32);
+                    groups.push(Group {
+                        gid,
+                        local_indices: vec![li as u32],
+                        compact: 0,
+                    });
+                }
+            }
+        }
+        // deterministic order for the exchange protocol
+        groups.sort_by_key(|g| g.gid);
+        let group_of_gid: HashMap<u64, u32> = groups
+            .iter()
+            .enumerate()
+            .map(|(gi, g)| (g.gid, gi as u32))
+            .collect();
+
+        // ---- round 1: report each distinct gid to its home rank ---------
+        let mut to_home: Vec<Vec<u64>> = vec![Vec::new(); p];
+        for g in &groups {
+            to_home[(g.gid % p as u64) as usize].push(g.gid);
+        }
+        let reported = rank.alltoallv(to_home);
+
+        // ---- home side: sharer lists + compact numbering ----------------
+        // gid -> ranks that reported it (deduplicated by construction:
+        // each rank reports each distinct gid once).
+        let mut home: HashMap<u64, Vec<u64>> = HashMap::new();
+        for (src, gids) in reported.iter().enumerate() {
+            for &gid in gids {
+                home.entry(gid).or_default().push(src as u64);
+            }
+        }
+        // Deterministic compact numbering: sort this home's gids.
+        let mut home_gids: Vec<u64> = home.keys().copied().collect();
+        home_gids.sort_unstable();
+        // Exclusive prefix over per-home distinct counts gives each home
+        // its compact-id base; the sum is the universe size.
+        let my_count = home_gids.len() as u64;
+        let my_base = rank.exscan_u64(my_count);
+        let total_compact = rank.allreduce_u64(&[my_count], ReduceOp::Sum)[0];
+        let compact_of: HashMap<u64, u64> = home_gids
+            .iter()
+            .enumerate()
+            .map(|(i, &gid)| (gid, my_base + i as u64))
+            .collect();
+
+        // ---- round 2: answer each reporter ------------------------------
+        // Per reporter: flat u64 records [gid, compact, nsharers, sharers...]
+        let mut replies: Vec<Vec<u64>> = vec![Vec::new(); p];
+        for (src, gids) in reported.iter().enumerate() {
+            for &gid in gids {
+                let sharers = &home[&gid];
+                let reply = &mut replies[src];
+                reply.push(gid);
+                reply.push(compact_of[&gid]);
+                reply.push(sharers.len() as u64);
+                reply.extend_from_slice(sharers);
+            }
+        }
+        let answers = rank.alltoallv(replies);
+
+        // ---- parse answers: per-gid compact id + remote sharers ---------
+        let mut shared_with: HashMap<usize, Vec<u32>> = HashMap::new(); // rank -> group idxs
+        for buf in &answers {
+            let mut i = 0;
+            while i < buf.len() {
+                let gid = buf[i];
+                let compact = buf[i + 1];
+                let ns = buf[i + 2] as usize;
+                let sharers = &buf[i + 3..i + 3 + ns];
+                i += 3 + ns;
+                let gi = group_of_gid[&gid];
+                groups[gi as usize].compact = compact;
+                for &q in sharers {
+                    let q = q as usize;
+                    if q != me {
+                        shared_with.entry(q).or_default().push(gi);
+                    }
+                }
+            }
+        }
+
+        // ---- neighbor lists, sorted by gid on both sides ----------------
+        let mut neighbors: Vec<NeighborList> = shared_with
+            .into_iter()
+            .map(|(nrank, mut gis)| {
+                gis.sort_by_key(|&gi| groups[gi as usize].gid);
+                gis.dedup();
+                NeighborList { rank: nrank, groups: gis }
+            })
+            .collect();
+        neighbors.sort_by_key(|nl| nl.rank);
+
+        GsHandle {
+            nlocal: ids.len(),
+            groups,
+            neighbors,
+            total_compact,
+        }
+    }
+
+    /// Length of the value arrays this handle operates on.
+    pub fn nlocal(&self) -> usize {
+        self.nlocal
+    }
+
+    /// Topology summary.
+    pub fn stats(&self) -> HandleStats {
+        HandleStats {
+            nlocal: self.nlocal,
+            distinct_local: self.groups.len(),
+            neighbors: self.neighbors.len(),
+            shared_slots: self.neighbors.iter().map(|nl| nl.groups.len()).sum(),
+            total_global: self.total_compact,
+        }
+    }
+
+    /// Ranks this handle exchanges with, ascending.
+    pub fn neighbor_ranks(&self) -> Vec<usize> {
+        self.neighbors.iter().map(|nl| nl.rank).collect()
+    }
+
+    /// Total distinct global ids in the world (the all_reduce method's
+    /// dense-vector length).
+    pub fn total_global_ids(&self) -> u64 {
+        self.total_compact
+    }
+
+    /// The multiplicity (total occurrence count across the world) of each
+    /// local slot's id — computed with a unit `gs_op(Add)`; commonly used
+    /// to build the inverse-multiplicity weights of an averaging exchange.
+    pub fn multiplicities(&self, rank: &mut Rank, method: crate::GsMethod) -> Vec<f64> {
+        let mut ones = vec![1.0; self.nlocal];
+        self.gs_op(rank, &mut ones, crate::GsOp::Add, method);
+        ones
+    }
+}

@@ -1,0 +1,43 @@
+//! # cmt-gs
+//!
+//! The gather–scatter library: a Rust analogue of Nek5000's `gslib`, the
+//! machinery behind both CMT-bone's nearest-neighbor surface exchange and
+//! Nekbone's `dssum`.
+//!
+//! From the paper (§VI): *"spectral element coefficients are stored
+//! redundantly (and locally) on each processor instead of maintaining a
+//! global matrix and each processor is given index sets containing the
+//! global ids of the elements using `gs_setup`. This requires a discovery
+//! phase using all-to-all communication to identify for every global index
+//! `i` on process `p`, all the processes `q` that also have `i`."* and
+//! *"At the beginning of each CMT-nek and CMT-bone simulation, three
+//! gather-scatter methods are evaluated to determine which one performs
+//! the best for the given problem setup and machine. These three exchange
+//! strategies are: (1) pairwise exchange, (2) crystal-router, and (3)
+//! all_reduce onto a big vector."*
+//!
+//! This crate implements all of it:
+//!
+//! * [`GsHandle::setup`] — the discovery phase: distinct local ids are
+//!   routed to home ranks (`gid % P`) with an all-to-all, homes assign a
+//!   globally consistent compact numbering and return each id's sharer
+//!   list, and per-neighbor exchange lists (sorted by id, hence identical
+//!   on both sides) are built.
+//! * [`GsHandle::gs_op`] — the combine-over-all-occurrences operation
+//!   (`Add`/`Mul`/`Min`/`Max`) with the three methods of [`GsMethod`]:
+//!   pairwise exchange (isend/irecv/wait with each touching neighbor),
+//!   crystal router (bundled hypercube routing, `log2 P` stages), and
+//!   all_reduce onto a dense vector over the compact id universe.
+//! * [`autotune`] — times all three methods on the actual handle and
+//!   picks the fastest, exactly the startup protocol the paper describes;
+//!   its report is the paper's Fig. 7 table.
+
+#![warn(missing_docs)]
+
+mod autotune;
+mod handle;
+mod ops;
+
+pub use autotune::{autotune, AutotuneOptions, AutotuneReport, MethodTiming};
+pub use handle::{GsHandle, HandleStats};
+pub use ops::{GsMethod, GsOp};

@@ -1,0 +1,327 @@
+//! `gs_op`: the gather–scatter operation with the three exchange methods.
+
+use simmpi::Rank;
+
+use crate::handle::GsHandle;
+
+/// The combining operator of a gather–scatter (the ops gslib offers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GsOp {
+    /// Sum over all occurrences (the `dssum` / flux-accumulation op).
+    Add,
+    /// Product over all occurrences.
+    Mul,
+    /// Minimum over all occurrences.
+    Min,
+    /// Maximum over all occurrences.
+    Max,
+}
+
+impl GsOp {
+    /// The operator's identity element.
+    #[inline]
+    pub fn identity(self) -> f64 {
+        match self {
+            GsOp::Add => 0.0,
+            GsOp::Mul => 1.0,
+            GsOp::Min => f64::INFINITY,
+            GsOp::Max => f64::NEG_INFINITY,
+        }
+    }
+
+    /// Combine two values.
+    #[inline]
+    pub fn combine(self, a: f64, b: f64) -> f64 {
+        match self {
+            GsOp::Add => a + b,
+            GsOp::Mul => a * b,
+            GsOp::Min => a.min(b),
+            GsOp::Max => a.max(b),
+        }
+    }
+}
+
+/// The three exchange strategies evaluated at mini-app startup
+/// (paper §VI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GsMethod {
+    /// Direct isend/irecv/waitall with every touching neighbor.
+    PairwiseExchange,
+    /// Hypercube-staged crystal router (`log2 P` bundled stages).
+    CrystalRouter,
+    /// Allreduce of a dense vector over the global id universe.
+    AllReduce,
+}
+
+impl GsMethod {
+    /// All three methods in the paper's order.
+    pub const ALL: [GsMethod; 3] = [
+        GsMethod::PairwiseExchange,
+        GsMethod::CrystalRouter,
+        GsMethod::AllReduce,
+    ];
+
+    /// Paper-style display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            GsMethod::PairwiseExchange => "pairwise exchange",
+            GsMethod::CrystalRouter => "crystal router",
+            GsMethod::AllReduce => "all_reduce",
+        }
+    }
+
+    /// Context label under which the method's traffic is recorded.
+    pub fn context(self) -> &'static str {
+        match self {
+            GsMethod::PairwiseExchange => "gs:pairwise",
+            GsMethod::CrystalRouter => "gs:crystal",
+            GsMethod::AllReduce => "gs:allreduce",
+        }
+    }
+}
+
+impl GsHandle {
+    /// Combine `values` over every occurrence of each global id (local and
+    /// remote) and write the combined result back to every local slot.
+    ///
+    /// Collective over the world the handle was set up in; all ranks must
+    /// pass the same `op` and `method`.
+    ///
+    /// # Panics
+    /// Panics if `values.len() != self.nlocal()`.
+    pub fn gs_op(&self, rank: &mut Rank, values: &mut [f64], op: GsOp, method: GsMethod) {
+        assert_eq!(
+            values.len(),
+            self.nlocal,
+            "gs_op on values of length {}, handle expects {}",
+            values.len(),
+            self.nlocal
+        );
+        // Gather: combine local occurrences per group.
+        let mut combined: Vec<f64> = self
+            .groups
+            .iter()
+            .map(|g| {
+                let mut acc = values[g.local_indices[0] as usize];
+                for &li in &g.local_indices[1..] {
+                    acc = op.combine(acc, values[li as usize]);
+                }
+                acc
+            })
+            .collect();
+
+        // Exchange: fold every remote sharer's locally-combined value in.
+        match method {
+            GsMethod::PairwiseExchange => self.exchange_pairwise(rank, &mut combined, op),
+            GsMethod::CrystalRouter => self.exchange_crystal(rank, &mut combined, op),
+            GsMethod::AllReduce => self.exchange_allreduce(rank, &mut combined, op),
+        }
+
+        // Scatter: write the combined value to every local slot.
+        for (g, &v) in self.groups.iter().zip(&combined) {
+            for &li in &g.local_indices {
+                values[li as usize] = v;
+            }
+        }
+    }
+
+    /// Vector gather–scatter: apply the same combine to `k` value arrays
+    /// with a *single* bundled exchange per neighbor (gslib's vector
+    /// mode). Semantically identical to `k` successive [`GsHandle::gs_op`]
+    /// calls, but the per-neighbor payload is `k` times larger and the
+    /// message count `k` times smaller — the trade the mini-app's
+    /// multi-variable exchanges (5 conserved fields) care about.
+    ///
+    /// # Panics
+    /// Panics if any array's length differs from `self.nlocal()`.
+    pub fn gs_op_many(
+        &self,
+        rank: &mut Rank,
+        fields: &mut [&mut [f64]],
+        op: GsOp,
+        method: GsMethod,
+    ) {
+        let k = fields.len();
+        if k == 0 {
+            return;
+        }
+        for f in fields.iter() {
+            assert_eq!(f.len(), self.nlocal, "gs_op_many length mismatch");
+        }
+        // Gather: combined values laid out [group][field] so one group's
+        // k values are contiguous in the exchange payloads.
+        let ng = self.groups.len();
+        let mut combined = vec![0.0f64; ng * k];
+        for (gi, g) in self.groups.iter().enumerate() {
+            for (fi, f) in fields.iter().enumerate() {
+                let mut acc = f[g.local_indices[0] as usize];
+                for &li in &g.local_indices[1..] {
+                    acc = op.combine(acc, f[li as usize]);
+                }
+                combined[gi * k + fi] = acc;
+            }
+        }
+
+        match method {
+            GsMethod::PairwiseExchange => {
+                const TAG: u64 = 0x6501;
+                rank.with_subcontext(GsMethod::PairwiseExchange.context(), |rank| {
+                    let reqs: Vec<_> = self
+                        .neighbors
+                        .iter()
+                        .map(|nl| rank.irecv(nl.rank, TAG))
+                        .collect();
+                    for nl in &self.neighbors {
+                        let mut payload = Vec::with_capacity(nl.groups.len() * k);
+                        for &gi in &nl.groups {
+                            payload
+                                .extend_from_slice(&combined[gi as usize * k..gi as usize * k + k]);
+                        }
+                        rank.isend_vec(nl.rank, TAG, payload);
+                    }
+                    for (nl, req) in self.neighbors.iter().zip(reqs) {
+                        let got: Vec<f64> = rank.wait_recv(req);
+                        debug_assert_eq!(got.len(), nl.groups.len() * k);
+                        for (slot, &gi) in nl.groups.iter().enumerate() {
+                            for fi in 0..k {
+                                let c = &mut combined[gi as usize * k + fi];
+                                *c = op.combine(*c, got[slot * k + fi]);
+                            }
+                        }
+                    }
+                });
+            }
+            GsMethod::CrystalRouter => {
+                rank.with_subcontext(GsMethod::CrystalRouter.context(), |rank| {
+                    let outgoing: Vec<(usize, Vec<f64>)> = self
+                        .neighbors
+                        .iter()
+                        .map(|nl| {
+                            let mut payload = Vec::with_capacity(nl.groups.len() * k);
+                            for &gi in &nl.groups {
+                                payload.extend_from_slice(
+                                    &combined[gi as usize * k..gi as usize * k + k],
+                                );
+                            }
+                            (nl.rank, payload)
+                        })
+                        .collect();
+                    for (src, payload) in rank.crystal_router(outgoing) {
+                        let nl = self
+                            .neighbors
+                            .iter()
+                            .find(|nl| nl.rank == src)
+                            .expect("crystal router delivered from a non-neighbor");
+                        for (slot, &gi) in nl.groups.iter().enumerate() {
+                            for fi in 0..k {
+                                let c = &mut combined[gi as usize * k + fi];
+                                *c = op.combine(*c, payload[slot * k + fi]);
+                            }
+                        }
+                    }
+                });
+            }
+            GsMethod::AllReduce => {
+                rank.with_subcontext(GsMethod::AllReduce.context(), |rank| {
+                    let total = self.total_compact as usize;
+                    let mut dense = vec![op.identity(); total * k];
+                    for (gi, g) in self.groups.iter().enumerate() {
+                        let base = g.compact as usize * k;
+                        dense[base..base + k].copy_from_slice(&combined[gi * k..gi * k + k]);
+                    }
+                    let reduced = rank.allreduce_with(&dense, |a, b| *a = op.combine(*a, *b));
+                    for (gi, g) in self.groups.iter().enumerate() {
+                        let base = g.compact as usize * k;
+                        combined[gi * k..gi * k + k].copy_from_slice(&reduced[base..base + k]);
+                    }
+                });
+            }
+        }
+
+        // Scatter back.
+        for (gi, g) in self.groups.iter().enumerate() {
+            for (fi, f) in fields.iter_mut().enumerate() {
+                let v = combined[gi * k + fi];
+                for &li in &g.local_indices {
+                    f[li as usize] = v;
+                }
+            }
+        }
+    }
+
+    /// Pairwise exchange: post all receives, send to every neighbor, wait
+    /// — the `MPI_Isend`/`MPI_Irecv`/`MPI_Wait` pattern whose wait time
+    /// dominates the paper's Fig. 9.
+    fn exchange_pairwise(&self, rank: &mut Rank, combined: &mut [f64], op: GsOp) {
+        const TAG: u64 = 0x6500; // 'gs'
+        rank.with_subcontext(GsMethod::PairwiseExchange.context(), |rank| {
+            let reqs: Vec<_> = self
+                .neighbors
+                .iter()
+                .map(|nl| rank.irecv(nl.rank, TAG))
+                .collect();
+            for nl in &self.neighbors {
+                let payload: Vec<f64> = nl
+                    .groups
+                    .iter()
+                    .map(|&gi| combined[gi as usize])
+                    .collect();
+                rank.isend_vec(nl.rank, TAG, payload);
+            }
+            for (nl, req) in self.neighbors.iter().zip(reqs) {
+                let got: Vec<f64> = rank.wait_recv(req);
+                debug_assert_eq!(got.len(), nl.groups.len());
+                for (&gi, v) in nl.groups.iter().zip(got) {
+                    combined[gi as usize] = op.combine(combined[gi as usize], v);
+                }
+            }
+        });
+    }
+
+    /// Crystal-router exchange: the same per-neighbor payloads, bundled
+    /// through the hypercube router.
+    fn exchange_crystal(&self, rank: &mut Rank, combined: &mut [f64], op: GsOp) {
+        rank.with_subcontext(GsMethod::CrystalRouter.context(), |rank| {
+            let outgoing: Vec<(usize, Vec<f64>)> = self
+                .neighbors
+                .iter()
+                .map(|nl| {
+                    (
+                        nl.rank,
+                        nl.groups.iter().map(|&gi| combined[gi as usize]).collect(),
+                    )
+                })
+                .collect();
+            let arrived = rank.crystal_router(outgoing);
+            debug_assert_eq!(arrived.len(), self.neighbors.len());
+            for (src, payload) in arrived {
+                let nl = self
+                    .neighbors
+                    .iter()
+                    .find(|nl| nl.rank == src)
+                    .expect("crystal router delivered from a non-neighbor");
+                debug_assert_eq!(payload.len(), nl.groups.len());
+                for (&gi, v) in nl.groups.iter().zip(payload) {
+                    combined[gi as usize] = op.combine(combined[gi as usize], v);
+                }
+            }
+        });
+    }
+
+    /// All_reduce onto a big vector: scatter combined values into a dense
+    /// vector over the compact global id universe, allreduce it with the
+    /// op, read back. "Too expensive for both mini-apps" at the paper's
+    /// problem setup — but exact, and competitive only for tiny worlds.
+    fn exchange_allreduce(&self, rank: &mut Rank, combined: &mut [f64], op: GsOp) {
+        rank.with_subcontext(GsMethod::AllReduce.context(), |rank| {
+            let mut dense = vec![op.identity(); self.total_compact as usize];
+            for (g, &v) in self.groups.iter().zip(combined.iter()) {
+                dense[g.compact as usize] = v;
+            }
+            let reduced = rank.allreduce_with(&dense, |a, b| *a = op.combine(*a, *b));
+            for (g, c) in self.groups.iter().zip(combined.iter_mut()) {
+                *c = reduced[g.compact as usize];
+            }
+        });
+    }
+}

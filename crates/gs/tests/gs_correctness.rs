@@ -1,0 +1,388 @@
+//! Correctness of the gather–scatter library against a dense serial
+//! reference, for all three exchange methods, on structured meshes and on
+//! randomized id assignments.
+
+use std::collections::HashMap;
+
+use cmt_mesh::{MeshConfig, RankMesh};
+use cmt_gs::{GsHandle, GsMethod, GsOp};
+use rand::{Rng, SeedableRng};
+use simmpi::World;
+
+/// Serial reference: combine every occurrence of each gid across all
+/// ranks, write back to every slot.
+fn dense_reference(all_ids: &[Vec<u64>], all_vals: &[Vec<f64>], op: GsOp) -> Vec<Vec<f64>> {
+    let mut combined: HashMap<u64, f64> = HashMap::new();
+    for (ids, vals) in all_ids.iter().zip(all_vals) {
+        for (&gid, &v) in ids.iter().zip(vals) {
+            combined
+                .entry(gid)
+                .and_modify(|acc| *acc = op.combine(*acc, v))
+                .or_insert(v);
+        }
+    }
+    all_ids
+        .iter()
+        .map(|ids| ids.iter().map(|gid| combined[gid]).collect())
+        .collect()
+}
+
+fn run_and_compare(p: usize, ids_of: impl Fn(usize) -> Vec<u64> + Send + Sync, op: GsOp) {
+    let all_ids: Vec<Vec<u64>> = (0..p).map(&ids_of).collect();
+    // deterministic values varying by rank and slot
+    let all_vals: Vec<Vec<f64>> = all_ids
+        .iter()
+        .enumerate()
+        .map(|(r, ids)| {
+            ids.iter()
+                .enumerate()
+                .map(|(i, _)| 1.0 + ((r * 37 + i * 13) % 10) as f64 * 0.25)
+                .collect()
+        })
+        .collect();
+    let expect = dense_reference(&all_ids, &all_vals, op);
+
+    for method in GsMethod::ALL {
+        let all_vals = all_vals.clone();
+        let all_ids = all_ids.clone();
+        let res = World::new().run(p, move |rank| {
+            let ids = all_ids[rank.rank()].clone();
+            let mut vals = all_vals[rank.rank()].clone();
+            let handle = GsHandle::setup(rank, &ids);
+            handle.gs_op(rank, &mut vals, op, method);
+            vals
+        });
+        for (r, got) in res.results.iter().enumerate() {
+            for (i, (g, e)) in got.iter().zip(&expect[r]).enumerate() {
+                assert!(
+                    (g - e).abs() < 1e-9 * (1.0 + e.abs()),
+                    "{method:?} {op:?} p={p} rank {r} slot {i}: {g} vs {e}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn all_methods_match_dense_reference_simple_overlap() {
+    // each rank holds ids [r, r+1] mod p: a ring of pairwise sharing
+    for p in [2usize, 3, 4, 6] {
+        run_and_compare(
+            p,
+            |r| vec![r as u64, ((r + 1) % p) as u64, 100 + r as u64],
+            GsOp::Add,
+        );
+    }
+}
+
+#[test]
+fn all_ops_supported() {
+    for op in [GsOp::Add, GsOp::Mul, GsOp::Min, GsOp::Max] {
+        run_and_compare(3, |r| vec![0, 1 + r as u64, 99], op);
+    }
+}
+
+#[test]
+fn duplicate_local_ids_are_combined() {
+    // a gid that appears twice on the same rank and also remotely
+    run_and_compare(2, |r| vec![5, 5, 10 + r as u64, 5], GsOp::Add);
+}
+
+#[test]
+fn single_rank_world_combines_locally() {
+    run_and_compare(1, |_| vec![3, 3, 4, 3, 4, 5], GsOp::Add);
+    run_and_compare(1, |_| vec![3, 3, 4, 3, 4, 5], GsOp::Max);
+}
+
+#[test]
+fn randomized_id_maps_match_reference() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(20150914);
+    for trial in 0..6 {
+        let p = rng.gen_range(2..=6);
+        let universe = rng.gen_range(4..=30) as u64;
+        let ids: Vec<Vec<u64>> = (0..p)
+            .map(|_| {
+                let len = rng.gen_range(1..=40);
+                (0..len).map(|_| rng.gen_range(0..universe)).collect()
+            })
+            .collect();
+        let ids2 = ids.clone();
+        run_and_compare(p, move |r| ids2[r].clone(), GsOp::Add);
+        let ids3 = ids.clone();
+        run_and_compare(p, move |r| ids3[r].clone(), GsOp::Min);
+        let _ = trial;
+    }
+}
+
+#[test]
+fn mesh_face_exchange_multiplicities() {
+    // On a periodic conforming mesh, gs_op(Add) of all-ones over the
+    // face-point gids yields each point's sharer count: interior face
+    // points 2, edge points 4, corner points 8 (the face array lists each
+    // element's own copy once per incident face, so multiply accordingly).
+    let cfg = MeshConfig {
+        n: 3,
+        proc_dims: [2, 1, 1],
+        local_elems: [1, 2, 2],
+        periodic: true,
+    };
+    let p = cfg.ranks();
+    let cfg2 = cfg.clone();
+    let res = World::new().run(p, move |rank| {
+        let mesh = RankMesh::new(cfg2.clone(), rank.rank());
+        let ids = mesh.face_point_gids();
+        let handle = GsHandle::setup(rank, &ids);
+        handle.multiplicities(rank, GsMethod::PairwiseExchange)
+    });
+    // Verify against a serial count of gid occurrences.
+    let mut counts: HashMap<u64, f64> = HashMap::new();
+    let meshes: Vec<RankMesh> = (0..p).map(|r| RankMesh::new(cfg.clone(), r)).collect();
+    for mesh in &meshes {
+        for gid in mesh.face_point_gids() {
+            *counts.entry(gid).or_insert(0.0) += 1.0;
+        }
+    }
+    for (r, mesh) in meshes.iter().enumerate() {
+        let ids = mesh.face_point_gids();
+        for (i, gid) in ids.iter().enumerate() {
+            assert_eq!(res.results[r][i], counts[gid], "rank {r} slot {i}");
+        }
+    }
+    // sanity on the expected multiplicity classes
+    let n2 = cfg.n * cfg.n;
+    let face_center_mult = res.results[0][n2 / 2]; // center of element 0 face 0
+    assert_eq!(face_center_mult, 2.0);
+}
+
+#[test]
+fn methods_agree_on_mesh_volume_ids() {
+    let cfg = MeshConfig {
+        n: 4,
+        proc_dims: [2, 2, 1],
+        local_elems: [1, 1, 2],
+        periodic: true,
+    };
+    let p = cfg.ranks();
+    let mut baselines: Option<Vec<Vec<f64>>> = None;
+    for method in GsMethod::ALL {
+        let cfg2 = cfg.clone();
+        let res = World::new().run(p, move |rank| {
+            let mesh = RankMesh::new(cfg2.clone(), rank.rank());
+            let ids = mesh.volume_point_gids();
+            let mut vals: Vec<f64> = ids.iter().map(|&g| (g % 17) as f64 - 8.0).collect();
+            let handle = GsHandle::setup(rank, &ids);
+            handle.gs_op(rank, &mut vals, GsOp::Add, method);
+            vals
+        });
+        match &baselines {
+            None => baselines = Some(res.results),
+            Some(base) => {
+                for (r, got) in res.results.iter().enumerate() {
+                    for (a, b) in got.iter().zip(&base[r]) {
+                        assert!((a - b).abs() < 1e-9, "{method:?} disagrees: {a} vs {b}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn gs_op_many_equals_repeated_gs_op() {
+    let p = 4;
+    let cfg = MeshConfig::for_ranks(p, 8, 4, true);
+    for method in GsMethod::ALL {
+        let cfg2 = cfg.clone();
+        let res = World::new().run(p, move |rank| {
+            let mesh = RankMesh::new(cfg2.clone(), rank.rank());
+            let ids = mesh.face_exchange_gids();
+            let handle = GsHandle::setup(rank, &ids);
+            let mk = |salt: usize| -> Vec<f64> {
+                ids.iter()
+                    .enumerate()
+                    .map(|(i, &g)| ((g as usize * 7 + i + salt) % 13) as f64 - 6.0)
+                    .collect()
+            };
+            // reference: three separate gs_ops
+            let mut ra = mk(1);
+            let mut rb = mk(2);
+            let mut rc = mk(3);
+            handle.gs_op(rank, &mut ra, GsOp::Add, method);
+            handle.gs_op(rank, &mut rb, GsOp::Add, method);
+            handle.gs_op(rank, &mut rc, GsOp::Add, method);
+            // bundled: one gs_op_many
+            let mut ma = mk(1);
+            let mut mb = mk(2);
+            let mut mc = mk(3);
+            handle.gs_op_many(rank, &mut [&mut ma, &mut mb, &mut mc], GsOp::Add, method);
+            (ra == ma) && (rb == mb) && (rc == mc)
+        });
+        assert!(
+            res.results.iter().all(|&ok| ok),
+            "{method:?}: gs_op_many diverged from gs_op"
+        );
+    }
+}
+
+#[test]
+fn gs_op_many_sends_fewer_messages_than_repeated_gs_op() {
+    let p = 4;
+    let cfg = MeshConfig::for_ranks(p, 8, 4, true);
+    let count_isends = |bundled: bool| {
+        let cfg2 = cfg.clone();
+        let res = World::new().run(p, move |rank| {
+            let mesh = RankMesh::new(cfg2.clone(), rank.rank());
+            let ids = mesh.face_exchange_gids();
+            let handle = GsHandle::setup(rank, &ids);
+            let mut a = vec![1.0; ids.len()];
+            let mut b = vec![2.0; ids.len()];
+            if bundled {
+                handle.gs_op_many(
+                    rank,
+                    &mut [&mut a, &mut b],
+                    GsOp::Add,
+                    GsMethod::PairwiseExchange,
+                );
+            } else {
+                handle.gs_op(rank, &mut a, GsOp::Add, GsMethod::PairwiseExchange);
+                handle.gs_op(rank, &mut b, GsOp::Add, GsMethod::PairwiseExchange);
+            }
+        });
+        res.stats
+            .iter()
+            .map(|st| {
+                st.sites
+                    .iter()
+                    .filter(|(k, _)| k.op == simmpi::MpiOp::Isend)
+                    .map(|(_, s)| s.calls)
+                    .sum::<u64>()
+            })
+            .sum::<u64>()
+    };
+    let separate = count_isends(false);
+    let bundled = count_isends(true);
+    assert_eq!(bundled * 2, separate, "bundled {bundled} vs separate {separate}");
+}
+
+#[test]
+fn gs_op_many_empty_and_single_field() {
+    let res = World::new().run(2, |rank| {
+        let ids = vec![1u64, 2, 1];
+        let handle = GsHandle::setup(rank, &ids);
+        handle.gs_op_many(rank, &mut [], GsOp::Add, GsMethod::PairwiseExchange);
+        let mut v = vec![1.0, 2.0, 3.0];
+        let mut single = vec![1.0, 2.0, 3.0];
+        handle.gs_op_many(
+            rank,
+            &mut [&mut v],
+            GsOp::Add,
+            GsMethod::PairwiseExchange,
+        );
+        handle.gs_op(rank, &mut single, GsOp::Add, GsMethod::PairwiseExchange);
+        v == single
+    });
+    assert!(res.results.iter().all(|&ok| ok));
+}
+
+#[test]
+fn handle_stats_report_topology() {
+    let res = World::new().run(2, |rank| {
+        let ids = if rank.rank() == 0 {
+            vec![1, 2, 3, 3]
+        } else {
+            vec![3, 4]
+        };
+        let handle = GsHandle::setup(rank, &ids);
+        handle.stats()
+    });
+    let s0 = res.results[0];
+    assert_eq!(s0.nlocal, 4);
+    assert_eq!(s0.distinct_local, 3);
+    assert_eq!(s0.neighbors, 1);
+    assert_eq!(s0.shared_slots, 1);
+    assert_eq!(s0.total_global, 4); // ids 1,2,3,4
+    let s1 = res.results[1];
+    assert_eq!(s1.neighbors, 1);
+    assert_eq!(s1.total_global, 4);
+}
+
+#[test]
+fn ranks_with_no_ids_still_participate() {
+    // rank 1 holds nothing; setup and gs_op are collectives, so it must
+    // take part without deadlocking or corrupting anyone's data
+    for method in GsMethod::ALL {
+        let res = World::new().run(3, move |rank| {
+            let ids: Vec<u64> = match rank.rank() {
+                0 => vec![5, 6],
+                1 => Vec::new(),
+                _ => vec![6, 7],
+            };
+            let handle = GsHandle::setup(rank, &ids);
+            let mut vals: Vec<f64> = ids.iter().map(|&g| g as f64).collect();
+            handle.gs_op(rank, &mut vals, GsOp::Add, method);
+            vals
+        });
+        assert_eq!(res.results[0], vec![5.0, 12.0], "{method:?}");
+        assert!(res.results[1].is_empty());
+        assert_eq!(res.results[2], vec![12.0, 7.0], "{method:?}");
+    }
+}
+
+#[test]
+fn crystal_router_self_only_messages() {
+    let res = World::new().run(4, |rank| {
+        let me = rank.rank();
+        let out = rank.crystal_router(vec![(me, vec![me as u64 * 3])]);
+        out
+    });
+    for (r, got) in res.results.iter().enumerate() {
+        assert_eq!(got, &vec![(r, vec![r as u64 * 3])]);
+    }
+}
+
+#[test]
+fn crystal_router_models_more_network_time_than_pairwise() {
+    // The router moves every payload through log2(P) hops (plus routing
+    // headers); direct pairwise sends it once. Under a network model the
+    // modelled time must reflect that, whatever the wall clock says.
+    use simmpi::NetworkModel;
+    let p = 8;
+    let cfg = MeshConfig::for_ranks(p, 27, 6, true);
+    let modeled = |method: GsMethod| {
+        let cfg2 = cfg.clone();
+        let res = World::with_network(NetworkModel::qdr_infiniband()).run(p, move |rank| {
+            let mesh = RankMesh::new(cfg2.clone(), rank.rank());
+            let ids = mesh.face_exchange_gids();
+            let handle = GsHandle::setup(rank, &ids);
+            let before = rank.modeled_time_s();
+            let mut vals = vec![1.0; ids.len()];
+            for _ in 0..5 {
+                handle.gs_op(rank, &mut vals, GsOp::Add, method);
+            }
+            rank.modeled_time_s() - before
+        });
+        res.results.iter().sum::<f64>()
+    };
+    let pw = modeled(GsMethod::PairwiseExchange);
+    let cr = modeled(GsMethod::CrystalRouter);
+    assert!(
+        cr > pw,
+        "crystal modelled {cr} should exceed pairwise {pw}"
+    );
+}
+
+#[test]
+fn gs_setup_records_communication() {
+    let res = World::new().run(4, |rank| {
+        let ids = vec![rank.rank() as u64, 42];
+        let _ = GsHandle::setup(rank, &ids);
+    });
+    for st in &res.stats {
+        // discovery uses alltoallv under the gs_setup context
+        let found = st
+            .sites
+            .iter()
+            .any(|(k, _)| k.context == "gs_setup" && k.op == simmpi::MpiOp::Alltoallv);
+        assert!(found, "rank {} missing gs_setup alltoallv record", st.rank);
+    }
+}

@@ -1,0 +1,77 @@
+//! Nekbone command-line driver.
+//!
+//! ```text
+//! nekbone [--ranks P] [--elems NEL] [--n N] [--iters K] [--tol T]
+//!         [--method pairwise|crystal|allreduce] [--quiet]
+//! ```
+
+use cmt_core::KernelVariant;
+use cmt_gs::GsMethod;
+use nekbone::{run, Config};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: nekbone [--ranks P] [--elems NEL_PER_RANK] [--n N] [--iters K]\n\
+         \x20              [--tol T] [--variant basic|opt|spec]\n\
+         \x20              [--method pairwise|crystal|allreduce] [--quiet]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_usize(v: Option<String>) -> usize {
+    v.and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+}
+
+fn main() {
+    let mut cfg = Config::default();
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--ranks" => cfg.ranks = parse_usize(args.next()),
+            "--elems" => cfg.elems_per_rank = parse_usize(args.next()),
+            "--n" => cfg.n = parse_usize(args.next()),
+            "--iters" => cfg.cg_iters = parse_usize(args.next()),
+            "--tol" => {
+                cfg.tol = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--variant" => {
+                cfg.variant = match args.next().as_deref() {
+                    Some("basic") => KernelVariant::Basic,
+                    Some("opt") => KernelVariant::Optimized,
+                    Some("spec") => KernelVariant::Specialized,
+                    _ => usage(),
+                }
+            }
+            "--method" => {
+                cfg.method = match args.next().as_deref() {
+                    Some("pairwise") => Some(GsMethod::PairwiseExchange),
+                    Some("crystal") => Some(GsMethod::CrystalRouter),
+                    Some("allreduce") => Some(GsMethod::AllReduce),
+                    _ => usage(),
+                }
+            }
+            "--quiet" => quiet = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage()
+            }
+        }
+    }
+    let report = run(&cfg);
+    if quiet {
+        println!(
+            "iters {}  residual {:.3e}  checksum {:.12e}  method {}",
+            report.cg.iterations,
+            report.cg.final_residual(),
+            report.checksum,
+            report.chosen_method.name()
+        );
+    } else {
+        println!("{}", report.render());
+    }
+}

@@ -1,0 +1,198 @@
+//! Tensor-product barycentric Lagrange interpolation inside one element.
+//!
+//! Evaluates spectral-element fields at arbitrary reference coordinates
+//! `(r, s, t) in [-1, 1]^3` — the kernel a point-particle solver runs for
+//! every particle every stage. Barycentric evaluation is numerically
+//! stable at and between nodes and costs `O(N)` per direction plus an
+//! `O(N^3)` contraction.
+
+use cmt_core::poly::{barycentric_weights, Basis};
+use cmt_core::Field;
+
+/// Precomputed interpolation machinery for one element order.
+#[derive(Debug, Clone)]
+pub struct ElementInterpolator {
+    n: usize,
+    nodes: Vec<f64>,
+    bary: Vec<f64>,
+}
+
+impl ElementInterpolator {
+    /// Build from a reference-element basis.
+    pub fn new(basis: &Basis) -> Self {
+        ElementInterpolator {
+            n: basis.n,
+            nodes: basis.nodes.clone(),
+            bary: barycentric_weights(&basis.nodes),
+        }
+    }
+
+    /// Element order.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The 1D Lagrange cardinal values `l_i(x)` at one coordinate.
+    pub fn cardinal(&self, x: f64, out: &mut [f64]) {
+        assert_eq!(out.len(), self.n, "cardinal buffer length");
+        // exact node hit: delta
+        if let Some(hit) = self.nodes.iter().position(|&xn| (xn - x).abs() < 1e-14) {
+            out.fill(0.0);
+            out[hit] = 1.0;
+            return;
+        }
+        let mut denom = 0.0;
+        for i in 0..self.n {
+            let w = self.bary[i] / (x - self.nodes[i]);
+            out[i] = w;
+            denom += w;
+        }
+        for v in out.iter_mut() {
+            *v /= denom;
+        }
+    }
+
+    /// Evaluate `field` in element `e` at reference coordinates
+    /// `(r, s, t)` (each in `[-1, 1]`).
+    pub fn eval(&self, field: &Field, e: usize, rst: [f64; 3]) -> f64 {
+        assert_eq!(field.n(), self.n, "field order mismatch");
+        let n = self.n;
+        let mut lr = vec![0.0; n];
+        let mut ls = vec![0.0; n];
+        let mut lt = vec![0.0; n];
+        self.cardinal(rst[0], &mut lr);
+        self.cardinal(rst[1], &mut ls);
+        self.cardinal(rst[2], &mut lt);
+        let data = field.element(e);
+        let mut acc = 0.0;
+        for k in 0..n {
+            let wk = lt[k];
+            if wk == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                let wjk = wk * ls[j];
+                if wjk == 0.0 {
+                    continue;
+                }
+                let row = &data[(k * n + j) * n..(k * n + j) * n + n];
+                let mut s = 0.0;
+                for (li, ui) in lr.iter().zip(row) {
+                    s += li * ui;
+                }
+                acc += wjk * s;
+            }
+        }
+        acc
+    }
+
+    /// Evaluate several fields at once (shared cardinal evaluation) —
+    /// the velocity-vector case.
+    pub fn eval_many(&self, fields: &[&Field], e: usize, rst: [f64; 3], out: &mut [f64]) {
+        assert_eq!(fields.len(), out.len(), "output length mismatch");
+        let n = self.n;
+        let mut lr = vec![0.0; n];
+        let mut ls = vec![0.0; n];
+        let mut lt = vec![0.0; n];
+        self.cardinal(rst[0], &mut lr);
+        self.cardinal(rst[1], &mut ls);
+        self.cardinal(rst[2], &mut lt);
+        for (f, o) in fields.iter().zip(out.iter_mut()) {
+            assert_eq!(f.n(), self.n, "field order mismatch");
+            let data = f.element(e);
+            let mut acc = 0.0;
+            for k in 0..n {
+                let wk = lt[k];
+                for j in 0..n {
+                    let wjk = wk * ls[j];
+                    let row = &data[(k * n + j) * n..(k * n + j) * n + n];
+                    let mut s = 0.0;
+                    for (li, ui) in lr.iter().zip(row) {
+                        s += li * ui;
+                    }
+                    acc += wjk * s;
+                }
+            }
+            *o = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmt_core::poly::Basis;
+
+    #[test]
+    fn cardinal_is_delta_at_nodes() {
+        let basis = Basis::new(6);
+        let interp = ElementInterpolator::new(&basis);
+        let mut l = vec![0.0; 6];
+        for (i, &x) in basis.nodes.iter().enumerate() {
+            interp.cardinal(x, &mut l);
+            for (j, &v) in l.iter().enumerate() {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((v - want).abs() < 1e-12, "l_{j}({x}) = {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn cardinal_partition_of_unity() {
+        let basis = Basis::new(7);
+        let interp = ElementInterpolator::new(&basis);
+        let mut l = vec![0.0; 7];
+        for step in 0..21 {
+            let x = -1.0 + step as f64 * 0.1;
+            interp.cardinal(x, &mut l);
+            let sum: f64 = l.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12, "sum at {x} = {sum}");
+        }
+    }
+
+    #[test]
+    fn eval_exact_on_polynomials() {
+        let basis = Basis::new(5);
+        let interp = ElementInterpolator::new(&basis);
+        let x = basis.nodes.clone();
+        let f = |r: f64, s: f64, t: f64| 1.0 - r + 2.0 * s * s + r * s * t - t.powi(3);
+        let field = Field::from_fn(5, 2, |_, i, j, k| f(x[i], x[j], x[k]));
+        for &(r, s, t) in &[
+            (0.0, 0.0, 0.0),
+            (0.3, -0.7, 0.9),
+            (-1.0, 1.0, -0.5),
+            (0.123, 0.456, -0.789),
+        ] {
+            for e in 0..2 {
+                let got = interp.eval(&field, e, [r, s, t]);
+                let want = f(r, s, t);
+                assert!(
+                    (got - want).abs() < 1e-11,
+                    "eval({r},{s},{t}) = {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eval_many_matches_eval() {
+        let basis = Basis::new(4);
+        let interp = ElementInterpolator::new(&basis);
+        let f1 = Field::from_fn(4, 1, |_, i, j, k| (i + 2 * j + 3 * k) as f64);
+        let f2 = Field::from_fn(4, 1, |_, i, j, k| (i * j * k) as f64);
+        let rst = [0.25, -0.4, 0.8];
+        let mut out = [0.0; 2];
+        interp.eval_many(&[&f1, &f2], 0, rst, &mut out);
+        assert!((out[0] - interp.eval(&f1, 0, rst)).abs() < 1e-13);
+        assert!((out[1] - interp.eval(&f2, 0, rst)).abs() < 1e-13);
+    }
+
+    #[test]
+    fn eval_at_node_reads_the_nodal_value() {
+        let basis = Basis::new(5);
+        let interp = ElementInterpolator::new(&basis);
+        let field = Field::from_fn(5, 1, |_, i, j, k| (100 * i + 10 * j + k) as f64);
+        let got = interp.eval(&field, 0, [basis.nodes[2], basis.nodes[0], basis.nodes[4]]);
+        assert!((got - field.get(0, 2, 0, 4)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,29 @@
+//! # cmt-perf
+//!
+//! Performance instrumentation for the CMT-bone reproduction — the
+//! measurement machinery behind every figure of the paper's evaluation:
+//!
+//! * [`profiler`] — a gprof-style hierarchical region profiler (call
+//!   counts, self/total time, flat profile and partial call graph): the
+//!   instrument behind Fig. 4's execution profile.
+//! * [`papi`] — a documented analytic model translating the exact
+//!   per-kernel operation counts of [`cmt_core::cost`] into estimated
+//!   total-instruction and total-cycle counts per kernel *variant* and
+//!   *direction*, standing in for the PAPI hardware counters of
+//!   Figs. 5-6. The model's parameters are calibrated so the basic-vs-
+//!   optimized ratios match the paper's measurements on the AMD Opteron
+//!   6378 (dudt ~2.3x, dudr ~1.0x, duds ~1x).
+//! * [`mpip`] — mpiP-style aggregation of [`simmpi::CommStats`] across
+//!   ranks: per-rank MPI time fractions (Fig. 8), the most expensive call
+//!   sites (Fig. 9), and per-call-site message volumes (Fig. 10), with
+//!   plain-text renderers shaped like the paper's plots.
+
+#![warn(missing_docs)]
+
+pub mod mpip;
+pub mod papi;
+pub mod profiler;
+
+pub use mpip::{MpipReport, SiteAggregate};
+pub use papi::{model_kernel, PapiEstimate};
+pub use profiler::{ProfileReport, Profiler};

@@ -1,0 +1,301 @@
+//! A gprof-style hierarchical region profiler.
+//!
+//! The paper's Fig. 4 is a partial call graph + execution profile of
+//! CMT-bone obtained with gprof, showing the derivative (`ax_`-like)
+//! kernel dominating. This profiler produces the same two artifacts from
+//! explicitly instrumented regions: a *flat profile* (per-region self
+//! time, % of total, call counts) and a *partial call graph* (parent →
+//! child edges with inclusive times).
+//!
+//! Regions nest: `enter("step")`, `enter("deriv")`, `exit()`, `exit()`.
+//! Self time of a region excludes time spent in its instrumented
+//! children; inclusive time includes it.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Accumulated statistics of one region name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RegionStats {
+    /// Number of times the region was entered.
+    pub calls: u64,
+    /// Inclusive wall time, seconds.
+    pub inclusive_s: f64,
+    /// Time spent in instrumented child regions, seconds.
+    pub child_s: f64,
+}
+
+impl RegionStats {
+    /// Self (exclusive) time, seconds.
+    pub fn self_s(&self) -> f64 {
+        (self.inclusive_s - self.child_s).max(0.0)
+    }
+}
+
+struct Frame {
+    name: String,
+    start: Instant,
+    child_s: f64,
+}
+
+/// The profiler. Not thread-safe by design: each rank owns one (gprof is
+/// per-process too); cross-rank aggregation happens at reporting time.
+#[derive(Default)]
+pub struct Profiler {
+    regions: HashMap<String, RegionStats>,
+    edges: HashMap<(String, String), (u64, f64)>, // (calls, inclusive_s)
+    stack: Vec<Frame>,
+}
+
+impl Profiler {
+    /// A fresh profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enter a region.
+    pub fn enter(&mut self, name: &str) {
+        self.stack.push(Frame {
+            name: name.to_owned(),
+            start: Instant::now(),
+            child_s: 0.0,
+        });
+    }
+
+    /// Exit the innermost open region.
+    ///
+    /// # Panics
+    /// Panics if no region is open.
+    pub fn exit(&mut self) {
+        let frame = self.stack.pop().expect("Profiler::exit without enter");
+        let elapsed = frame.start.elapsed().as_secs_f64();
+        let stats = self.regions.entry(frame.name.clone()).or_default();
+        stats.calls += 1;
+        stats.inclusive_s += elapsed;
+        stats.child_s += frame.child_s;
+        if let Some(parent) = self.stack.last_mut() {
+            parent.child_s += elapsed;
+            let edge = self
+                .edges
+                .entry((parent.name.clone(), frame.name))
+                .or_insert((0, 0.0));
+            edge.0 += 1;
+            edge.1 += elapsed;
+        }
+    }
+
+    /// Run `f` inside a region (convenience wrapper around enter/exit).
+    pub fn scope<R>(&mut self, name: &str, f: impl FnOnce() -> R) -> R {
+        self.enter(name);
+        let out = f();
+        self.exit();
+        out
+    }
+
+    /// Whether any region is currently open.
+    pub fn in_region(&self) -> bool {
+        !self.stack.is_empty()
+    }
+
+    /// Freeze into a report.
+    ///
+    /// # Panics
+    /// Panics if regions are still open (unbalanced enter/exit).
+    pub fn report(&self) -> ProfileReport {
+        assert!(
+            self.stack.is_empty(),
+            "profiler report with {} regions still open",
+            self.stack.len()
+        );
+        let mut flat: Vec<(String, RegionStats)> = self
+            .regions
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        flat.sort_by(|a, b| b.1.self_s().total_cmp(&a.1.self_s()));
+        let mut edges: Vec<(String, String, u64, f64)> = self
+            .edges
+            .iter()
+            .map(|((p, c), &(n, t))| (p.clone(), c.clone(), n, t))
+            .collect();
+        edges.sort_by(|a, b| b.3.total_cmp(&a.3));
+        ProfileReport { flat, edges }
+    }
+
+    /// Merge another profiler's totals into this one (for cross-rank
+    /// aggregation; both must be fully exited).
+    pub fn merge(&mut self, other: &Profiler) {
+        assert!(self.stack.is_empty() && other.stack.is_empty());
+        for (name, st) in &other.regions {
+            let mine = self.regions.entry(name.clone()).or_default();
+            mine.calls += st.calls;
+            mine.inclusive_s += st.inclusive_s;
+            mine.child_s += st.child_s;
+        }
+        for (edge, &(n, t)) in &other.edges {
+            let mine = self.edges.entry(edge.clone()).or_insert((0, 0.0));
+            mine.0 += n;
+            mine.1 += t;
+        }
+    }
+}
+
+/// A frozen profile: flat rows (sorted by self time, descending) and call
+/// edges (sorted by inclusive time).
+#[derive(Debug, Clone)]
+pub struct ProfileReport {
+    /// `(region, stats)` sorted by self time descending.
+    pub flat: Vec<(String, RegionStats)>,
+    /// `(parent, child, calls, inclusive seconds)` sorted by time.
+    pub edges: Vec<(String, String, u64, f64)>,
+}
+
+impl ProfileReport {
+    /// Total self time over all regions (the flat profile denominator).
+    pub fn total_self_s(&self) -> f64 {
+        self.flat.iter().map(|(_, s)| s.self_s()).sum()
+    }
+
+    /// Self-time share of one region in `[0, 1]`; 0 for unknown regions.
+    pub fn share(&self, name: &str) -> f64 {
+        let total = self.total_self_s();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        self.flat
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| s.self_s() / total)
+            .unwrap_or(0.0)
+    }
+
+    /// Render a gprof-like flat profile.
+    pub fn render_flat(&self) -> String {
+        let total = self.total_self_s().max(1e-300);
+        let mut out = String::from(
+            "  %time     self(s)    calls  name\n",
+        );
+        for (name, s) in &self.flat {
+            out.push_str(&format!(
+                "{:7.2} {:11.4} {:8}  {}\n",
+                100.0 * s.self_s() / total,
+                s.self_s(),
+                s.calls,
+                name
+            ));
+        }
+        out
+    }
+
+    /// Render the partial call graph (parent -> child edges).
+    pub fn render_call_graph(&self) -> String {
+        let mut out = String::from("  parent -> child                         calls   incl(s)\n");
+        for (p, c, n, t) in &self.edges {
+            out.push_str(&format!("  {:38} {:7} {:9.4}\n", format!("{p} -> {c}"), n, t));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn spin(d: Duration) {
+        let t = Instant::now();
+        while t.elapsed() < d {
+            std::hint::spin_loop();
+        }
+    }
+
+    #[test]
+    fn self_time_excludes_children() {
+        let mut p = Profiler::new();
+        p.enter("outer");
+        spin(Duration::from_millis(20));
+        p.enter("inner");
+        spin(Duration::from_millis(30));
+        p.exit();
+        p.exit();
+        let r = p.report();
+        let outer = &r.flat.iter().find(|(n, _)| n == "outer").unwrap().1;
+        let inner = &r.flat.iter().find(|(n, _)| n == "inner").unwrap().1;
+        assert!(outer.inclusive_s >= 0.049, "outer incl {}", outer.inclusive_s);
+        assert!(outer.self_s() < 0.03, "outer self {}", outer.self_s());
+        assert!(inner.self_s() >= 0.029, "inner self {}", inner.self_s());
+        // inner is the hotter self-time region, so it sorts first
+        assert_eq!(r.flat[0].0, "inner");
+    }
+
+    #[test]
+    fn calls_counted_and_edges_recorded() {
+        let mut p = Profiler::new();
+        for _ in 0..5 {
+            p.enter("step");
+            p.enter("deriv");
+            p.exit();
+            p.enter("deriv");
+            p.exit();
+            p.exit();
+        }
+        let r = p.report();
+        let deriv = &r.flat.iter().find(|(n, _)| n == "deriv").unwrap().1;
+        assert_eq!(deriv.calls, 10);
+        let edge = r
+            .edges
+            .iter()
+            .find(|(pa, ch, _, _)| pa == "step" && ch == "deriv")
+            .unwrap();
+        assert_eq!(edge.2, 10);
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let mut p = Profiler::new();
+        p.scope("a", || spin(Duration::from_millis(5)));
+        p.scope("b", || spin(Duration::from_millis(10)));
+        let r = p.report();
+        let sum = r.share("a") + r.share("b");
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!(r.share("b") > r.share("a"));
+        assert_eq!(r.share("nonexistent"), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_totals() {
+        let mut a = Profiler::new();
+        a.scope("x", || spin(Duration::from_millis(2)));
+        let mut b = Profiler::new();
+        b.scope("x", || spin(Duration::from_millis(2)));
+        b.scope("y", || {});
+        a.merge(&b);
+        let r = a.report();
+        let x = &r.flat.iter().find(|(n, _)| n == "x").unwrap().1;
+        assert_eq!(x.calls, 2);
+        assert!(r.flat.iter().any(|(n, _)| n == "y"));
+    }
+
+    #[test]
+    fn render_contains_rows() {
+        let mut p = Profiler::new();
+        p.scope("kernel", || spin(Duration::from_millis(1)));
+        let r = p.report();
+        assert!(r.render_flat().contains("kernel"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn report_with_open_region_panics() {
+        let mut p = Profiler::new();
+        p.enter("open");
+        let _ = p.report();
+    }
+
+    #[test]
+    #[should_panic]
+    fn exit_without_enter_panics() {
+        let mut p = Profiler::new();
+        p.exit();
+    }
+}

@@ -1,0 +1,370 @@
+//! Collective operations, implemented with the textbook distributed
+//! algorithms over the point-to-point layer.
+//!
+//! Every collective:
+//! * is tagged with a per-call sequence number so back-to-back collectives
+//!   cannot cross-match (all ranks must call collectives in the same
+//!   order, the usual SPMD contract);
+//! * is recorded as a single operation of its own kind (time measured
+//!   around the whole algorithm, bytes = what this rank sent), matching
+//!   how an MPI profiler attributes collective time;
+//! * uses a fixed reduction/broadcast tree, so results are bitwise
+//!   deterministic across runs for any rank count.
+
+use std::time::Instant;
+
+use crate::envelope::Msg;
+use crate::rank::Rank;
+use crate::stats::MpiOp;
+use crate::ReduceOp;
+
+impl Rank {
+    /// Barrier: dissemination algorithm, `ceil(log2 P)` rounds.
+    pub fn barrier(&mut self) {
+        let start = Instant::now();
+        let seq = self.next_coll_seq();
+        let p = self.size();
+        let mut bytes = 0;
+        let mut k = 1usize;
+        let mut round = 0u64;
+        while k < p {
+            let to = (self.rank() + k) % p;
+            let from = (self.rank() + p - k) % p;
+            bytes += self.send_internal::<u8>(to, Rank::coll_tag(seq, round), vec![1]);
+            let _ = self.recv_internal::<u8>(from, Rank::coll_tag(seq, round));
+            k <<= 1;
+            round += 1;
+        }
+        let modeled = self.model_message(1) * round as f64;
+        let ctx = std::mem::take(&mut self.context);
+        self.recorder
+            .record(MpiOp::Barrier, &ctx, start.elapsed(), bytes, modeled);
+        self.context = ctx;
+    }
+
+    /// Broadcast `data` from `root` to every rank (binomial tree).
+    ///
+    /// Non-root ranks pass their (ignored) local buffer and receive the
+    /// root's; the broadcast value is returned on every rank.
+    pub fn bcast<T: Msg>(&mut self, root: usize, data: Vec<T>) -> Vec<T> {
+        assert!(root < self.size(), "bcast root out of range");
+        let start = Instant::now();
+        let seq = self.next_coll_seq();
+        let p = self.size();
+        let vrank = (self.rank() + p - root) % p; // root-relative rank
+        let mut bytes = 0u64;
+        let mut buf = data;
+        // Receive once from the parent (unless root), then forward down
+        // the binomial tree.
+        let mut mask = 1usize;
+        while mask < p {
+            mask <<= 1;
+        }
+        // find receive step: lowest set bit structure — walk masks upward
+        if vrank != 0 {
+            let lsb = vrank & vrank.wrapping_neg();
+            let parent_v = vrank - lsb;
+            let parent = (parent_v + root) % p;
+            let round = lsb.trailing_zeros() as u64;
+            let (got, b) = self.recv_internal::<T>(parent, Rank::coll_tag(seq, round));
+            bytes += b;
+            buf = got;
+        }
+        // forward to children: bits above my lowest set bit (or all bits
+        // for root)
+        let my_lsb = if vrank == 0 {
+            mask // effectively infinity
+        } else {
+            vrank & vrank.wrapping_neg()
+        };
+        let mut k = my_lsb >> 1;
+        let mut nmsgs = 0u64;
+        while k >= 1 {
+            let child_v = vrank + k;
+            if child_v < p {
+                let child = (child_v + root) % p;
+                let round = k.trailing_zeros() as u64;
+                bytes += self.send_internal(child, Rank::coll_tag(seq, round), buf.clone());
+                nmsgs += 1;
+            }
+            k >>= 1;
+        }
+        let per_msg = (buf.len() * std::mem::size_of::<T>()) as u64;
+        let modeled = (0..nmsgs).map(|_| self.model_message(per_msg)).sum();
+        let ctx = std::mem::take(&mut self.context);
+        self.recorder
+            .record(MpiOp::Bcast, &ctx, start.elapsed(), bytes, modeled);
+        self.context = ctx;
+        buf
+    }
+
+    /// Generic elementwise reduce-to-root over a fixed binomial tree.
+    /// Returns `Some(result)` on `root`, `None` elsewhere.
+    pub fn reduce_with<T: Msg>(
+        &mut self,
+        root: usize,
+        data: &[T],
+        combine: impl Fn(&mut T, &T),
+    ) -> Option<Vec<T>> {
+        assert!(root < self.size(), "reduce root out of range");
+        let start = Instant::now();
+        let seq = self.next_coll_seq();
+        let p = self.size();
+        let vrank = (self.rank() + p - root) % p;
+        let mut acc = data.to_vec();
+        let mut bytes = 0u64;
+        let mut nmsgs = 0u64;
+        // Binomial-tree reduce: at round r (mask = 1 << r), ranks with the
+        // mask bit set send to (vrank - mask) and retire; others receive
+        // from (vrank + mask) if it exists.
+        let mut mask = 1usize;
+        let mut retired = false;
+        let mut round = 0u64;
+        while mask < p {
+            if !retired {
+                if vrank & mask != 0 {
+                    let dst_v = vrank - mask;
+                    let dst = (dst_v + root) % p;
+                    bytes += self.send_internal(dst, Rank::coll_tag(seq, round), acc.clone());
+                    nmsgs += 1;
+                    retired = true;
+                } else {
+                    let src_v = vrank + mask;
+                    if src_v < p {
+                        let src = (src_v + root) % p;
+                        let (other, b) = self.recv_internal::<T>(src, Rank::coll_tag(seq, round));
+                        bytes += b;
+                        assert_eq!(other.len(), acc.len(), "reduce length mismatch across ranks");
+                        for (a, o) in acc.iter_mut().zip(&other) {
+                            combine(a, o);
+                        }
+                    }
+                }
+            }
+            mask <<= 1;
+            round += 1;
+        }
+        let per_msg = (data.len() * std::mem::size_of::<T>()) as u64;
+        let modeled = (0..nmsgs).map(|_| self.model_message(per_msg)).sum();
+        let ctx = std::mem::take(&mut self.context);
+        self.recorder
+            .record(MpiOp::Reduce, &ctx, start.elapsed(), bytes, modeled);
+        self.context = ctx;
+        if self.rank() == root {
+            Some(acc)
+        } else {
+            None
+        }
+    }
+
+    /// Generic elementwise allreduce: reduce to rank 0, then broadcast.
+    pub fn allreduce_with<T: Msg>(
+        &mut self,
+        data: &[T],
+        combine: impl Fn(&mut T, &T),
+    ) -> Vec<T> {
+        // Recorded as one Allreduce op; the constituent reduce/bcast run
+        // untimed inside it.
+        let start = Instant::now();
+        let seq = self.next_coll_seq();
+        let p = self.size();
+        let rank = self.rank();
+        let mut acc = data.to_vec();
+        let mut bytes = 0u64;
+        let mut nmsgs = 0u64;
+        // reduce to 0
+        let mut mask = 1usize;
+        let mut retired = false;
+        let mut round = 0u64;
+        while mask < p {
+            if !retired {
+                if rank & mask != 0 {
+                    let dst = rank - mask;
+                    bytes += self.send_internal(dst, Rank::coll_tag(seq, round), acc.clone());
+                    nmsgs += 1;
+                    retired = true;
+                } else if rank + mask < p {
+                    let (other, b) =
+                        self.recv_internal::<T>(rank + mask, Rank::coll_tag(seq, round));
+                    bytes += b;
+                    assert_eq!(other.len(), acc.len(), "allreduce length mismatch");
+                    for (a, o) in acc.iter_mut().zip(&other) {
+                        combine(a, o);
+                    }
+                }
+            }
+            mask <<= 1;
+            round += 1;
+        }
+        // broadcast from 0 (binomial, reversed masks), reusing rounds
+        // offset by 32 to stay distinct from the reduce phase.
+        let mut k = {
+            let mut m = 1usize;
+            while m < p {
+                m <<= 1;
+            }
+            m >> 1
+        };
+        if rank != 0 {
+            let lsb = rank & rank.wrapping_neg();
+            let parent = rank - lsb;
+            let round = 32 + lsb.trailing_zeros() as u64;
+            let (got, b) = self.recv_internal::<T>(parent, Rank::coll_tag(seq, round));
+            bytes += b;
+            acc = got;
+        }
+        let my_lsb = if rank == 0 {
+            usize::MAX
+        } else {
+            rank & rank.wrapping_neg()
+        };
+        while k >= 1 {
+            if k < my_lsb || rank == 0 {
+                let child = rank + k;
+                if child < p && (rank == 0 || k < my_lsb) {
+                    let round = 32 + k.trailing_zeros() as u64;
+                    bytes += self.send_internal(child, Rank::coll_tag(seq, round), acc.clone());
+                    nmsgs += 1;
+                }
+            }
+            k >>= 1;
+        }
+        let per_msg = (data.len() * std::mem::size_of::<T>()) as u64;
+        let modeled = (0..nmsgs).map(|_| self.model_message(per_msg)).sum();
+        let ctx = std::mem::take(&mut self.context);
+        self.recorder
+            .record(MpiOp::Allreduce, &ctx, start.elapsed(), bytes, modeled);
+        self.context = ctx;
+        acc
+    }
+
+    /// Elementwise `f64` allreduce with a named operator.
+    pub fn allreduce_f64(&mut self, data: &[f64], op: ReduceOp) -> Vec<f64> {
+        self.allreduce_with(data, |a, b| *a = op.apply_f64(*a, *b))
+    }
+
+    /// Elementwise `u64` allreduce with a named operator.
+    pub fn allreduce_u64(&mut self, data: &[u64], op: ReduceOp) -> Vec<u64> {
+        self.allreduce_with(data, |a, b| *a = op.apply_u64(*a, *b))
+    }
+
+    /// Scalar sum-allreduce convenience (the CG dot-product workhorse).
+    pub fn allreduce_scalar(&mut self, v: f64, op: ReduceOp) -> f64 {
+        self.allreduce_f64(&[v], op)[0]
+    }
+
+    /// Exclusive prefix sum of a `u64` across ranks: rank `r` receives
+    /// `sum of values on ranks 0..r` (0 on rank 0). Hillis–Steele
+    /// doubling, `ceil(log2 P)` rounds.
+    ///
+    /// The gather-scatter setup uses this to hand out the bases of the
+    /// globally consistent compact id numbering.
+    pub fn exscan_u64(&mut self, v: u64) -> u64 {
+        let start = Instant::now();
+        let seq = self.next_coll_seq();
+        let p = self.size();
+        let rank = self.rank();
+        let mut bytes = 0u64;
+        let mut nmsgs = 0u64;
+        let mut inclusive = v; // sum over (rank - 2^d + 1 ..= rank) grows each round
+        let mut k = 1usize;
+        let mut round = 0u64;
+        while k < p {
+            if rank + k < p {
+                bytes +=
+                    self.send_internal(rank + k, Rank::coll_tag(seq, round), vec![inclusive]);
+                nmsgs += 1;
+            }
+            if rank >= k {
+                let (got, b) =
+                    self.recv_internal::<u64>(rank - k, Rank::coll_tag(seq, round));
+                bytes += b;
+                inclusive += got[0];
+            }
+            k <<= 1;
+            round += 1;
+        }
+        let modeled = (0..nmsgs).map(|_| self.model_message(8)).sum();
+        let ctx = std::mem::take(&mut self.context);
+        self.recorder
+            .record(MpiOp::Scan, &ctx, start.elapsed(), bytes, modeled);
+        self.context = ctx;
+        inclusive - v
+    }
+
+    /// Gather each rank's buffer to `root`. Returns `Some(vec of per-rank
+    /// buffers)` on root, `None` elsewhere.
+    pub fn gather<T: Msg>(&mut self, root: usize, data: Vec<T>) -> Option<Vec<Vec<T>>> {
+        assert!(root < self.size(), "gather root out of range");
+        let start = Instant::now();
+        let seq = self.next_coll_seq();
+        let p = self.size();
+        let mut bytes = 0u64;
+        let out = if self.rank() == root {
+            let mut all: Vec<Vec<T>> = Vec::with_capacity(p);
+            for src in 0..p {
+                if src == root {
+                    all.push(data.clone());
+                } else {
+                    let (got, b) = self.recv_internal::<T>(src, Rank::coll_tag(seq, 0));
+                    bytes += b;
+                    all.push(got);
+                }
+            }
+            Some(all)
+        } else {
+            bytes += self.send_internal(root, Rank::coll_tag(seq, 0), data);
+            None
+        };
+        let modeled = if self.rank() == root {
+            0.0
+        } else {
+            self.model_message(bytes)
+        };
+        let ctx = std::mem::take(&mut self.context);
+        self.recorder
+            .record(MpiOp::Gather, &ctx, start.elapsed(), bytes, modeled);
+        self.context = ctx;
+        out
+    }
+
+    /// All-to-all exchange with per-peer buffers (`MPI_Alltoallv`):
+    /// `sends[q]` goes to rank `q`; returns `recvs` with `recvs[q]` from
+    /// rank `q`. Implemented with the pairwise-exchange schedule
+    /// (`P-1` steps, step `s` pairs rank `r` with `r±s`).
+    pub fn alltoallv<T: Msg>(&mut self, mut sends: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        let p = self.size();
+        assert_eq!(sends.len(), p, "alltoallv needs one send buffer per rank");
+        let start = Instant::now();
+        let seq = self.next_coll_seq();
+        let rank = self.rank();
+        let mut recvs: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
+        recvs[rank] = std::mem::take(&mut sends[rank]);
+        let mut bytes = 0u64;
+        let mut nmsgs = 0u64;
+        let mut msg_bytes_total = 0u64;
+        for step in 1..p {
+            let to = (rank + step) % p;
+            let from = (rank + p - step) % p;
+            let payload = std::mem::take(&mut sends[to]);
+            let sent = self.send_internal(to, Rank::coll_tag(seq, step as u64), payload);
+            bytes += sent;
+            msg_bytes_total += sent;
+            nmsgs += 1;
+            let (got, b) = self.recv_internal::<T>(from, Rank::coll_tag(seq, step as u64));
+            bytes += b;
+            recvs[from] = got;
+        }
+        let modeled = if nmsgs > 0 {
+            let avg = msg_bytes_total / nmsgs.max(1);
+            (0..nmsgs).map(|_| self.model_message(avg)).sum()
+        } else {
+            0.0
+        };
+        let ctx = std::mem::take(&mut self.context);
+        self.recorder
+            .record(MpiOp::Alltoallv, &ctx, start.elapsed(), bytes, modeled);
+        self.context = ctx;
+        recvs
+    }
+}

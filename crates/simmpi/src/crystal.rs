@@ -1,0 +1,133 @@
+//! The crystal router: Nek5000's generalized all-to-all.
+//!
+//! The paper (§VI): "All-to-all communication using the crystal router
+//! exchange is guaranteed to complete in `log2 P` stages", originally
+//! developed for hypercubes. Each rank starts with an arbitrary set of
+//! `(destination, payload)` messages; at hypercube stage `d` every rank
+//! exchanges with its dimension-`d` partner all held messages whose
+//! destination lies in the partner's half, bundling them into one
+//! transfer. After `log2 P` stages every message is home.
+//!
+//! Non-power-of-two rank counts use the standard fold/unfold extension:
+//! the ranks above the largest power of two `m <= P` first fold their
+//! traffic into their `r - m` partner, the hypercube runs on `m` ranks,
+//! and a final unfold step delivers messages destined to the folded ranks.
+
+use std::time::Instant;
+
+use crate::envelope::Msg;
+use crate::rank::Rank;
+use crate::stats::MpiOp;
+
+/// One routed message: originating rank, final destination, payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutedMsg<T> {
+    /// Rank that injected the message.
+    pub src: usize,
+    /// Final destination rank.
+    pub dest: usize,
+    /// Payload values.
+    pub data: Vec<T>,
+}
+
+/// Wire-equivalent size of a bundle of routed messages: 16 header bytes
+/// (src + dest ids) plus the payload per message. `Envelope`'s own byte
+/// count cannot see through the nested `Vec`s, so the router accounts for
+/// its traffic with this function instead.
+fn bundle_bytes<T>(msgs: &[RoutedMsg<T>]) -> u64 {
+    msgs.iter()
+        .map(|m| 16 + (m.data.len() * std::mem::size_of::<T>()) as u64)
+        .sum()
+}
+
+impl Rank {
+    /// Route every `(dest, payload)` in `outgoing` to its destination via
+    /// the crystal-router algorithm; returns all messages that arrived at
+    /// this rank as `(src, payload)` pairs, sorted by source rank (ties by
+    /// arrival order) for determinism.
+    pub fn crystal_router<T: Msg>(
+        &mut self,
+        outgoing: Vec<(usize, Vec<T>)>,
+    ) -> Vec<(usize, Vec<T>)> {
+        let p = self.size();
+        let rank = self.rank();
+        for (dest, _) in &outgoing {
+            assert!(*dest < p, "crystal router destination {dest} out of range");
+        }
+        let start = Instant::now();
+        let seq = self.next_coll_seq();
+        let mut held: Vec<RoutedMsg<T>> = outgoing
+            .into_iter()
+            .map(|(dest, data)| RoutedMsg { src: rank, dest, data })
+            .collect();
+        let mut bytes = 0u64;
+        let mut modeled = 0.0f64;
+
+        // Largest power of two <= p.
+        let m = if p.is_power_of_two() {
+            p
+        } else {
+            p.next_power_of_two() >> 1
+        };
+        let dims = m.trailing_zeros() as u64;
+        // Map a destination into the folded hypercube.
+        let fold = |d: usize| if d >= m { d - m } else { d };
+
+        // Phase A (fold): excess ranks hand everything to rank - m.
+        if rank >= m {
+            let sent = bundle_bytes(&held);
+            self.send_internal(rank - m, Rank::coll_tag(seq, 100), std::mem::take(&mut held));
+            bytes += sent;
+            modeled += self.model_message(sent);
+        } else if rank + m < p {
+            let (mut got, _) =
+                self.recv_internal::<RoutedMsg<T>>(rank + m, Rank::coll_tag(seq, 100));
+            bytes += bundle_bytes(&got);
+            held.append(&mut got);
+        }
+
+        // Hypercube phase among ranks < m: log2(m) stages.
+        if rank < m {
+            for d in 0..dims {
+                let bit = 1usize << d;
+                let partner = rank ^ bit;
+                let (mine, theirs): (Vec<_>, Vec<_>) = held
+                    .into_iter()
+                    .partition(|msg| (fold(msg.dest) & bit) == (rank & bit));
+                held = mine;
+                let sent = bundle_bytes(&theirs);
+                self.send_internal(partner, Rank::coll_tag(seq, d), theirs);
+                bytes += sent;
+                modeled += self.model_message(sent);
+                let (mut got, _) =
+                    self.recv_internal::<RoutedMsg<T>>(partner, Rank::coll_tag(seq, d));
+                bytes += bundle_bytes(&got);
+                held.append(&mut got);
+            }
+        }
+
+        // Phase C (unfold): deliver messages destined to folded ranks.
+        if rank < m && rank + m < p {
+            let (mine, theirs): (Vec<_>, Vec<_>) =
+                held.into_iter().partition(|msg| msg.dest == rank);
+            held = mine;
+            let sent = bundle_bytes(&theirs);
+            self.send_internal(rank + m, Rank::coll_tag(seq, 101), theirs);
+            bytes += sent;
+            modeled += self.model_message(sent);
+        } else if rank >= m {
+            let (got, _) = self.recv_internal::<RoutedMsg<T>>(rank - m, Rank::coll_tag(seq, 101));
+            bytes += bundle_bytes(&got);
+            held = got;
+        }
+
+        debug_assert!(held.iter().all(|msg| msg.dest == rank));
+        held.sort_by_key(|msg| msg.src);
+        let out: Vec<(usize, Vec<T>)> = held.into_iter().map(|msg| (msg.src, msg.data)).collect();
+        let ctx = std::mem::take(&mut self.context);
+        self.recorder
+            .record(MpiOp::CrystalRouter, &ctx, start.elapsed(), bytes, modeled);
+        self.context = ctx;
+        out
+    }
+}

@@ -1,0 +1,87 @@
+//! Typed message envelopes.
+//!
+//! Messages travel between ranks as type-erased `Box<dyn Any + Send>`
+//! payloads carrying a `Vec<T>`; no serialization happens (the ranks share
+//! an address space), but each envelope records the byte size the payload
+//! *would* occupy on a wire, which is what the mpiP-style statistics and
+//! the network model consume.
+
+use std::any::Any;
+
+/// Marker trait for element types that may cross ranks.
+///
+/// Blanket-implemented for every `Clone + Send + 'static` type; in
+/// practice the mini-apps move `f64` field data and `u64`/`usize` id
+/// lists.
+pub trait Msg: Clone + Send + 'static {}
+impl<T: Clone + Send + 'static> Msg for T {}
+
+/// A message in flight: source rank, tag, type-erased payload, and its
+/// wire-equivalent size in bytes.
+pub struct Envelope {
+    /// Sending rank.
+    pub src: usize,
+    /// User or internal tag (see [`crate::rank::Tag`]).
+    pub tag: u64,
+    /// `Vec<T>` behind `dyn Any`.
+    pub payload: Box<dyn Any + Send>,
+    /// Wire-equivalent payload size in bytes.
+    pub bytes: usize,
+}
+
+impl Envelope {
+    /// Wrap a typed payload.
+    pub fn new<T: Msg>(src: usize, tag: u64, data: Vec<T>) -> Self {
+        let bytes = data.len() * std::mem::size_of::<T>();
+        Envelope {
+            src,
+            tag,
+            payload: Box::new(data),
+            bytes,
+        }
+    }
+
+    /// Recover the typed payload.
+    ///
+    /// # Panics
+    /// Panics if the stored type differs from `T` — that is a programming
+    /// error equivalent to an MPI datatype mismatch.
+    pub fn open<T: Msg>(self) -> Vec<T> {
+        match self.payload.downcast::<Vec<T>>() {
+            Ok(v) => *v,
+            Err(_) => panic!(
+                "message type mismatch: rank {} tag {:#x} does not hold Vec<{}>",
+                self.src,
+                self.tag,
+                std::any::type_name::<T>()
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_and_byte_count() {
+        let env = Envelope::new(3, 7, vec![1.0f64, 2.0, 3.0]);
+        assert_eq!(env.src, 3);
+        assert_eq!(env.bytes, 24);
+        assert_eq!(env.open::<f64>(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn empty_payload_is_zero_bytes() {
+        let env = Envelope::new(0, 0, Vec::<u64>::new());
+        assert_eq!(env.bytes, 0);
+        assert!(env.open::<u64>().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn type_mismatch_panics() {
+        let env = Envelope::new(0, 0, vec![1.0f64]);
+        let _ = env.open::<u32>();
+    }
+}

@@ -1,0 +1,100 @@
+//! Parametric network performance model.
+//!
+//! Section VI of the paper motivates exactly this: "To perform network
+//! simulations we also need appropriate latency and bandwidth models for
+//! the machines and data transfer characteristics for the application."
+//! The runtime measures the *real* (shared-memory) time of every
+//! operation; the network model additionally accumulates what each message
+//! *would* cost on a machine with the given latency/bandwidth, enabling
+//! what-if studies of notional future systems without changing the
+//! application.
+
+/// First-order LogP-style cost model: `t(msg) = latency + bytes / bandwidth`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkModel {
+    /// One-way message latency in seconds.
+    pub latency_s: f64,
+    /// Link bandwidth in bytes per second.
+    pub bandwidth_bps: f64,
+}
+
+impl NetworkModel {
+    /// Mellanox Infiniscale IV QDR InfiniBand, the fabric of the paper's
+    /// Sandia "Compton" testbed: ~1.3 us latency, ~3.2 GB/s effective
+    /// per-link bandwidth.
+    pub fn qdr_infiniband() -> Self {
+        NetworkModel {
+            latency_s: 1.3e-6,
+            bandwidth_bps: 3.2e9,
+        }
+    }
+
+    /// A notional exascale-era fabric: 0.5 us latency, 25 GB/s.
+    pub fn notional_exascale() -> Self {
+        NetworkModel {
+            latency_s: 0.5e-6,
+            bandwidth_bps: 25e9,
+        }
+    }
+
+    /// Gigabit Ethernet-class commodity network: 50 us, 118 MB/s.
+    pub fn gigabit_ethernet() -> Self {
+        NetworkModel {
+            latency_s: 50e-6,
+            bandwidth_bps: 118e6,
+        }
+    }
+
+    /// Modelled one-way transfer time of a message of `bytes` bytes.
+    #[inline]
+    pub fn message_time(&self, bytes: u64) -> f64 {
+        self.latency_s + bytes as f64 / self.bandwidth_bps
+    }
+
+    /// Bytes at which bandwidth cost equals latency cost (the classic
+    /// half-power point `n_1/2`), useful to reason about eager/rendezvous
+    /// style crossovers.
+    pub fn half_power_bytes(&self) -> f64 {
+        self.latency_s * self.bandwidth_bps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_time_is_affine_in_bytes() {
+        let m = NetworkModel {
+            latency_s: 1e-6,
+            bandwidth_bps: 1e9,
+        };
+        let t0 = m.message_time(0);
+        let t1 = m.message_time(1000);
+        let t2 = m.message_time(2000);
+        assert!((t0 - 1e-6).abs() < 1e-15);
+        assert!((t2 - t1 - (t1 - t0)).abs() < 1e-15, "not affine");
+    }
+
+    #[test]
+    fn half_power_point() {
+        let m = NetworkModel {
+            latency_s: 2e-6,
+            bandwidth_bps: 5e8,
+        };
+        assert!((m.half_power_bytes() - 1000.0).abs() < 1e-9);
+        // At n_1/2 the two cost terms are equal.
+        let t = m.message_time(1000);
+        assert!((t - 2.0 * m.latency_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn presets_are_ordered_sensibly() {
+        let qdr = NetworkModel::qdr_infiniband();
+        let exa = NetworkModel::notional_exascale();
+        let gbe = NetworkModel::gigabit_ethernet();
+        let big = 1 << 20;
+        assert!(exa.message_time(big) < qdr.message_time(big));
+        assert!(qdr.message_time(big) < gbe.message_time(big));
+    }
+}

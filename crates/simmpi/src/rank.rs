@@ -1,0 +1,315 @@
+//! The per-rank handle: point-to-point messaging and instrumentation.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+
+use crate::envelope::{Envelope, Msg};
+use crate::netmodel::NetworkModel;
+use crate::stats::{CommRecorder, MpiOp};
+
+/// Message tag. User tags must be below [`USER_TAG_LIMIT`]; the space above
+/// is reserved for collective-internal traffic.
+pub type Tag = u64;
+
+/// Exclusive upper bound on user-visible tags.
+pub const USER_TAG_LIMIT: Tag = 1 << 48;
+
+/// How long a blocking receive waits between checks of the poison flag.
+const POLL: Duration = Duration::from_millis(25);
+
+/// How long a blocking receive may go without progress before the runtime
+/// declares a deadlock. Generous: collective algorithms on oversubscribed
+/// machines can stall for scheduler quanta, not minutes.
+const DEADLOCK: Duration = Duration::from_secs(300);
+
+/// Handle to one simulated MPI rank. Created by [`crate::World::run`];
+/// every communication method both performs the operation and records it
+/// in the rank's task-local statistics.
+pub struct Rank {
+    pub(crate) rank: usize,
+    pub(crate) size: usize,
+    pub(crate) rx: Receiver<Envelope>,
+    pub(crate) pending: VecDeque<Envelope>,
+    pub(crate) senders: Arc<Vec<Sender<Envelope>>>,
+    pub(crate) poisoned: Arc<AtomicBool>,
+    pub(crate) recorder: CommRecorder,
+    pub(crate) context: String,
+    pub(crate) net: Option<NetworkModel>,
+    pub(crate) modeled_time_s: f64,
+    pub(crate) coll_seq: u64,
+}
+
+/// A pending non-blocking receive (the analogue of an `MPI_Request` from
+/// `MPI_Irecv`). Completed — and its blocking time attributed to
+/// `MPI_Wait` — by [`Rank::wait_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvRequest {
+    /// Source rank the request matches.
+    pub src: usize,
+    /// Tag the request matches.
+    pub tag: Tag,
+}
+
+impl Rank {
+    /// This rank's id, `0 .. size`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the world.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Set the context label under which subsequent operations are
+    /// recorded (the mpiP "call site" analogue).
+    pub fn set_context(&mut self, label: &str) {
+        self.context = label.to_owned();
+    }
+
+    /// Current context label.
+    pub fn context(&self) -> &str {
+        &self.context
+    }
+
+    /// Run `f` with the context label temporarily set to `label`.
+    pub fn with_context<R>(&mut self, label: &str, f: impl FnOnce(&mut Rank) -> R) -> R {
+        let saved = std::mem::replace(&mut self.context, label.to_owned());
+        let out = f(self);
+        self.context = saved;
+        out
+    }
+
+    /// Run `f` with `label` *composed onto* the current context
+    /// (`outer/label`), so library-internal operations remain attributable
+    /// to the application site that triggered them — e.g. a gather-scatter
+    /// call from the viscous pass records as `faces_visc/gs:pairwise`.
+    /// A default (`"main"`) outer context is dropped from the composition.
+    pub fn with_subcontext<R>(&mut self, label: &str, f: impl FnOnce(&mut Rank) -> R) -> R {
+        let composed = if self.context == "main" || self.context.is_empty() {
+            label.to_owned()
+        } else {
+            format!("{}/{}", self.context, label)
+        };
+        let saved = std::mem::replace(&mut self.context, composed);
+        let out = f(self);
+        self.context = saved;
+        out
+    }
+
+    /// Total *modelled* network time accumulated so far (seconds); zero if
+    /// the world has no [`NetworkModel`].
+    pub fn modeled_time_s(&self) -> f64 {
+        self.modeled_time_s
+    }
+
+    // ---------------------------------------------------------------
+    // raw transport (shared with collectives and the crystal router)
+    // ---------------------------------------------------------------
+
+    pub(crate) fn raw_send(&self, dest: usize, env: Envelope) {
+        assert!(dest < self.size, "send to rank {dest} of {}", self.size);
+        // Channels are unbounded: a send never blocks, matching MPI's
+        // buffered/eager regime for the small-to-medium messages the
+        // mini-apps exchange.
+        self.senders[dest]
+            .send(env)
+            .expect("peer mailbox closed: world is shutting down abnormally");
+    }
+
+    pub(crate) fn raw_recv(&mut self, src: usize, tag: Tag) -> Envelope {
+        assert!(src < self.size, "recv from rank {src} of {}", self.size);
+        // First, search messages that already arrived but didn't match an
+        // earlier receive.
+        if let Some(pos) = self.pending.iter().position(|e| e.src == src && e.tag == tag) {
+            return self.pending.remove(pos).unwrap();
+        }
+        let start = Instant::now();
+        loop {
+            match self.rx.recv_timeout(POLL) {
+                Ok(env) => {
+                    if env.src == src && env.tag == tag {
+                        return env;
+                    }
+                    self.pending.push_back(env);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if self.poisoned.load(Ordering::Relaxed) {
+                        panic!(
+                            "rank {}: aborting receive (src {src}, tag {tag:#x}): a peer rank failed",
+                            self.rank
+                        );
+                    }
+                    if start.elapsed() > DEADLOCK {
+                        panic!(
+                            "rank {}: probable deadlock waiting for (src {src}, tag {tag:#x})",
+                            self.rank
+                        );
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    panic!("rank {}: world channel closed unexpectedly", self.rank)
+                }
+            }
+        }
+    }
+
+    /// Model the cost of one message of `bytes` and accumulate it.
+    pub(crate) fn model_message(&mut self, bytes: u64) -> f64 {
+        match self.net {
+            Some(m) => {
+                let t = m.message_time(bytes);
+                self.modeled_time_s += t;
+                t
+            }
+            None => 0.0,
+        }
+    }
+
+    fn assert_user_tag(tag: Tag) {
+        assert!(
+            tag < USER_TAG_LIMIT,
+            "user tags must be < 2^48, got {tag:#x}"
+        );
+    }
+
+    // ---------------------------------------------------------------
+    // point-to-point
+    // ---------------------------------------------------------------
+
+    /// Blocking send of a typed slice (internally buffered; completes
+    /// locally, like an eager-protocol `MPI_Send`).
+    pub fn send<T: Msg>(&mut self, dest: usize, tag: Tag, data: &[T]) {
+        self.send_vec(dest, tag, data.to_vec());
+    }
+
+    /// Blocking send that takes ownership of the buffer (no copy).
+    pub fn send_vec<T: Msg>(&mut self, dest: usize, tag: Tag, data: Vec<T>) {
+        Self::assert_user_tag(tag);
+        let start = Instant::now();
+        let env = Envelope::new(self.rank, tag, data);
+        let bytes = env.bytes as u64;
+        self.raw_send(dest, env);
+        let modeled = self.model_message(bytes);
+        let ctx = std::mem::take(&mut self.context);
+        self.recorder
+            .record(MpiOp::Send, &ctx, start.elapsed(), bytes, modeled);
+        self.context = ctx;
+    }
+
+    /// Blocking receive of a typed message from `(src, tag)`.
+    pub fn recv<T: Msg>(&mut self, src: usize, tag: Tag) -> Vec<T> {
+        Self::assert_user_tag(tag);
+        let start = Instant::now();
+        let env = self.raw_recv(src, tag);
+        let bytes = env.bytes as u64;
+        let data = env.open();
+        let ctx = std::mem::take(&mut self.context);
+        self.recorder
+            .record(MpiOp::Recv, &ctx, start.elapsed(), bytes, 0.0);
+        self.context = ctx;
+        data
+    }
+
+    /// Non-blocking send (recorded as `MPI_Isend`; completes immediately —
+    /// the eager regime).
+    pub fn isend<T: Msg>(&mut self, dest: usize, tag: Tag, data: &[T]) {
+        self.isend_vec(dest, tag, data.to_vec());
+    }
+
+    /// Non-blocking send taking ownership of the buffer.
+    pub fn isend_vec<T: Msg>(&mut self, dest: usize, tag: Tag, data: Vec<T>) {
+        Self::assert_user_tag(tag);
+        let start = Instant::now();
+        let env = Envelope::new(self.rank, tag, data);
+        let bytes = env.bytes as u64;
+        self.raw_send(dest, env);
+        let modeled = self.model_message(bytes);
+        let ctx = std::mem::take(&mut self.context);
+        self.recorder
+            .record(MpiOp::Isend, &ctx, start.elapsed(), bytes, modeled);
+        self.context = ctx;
+    }
+
+    /// Post a non-blocking receive. The returned request is completed by
+    /// [`Rank::wait_recv`] / [`Rank::waitall_recv`], where any blocking
+    /// time is attributed to `MPI_Wait` — the attribution behind the
+    /// paper's Fig. 9, in which `MPI_Wait` dominates.
+    pub fn irecv(&mut self, src: usize, tag: Tag) -> RecvRequest {
+        Self::assert_user_tag(tag);
+        let start = Instant::now();
+        let ctx = std::mem::take(&mut self.context);
+        self.recorder
+            .record(MpiOp::Irecv, &ctx, start.elapsed(), 0, 0.0);
+        self.context = ctx;
+        RecvRequest { src, tag }
+    }
+
+    /// Complete a posted receive, blocking if the message has not arrived.
+    pub fn wait_recv<T: Msg>(&mut self, req: RecvRequest) -> Vec<T> {
+        let start = Instant::now();
+        let env = self.raw_recv(req.src, req.tag);
+        let bytes = env.bytes as u64;
+        let data = env.open();
+        let ctx = std::mem::take(&mut self.context);
+        self.recorder
+            .record(MpiOp::Wait, &ctx, start.elapsed(), bytes, 0.0);
+        self.context = ctx;
+        data
+    }
+
+    /// Complete a set of posted receives in order.
+    pub fn waitall_recv<T: Msg>(&mut self, reqs: &[RecvRequest]) -> Vec<Vec<T>> {
+        reqs.iter().map(|&r| self.wait_recv(r)).collect()
+    }
+
+    /// Probe (non-blocking) whether a matching message has arrived.
+    pub fn iprobe(&mut self, src: usize, tag: Tag) -> bool {
+        Self::assert_user_tag(tag);
+        // Drain the channel into the pending queue, then search it.
+        while let Ok(env) = self.rx.try_recv() {
+            self.pending.push_back(env);
+        }
+        self.pending.iter().any(|e| e.src == src && e.tag == tag)
+    }
+
+    // ---------------------------------------------------------------
+    // internals for collectives
+    // ---------------------------------------------------------------
+
+    /// Allocate a fresh collective sequence number. All ranks execute the
+    /// same collective sequence (SPMD), so equal sequence numbers identify
+    /// the same logical collective across ranks and keep successive
+    /// collectives' internal messages from cross-matching.
+    pub(crate) fn next_coll_seq(&mut self) -> u64 {
+        let s = self.coll_seq;
+        self.coll_seq += 1;
+        s
+    }
+
+    /// Internal tag for collective `seq`, round `round`.
+    pub(crate) fn coll_tag(seq: u64, round: u64) -> Tag {
+        USER_TAG_LIMIT | (seq << 12) | round
+    }
+
+    /// Internal untimed send used inside collective algorithms.
+    pub(crate) fn send_internal<T: Msg>(&mut self, dest: usize, tag: Tag, data: Vec<T>) -> u64 {
+        let env = Envelope::new(self.rank, tag, data);
+        let bytes = env.bytes as u64;
+        self.raw_send(dest, env);
+        bytes
+    }
+
+    /// Internal untimed receive used inside collective algorithms.
+    pub(crate) fn recv_internal<T: Msg>(&mut self, src: usize, tag: Tag) -> (Vec<T>, u64) {
+        let env = self.raw_recv(src, tag);
+        let bytes = env.bytes as u64;
+        (env.open(), bytes)
+    }
+}

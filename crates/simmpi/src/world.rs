@@ -1,0 +1,482 @@
+//! World construction: spawning ranks and collecting results.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam::channel::unbounded;
+
+use crate::envelope::Envelope;
+use crate::netmodel::NetworkModel;
+use crate::rank::Rank;
+use crate::stats::{CommRecorder, CommStats};
+
+/// A world of `P` simulated MPI ranks. Construct once, then [`World::run`]
+/// an SPMD closure on it.
+///
+/// ```
+/// use simmpi::{World, ReduceOp};
+///
+/// let res = World::new().run(4, |rank| {
+///     // every rank contributes its id; everyone receives the sum
+///     rank.allreduce_scalar(rank.rank() as f64, ReduceOp::Sum)
+/// });
+/// assert_eq!(res.results, vec![6.0; 4]);
+/// // per-rank mpiP-style statistics come back alongside the results
+/// assert_eq!(res.stats.len(), 4);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct World {
+    net: Option<NetworkModel>,
+}
+
+/// Everything a [`World::run`] produces: the per-rank return values and
+/// the per-rank communication statistics, both indexed by rank.
+#[derive(Debug)]
+pub struct WorldResult<T> {
+    /// Per-rank return values of the SPMD closure.
+    pub results: Vec<T>,
+    /// Per-rank communication statistics (the mpiP books).
+    pub stats: Vec<CommStats>,
+}
+
+impl World {
+    /// A world without a network model (only real time is recorded).
+    pub fn new() -> Self {
+        World { net: None }
+    }
+
+    /// A world that additionally accumulates modelled network time.
+    pub fn with_network(net: NetworkModel) -> Self {
+        World { net: Some(net) }
+    }
+
+    /// Run `f` as an SPMD program on `p` ranks (one OS thread each) and
+    /// wait for completion.
+    ///
+    /// # Panics
+    /// Panics if `p == 0`, or if any rank panics (after poisoning the
+    /// remaining ranks so they abort instead of deadlocking).
+    pub fn run<T, F>(&self, p: usize, f: F) -> WorldResult<T>
+    where
+        T: Send,
+        F: Fn(&mut Rank) -> T + Send + Sync,
+    {
+        assert!(p > 0, "world needs at least one rank");
+        let mut senders = Vec::with_capacity(p);
+        let mut receivers = Vec::with_capacity(p);
+        for _ in 0..p {
+            let (tx, rx) = unbounded::<Envelope>();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let senders = Arc::new(senders);
+        let poisoned = Arc::new(AtomicBool::new(false));
+        let f = &f;
+
+        let mut slots: Vec<Option<(T, CommStats)>> = Vec::with_capacity(p);
+        for _ in 0..p {
+            slots.push(None);
+        }
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(p);
+            for (r, rx) in receivers.into_iter().enumerate() {
+                let senders = Arc::clone(&senders);
+                let poisoned = Arc::clone(&poisoned);
+                let net = self.net;
+                handles.push(scope.spawn(move || {
+                    // Poison the world if this rank unwinds, so blocked
+                    // peers abort promptly instead of deadlocking.
+                    struct PoisonOnPanic(Arc<AtomicBool>);
+                    impl Drop for PoisonOnPanic {
+                        fn drop(&mut self) {
+                            if std::thread::panicking() {
+                                self.0.store(true, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    let _guard = PoisonOnPanic(Arc::clone(&poisoned));
+                    let mut rank = Rank {
+                        rank: r,
+                        size: p,
+                        rx,
+                        pending: VecDeque::new(),
+                        senders,
+                        poisoned,
+                        recorder: CommRecorder::default(),
+                        context: String::from("main"),
+                        net,
+                        modeled_time_s: 0.0,
+                        coll_seq: 0,
+                    };
+                    let start = Instant::now();
+                    let out = f(&mut rank);
+                    let app_time = start.elapsed().as_secs_f64();
+                    let stats = rank.recorder.finish(r, app_time);
+                    (out, stats)
+                }));
+            }
+            for (r, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok(pair) => slots[r] = Some(pair),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        });
+
+        let mut results = Vec::with_capacity(p);
+        let mut stats = Vec::with_capacity(p);
+        for s in slots {
+            let (out, st) = s.expect("rank finished without result");
+            results.push(out);
+            stats.push(st);
+        }
+        WorldResult { results, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MpiOp, ReduceOp};
+
+    #[test]
+    fn single_rank_world_runs() {
+        let res = World::new().run(1, |rank| rank.rank() + rank.size());
+        assert_eq!(res.results, vec![1]);
+        assert_eq!(res.stats.len(), 1);
+    }
+
+    #[test]
+    fn ring_send_recv() {
+        for p in [2usize, 3, 5, 8] {
+            let res = World::new().run(p, |rank| {
+                let next = (rank.rank() + 1) % rank.size();
+                let prev = (rank.rank() + rank.size() - 1) % rank.size();
+                rank.send(next, 7, &[rank.rank() as u64]);
+                rank.recv::<u64>(prev, 7)[0]
+            });
+            for (r, &got) in res.results.iter().enumerate() {
+                assert_eq!(got as usize, (r + p - 1) % p, "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn tag_matching_is_fifo_per_source_tag() {
+        let res = World::new().run(2, |rank| {
+            if rank.rank() == 0 {
+                rank.send(1, 1, &[10.0f64]);
+                rank.send(1, 2, &[20.0f64]);
+                rank.send(1, 1, &[11.0f64]);
+                Vec::new()
+            } else {
+                // receive out of posting order: tag 2 first
+                let a = rank.recv::<f64>(0, 2);
+                let b = rank.recv::<f64>(0, 1);
+                let c = rank.recv::<f64>(0, 1);
+                vec![a[0], b[0], c[0]]
+            }
+        });
+        assert_eq!(res.results[1], vec![20.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn isend_wait_recv_records_wait_time() {
+        let res = World::new().run(2, |rank| {
+            if rank.rank() == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                rank.isend(1, 5, &[1.0f64; 100]);
+            } else {
+                let req = rank.irecv(1 - 1, 5);
+                let data = rank.wait_recv::<f64>(req);
+                assert_eq!(data.len(), 100);
+            }
+        });
+        let wait = res.stats[1].site(MpiOp::Wait, "main").expect("wait site");
+        assert_eq!(wait.calls, 1);
+        assert_eq!(wait.bytes, 800);
+        assert!(wait.time_s > 0.02, "wait time {} too small", wait.time_s);
+    }
+
+    #[test]
+    fn barrier_completes_for_odd_and_even_worlds() {
+        for p in [1usize, 2, 3, 4, 7, 16] {
+            let res = World::new().run(p, |rank| {
+                for _ in 0..3 {
+                    rank.barrier();
+                }
+                true
+            });
+            assert!(res.results.iter().all(|&b| b), "p={p}");
+        }
+    }
+
+    #[test]
+    fn bcast_from_every_root() {
+        for p in [2usize, 3, 5, 8, 13] {
+            let res = World::new().run(p, |rank| {
+                let mut got = Vec::new();
+                for root in 0..rank.size() {
+                    let data = if rank.rank() == root {
+                        vec![root as u64 * 100, 42]
+                    } else {
+                        Vec::new()
+                    };
+                    got.push(rank.bcast(root, data));
+                }
+                got
+            });
+            for r in 0..p {
+                for root in 0..p {
+                    assert_eq!(res.results[r][root], vec![root as u64 * 100, 42], "p={p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_sum_matches_serial() {
+        for p in [1usize, 2, 3, 6, 8, 11] {
+            let res = World::new().run(p, |rank| {
+                let local = vec![rank.rank() as f64, 1.0, -(rank.rank() as f64)];
+                rank.allreduce_f64(&local, ReduceOp::Sum)
+            });
+            let sum_ranks: f64 = (0..p).map(|r| r as f64).sum();
+            for r in 0..p {
+                assert_eq!(res.results[r][0], sum_ranks, "p={p} rank {r}");
+                assert_eq!(res.results[r][1], p as f64);
+                assert_eq!(res.results[r][2], -sum_ranks);
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_min_max() {
+        let res = World::new().run(5, |rank| {
+            let v = rank.rank() as u64 + 10;
+            (
+                rank.allreduce_u64(&[v], ReduceOp::Min)[0],
+                rank.allreduce_u64(&[v], ReduceOp::Max)[0],
+            )
+        });
+        for &(mn, mx) in &res.results {
+            assert_eq!(mn, 10);
+            assert_eq!(mx, 14);
+        }
+    }
+
+    #[test]
+    fn reduce_to_nonzero_root() {
+        let res = World::new().run(6, |rank| {
+            rank.reduce_with(4, &[1.0f64, rank.rank() as f64], |a, b| *a += b)
+        });
+        for (r, out) in res.results.iter().enumerate() {
+            if r == 4 {
+                let v = out.as_ref().expect("root gets result");
+                assert_eq!(v[0], 6.0);
+                assert_eq!(v[1], 15.0);
+            } else {
+                assert!(out.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn exscan_matches_serial_prefix_sums() {
+        for p in [1usize, 2, 3, 5, 8, 13] {
+            let res = World::new().run(p, |rank| {
+                let v = (rank.rank() as u64 + 1) * 10;
+                rank.exscan_u64(v)
+            });
+            let mut expect = 0u64;
+            for (r, &got) in res.results.iter().enumerate() {
+                assert_eq!(got, expect, "p={p} rank {r}");
+                expect += (r as u64 + 1) * 10;
+            }
+        }
+    }
+
+    #[test]
+    fn exscan_of_zeros_is_zero() {
+        let res = World::new().run(4, |rank| rank.exscan_u64(0));
+        assert!(res.results.iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let res = World::new().run(4, |rank| rank.gather(2, vec![rank.rank() as u64; rank.rank()]));
+        for (r, out) in res.results.iter().enumerate() {
+            if r == 2 {
+                let all = out.as_ref().unwrap();
+                for (q, buf) in all.iter().enumerate() {
+                    assert_eq!(buf.len(), q);
+                    assert!(buf.iter().all(|&v| v as usize == q));
+                }
+            } else {
+                assert!(out.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn alltoallv_exchanges_everything() {
+        for p in [1usize, 2, 3, 4, 7] {
+            let res = World::new().run(p, |rank| {
+                let sends: Vec<Vec<u64>> = (0..rank.size())
+                    .map(|q| vec![(rank.rank() * 100 + q) as u64; q + 1])
+                    .collect();
+                rank.alltoallv(sends)
+            });
+            for r in 0..p {
+                for q in 0..p {
+                    let buf = &res.results[r][q];
+                    assert_eq!(buf.len(), r + 1, "p={p}");
+                    assert!(buf.iter().all(|&v| v == (q * 100 + r) as u64));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn crystal_router_delivers_all_messages() {
+        for p in [1usize, 2, 3, 5, 6, 8, 12, 16] {
+            let res = World::new().run(p, |rank| {
+                // every rank sends one message to every rank (incl. self)
+                let outgoing: Vec<(usize, Vec<u64>)> = (0..rank.size())
+                    .map(|q| (q, vec![(rank.rank() * 1000 + q) as u64]))
+                    .collect();
+                rank.crystal_router(outgoing)
+            });
+            for r in 0..p {
+                let arrived = &res.results[r];
+                assert_eq!(arrived.len(), p, "p={p} rank {r}");
+                for (src, data) in arrived {
+                    assert_eq!(data, &vec![(src * 1000 + r) as u64], "p={p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn crystal_router_sparse_pattern() {
+        // only rank 0 sends, to the highest rank
+        let p = 6;
+        let res = World::new().run(p, |rank| {
+            let outgoing = if rank.rank() == 0 {
+                vec![(p - 1, vec![9.0f64, 8.0])]
+            } else {
+                Vec::new()
+            };
+            rank.crystal_router(outgoing)
+        });
+        for r in 0..p - 1 {
+            assert!(res.results[r].is_empty());
+        }
+        assert_eq!(res.results[p - 1], vec![(0, vec![9.0, 8.0])]);
+    }
+
+    #[test]
+    fn stats_account_send_bytes() {
+        let res = World::new().run(2, |rank| {
+            rank.set_context("exchange");
+            if rank.rank() == 0 {
+                rank.send(1, 3, &[0u64; 16]);
+            } else {
+                let _ = rank.recv::<u64>(0, 3);
+            }
+        });
+        let s = res.stats[0].site(MpiOp::Send, "exchange").unwrap();
+        assert_eq!(s.calls, 1);
+        assert_eq!(s.bytes, 128);
+        let r = res.stats[1].site(MpiOp::Recv, "exchange").unwrap();
+        assert_eq!(r.bytes, 128);
+        assert!(res.stats[0].mpi_fraction() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn network_model_accumulates_modeled_time() {
+        let net = NetworkModel {
+            latency_s: 1e-3,
+            bandwidth_bps: 1e9,
+        };
+        let res = World::with_network(net).run(2, |rank| {
+            if rank.rank() == 0 {
+                rank.send(1, 1, &[0u8; 1000]);
+            } else {
+                let _ = rank.recv::<u8>(0, 1);
+            }
+            rank.modeled_time_s()
+        });
+        // sender modelled one 1000-byte message
+        let expect = 1e-3 + 1000.0 / 1e9;
+        assert!((res.results[0] - expect).abs() < 1e-12);
+        assert_eq!(res.results[1], 0.0);
+    }
+
+    #[test]
+    fn iprobe_sees_arrived_message() {
+        let res = World::new().run(2, |rank| {
+            if rank.rank() == 0 {
+                rank.send(1, 9, &[1.0f64]);
+                rank.recv::<u8>(1, 10); // ack to keep world alive
+                false
+            } else {
+                // spin until probe sees it
+                let mut seen = false;
+                for _ in 0..10_000 {
+                    if rank.iprobe(0, 9) {
+                        seen = true;
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+                let _ = rank.recv::<f64>(0, 9);
+                rank.send(0, 10, &[1u8]);
+                seen
+            }
+        });
+        assert!(res.results[1]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_rank_world_rejected() {
+        let _ = World::new().run(0, |_| ());
+    }
+
+    /// Failure injection: when one rank dies, peers blocked in receives
+    /// must abort promptly (poisoned world) instead of deadlocking, and
+    /// a panic must propagate to the caller (whichever rank's panic is
+    /// joined first — the injected one or a poisoned receiver's abort).
+    #[test]
+    #[should_panic]
+    fn peer_failure_poisons_blocked_ranks() {
+        let _ = World::new().run(3, |rank| match rank.rank() {
+            1 => panic!("rank 1 exploded"),
+            // ranks 0 and 2 wait for messages that will never arrive;
+            // they must abort via the poison flag, not hang the test
+            _ => {
+                let from = (rank.rank() + 1) % rank.size();
+                let _ = rank.recv::<f64>(from, 99);
+            }
+        });
+    }
+
+    /// Failure injection mid-collective: a death during a barrier must
+    /// not hang the remaining ranks.
+    #[test]
+    #[should_panic]
+    fn failure_inside_collective_does_not_deadlock() {
+        let _ = World::new().run(4, |rank| {
+            if rank.rank() == 2 {
+                panic!("boom");
+            }
+            for _ in 0..10 {
+                rank.barrier();
+            }
+        });
+    }
+}

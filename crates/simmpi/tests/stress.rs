@@ -1,0 +1,203 @@
+//! Randomized stress tests of the message-passing runtime: arbitrary
+//! tag/source schedules, interleaved collectives, and payload-type mixes.
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use simmpi::{ReduceOp, World};
+
+/// Every rank sends a random number of messages with random tags to every
+/// other rank; receivers pull them in a *different* random order. All
+/// payloads must arrive intact (the out-of-order matching path).
+#[test]
+fn out_of_order_matching_stress() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0FFEE);
+    for _ in 0..5 {
+        let p = rng.gen_range(2..=5);
+        // plan[src][dst] = vec of (tag, value)
+        let plan: Vec<Vec<Vec<(u64, f64)>>> = (0..p)
+            .map(|src| {
+                (0..p)
+                    .map(|dst| {
+                        if src == dst {
+                            return Vec::new();
+                        }
+                        let n = rng.gen_range(0..6);
+                        (0..n)
+                            .map(|i| (rng.gen_range(0..3), (src * 100 + dst * 10 + i) as f64))
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        let shuffle_seed: u64 = rng.gen();
+        let plan2 = plan.clone();
+        let res = World::new().run(p, move |rank| {
+            let me = rank.rank();
+            // send everything
+            for dst in 0..rank.size() {
+                for &(tag, v) in &plan2[me][dst] {
+                    rank.send(dst, tag, &[v]);
+                }
+            }
+            // receive in shuffled per-(src, tag) order: FIFO holds within
+            // one (src, tag) stream, so pull each stream in order but
+            // interleave streams randomly.
+            let mut streams: Vec<(usize, u64, usize)> = Vec::new(); // (src, tag, remaining)
+            for src in 0..rank.size() {
+                for tag in 0..3u64 {
+                    let cnt = plan2[src][me].iter().filter(|(t, _)| *t == tag).count();
+                    if cnt > 0 {
+                        streams.push((src, tag, cnt));
+                    }
+                }
+            }
+            let mut order = rand::rngs::StdRng::seed_from_u64(shuffle_seed ^ me as u64);
+            let mut got: Vec<(usize, u64, f64)> = Vec::new();
+            while !streams.is_empty() {
+                let pick = order.gen_range(0..streams.len());
+                let (src, tag, _) = streams[pick];
+                let v = rank.recv::<f64>(src, tag)[0];
+                got.push((src, tag, v));
+                streams[pick].2 -= 1;
+                if streams[pick].2 == 0 {
+                    streams.remove(pick);
+                }
+            }
+            got
+        });
+        // verify: per (src, dst, tag) the value sequence matches the plan
+        for dst in 0..p {
+            for src in 0..p {
+                for tag in 0..3u64 {
+                    let sent: Vec<f64> = plan[src][dst]
+                        .iter()
+                        .filter(|(t, _)| *t == tag)
+                        .map(|&(_, v)| v)
+                        .collect();
+                    let recvd: Vec<f64> = res.results[dst]
+                        .iter()
+                        .filter(|&&(s, t, _)| s == src && t == tag)
+                        .map(|&(_, _, v)| v)
+                        .collect();
+                    assert_eq!(sent, recvd, "src {src} dst {dst} tag {tag}");
+                }
+            }
+        }
+    }
+}
+
+/// Mixed payload types through the same mailbox must not confuse the
+/// type-erased envelopes.
+#[test]
+fn mixed_payload_types() {
+    let res = World::new().run(2, |rank| {
+        if rank.rank() == 0 {
+            rank.send(1, 1, &[1.5f64, 2.5]);
+            rank.send(1, 2, &[7u64, 8, 9]);
+            rank.send(1, 3, &[true, false]);
+            rank.send(1, 4, &["hello".to_string()]);
+            0
+        } else {
+            let f = rank.recv::<f64>(0, 1);
+            let u = rank.recv::<u64>(0, 2);
+            let b = rank.recv::<bool>(0, 3);
+            let s = rank.recv::<String>(0, 4);
+            assert_eq!(f, vec![1.5, 2.5]);
+            assert_eq!(u, vec![7, 8, 9]);
+            assert_eq!(b, vec![true, false]);
+            assert_eq!(s, vec!["hello".to_string()]);
+            1
+        }
+    });
+    assert_eq!(res.results, vec![0, 1]);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, .. ProptestConfig::default() })]
+
+    /// Random interleavings of collectives keep their sequence numbers
+    /// straight: a mix of barriers, bcasts and allreduces in a random
+    /// (but SPMD-identical) order produces the right values.
+    #[test]
+    fn random_collective_sequences(
+        p in 1usize..6,
+        ops in proptest::collection::vec(0u8..3, 1..12),
+        seed in any::<u64>(),
+    ) {
+        let ops2 = ops.clone();
+        let res = World::new().run(p, move |rank| {
+            let mut acc = Vec::new();
+            for (i, &op) in ops2.iter().enumerate() {
+                match op {
+                    0 => rank.barrier(),
+                    1 => {
+                        let root = (seed as usize + i) % rank.size();
+                        let data = if rank.rank() == root {
+                            vec![i as u64, seed % 1000]
+                        } else {
+                            Vec::new()
+                        };
+                        let got = rank.bcast(root, data);
+                        acc.push(got[0]);
+                    }
+                    _ => {
+                        let v = rank.allreduce_scalar(rank.rank() as f64 + i as f64, ReduceOp::Sum);
+                        acc.push(v as u64);
+                    }
+                }
+            }
+            acc
+        });
+        // all ranks observed identical collective results
+        for r in &res.results[1..] {
+            prop_assert_eq!(r, &res.results[0]);
+        }
+        // spot-check allreduce values
+        let rank_sum: usize = (0..p).sum();
+        let mut k = 0;
+        for (i, &op) in ops.iter().enumerate() {
+            match op {
+                0 => {}
+                1 => {
+                    prop_assert_eq!(res.results[0][k], i as u64);
+                    k += 1;
+                }
+                _ => {
+                    let expect = (rank_sum + p * i) as u64;
+                    prop_assert_eq!(res.results[0][k], expect);
+                    k += 1;
+                }
+            }
+        }
+    }
+
+    /// Gather returns per-rank buffers in rank order for random shapes.
+    #[test]
+    fn gather_preserves_rank_order(
+        p in 1usize..6,
+        root_pick in any::<usize>(),
+        lens in proptest::collection::vec(0usize..7, 6),
+    ) {
+        let root = root_pick % p;
+        let lens2 = lens.clone();
+        let res = World::new().run(p, move |rank| {
+            let len = lens2[rank.rank() % lens2.len()];
+            let data: Vec<u64> = (0..len as u64).map(|i| rank.rank() as u64 * 1000 + i).collect();
+            rank.gather(root, data)
+        });
+        for (r, out) in res.results.iter().enumerate() {
+            if r == root {
+                let all = out.as_ref().unwrap();
+                prop_assert_eq!(all.len(), p);
+                for (q, buf) in all.iter().enumerate() {
+                    prop_assert_eq!(buf.len(), lens[q % lens.len()]);
+                    for (i, &v) in buf.iter().enumerate() {
+                        prop_assert_eq!(v, q as u64 * 1000 + i as u64);
+                    }
+                }
+            } else {
+                prop_assert!(out.is_none());
+            }
+        }
+    }
+}

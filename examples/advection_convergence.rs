@@ -1,0 +1,46 @@
+//! Spectral-convergence study: the DG machinery underlying the mini-app's
+//! proxy kernels solves a real advection problem, and its error decays
+//! exponentially in the element order N — the signature property of the
+//! spectral element method CMT-nek is built on.
+//!
+//! ```text
+//! cargo run --release --example advection_convergence
+//! ```
+
+use std::f64::consts::PI;
+
+use cmt_core::solver::{AdvectionConfig, AdvectionSolver};
+use cmt_core::KernelVariant;
+
+fn main() {
+    println!("Periodic advection of sin(2*pi*x), 2x1x1 elements, t = 0.25");
+    println!("(upwind DG-SEM + SSP-RK3, built from the CMT-bone kernels)\n");
+    println!("  N    max error      decay vs previous");
+    let profile = |x: f64, _y: f64, _z: f64| (2.0 * PI * x).sin();
+    let mut prev: Option<f64> = None;
+    for n in [4usize, 5, 6, 7, 8, 10, 12] {
+        let mut solver = AdvectionSolver::new(AdvectionConfig {
+            n,
+            elems: [2, 1, 1],
+            lengths: [1.0, 1.0, 1.0],
+            velocity: [1.0, 0.0, 0.0],
+            variant: KernelVariant::Specialized,
+        });
+        solver.init(profile);
+        let t_end = 0.25;
+        let dt = solver.stable_dt(0.2).min(t_end / 50.0);
+        let steps = (t_end / dt).ceil() as usize;
+        let dt = t_end / steps as f64;
+        for _ in 0..steps {
+            solver.step(dt);
+        }
+        let err = solver.error_vs_exact(profile);
+        match prev {
+            Some(p) if err > 0.0 => println!("{n:3}    {err:12.3e}   {:8.1}x", p / err),
+            _ => println!("{n:3}    {err:12.3e}          -"),
+        }
+        prev = Some(err);
+    }
+    println!("\nExponential decay with N (until the RK3 time error floor) is");
+    println!("what distinguishes a genuine spectral-element kernel from a stand-in.");
+}

@@ -1,0 +1,44 @@
+//! The gather-scatter autotune in isolation: set up both exchange
+//! topologies (CMT-bone's face-only DG exchange and Nekbone's
+//! vertex-conforming dssum) on the same mesh and let the tuner race the
+//! three methods — the experiment behind the paper's Fig. 7.
+//!
+//! ```text
+//! cargo run --release --example autotune_comm [ranks] [elems_per_rank]
+//! ```
+
+use cmt_gs::{autotune, AutotuneOptions, GsHandle};
+use cmt_mesh::{MeshConfig, RankMesh};
+use simmpi::World;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let ranks: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+    let elems: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(27);
+    let n = 10;
+    let cfg = MeshConfig::for_ranks(ranks, elems, n, true);
+    println!("Setup:\n{}\n", cfg.summary());
+
+    for (label, volume) in [("CMT-bone (faces)", false), ("Nekbone (dssum)", true)] {
+        let cfg = cfg.clone();
+        let res = World::new().run(ranks, move |rank| {
+            let mesh = RankMesh::new(cfg.clone(), rank.rank());
+            let ids = if volume {
+                mesh.volume_point_gids()
+            } else {
+                mesh.face_exchange_gids()
+            };
+            let handle = GsHandle::setup(rank, &ids);
+            let report = autotune(rank, &handle, AutotuneOptions::default());
+            (report, handle.stats())
+        });
+        let (report, stats) = &res.results[0];
+        println!(
+            "{label}: {} local ids, {} neighbors, {} shared slots, {} global ids",
+            stats.nlocal, stats.neighbors, stats.shared_slots, stats.total_global
+        );
+        println!("mini-app   | method             |      avg (s) |      min (s) |      max (s)");
+        print!("{}", report.table(label.split(' ').next().unwrap()));
+        println!("-> chosen: {}\n", report.chosen.name());
+    }
+}

@@ -1,0 +1,81 @@
+//! The Sod shock tube with artificial-viscosity shock capturing — the
+//! first feature on the paper's CMT-nek roadmap — compared against the
+//! exact Riemann solution.
+//!
+//! ```text
+//! cargo run --release --example sod_shock_tube
+//! ```
+
+use cmt_core::eos::Primitive;
+use cmt_core::euler::{EulerConfig, EulerSolver};
+use cmt_core::riemann::{solve, State1d};
+
+fn main() {
+    let n = 6;
+    let mut s = EulerSolver::new(EulerConfig {
+        n,
+        elems: [24, 1, 1],
+        lengths: [2.0, 1.0, 1.0],
+        artificial_viscosity: 0.025,
+        ..Default::default()
+    });
+    let left = State1d {
+        rho: 1.0,
+        u: 0.0,
+        p: 1.0,
+    };
+    let right = State1d {
+        rho: 0.125,
+        u: 0.0,
+        p: 0.1,
+    };
+    let delta = 0.04;
+    s.init(|x, _y, _z| {
+        let w = 0.5 * (1.0 + ((x - 1.0) / delta).tanh());
+        Primitive {
+            rho: left.rho + w * (right.rho - left.rho),
+            vel: [0.0; 3],
+            p: left.p + w * (right.p - left.p),
+        }
+    });
+    let t_end = 0.15;
+    let mut t = 0.0;
+    let mut steps = 0;
+    while t < t_end {
+        let dt = s.stable_dt(0.3).min(t_end - t);
+        s.step(dt);
+        t += dt;
+        steps += 1;
+    }
+    println!(
+        "Sod shock tube: N = {n}, 24 elements, {steps} adaptive steps to t = {t_end}\n"
+    );
+    let exact = solve(cmt_core::eos::IdealGas::default(), left, right);
+    println!("   x    | rho (DG)  | rho (exact) |  profile (#=DG, .=exact)");
+    let nel = s.nel();
+    for e in 0..nel {
+        // one sample per element (midpoint-ish node)
+        let i = n / 2;
+        let [x, _, _] = s.point_coords(e, i, 0, 0);
+        if !(0.3..=1.7).contains(&x) {
+            continue;
+        }
+        let got = s.primitive_at(e, i, 0, 0).rho;
+        let want = exact.sample((x - 1.0) / t_end).rho;
+        let bar_g = (got * 40.0).round() as usize;
+        let bar_w = (want * 40.0).round() as usize;
+        let mut line = vec![' '; 45];
+        if bar_w < line.len() {
+            line[bar_w] = '.';
+        }
+        if bar_g < line.len() {
+            line[bar_g] = '#';
+        }
+        let line: String = line.into_iter().collect();
+        println!("{x:7.3} | {got:9.4} | {want:11.4} | {line}");
+    }
+    println!("\n(The DG profile smears the shock and contact over the artificial-");
+    println!("viscosity length scale but tracks the exact wave positions and");
+    println!("plateau values; the rarefaction fan is resolved sharply.)");
+    assert!(s.is_admissible());
+}

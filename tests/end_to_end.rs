@@ -1,0 +1,192 @@
+//! Cross-crate end-to-end tests: whole mini-app runs exercising every
+//! subsystem together (mesh + gs + kernels + runtime + instrumentation).
+
+use cmt_bone::Config as BoneConfig;
+use cmt_gs::GsMethod;
+use nekbone::Config as NekConfig;
+use simmpi::MpiOp;
+
+#[test]
+fn cmt_bone_full_pipeline_all_methods() {
+    for method in GsMethod::ALL {
+        let rep = cmt_bone::run(&BoneConfig {
+            ranks: 4,
+            n: 6,
+            elems_per_rank: 8,
+            steps: 3,
+            fields: 3,
+            method: Some(method),
+            ..Default::default()
+        });
+        assert!(rep.checksum.is_finite(), "{method:?}");
+        assert_eq!(rep.rank_wall_s.len(), 4);
+        assert_eq!(rep.chosen_method, method);
+        // fields stay bounded (the proxy loop is a stable DG advection)
+        assert!(rep.checksum.abs() < 1e6, "{method:?}: {}", rep.checksum);
+    }
+}
+
+#[test]
+fn paper_fig9_shape_wait_dominates_pairwise_mpi_time() {
+    let rep = cmt_bone::run(&BoneConfig {
+        ranks: 4,
+        n: 8,
+        elems_per_rank: 27,
+        steps: 10,
+        fields: 3,
+        method: Some(GsMethod::PairwiseExchange),
+        ..Default::default()
+    });
+    let wait = rep.comm.time_of_op(MpiOp::Wait);
+    let isend = rep.comm.time_of_op(MpiOp::Isend);
+    assert!(
+        wait > isend,
+        "MPI_Wait ({wait}) should dominate MPI_Isend ({isend})"
+    );
+    // the paper's Fig. 10 shape: the face-exchange traffic dominates bytes
+    let face_bytes: u64 = rep
+        .comm
+        .sites
+        .iter()
+        .filter(|s| s.site.context.contains("gs:pairwise"))
+        .map(|s| s.bytes)
+        .sum();
+    let other_bytes: u64 = rep
+        .comm
+        .sites
+        .iter()
+        .filter(|s| !s.site.context.contains("gs:pairwise") && !s.site.context.contains("gs_setup"))
+        .map(|s| s.bytes)
+        .sum();
+    assert!(
+        face_bytes > other_bytes,
+        "face exchange bytes {face_bytes} vs other {other_bytes}"
+    );
+}
+
+#[test]
+fn paper_fig10_shape_message_sizes_scale_with_n_squared() {
+    // The pairwise exchange's per-message payload grows ~N^2 (shared face
+    // points x 8 bytes).
+    let max_bytes = |n: usize| {
+        let rep = cmt_bone::run(&BoneConfig {
+            ranks: 4,
+            n,
+            elems_per_rank: 8,
+            steps: 2,
+            fields: 1,
+            method: Some(GsMethod::PairwiseExchange),
+            ..Default::default()
+        });
+        rep.comm
+            .sites
+            .iter()
+            .filter(|s| s.site.op == MpiOp::Isend && s.site.context.contains("gs:pairwise"))
+            .map(|s| s.max_bytes)
+            .max()
+            .unwrap_or(0)
+    };
+    let m5 = max_bytes(5);
+    let m10 = max_bytes(10);
+    let ratio = m10 as f64 / m5 as f64;
+    assert!(
+        (3.0..6.0).contains(&ratio),
+        "expected ~4x (N^2) growth, got {ratio} ({m5} -> {m10})"
+    );
+}
+
+#[test]
+fn fig7_pairing_runs_both_miniapps_on_identical_setup() {
+    // The Fig. 7 experiment: same parameters, both mini-apps, autotuned.
+    let bone = cmt_bone::run(&BoneConfig {
+        ranks: 8,
+        n: 6,
+        elems_per_rank: 27,
+        steps: 1,
+        fields: 1,
+        ..Default::default()
+    });
+    let nek = nekbone::run(&NekConfig {
+        ranks: 8,
+        n: 6,
+        elems_per_rank: 27,
+        cg_iters: 1,
+        ..Default::default()
+    });
+    let bt = bone.autotune.expect("bone autotuned");
+    let nt = nek.autotune.expect("nek autotuned");
+    assert_eq!(bone.mesh_summary, nek.mesh_summary, "setups must match");
+    // The paper's unambiguous finding is that all_reduce loses; at this
+    // tiny debug-build scale individual timings are noisy, so assert the
+    // *decision*: all_reduce is never chosen, and the winner beats it.
+    for t in [&bt, &nt] {
+        assert_ne!(t.chosen, GsMethod::AllReduce);
+        let ar = t.timing(GsMethod::AllReduce);
+        if !ar.skipped {
+            assert!(ar.avg_s >= t.timing(t.chosen).avg_s);
+        }
+        // every non-skipped timing is a real measurement
+        for timing in &t.timings {
+            if !timing.skipped {
+                assert!(timing.min_s <= timing.avg_s && timing.avg_s <= timing.max_s);
+            }
+        }
+    }
+}
+
+#[test]
+fn nekbone_and_cmtbone_have_different_exchange_topologies() {
+    // Nekbone's dssum couples up to 8 elements per point; CMT-bone's face
+    // exchange couples exactly 2: Nekbone must move more shared slots on
+    // the same mesh.
+    use cmt_gs::GsHandle;
+    use cmt_mesh::{MeshConfig, RankMesh};
+    use simmpi::World;
+    let cfg = MeshConfig::for_ranks(8, 27, 6, true);
+    let res = World::new().run(8, move |rank| {
+        let mesh = RankMesh::new(cfg.clone(), rank.rank());
+        let faces = GsHandle::setup(rank, &mesh.face_exchange_gids()).stats();
+        let vol = GsHandle::setup(rank, &mesh.volume_point_gids()).stats();
+        (faces, vol)
+    });
+    for (faces, vol) in &res.results {
+        // The dssum topology also touches edge/corner-diagonal ranks
+        // (here: all 7 peers of a 2x2x2 periodic grid), while the DG face
+        // exchange only touches the 3 distinct axis partners.
+        assert!(
+            vol.neighbors > faces.neighbors,
+            "vol {} vs faces {}",
+            vol.neighbors,
+            faces.neighbors
+        );
+        // Every face id pairs exactly two holders; the volume numbering
+        // has ids shared across up to 8 elements, so its distinct-id
+        // count per rank is below its slot count by more than the face
+        // exchange's.
+        assert!(vol.distinct_local < vol.nlocal);
+        assert!(faces.distinct_local <= faces.nlocal);
+    }
+}
+
+#[test]
+fn netmodel_orders_fabrics_consistently() {
+    use simmpi::NetworkModel;
+    let run_with = |net| {
+        let rep = cmt_bone::run(&BoneConfig {
+            ranks: 4,
+            n: 6,
+            elems_per_rank: 8,
+            steps: 3,
+            fields: 2,
+            method: Some(GsMethod::PairwiseExchange),
+            net: Some(net),
+            ..Default::default()
+        });
+        rep.modeled_comm_s.iter().sum::<f64>()
+    };
+    let qdr = run_with(NetworkModel::qdr_infiniband());
+    let exa = run_with(NetworkModel::notional_exascale());
+    let gbe = run_with(NetworkModel::gigabit_ethernet());
+    assert!(exa < qdr, "exascale {exa} vs qdr {qdr}");
+    assert!(qdr < gbe, "qdr {qdr} vs gbe {gbe}");
+}

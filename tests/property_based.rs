@@ -1,0 +1,324 @@
+//! Workspace-level property-based tests (proptest): randomized inputs
+//! against invariants that span crates.
+
+use cmt_core::kernels::{deriv, tensor3_apply, DerivDir, KernelVariant};
+use cmt_core::poly::{gll_nodes, interp_matrix, Basis};
+use cmt_gs::{GsHandle, GsMethod, GsOp};
+use cmt_mesh::{balanced_factor3, MeshConfig, RankMesh};
+use proptest::prelude::*;
+use simmpi::{ReduceOp, World};
+use std::collections::HashMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    /// All kernel variants agree on random data for random shapes.
+    #[test]
+    fn kernel_variants_agree(
+        n in 2usize..14,
+        nel in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let basis = Basis::new(n);
+        let mut state = seed | 1;
+        let u: Vec<f64> = (0..n * n * n * nel)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state as f64 / u64::MAX as f64) * 2.0 - 1.0
+            })
+            .collect();
+        for dir in DerivDir::ALL {
+            let mut base: Option<Vec<f64>> = None;
+            for variant in KernelVariant::ALL {
+                let mut out = vec![0.0; u.len()];
+                deriv(variant, dir, n, nel, &basis.d, &u, &mut out);
+                match &base {
+                    None => base = Some(out),
+                    Some(b) => {
+                        for (x, y) in b.iter().zip(&out) {
+                            prop_assert!((x - y).abs() < 1e-10 * (1.0 + x.abs()));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Differentiating after interpolating to a finer GLL mesh agrees
+    /// with interpolating the derivative (both exact for polynomial data).
+    #[test]
+    fn dealias_commutes_with_derivative_on_polynomials(
+        deg in 0usize..4,
+    ) {
+        let n = 5;
+        let m = 8;
+        let xn = gll_nodes(n);
+        let xm = gll_nodes(m);
+        let up = interp_matrix(&xn, &xm);
+        let bn = Basis::new(n);
+        let bm = Basis::new(m);
+        // u = x^deg (function of r only)
+        let u: Vec<f64> = {
+            let mut v = vec![0.0; n * n * n];
+            for k in 0..n {
+                for j in 0..n {
+                    for i in 0..n {
+                        v[(k * n + j) * n + i] = xn[i].powi(deg as i32);
+                    }
+                }
+            }
+            v
+        };
+        // path A: interpolate then differentiate on fine mesh
+        let mut fine = vec![0.0; m * m * m];
+        tensor3_apply(m, n, &up, &u, &mut fine, 1);
+        let mut da = vec![0.0; m * m * m];
+        deriv(KernelVariant::Optimized, DerivDir::R, m, 1, &bm.d, &fine, &mut da);
+        // path B: differentiate then interpolate
+        let mut du = vec![0.0; n * n * n];
+        deriv(KernelVariant::Optimized, DerivDir::R, n, 1, &bn.d, &u, &mut du);
+        let mut db = vec![0.0; m * m * m];
+        tensor3_apply(m, n, &up, &du, &mut db, 1);
+        for (a, b) in da.iter().zip(&db) {
+            prop_assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+        }
+    }
+
+    /// balanced_factor3 always factors exactly and near-cubically.
+    #[test]
+    fn factor3_exact(v in 1usize..4096) {
+        let f = balanced_factor3(v);
+        prop_assert_eq!(f[0] * f[1] * f[2], v);
+        prop_assert!(f[0] >= f[1] && f[1] >= f[2]);
+    }
+
+    /// gs_op(Add) equals a dense serial reference on random id maps, for
+    /// every method, on random world sizes.
+    #[test]
+    fn gs_matches_dense_reference(
+        p in 1usize..5,
+        universe in 2u64..20,
+        lens in proptest::collection::vec(1usize..25, 1..5),
+        seed in any::<u64>(),
+    ) {
+        let mut state = seed | 1;
+        let mut rand = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let ids: Vec<Vec<u64>> = (0..p)
+            .map(|r| {
+                let len = lens[r % lens.len()];
+                (0..len).map(|_| rand() % universe).collect()
+            })
+            .collect();
+        let vals: Vec<Vec<f64>> = ids
+            .iter()
+            .map(|v| v.iter().map(|_| (rand() % 17) as f64 - 8.0).collect())
+            .collect();
+        let mut combined: HashMap<u64, f64> = HashMap::new();
+        for (idv, valv) in ids.iter().zip(&vals) {
+            for (&g, &v) in idv.iter().zip(valv) {
+                *combined.entry(g).or_insert(0.0) += v;
+            }
+        }
+        for method in GsMethod::ALL {
+            let ids_c = ids.clone();
+            let vals_c = vals.clone();
+            let res = World::new().run(p, move |rank| {
+                let mut v = vals_c[rank.rank()].clone();
+                let handle = GsHandle::setup(rank, &ids_c[rank.rank()]);
+                handle.gs_op(rank, &mut v, GsOp::Add, method);
+                v
+            });
+            for (r, got) in res.results.iter().enumerate() {
+                for (i, g) in got.iter().enumerate() {
+                    let want = combined[&ids[r][i]];
+                    prop_assert!((g - want).abs() < 1e-9 * (1.0 + want.abs()),
+                        "{method:?} rank {r} slot {i}: {g} vs {want}");
+                }
+            }
+        }
+    }
+
+    /// Crystal router delivers exactly the messages alltoallv does, for
+    /// random sparse patterns and world sizes (incl. non-powers-of-two).
+    #[test]
+    fn crystal_router_equals_alltoallv(
+        p in 1usize..7,
+        pattern in proptest::collection::vec(any::<bool>(), 36),
+        seed in any::<u64>(),
+    ) {
+        let res = World::new().run(p, move |rank| {
+            let me = rank.rank();
+            let pp = rank.size();
+            // sends[q]: payload iff pattern bit set
+            let sends: Vec<Vec<u64>> = (0..pp)
+                .map(|q| {
+                    if pattern[(me * pp + q) % pattern.len()] {
+                        vec![seed ^ ((me * 100 + q) as u64), 7]
+                    } else {
+                        Vec::new()
+                    }
+                })
+                .collect();
+            let via_a2a = rank.alltoallv(sends.clone());
+            let outgoing: Vec<(usize, Vec<u64>)> = sends
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| !v.is_empty())
+                .map(|(q, v)| (q, v.clone()))
+                .collect();
+            let mut via_cr: Vec<Vec<u64>> = vec![Vec::new(); pp];
+            for (src, data) in rank.crystal_router(outgoing) {
+                via_cr[src] = data;
+            }
+            (via_a2a, via_cr)
+        });
+        for (a2a, cr) in &res.results {
+            prop_assert_eq!(a2a, cr);
+        }
+    }
+
+    /// allreduce equals the serial fold for random vectors, sizes and ops.
+    #[test]
+    fn allreduce_matches_serial_fold(
+        p in 1usize..7,
+        len in 1usize..9,
+        op_idx in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        let op = [ReduceOp::Sum, ReduceOp::Min, ReduceOp::Max][op_idx];
+        let data: Vec<Vec<f64>> = (0..p)
+            .map(|r| {
+                (0..len)
+                    .map(|i| ((seed.wrapping_mul(r as u64 * 31 + i as u64 + 1) % 1000) as f64) - 500.0)
+                    .collect()
+            })
+            .collect();
+        let mut expect = data[0].clone();
+        for row in &data[1..] {
+            for (e, v) in expect.iter_mut().zip(row) {
+                *e = op.apply_f64(*e, *v);
+            }
+        }
+        let data2 = data.clone();
+        let res = World::new().run(p, move |rank| {
+            rank.allreduce_f64(&data2[rank.rank()], op)
+        });
+        for got in &res.results {
+            for (g, e) in got.iter().zip(&expect) {
+                prop_assert!((g - e).abs() < 1e-9, "{g} vs {e}");
+            }
+        }
+    }
+
+    /// Free-stream preservation (well-balancedness): any admissible
+    /// uniform state is an exact steady solution of the Euler DG
+    /// discretization, whatever the mesh shape and kernel variant.
+    #[test]
+    fn euler_preserves_random_uniform_states(
+        rho in 0.1f64..5.0,
+        u in -2.0f64..2.0,
+        v in -2.0f64..2.0,
+        w in -2.0f64..2.0,
+        p in 0.1f64..5.0,
+        n in 3usize..7,
+        variant_idx in 0usize..3,
+    ) {
+        use cmt_repro::cmt_core::euler::{EulerConfig, EulerSolver};
+        use cmt_repro::cmt_core::eos::Primitive;
+        use cmt_repro::cmt_core::KernelVariant;
+        let mut s = EulerSolver::new(EulerConfig {
+            n,
+            elems: [2, 1, 2],
+            variant: KernelVariant::ALL[variant_idx],
+            ..Default::default()
+        });
+        s.init(|_, _, _| Primitive { rho, vel: [u, v, w], p });
+        let dt = s.stable_dt(0.3);
+        for _ in 0..3 {
+            s.step(dt);
+        }
+        let expect = cmt_repro::cmt_core::eos::IdealGas::default()
+            .conserved(Primitive { rho, vel: [u, v, w], p });
+        for (c, &want) in expect.iter().enumerate() {
+            for &got in s.state()[c].as_slice() {
+                prop_assert!(
+                    (got - want).abs() < 1e-10 * (1.0 + want.abs()),
+                    "field {c}: {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    /// Mesh invariants on random shapes: ownership partitions, neighbor
+    /// symmetry, face-gid pairing.
+    #[test]
+    fn mesh_invariants(
+        pd in (1usize..4, 1usize..4, 1usize..3),
+        ld in (1usize..4, 1usize..4, 1usize..3),
+        n in 2usize..6,
+        periodic in any::<bool>(),
+    ) {
+        let cfg = MeshConfig {
+            n,
+            proc_dims: [pd.0, pd.1, pd.2],
+            local_elems: [ld.0, ld.1, ld.2],
+            periodic,
+        };
+        let meshes: Vec<RankMesh> =
+            (0..cfg.ranks()).map(|r| RankMesh::new(cfg.clone(), r)).collect();
+        // ownership partition
+        let mut seen = vec![false; cfg.total_elems()];
+        for m in &meshes {
+            for le in 0..m.nel() {
+                let gid = m.global_elem_id(le);
+                prop_assert!(!seen[gid]);
+                seen[gid] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+        // neighbor symmetry
+        use cmt_core::face::Face;
+        use cmt_mesh::Neighbor;
+        for m in &meshes {
+            for le in 0..m.nel() {
+                for f in Face::ALL {
+                    match m.neighbor(le, f) {
+                        Neighbor::Boundary => prop_assert!(!periodic),
+                        Neighbor::Local(e) => {
+                            let back = meshes[m.rank()].neighbor(e, f.opposite());
+                            prop_assert_eq!(back, Neighbor::Local(le));
+                        }
+                        Neighbor::Remote { rank, elem } => {
+                            match meshes[rank].neighbor(elem, f.opposite()) {
+                                Neighbor::Remote { rank: br, elem: be } => {
+                                    prop_assert_eq!((br, be), (m.rank(), le));
+                                }
+                                other => prop_assert!(false, "asymmetric: {other:?}"),
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // face-exchange gids shared by exactly 1 or 2 holders
+        let mut counts: HashMap<u64, usize> = HashMap::new();
+        for m in &meshes {
+            for g in m.face_exchange_gids() {
+                *counts.entry(g).or_insert(0) += 1;
+            }
+        }
+        for (&g, &c) in &counts {
+            prop_assert!(c <= 2, "gid {g} held {c} times");
+            if periodic {
+                prop_assert_eq!(c, 2);
+            }
+        }
+    }
+}
