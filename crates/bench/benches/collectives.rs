@@ -2,73 +2,54 @@
 //! barrier, allreduce (the "vector reductions" workload), alltoallv (the
 //! gs_setup discovery), and the crystal router.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cmt_bench::harness::Harness;
 use simmpi::{ReduceOp, World};
 
-fn bench_collectives(c: &mut Criterion) {
-    let mut group = c.benchmark_group("collectives_p8");
-    group.sample_size(10);
+fn main() {
+    let h = Harness::new("collectives_p8");
     let p = 8;
 
-    group.bench_function("barrier_x100", |b| {
-        b.iter(|| {
-            World::new().run(p, |rank| {
-                for _ in 0..100 {
-                    rank.barrier();
-                }
-            })
-        })
+    h.bench("barrier_x100", 0, || {
+        World::new().run(p, |rank| {
+            for _ in 0..100 {
+                rank.barrier();
+            }
+        });
     });
 
     for len in [1usize, 1024] {
-        group.bench_with_input(
-            BenchmarkId::new("allreduce_x50", len),
-            &len,
-            |b, &len| {
-                b.iter(|| {
-                    World::new().run(p, move |rank| {
-                        let data = vec![rank.rank() as f64; len];
-                        let mut out = 0.0;
-                        for _ in 0..50 {
-                            out = rank.allreduce_f64(&data, ReduceOp::Sum)[0];
-                        }
-                        out
-                    })
-                })
-            },
-        );
+        h.bench(&format!("allreduce_x50/len{len}"), 0, || {
+            World::new().run(p, move |rank| {
+                let data = vec![rank.rank() as f64; len];
+                let mut out = 0.0;
+                for _ in 0..50 {
+                    out = rank.allreduce_f64(&data, ReduceOp::Sum)[0];
+                }
+                out
+            });
+        });
     }
 
-    group.bench_function("alltoallv_x20", |b| {
-        b.iter(|| {
-            World::new().run(p, |rank| {
-                let mut got = 0usize;
-                for _ in 0..20 {
-                    let sends: Vec<Vec<u64>> =
-                        (0..rank.size()).map(|q| vec![q as u64; 64]).collect();
-                    got += rank.alltoallv(sends).len();
-                }
-                got
-            })
-        })
+    h.bench("alltoallv_x20", 0, || {
+        World::new().run(p, |rank| {
+            let mut got = 0usize;
+            for _ in 0..20 {
+                let sends: Vec<Vec<u64>> = (0..rank.size()).map(|q| vec![q as u64; 64]).collect();
+                got += rank.alltoallv(sends).len();
+            }
+            got
+        });
     });
 
-    group.bench_function("crystal_router_x20", |b| {
-        b.iter(|| {
-            World::new().run(p, |rank| {
-                let mut got = 0usize;
-                for _ in 0..20 {
-                    let outgoing: Vec<(usize, Vec<u64>)> =
-                        (0..rank.size()).map(|q| (q, vec![q as u64; 64])).collect();
-                    got += rank.crystal_router(outgoing).len();
-                }
-                got
-            })
-        })
+    h.bench("crystal_router_x20", 0, || {
+        World::new().run(p, |rank| {
+            let mut got = 0usize;
+            for _ in 0..20 {
+                let outgoing: Vec<(usize, Vec<u64>)> =
+                    (0..rank.size()).map(|q| (q, vec![q as u64; 64])).collect();
+                got += rank.crystal_router(outgoing).len();
+            }
+            got
+        });
     });
-
-    group.finish();
 }
-
-criterion_group!(benches, bench_collectives);
-criterion_main!(benches);

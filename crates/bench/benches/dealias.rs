@@ -3,35 +3,27 @@
 //! and later mapped back") — the second consumer of the small-matrix
 //! multiply machinery after the derivative kernels.
 
+use cmt_bench::harness::Harness;
 use cmt_core::kernels::tensor3_apply;
 use cmt_core::poly::Basis;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-fn bench_dealias(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dealias_roundtrip");
+fn main() {
+    let h = Harness::new("dealias_roundtrip");
     for (n, m) in [(5usize, 8usize), (10, 15), (15, 23)] {
         let nel = 64;
         let basis = Basis::new(n);
         let up = basis.dealias_to(m);
         let down = basis.dealias_from(m);
-        let u: Vec<f64> = (0..n * n * n * nel).map(|i| ((i % 991) as f64) * 1e-3).collect();
+        let u: Vec<f64> = (0..n * n * n * nel)
+            .map(|i| ((i % 991) as f64) * 1e-3)
+            .collect();
         let mut fine = vec![0.0; m * m * m * nel];
         let mut back = vec![0.0; n * n * n * nel];
-        group.throughput(Throughput::Elements((n * n * n * nel) as u64));
-        group.bench_with_input(
-            BenchmarkId::new("roundtrip", format!("n{n}_m{m}")),
-            &(n, m),
-            |b, &(n, m)| {
-                b.iter(|| {
-                    tensor3_apply(m, n, &up, &u, &mut fine, nel);
-                    tensor3_apply(n, m, &down, &fine, &mut back, nel);
-                    std::hint::black_box(&mut back);
-                })
-            },
-        );
+        let elems = (n * n * n * nel) as u64;
+        h.bench(&format!("roundtrip/n{n}_m{m}"), elems, || {
+            tensor3_apply(m, n, &up, &u, &mut fine, nel);
+            tensor3_apply(n, m, &down, &fine, &mut back, nel);
+            std::hint::black_box(&mut back);
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_dealias);
-criterion_main!(benches);

@@ -2,36 +2,27 @@
 //! specialized, at the paper's kernel-study size (N = 5) and at the
 //! paper's communication-study size (N = 10).
 
+use cmt_bench::harness::Harness;
 use cmt_core::kernels::{deriv, DerivDir, KernelVariant};
 use cmt_core::poly::Basis;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-fn bench_deriv(c: &mut Criterion) {
+fn main() {
+    let h = Harness::new("deriv_kernels");
     for n in [5usize, 10] {
         let nel = 128;
         let basis = Basis::new(n);
         let npts = n * n * n * nel;
         let u: Vec<f64> = (0..npts).map(|i| ((i % 997) as f64) * 1e-3).collect();
         let mut out = vec![0.0; npts];
-        let mut group = c.benchmark_group(format!("deriv_n{n}"));
-        group.throughput(Throughput::Elements((npts * (2 * n - 1)) as u64)); // flops
+        let flops = (npts * (2 * n - 1)) as u64;
         for variant in KernelVariant::ALL {
             for dir in DerivDir::ALL {
-                group.bench_with_input(
-                    BenchmarkId::new(variant.name(), dir.kernel_name()),
-                    &dir,
-                    |b, &dir| {
-                        b.iter(|| {
-                            deriv(variant, dir, n, nel, &basis.d, &u, &mut out);
-                            std::hint::black_box(&mut out);
-                        })
-                    },
-                );
+                let id = format!("deriv_n{n}/{}/{}", variant.name(), dir.kernel_name());
+                h.bench(&id, flops, || {
+                    deriv(variant, dir, n, nel, &basis.d, &u, &mut out);
+                    std::hint::black_box(&mut out);
+                });
             }
         }
-        group.finish();
     }
 }
-
-criterion_group!(benches, bench_deriv);
-criterion_main!(benches);

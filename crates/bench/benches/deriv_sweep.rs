@@ -2,12 +2,12 @@
 //! element-order range N = 5..25 ("N ranging between 5 and 25", §V),
 //! isolating where fusion/unrolling pays off as the working set grows.
 
+use cmt_bench::harness::Harness;
 use cmt_core::kernels::{deriv, DerivDir, KernelVariant};
 use cmt_core::poly::Basis;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-fn bench_sweep(c: &mut Criterion) {
-    let mut group = c.benchmark_group("deriv_sweep_dudt");
+fn main() {
+    let h = Harness::new("deriv_sweep_dudt");
     for n in [5usize, 10, 15, 20, 25] {
         // keep total work roughly constant across N
         let nel = (200_000 / (n * n * n)).max(1);
@@ -15,18 +15,13 @@ fn bench_sweep(c: &mut Criterion) {
         let npts = n * n * n * nel;
         let u: Vec<f64> = (0..npts).map(|i| ((i % 997) as f64) * 1e-3).collect();
         let mut out = vec![0.0; npts];
-        group.throughput(Throughput::Elements((npts * (2 * n - 1)) as u64));
+        let flops = (npts * (2 * n - 1)) as u64;
         for variant in KernelVariant::ALL {
-            group.bench_with_input(BenchmarkId::new(variant.name(), n), &n, |b, _| {
-                b.iter(|| {
-                    deriv(variant, DerivDir::T, n, nel, &basis.d, &u, &mut out);
-                    std::hint::black_box(&mut out);
-                })
+            let id = format!("{}/n{n}", variant.name());
+            h.bench(&id, flops, || {
+                deriv(variant, DerivDir::T, n, nel, &basis.d, &u, &mut out);
+                std::hint::black_box(&mut out);
             });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_sweep);
-criterion_main!(benches);

@@ -2,33 +2,25 @@
 //! scatter-back), the second compute component of the paper's Fig. 4
 //! profile.
 
+use cmt_bench::harness::Harness;
 use cmt_core::face::{face2full_add, full2face};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-fn bench_faces(c: &mut Criterion) {
-    let mut group = c.benchmark_group("face_ops");
+fn main() {
+    let h = Harness::new("face_ops");
     for n in [5usize, 10, 15] {
         let nel = 100;
         let npts = n * n * n * nel;
         let u: Vec<f64> = (0..npts).map(|i| i as f64 * 1e-6).collect();
         let mut faces = vec![0.0; 6 * n * n * nel];
         let mut vol = vec![0.0; npts];
-        group.throughput(Throughput::Elements((6 * n * n * nel) as u64));
-        group.bench_with_input(BenchmarkId::new("full2face", n), &n, |b, _| {
-            b.iter(|| {
-                full2face(n, nel, &u, &mut faces);
-                std::hint::black_box(&mut faces);
-            })
+        let elems = (6 * n * n * nel) as u64;
+        h.bench(&format!("full2face/n{n}"), elems, || {
+            full2face(n, nel, &u, &mut faces);
+            std::hint::black_box(&mut faces);
         });
-        group.bench_with_input(BenchmarkId::new("face2full_add", n), &n, |b, _| {
-            b.iter(|| {
-                face2full_add(n, nel, &faces, &mut vol);
-                std::hint::black_box(&mut vol);
-            })
+        h.bench(&format!("face2full_add/n{n}"), elems, || {
+            face2full_add(n, nel, &faces, &mut vol);
+            std::hint::black_box(&mut vol);
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_faces);
-criterion_main!(benches);

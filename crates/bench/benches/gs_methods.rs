@@ -3,53 +3,41 @@
 //! vertex-conforming dssum — at a thread-rank scale that fits a bench
 //! iteration budget.
 
+use cmt_bench::harness::Harness;
 use cmt_gs::{GsHandle, GsMethod, GsOp};
 use cmt_mesh::{MeshConfig, RankMesh};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use simmpi::World;
 
-fn bench_gs(c: &mut Criterion) {
+fn main() {
+    let h = Harness::new("gs_methods");
     let ranks = 8;
-    let mut group = c.benchmark_group("gs_methods");
-    group.sample_size(10);
     for (topo, volume) in [("cmtbone_faces", false), ("nekbone_dssum", true)] {
         for method in GsMethod::ALL {
-            group.bench_with_input(
-                BenchmarkId::new(topo, method.name()),
-                &method,
-                |b, &method| {
-                    b.iter(|| {
-                        // Each iteration runs a fresh world: setup once,
-                        // 20 exchanges (setup cost amortized in-loop).
-                        let res = World::new().run(ranks, |rank| {
-                            let mesh = RankMesh::new(
-                                MeshConfig::for_ranks(rank.size(), 27, 6, true),
-                                rank.rank(),
-                            );
-                            let ids = if volume {
-                                mesh.volume_point_gids()
-                            } else {
-                                mesh.face_exchange_gids()
-                            };
-                            let handle = GsHandle::setup(rank, &ids);
-                            let mut vals = vec![1.0f64; ids.len()];
-                            for _ in 0..20 {
-                                handle.gs_op(rank, &mut vals, GsOp::Add, method);
-                                // keep magnitudes bounded
-                                for v in vals.iter_mut() {
-                                    *v = 1.0 + (*v % 2.0) * 1e-3;
-                                }
-                            }
-                            vals[0]
-                        });
-                        std::hint::black_box(res.results);
-                    })
-                },
-            );
+            let id = format!("{topo}/{}", method.name());
+            h.bench(&id, 0, || {
+                // Each iteration runs a fresh world: setup once,
+                // 20 exchanges (setup cost amortized in-loop).
+                let res = World::new().run(ranks, move |rank| {
+                    let mesh =
+                        RankMesh::new(MeshConfig::for_ranks(rank.size(), 27, 6, true), rank.rank());
+                    let ids = if volume {
+                        mesh.volume_point_gids()
+                    } else {
+                        mesh.face_exchange_gids()
+                    };
+                    let handle = GsHandle::setup(rank, &ids);
+                    let mut vals = vec![1.0f64; ids.len()];
+                    for _ in 0..20 {
+                        handle.gs_op(rank, &mut vals, GsOp::Add, method);
+                        // keep magnitudes bounded
+                        for v in vals.iter_mut() {
+                            *v = 1.0 + (*v % 2.0) * 1e-3;
+                        }
+                    }
+                    vals[0]
+                });
+                std::hint::black_box(res.results);
+            });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_gs);
-criterion_main!(benches);

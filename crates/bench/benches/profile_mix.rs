@@ -1,29 +1,24 @@
 //! Fig. 4 workload bench: the full CMT-bone timestep mix (derivatives +
 //! full2face + gs exchange + RK + reductions), end to end.
 
+use cmt_bench::harness::Harness;
 use cmt_bone::Config;
 use cmt_gs::GsMethod;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn bench_mix(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cmtbone_timestep_mix");
-    group.sample_size(10);
+fn main() {
+    let h = Harness::new("cmtbone_timestep_mix");
     for ranks in [2usize, 4, 8] {
-        group.bench_with_input(BenchmarkId::new("ranks", ranks), &ranks, |b, &ranks| {
-            let cfg = Config {
-                ranks,
-                n: 8,
-                elems_per_rank: 8,
-                steps: 5,
-                fields: 5,
-                method: Some(GsMethod::PairwiseExchange),
-                ..Default::default()
-            };
-            b.iter(|| std::hint::black_box(cmt_bone::run(&cfg).checksum));
+        let cfg = Config {
+            ranks,
+            n: 8,
+            elems_per_rank: 8,
+            steps: 5,
+            fields: 5,
+            method: Some(GsMethod::PairwiseExchange),
+            ..Default::default()
+        };
+        h.bench(&format!("ranks/{ranks}"), 0, || {
+            std::hint::black_box(cmt_bone::run(&cfg).checksum);
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_mix);
-criterion_main!(benches);

@@ -1,0 +1,126 @@
+//! A minimal, self-contained benchmark harness for the `[[bench]]`
+//! targets (`harness = false`), replacing an external framework so the
+//! workspace builds without network access.
+//!
+//! Command-line contract (arguments arrive from `cargo bench -- <args>`):
+//! * `--test` — smoke mode: run every benchmark exactly once and report
+//!   nothing but pass/fail. CI uses `cargo bench --workspace -- --test`.
+//! * `--bench` — ignored (cargo passes it to bench executables).
+//! * any bare argument — substring filter on benchmark ids.
+
+use std::time::{Duration, Instant};
+
+/// Wall-clock target for one benchmark's measurement loop.
+const TARGET: Duration = Duration::from_millis(300);
+/// Cap on measured iterations, so trivially fast bodies terminate.
+const MAX_ITERS: u32 = 10_000;
+
+/// A benchmark suite: parses the command line once, then times closures.
+pub struct Harness {
+    suite: String,
+    quick: bool,
+    filter: Option<String>,
+}
+
+impl Harness {
+    /// Build from `std::env::args`, printing the suite header.
+    pub fn new(suite: &str) -> Self {
+        let mut quick = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => quick = true,
+                s if s.starts_with("--") => {} // --bench etc: ignore
+                s => filter = Some(s.to_string()),
+            }
+        }
+        if !quick {
+            println!("suite {suite}");
+        }
+        Harness {
+            suite: suite.to_string(),
+            quick,
+            filter,
+        }
+    }
+
+    /// Whether the harness is in `--test` smoke mode.
+    pub fn is_quick(&self) -> bool {
+        self.quick
+    }
+
+    /// Time `body`, printing mean time per iteration (and element
+    /// throughput when `elems > 0`). In `--test` mode runs `body` once.
+    pub fn bench(&self, id: &str, elems: u64, mut body: impl FnMut()) {
+        if let Some(f) = &self.filter {
+            if !id.contains(f.as_str()) {
+                return;
+            }
+        }
+        if self.quick {
+            body();
+            println!("test {}/{id} ... ok", self.suite);
+            return;
+        }
+        body(); // warm-up
+        let start = Instant::now();
+        let mut iters = 0u32;
+        while start.elapsed() < TARGET && iters < MAX_ITERS {
+            body();
+            iters += 1;
+        }
+        let per = start.elapsed().as_secs_f64() / iters as f64;
+        if elems > 0 {
+            let rate = elems as f64 / per;
+            println!(
+                "{:<44} {:>12} /iter  {:>14}/s",
+                id,
+                fmt_duration(per),
+                fmt_count(rate)
+            );
+        } else {
+            println!("{:<44} {:>12} /iter", id, fmt_duration(per));
+        }
+    }
+}
+
+fn fmt_duration(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+fn fmt_count(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.2} G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2} M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.2} k", v / 1e3)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_cover_magnitudes() {
+        assert_eq!(fmt_duration(2.0), "2.000 s");
+        assert_eq!(fmt_duration(2e-3), "2.000 ms");
+        assert_eq!(fmt_duration(2e-6), "2.000 us");
+        assert_eq!(fmt_duration(2e-9), "2.0 ns");
+        assert_eq!(fmt_count(5.0e9), "5.00 G");
+        assert_eq!(fmt_count(5.0e6), "5.00 M");
+        assert_eq!(fmt_count(5.0e3), "5.00 k");
+        assert_eq!(fmt_count(42.0), "42");
+    }
+}

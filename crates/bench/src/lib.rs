@@ -1,7 +1,7 @@
 //! # cmt-bench
 //!
 //! The benchmark harness of the CMT-bone reproduction: shared workload
-//! definitions used by both the Criterion benches and the `figures`
+//! definitions used by both the micro-benchmarks and the `figures`
 //! binary that regenerates every table and figure of the paper's
 //! evaluation (see `DESIGN.md` for the experiment index).
 //!
@@ -17,6 +17,8 @@
 //! 2012 Sandia cluster.
 
 #![warn(missing_docs)]
+
+pub mod harness;
 
 use std::time::Instant;
 
@@ -80,7 +82,9 @@ pub fn measure_deriv(
     let basis = Basis::new(exp.n);
     let npts = exp.n * exp.n * exp.n * exp.nel;
     // deterministic, cache-realistic data
-    let u: Vec<f64> = (0..npts).map(|i| ((i % 1013) as f64) * 1e-3 - 0.5).collect();
+    let u: Vec<f64> = (0..npts)
+        .map(|i| ((i % 1013) as f64) * 1e-3 - 0.5)
+        .collect();
     let mut out = vec![0.0; npts];
     // warmup
     deriv(variant, dir, exp.n, exp.nel, &basis.d, &u, &mut out);
