@@ -4,9 +4,9 @@
 
 use std::collections::HashMap;
 
-use cmt_mesh::{MeshConfig, RankMesh};
 use cmt_gs::{GsHandle, GsMethod, GsOp};
-use rand::{Rng, SeedableRng};
+use cmt_mesh::{MeshConfig, RankMesh};
+use simmpi::rng::SmallRng;
 use simmpi::World;
 
 /// Serial reference: combine every occurrence of each gid across all
@@ -96,14 +96,14 @@ fn single_rank_world_combines_locally() {
 
 #[test]
 fn randomized_id_maps_match_reference() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(20150914);
+    let mut rng = SmallRng::seed_from_u64(20150914);
     for trial in 0..6 {
-        let p = rng.gen_range(2..=6);
-        let universe = rng.gen_range(4..=30) as u64;
+        let p = rng.range_usize(2, 7);
+        let universe = rng.range_u64(4, 31);
         let ids: Vec<Vec<u64>> = (0..p)
             .map(|_| {
-                let len = rng.gen_range(1..=40);
-                (0..len).map(|_| rng.gen_range(0..universe)).collect()
+                let len = rng.range_usize(1, 41);
+                (0..len).map(|_| rng.range_u64(0, universe)).collect()
             })
             .collect();
         let ids2 = ids.clone();
@@ -261,7 +261,11 @@ fn gs_op_many_sends_fewer_messages_than_repeated_gs_op() {
     };
     let separate = count_isends(false);
     let bundled = count_isends(true);
-    assert_eq!(bundled * 2, separate, "bundled {bundled} vs separate {separate}");
+    assert_eq!(
+        bundled * 2,
+        separate,
+        "bundled {bundled} vs separate {separate}"
+    );
 }
 
 #[test]
@@ -272,12 +276,7 @@ fn gs_op_many_empty_and_single_field() {
         handle.gs_op_many(rank, &mut [], GsOp::Add, GsMethod::PairwiseExchange);
         let mut v = vec![1.0, 2.0, 3.0];
         let mut single = vec![1.0, 2.0, 3.0];
-        handle.gs_op_many(
-            rank,
-            &mut [&mut v],
-            GsOp::Add,
-            GsMethod::PairwiseExchange,
-        );
+        handle.gs_op_many(rank, &mut [&mut v], GsOp::Add, GsMethod::PairwiseExchange);
         handle.gs_op(rank, &mut single, GsOp::Add, GsMethod::PairwiseExchange);
         v == single
     });
@@ -332,8 +331,7 @@ fn ranks_with_no_ids_still_participate() {
 fn crystal_router_self_only_messages() {
     let res = World::new().run(4, |rank| {
         let me = rank.rank();
-        let out = rank.crystal_router(vec![(me, vec![me as u64 * 3])]);
-        out
+        rank.crystal_router(vec![(me, vec![me as u64 * 3])])
     });
     for (r, got) in res.results.iter().enumerate() {
         assert_eq!(got, &vec![(r, vec![r as u64 * 3])]);
@@ -365,10 +363,7 @@ fn crystal_router_models_more_network_time_than_pairwise() {
     };
     let pw = modeled(GsMethod::PairwiseExchange);
     let cr = modeled(GsMethod::CrystalRouter);
-    assert!(
-        cr > pw,
-        "crystal modelled {cr} should exceed pairwise {pw}"
-    );
+    assert!(cr > pw, "crystal modelled {cr} should exceed pairwise {pw}");
 }
 
 #[test]

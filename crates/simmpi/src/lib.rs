@@ -44,6 +44,7 @@ pub mod crystal;
 pub mod envelope;
 pub mod netmodel;
 pub mod rank;
+pub mod rng;
 pub mod stats;
 pub mod world;
 

@@ -1,8 +1,9 @@
 //! Randomized stress tests of the message-passing runtime: arbitrary
 //! tag/source schedules, interleaved collectives, and payload-type mixes.
+//! Randomization is seeded (`simmpi::rng::SmallRng`) so every run executes
+//! the identical schedule.
 
-use proptest::prelude::*;
-use rand::{Rng, SeedableRng};
+use simmpi::rng::SmallRng;
 use simmpi::{ReduceOp, World};
 
 /// Every rank sends a random number of messages with random tags to every
@@ -10,9 +11,9 @@ use simmpi::{ReduceOp, World};
 /// payloads must arrive intact (the out-of-order matching path).
 #[test]
 fn out_of_order_matching_stress() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0FFEE);
+    let mut rng = SmallRng::seed_from_u64(0xC0FFEE);
     for _ in 0..5 {
-        let p = rng.gen_range(2..=5);
+        let p = rng.range_usize(2, 6);
         // plan[src][dst] = vec of (tag, value)
         let plan: Vec<Vec<Vec<(u64, f64)>>> = (0..p)
             .map(|src| {
@@ -21,15 +22,15 @@ fn out_of_order_matching_stress() {
                         if src == dst {
                             return Vec::new();
                         }
-                        let n = rng.gen_range(0..6);
+                        let n = rng.range_usize(0, 6);
                         (0..n)
-                            .map(|i| (rng.gen_range(0..3), (src * 100 + dst * 10 + i) as f64))
+                            .map(|i| (rng.range_u64(0, 3), (src * 100 + dst * 10 + i) as f64))
                             .collect()
                     })
                     .collect()
             })
             .collect();
-        let shuffle_seed: u64 = rng.gen();
+        let shuffle_seed: u64 = rng.next_u64();
         let plan2 = plan.clone();
         let res = World::new().run(p, move |rank| {
             let me = rank.rank();
@@ -51,10 +52,10 @@ fn out_of_order_matching_stress() {
                     }
                 }
             }
-            let mut order = rand::rngs::StdRng::seed_from_u64(shuffle_seed ^ me as u64);
+            let mut order = SmallRng::seed_from_u64(shuffle_seed ^ me as u64);
             let mut got: Vec<(usize, u64, f64)> = Vec::new();
             while !streams.is_empty() {
-                let pick = order.gen_range(0..streams.len());
+                let pick = order.range_usize(0, streams.len());
                 let (src, tag, _) = streams[pick];
                 let v = rank.recv::<f64>(src, tag)[0];
                 got.push((src, tag, v));
@@ -112,18 +113,17 @@ fn mixed_payload_types() {
     assert_eq!(res.results, vec![0, 1]);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 12, .. ProptestConfig::default() })]
-
-    /// Random interleavings of collectives keep their sequence numbers
-    /// straight: a mix of barriers, bcasts and allreduces in a random
-    /// (but SPMD-identical) order produces the right values.
-    #[test]
-    fn random_collective_sequences(
-        p in 1usize..6,
-        ops in proptest::collection::vec(0u8..3, 1..12),
-        seed in any::<u64>(),
-    ) {
+/// Random interleavings of collectives keep their sequence numbers
+/// straight: a mix of barriers, bcasts and allreduces in a random
+/// (but SPMD-identical) order produces the right values.
+#[test]
+fn random_collective_sequences() {
+    let mut rng = SmallRng::seed_from_u64(0x5EED_C011);
+    for _ in 0..12 {
+        let p = rng.range_usize(1, 6);
+        let nops = rng.range_usize(1, 12);
+        let ops: Vec<u8> = (0..nops).map(|_| rng.range_u64(0, 3) as u8).collect();
+        let seed = rng.next_u64();
         let ops2 = ops.clone();
         let res = World::new().run(p, move |rank| {
             let mut acc = Vec::new();
@@ -150,7 +150,7 @@ proptest! {
         });
         // all ranks observed identical collective results
         for r in &res.results[1..] {
-            prop_assert_eq!(r, &res.results[0]);
+            assert_eq!(r, &res.results[0]);
         }
         // spot-check allreduce values
         let rank_sum: usize = (0..p).sum();
@@ -159,44 +159,47 @@ proptest! {
             match op {
                 0 => {}
                 1 => {
-                    prop_assert_eq!(res.results[0][k], i as u64);
+                    assert_eq!(res.results[0][k], i as u64);
                     k += 1;
                 }
                 _ => {
                     let expect = (rank_sum + p * i) as u64;
-                    prop_assert_eq!(res.results[0][k], expect);
+                    assert_eq!(res.results[0][k], expect);
                     k += 1;
                 }
             }
         }
     }
+}
 
-    /// Gather returns per-rank buffers in rank order for random shapes.
-    #[test]
-    fn gather_preserves_rank_order(
-        p in 1usize..6,
-        root_pick in any::<usize>(),
-        lens in proptest::collection::vec(0usize..7, 6),
-    ) {
-        let root = root_pick % p;
+/// Gather returns per-rank buffers in rank order for random shapes.
+#[test]
+fn gather_preserves_rank_order() {
+    let mut rng = SmallRng::seed_from_u64(0x6A7 << 12);
+    for _ in 0..12 {
+        let p = rng.range_usize(1, 6);
+        let root = rng.range_usize(0, p);
+        let lens: Vec<usize> = (0..6).map(|_| rng.range_usize(0, 7)).collect();
         let lens2 = lens.clone();
         let res = World::new().run(p, move |rank| {
             let len = lens2[rank.rank() % lens2.len()];
-            let data: Vec<u64> = (0..len as u64).map(|i| rank.rank() as u64 * 1000 + i).collect();
+            let data: Vec<u64> = (0..len as u64)
+                .map(|i| rank.rank() as u64 * 1000 + i)
+                .collect();
             rank.gather(root, data)
         });
         for (r, out) in res.results.iter().enumerate() {
             if r == root {
                 let all = out.as_ref().unwrap();
-                prop_assert_eq!(all.len(), p);
+                assert_eq!(all.len(), p);
                 for (q, buf) in all.iter().enumerate() {
-                    prop_assert_eq!(buf.len(), lens[q % lens.len()]);
+                    assert_eq!(buf.len(), lens[q % lens.len()]);
                     for (i, &v) in buf.iter().enumerate() {
-                        prop_assert_eq!(v, q as u64 * 1000 + i as u64);
+                        assert_eq!(v, q as u64 * 1000 + i as u64);
                     }
                 }
             } else {
-                prop_assert!(out.is_none());
+                assert!(out.is_none());
             }
         }
     }

@@ -1,33 +1,25 @@
-//! Workspace-level property-based tests (proptest): randomized inputs
-//! against invariants that span crates.
+//! Workspace-level property-based tests: randomized inputs against
+//! invariants that span crates. Each property runs a fixed number of
+//! seeded trials (`simmpi::rng::SmallRng`), so failures reproduce exactly.
 
 use cmt_core::kernels::{deriv, tensor3_apply, DerivDir, KernelVariant};
 use cmt_core::poly::{gll_nodes, interp_matrix, Basis};
 use cmt_gs::{GsHandle, GsMethod, GsOp};
 use cmt_mesh::{balanced_factor3, MeshConfig, RankMesh};
-use proptest::prelude::*;
+use simmpi::rng::SmallRng;
 use simmpi::{ReduceOp, World};
 use std::collections::HashMap;
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
-
-    /// All kernel variants agree on random data for random shapes.
-    #[test]
-    fn kernel_variants_agree(
-        n in 2usize..14,
-        nel in 1usize..5,
-        seed in any::<u64>(),
-    ) {
+/// All kernel variants agree on random data for random shapes.
+#[test]
+fn kernel_variants_agree() {
+    let mut rng = SmallRng::seed_from_u64(0x7E57_0001);
+    for _ in 0..24 {
+        let n = rng.range_usize(2, 14);
+        let nel = rng.range_usize(1, 5);
         let basis = Basis::new(n);
-        let mut state = seed | 1;
         let u: Vec<f64> = (0..n * n * n * nel)
-            .map(|_| {
-                state ^= state << 13;
-                state ^= state >> 7;
-                state ^= state << 17;
-                (state as f64 / u64::MAX as f64) * 2.0 - 1.0
-            })
+            .map(|_| rng.range_f64(-1.0, 1.0))
             .collect();
         for dir in DerivDir::ALL {
             let mut base: Option<Vec<f64>> = None;
@@ -38,20 +30,20 @@ proptest! {
                     None => base = Some(out),
                     Some(b) => {
                         for (x, y) in b.iter().zip(&out) {
-                            prop_assert!((x - y).abs() < 1e-10 * (1.0 + x.abs()));
+                            assert!((x - y).abs() < 1e-10 * (1.0 + x.abs()));
                         }
                     }
                 }
             }
         }
     }
+}
 
-    /// Differentiating after interpolating to a finer GLL mesh agrees
-    /// with interpolating the derivative (both exact for polynomial data).
-    #[test]
-    fn dealias_commutes_with_derivative_on_polynomials(
-        deg in 0usize..4,
-    ) {
+/// Differentiating after interpolating to a finer GLL mesh agrees
+/// with interpolating the derivative (both exact for polynomial data).
+#[test]
+fn dealias_commutes_with_derivative_on_polynomials() {
+    for deg in 0usize..4 {
         let n = 5;
         let m = 8;
         let xn = gll_nodes(n);
@@ -75,50 +67,67 @@ proptest! {
         let mut fine = vec![0.0; m * m * m];
         tensor3_apply(m, n, &up, &u, &mut fine, 1);
         let mut da = vec![0.0; m * m * m];
-        deriv(KernelVariant::Optimized, DerivDir::R, m, 1, &bm.d, &fine, &mut da);
+        deriv(
+            KernelVariant::Optimized,
+            DerivDir::R,
+            m,
+            1,
+            &bm.d,
+            &fine,
+            &mut da,
+        );
         // path B: differentiate then interpolate
         let mut du = vec![0.0; n * n * n];
-        deriv(KernelVariant::Optimized, DerivDir::R, n, 1, &bn.d, &u, &mut du);
+        deriv(
+            KernelVariant::Optimized,
+            DerivDir::R,
+            n,
+            1,
+            &bn.d,
+            &u,
+            &mut du,
+        );
         let mut db = vec![0.0; m * m * m];
         tensor3_apply(m, n, &up, &du, &mut db, 1);
         for (a, b) in da.iter().zip(&db) {
-            prop_assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+            assert!((a - b).abs() < 1e-8, "{a} vs {b}");
         }
     }
+}
 
-    /// balanced_factor3 always factors exactly and near-cubically.
-    #[test]
-    fn factor3_exact(v in 1usize..4096) {
+/// balanced_factor3 always factors exactly and near-cubically.
+#[test]
+fn factor3_exact() {
+    for v in 1usize..4096 {
         let f = balanced_factor3(v);
-        prop_assert_eq!(f[0] * f[1] * f[2], v);
-        prop_assert!(f[0] >= f[1] && f[1] >= f[2]);
+        assert_eq!(f[0] * f[1] * f[2], v);
+        assert!(f[0] >= f[1] && f[1] >= f[2]);
     }
+}
 
-    /// gs_op(Add) equals a dense serial reference on random id maps, for
-    /// every method, on random world sizes.
-    #[test]
-    fn gs_matches_dense_reference(
-        p in 1usize..5,
-        universe in 2u64..20,
-        lens in proptest::collection::vec(1usize..25, 1..5),
-        seed in any::<u64>(),
-    ) {
-        let mut state = seed | 1;
-        let mut rand = move || {
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            state
-        };
+/// gs_op(Add) equals a dense serial reference on random id maps, for
+/// every method, on random world sizes.
+#[test]
+fn gs_matches_dense_reference() {
+    let mut rng = SmallRng::seed_from_u64(0x7E57_0002);
+    for _ in 0..24 {
+        let p = rng.range_usize(1, 5);
+        let universe = rng.range_u64(2, 20);
+        let nlens = rng.range_usize(1, 5);
+        let lens: Vec<usize> = (0..nlens).map(|_| rng.range_usize(1, 25)).collect();
         let ids: Vec<Vec<u64>> = (0..p)
             .map(|r| {
                 let len = lens[r % lens.len()];
-                (0..len).map(|_| rand() % universe).collect()
+                (0..len).map(|_| rng.range_u64(0, universe)).collect()
             })
             .collect();
         let vals: Vec<Vec<f64>> = ids
             .iter()
-            .map(|v| v.iter().map(|_| (rand() % 17) as f64 - 8.0).collect())
+            .map(|v| {
+                v.iter()
+                    .map(|_| (rng.next_u64() % 17) as f64 - 8.0)
+                    .collect()
+            })
             .collect();
         let mut combined: HashMap<u64, f64> = HashMap::new();
         for (idv, valv) in ids.iter().zip(&vals) {
@@ -138,21 +147,25 @@ proptest! {
             for (r, got) in res.results.iter().enumerate() {
                 for (i, g) in got.iter().enumerate() {
                     let want = combined[&ids[r][i]];
-                    prop_assert!((g - want).abs() < 1e-9 * (1.0 + want.abs()),
-                        "{method:?} rank {r} slot {i}: {g} vs {want}");
+                    assert!(
+                        (g - want).abs() < 1e-9 * (1.0 + want.abs()),
+                        "{method:?} rank {r} slot {i}: {g} vs {want}"
+                    );
                 }
             }
         }
     }
+}
 
-    /// Crystal router delivers exactly the messages alltoallv does, for
-    /// random sparse patterns and world sizes (incl. non-powers-of-two).
-    #[test]
-    fn crystal_router_equals_alltoallv(
-        p in 1usize..7,
-        pattern in proptest::collection::vec(any::<bool>(), 36),
-        seed in any::<u64>(),
-    ) {
+/// Crystal router delivers exactly the messages alltoallv does, for
+/// random sparse patterns and world sizes (incl. non-powers-of-two).
+#[test]
+fn crystal_router_equals_alltoallv() {
+    let mut rng = SmallRng::seed_from_u64(0x7E57_0003);
+    for _ in 0..24 {
+        let p = rng.range_usize(1, 7);
+        let pattern: Vec<bool> = (0..36).map(|_| rng.bool()).collect();
+        let seed = rng.next_u64();
         let res = World::new().run(p, move |rank| {
             let me = rank.rank();
             let pp = rank.size();
@@ -180,23 +193,26 @@ proptest! {
             (via_a2a, via_cr)
         });
         for (a2a, cr) in &res.results {
-            prop_assert_eq!(a2a, cr);
+            assert_eq!(a2a, cr);
         }
     }
+}
 
-    /// allreduce equals the serial fold for random vectors, sizes and ops.
-    #[test]
-    fn allreduce_matches_serial_fold(
-        p in 1usize..7,
-        len in 1usize..9,
-        op_idx in 0usize..3,
-        seed in any::<u64>(),
-    ) {
-        let op = [ReduceOp::Sum, ReduceOp::Min, ReduceOp::Max][op_idx];
+/// allreduce equals the serial fold for random vectors, sizes and ops.
+#[test]
+fn allreduce_matches_serial_fold() {
+    let mut rng = SmallRng::seed_from_u64(0x7E57_0004);
+    for trial in 0..24 {
+        let p = rng.range_usize(1, 7);
+        let len = rng.range_usize(1, 9);
+        let op = [ReduceOp::Sum, ReduceOp::Min, ReduceOp::Max][trial % 3];
+        let seed = rng.next_u64();
         let data: Vec<Vec<f64>> = (0..p)
             .map(|r| {
                 (0..len)
-                    .map(|i| ((seed.wrapping_mul(r as u64 * 31 + i as u64 + 1) % 1000) as f64) - 500.0)
+                    .map(|i| {
+                        ((seed.wrapping_mul(r as u64 * 31 + i as u64 + 1) % 1000) as f64) - 500.0
+                    })
                     .collect()
             })
             .collect();
@@ -207,82 +223,96 @@ proptest! {
             }
         }
         let data2 = data.clone();
-        let res = World::new().run(p, move |rank| {
-            rank.allreduce_f64(&data2[rank.rank()], op)
-        });
+        let res = World::new().run(p, move |rank| rank.allreduce_f64(&data2[rank.rank()], op));
         for got in &res.results {
             for (g, e) in got.iter().zip(&expect) {
-                prop_assert!((g - e).abs() < 1e-9, "{g} vs {e}");
+                assert!((g - e).abs() < 1e-9, "{g} vs {e}");
             }
         }
     }
+}
 
-    /// Free-stream preservation (well-balancedness): any admissible
-    /// uniform state is an exact steady solution of the Euler DG
-    /// discretization, whatever the mesh shape and kernel variant.
-    #[test]
-    fn euler_preserves_random_uniform_states(
-        rho in 0.1f64..5.0,
-        u in -2.0f64..2.0,
-        v in -2.0f64..2.0,
-        w in -2.0f64..2.0,
-        p in 0.1f64..5.0,
-        n in 3usize..7,
-        variant_idx in 0usize..3,
-    ) {
-        use cmt_repro::cmt_core::euler::{EulerConfig, EulerSolver};
-        use cmt_repro::cmt_core::eos::Primitive;
-        use cmt_repro::cmt_core::KernelVariant;
+/// Free-stream preservation (well-balancedness): any admissible
+/// uniform state is an exact steady solution of the Euler DG
+/// discretization, whatever the mesh shape and kernel variant.
+#[test]
+fn euler_preserves_random_uniform_states() {
+    use cmt_repro::cmt_core::eos::Primitive;
+    use cmt_repro::cmt_core::euler::{EulerConfig, EulerSolver};
+    use cmt_repro::cmt_core::KernelVariant;
+    let mut rng = SmallRng::seed_from_u64(0x7E57_0005);
+    for trial in 0..8 {
+        let rho = rng.range_f64(0.1, 5.0);
+        let u = rng.range_f64(-2.0, 2.0);
+        let v = rng.range_f64(-2.0, 2.0);
+        let w = rng.range_f64(-2.0, 2.0);
+        let p = rng.range_f64(0.1, 5.0);
+        let n = rng.range_usize(3, 7);
         let mut s = EulerSolver::new(EulerConfig {
             n,
             elems: [2, 1, 2],
-            variant: KernelVariant::ALL[variant_idx],
+            variant: KernelVariant::ALL[trial % 3],
             ..Default::default()
         });
-        s.init(|_, _, _| Primitive { rho, vel: [u, v, w], p });
+        s.init(|_, _, _| Primitive {
+            rho,
+            vel: [u, v, w],
+            p,
+        });
         let dt = s.stable_dt(0.3);
         for _ in 0..3 {
             s.step(dt);
         }
-        let expect = cmt_repro::cmt_core::eos::IdealGas::default()
-            .conserved(Primitive { rho, vel: [u, v, w], p });
+        let expect = cmt_repro::cmt_core::eos::IdealGas::default().conserved(Primitive {
+            rho,
+            vel: [u, v, w],
+            p,
+        });
         for (c, &want) in expect.iter().enumerate() {
             for &got in s.state()[c].as_slice() {
-                prop_assert!(
+                assert!(
                     (got - want).abs() < 1e-10 * (1.0 + want.abs()),
                     "field {c}: {got} vs {want}"
                 );
             }
         }
     }
+}
 
-    /// Mesh invariants on random shapes: ownership partitions, neighbor
-    /// symmetry, face-gid pairing.
-    #[test]
-    fn mesh_invariants(
-        pd in (1usize..4, 1usize..4, 1usize..3),
-        ld in (1usize..4, 1usize..4, 1usize..3),
-        n in 2usize..6,
-        periodic in any::<bool>(),
-    ) {
+/// Mesh invariants on random shapes: ownership partitions, neighbor
+/// symmetry, face-gid pairing.
+#[test]
+fn mesh_invariants() {
+    let mut rng = SmallRng::seed_from_u64(0x7E57_0006);
+    for _ in 0..24 {
         let cfg = MeshConfig {
-            n,
-            proc_dims: [pd.0, pd.1, pd.2],
-            local_elems: [ld.0, ld.1, ld.2],
-            periodic,
+            n: rng.range_usize(2, 6),
+            proc_dims: [
+                rng.range_usize(1, 4),
+                rng.range_usize(1, 4),
+                rng.range_usize(1, 3),
+            ],
+            local_elems: [
+                rng.range_usize(1, 4),
+                rng.range_usize(1, 4),
+                rng.range_usize(1, 3),
+            ],
+            periodic: rng.bool(),
         };
-        let meshes: Vec<RankMesh> =
-            (0..cfg.ranks()).map(|r| RankMesh::new(cfg.clone(), r)).collect();
+        let periodic = cfg.periodic;
+        let meshes: Vec<RankMesh> = (0..cfg.ranks())
+            .map(|r| RankMesh::new(cfg.clone(), r))
+            .collect();
         // ownership partition
         let mut seen = vec![false; cfg.total_elems()];
         for m in &meshes {
             for le in 0..m.nel() {
                 let gid = m.global_elem_id(le);
-                prop_assert!(!seen[gid]);
+                assert!(!seen[gid]);
                 seen[gid] = true;
             }
         }
-        prop_assert!(seen.iter().all(|&s| s));
+        assert!(seen.iter().all(|&s| s));
         // neighbor symmetry
         use cmt_core::face::Face;
         use cmt_mesh::Neighbor;
@@ -290,17 +320,17 @@ proptest! {
             for le in 0..m.nel() {
                 for f in Face::ALL {
                     match m.neighbor(le, f) {
-                        Neighbor::Boundary => prop_assert!(!periodic),
+                        Neighbor::Boundary => assert!(!periodic),
                         Neighbor::Local(e) => {
                             let back = meshes[m.rank()].neighbor(e, f.opposite());
-                            prop_assert_eq!(back, Neighbor::Local(le));
+                            assert_eq!(back, Neighbor::Local(le));
                         }
                         Neighbor::Remote { rank, elem } => {
                             match meshes[rank].neighbor(elem, f.opposite()) {
                                 Neighbor::Remote { rank: br, elem: be } => {
-                                    prop_assert_eq!((br, be), (m.rank(), le));
+                                    assert_eq!((br, be), (m.rank(), le));
                                 }
-                                other => prop_assert!(false, "asymmetric: {other:?}"),
+                                other => panic!("asymmetric: {other:?}"),
                             }
                         }
                     }
@@ -315,9 +345,9 @@ proptest! {
             }
         }
         for (&g, &c) in &counts {
-            prop_assert!(c <= 2, "gid {g} held {c} times");
+            assert!(c <= 2, "gid {g} held {c} times");
             if periodic {
-                prop_assert_eq!(c, 2);
+                assert_eq!(c, 2);
             }
         }
     }
