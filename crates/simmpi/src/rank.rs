@@ -2,10 +2,9 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-
-use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 
 use crate::envelope::{Envelope, Msg};
 use crate::netmodel::NetworkModel;
@@ -127,7 +126,11 @@ impl Rank {
         assert!(src < self.size, "recv from rank {src} of {}", self.size);
         // First, search messages that already arrived but didn't match an
         // earlier receive.
-        if let Some(pos) = self.pending.iter().position(|e| e.src == src && e.tag == tag) {
+        if let Some(pos) = self
+            .pending
+            .iter()
+            .position(|e| e.src == src && e.tag == tag)
+        {
             return self.pending.remove(pos).unwrap();
         }
         let start = Instant::now();

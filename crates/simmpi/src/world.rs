@@ -2,10 +2,9 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::channel;
 use std::sync::Arc;
 use std::time::Instant;
-
-use crossbeam::channel::unbounded;
 
 use crate::envelope::Envelope;
 use crate::netmodel::NetworkModel;
@@ -67,7 +66,7 @@ impl World {
         let mut senders = Vec::with_capacity(p);
         let mut receivers = Vec::with_capacity(p);
         for _ in 0..p {
-            let (tx, rx) = unbounded::<Envelope>();
+            let (tx, rx) = channel::<Envelope>();
             senders.push(tx);
             receivers.push(rx);
         }
@@ -307,7 +306,9 @@ mod tests {
 
     #[test]
     fn gather_collects_in_rank_order() {
-        let res = World::new().run(4, |rank| rank.gather(2, vec![rank.rank() as u64; rank.rank()]));
+        let res = World::new().run(4, |rank| {
+            rank.gather(2, vec![rank.rank() as u64; rank.rank()])
+        });
         for (r, out) in res.results.iter().enumerate() {
             if r == 2 {
                 let all = out.as_ref().unwrap();
