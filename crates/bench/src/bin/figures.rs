@@ -322,7 +322,11 @@ fn dealias_fig() {
         });
         println!(
             "{:9} | {:12.4} | {:6.1}%",
-            if m == 0 { "off".to_string() } else { m.to_string() },
+            if m == 0 {
+                "off".to_string()
+            } else {
+                m.to_string()
+            },
             rep.max_wall_s(),
             100.0 * rep.profile.share("dealias (fine-mesh map)")
         );

@@ -298,11 +298,8 @@ fn rank_main(rank: &mut Rank, cfg: &Config, mesh_cfg: &MeshConfig, collect: bool
                                 for p in 0..n2 {
                                     // F* - F_in = sign nu ((q_own+q_nbr)/2 - q_own)
                                     //           = sign nu (q_nbr - q_own)/2
-                                    let corr = lift
-                                        * sign
-                                        * *nu
-                                        * 0.5
-                                        * (qnbr[off + p] - qown[off + p]);
+                                    let corr =
+                                        lift * sign * *nu * 0.5 * (qnbr[off + p] - qown[off + p]);
                                     let vi = face::face_point_volume_index(n, fc, p);
                                     rhs.as_mut_slice()[e * n3 + vi] += corr;
                                 }
@@ -549,8 +546,7 @@ mod tests {
         });
         // identity on the polynomial data: same physics to roundoff
         assert!(
-            (plain.checksum - dealiased.checksum).abs()
-                < 1e-9 * (1.0 + plain.checksum.abs()),
+            (plain.checksum - dealiased.checksum).abs() < 1e-9 * (1.0 + plain.checksum.abs()),
             "{} vs {}",
             plain.checksum,
             dealiased.checksum
@@ -614,7 +610,10 @@ mod tests {
                 }
             }
         }
-        assert!(max_diff < 1e-10, "viscous distributed vs serial: {max_diff}");
+        assert!(
+            max_diff < 1e-10,
+            "viscous distributed vs serial: {max_diff}"
+        );
     }
 
     #[test]
@@ -652,9 +651,10 @@ mod tests {
             ..small_cfg()
         });
         // pairwise exchange under the "faces" context shows Isend/Wait
-        let found = rep.comm.sites.iter().any(|s| {
-            s.site.op == simmpi::MpiOp::Wait && s.site.context.contains("gs:pairwise")
-        });
+        let found =
+            rep.comm.sites.iter().any(|s| {
+                s.site.op == simmpi::MpiOp::Wait && s.site.context.contains("gs:pairwise")
+            });
         assert!(found, "missing MPI_Wait at gs:pairwise site");
         let cfl = rep
             .comm

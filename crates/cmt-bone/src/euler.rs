@@ -291,13 +291,13 @@ fn rank_main(
     };
 
     let eval_rhs = |u: &[Field],
-                        rhs: &mut [Field],
-                        flux: &mut Field,
-                        scratch: &mut Field,
-                        faces_own: &mut [Vec<f64>],
-                        faces_nbr: &mut [Vec<f64>],
-                        rank: &mut Rank,
-                        prof: &mut Profiler| {
+                    rhs: &mut [Field],
+                    flux: &mut Field,
+                    scratch: &mut Field,
+                    faces_own: &mut [Vec<f64>],
+                    faces_nbr: &mut [Vec<f64>],
+                    rank: &mut Rank,
+                    prof: &mut Profiler| {
         // volume term
         prof.enter("ax_cmt (flux divergence derivs)");
         for r in rhs.iter_mut() {
@@ -393,9 +393,13 @@ fn rank_main(
         set
     });
     let mut particles_migrated = 0u64;
-    let mut vel_fields: Option<[Field; 3]> = pset
-        .as_ref()
-        .map(|_| [Field::zeros(n, nel), Field::zeros(n, nel), Field::zeros(n, nel)]);
+    let mut vel_fields: Option<[Field; 3]> = pset.as_ref().map(|_| {
+        [
+            Field::zeros(n, nel),
+            Field::zeros(n, nel),
+            Field::zeros(n, nel),
+        ]
+    });
 
     prof.enter("timestep_loop");
     let mut time = 0.0;
@@ -455,8 +459,7 @@ fn rank_main(
         None => 0,
     };
     rank.set_context("particle_totals");
-    let particles_migrated =
-        rank.allreduce_u64(&[particles_migrated], ReduceOp::Sum)[0];
+    let particles_migrated = rank.allreduce_u64(&[particles_migrated], ReduceOp::Sum)[0];
     rank.set_context("main");
 
     let totals_after = totals(&u, rank);

@@ -88,10 +88,15 @@ impl RunReport {
             self.modeled_flops() as f64 / 1e9,
             self.flop_rate() / 1e9,
         ));
-        out.push_str(&format!("chosen gs method: {}\n", self.chosen_method.name()));
+        out.push_str(&format!(
+            "chosen gs method: {}\n",
+            self.chosen_method.name()
+        ));
         if let Some(t) = &self.autotune {
             out.push_str("\nAutotune (Fig. 7):\n");
-            out.push_str("mini-app   | method             |      avg (s) |      min (s) |      max (s)\n");
+            out.push_str(
+                "mini-app   | method             |      avg (s) |      min (s) |      max (s)\n",
+            );
             out.push_str(&t.table("CMT-bone"));
         }
         out.push_str("\nExecution profile (Fig. 4):\n");

@@ -128,8 +128,9 @@ impl AdvDiffSolver {
         let exi = e % ex;
         let eyi = (e / ex) % ey;
         let ezi = e / (ex * ey);
-        let map =
-            |idx: usize, cell: usize, h: f64| (cell as f64 + (self.basis.nodes[idx] + 1.0) / 2.0) * h;
+        let map = |idx: usize, cell: usize, h: f64| {
+            (cell as f64 + (self.basis.nodes[idx] + 1.0) / 2.0) * h
+        };
         [
             map(i, exi, self.geom.hx),
             map(j, eyi, self.geom.hy),
@@ -402,7 +403,11 @@ mod tests {
         (2.0 * PI * x).sin()
     }
 
-    fn run_to(cfg: AdvDiffConfig, t_end: f64, init: impl Fn(f64, f64, f64) -> f64) -> AdvDiffSolver {
+    fn run_to(
+        cfg: AdvDiffConfig,
+        t_end: f64,
+        init: impl Fn(f64, f64, f64) -> f64,
+    ) -> AdvDiffSolver {
         let mut s = AdvDiffSolver::new(cfg);
         s.init(init);
         let dt = s.stable_dt(0.25).min(t_end / 20.0);
@@ -475,10 +480,7 @@ mod tests {
             );
             errs.push(s.error_vs_decaying_wave([1, 0, 0]));
         }
-        assert!(
-            errs[2] < errs[0] * 0.05,
-            "no spectral decay: {errs:?}"
-        );
+        assert!(errs[2] < errs[0] * 0.05, "no spectral decay: {errs:?}");
     }
 
     #[test]

@@ -118,7 +118,9 @@ impl IdealGas {
     ) -> [f64; NVARS] {
         let fl = self.flux(ul, axis);
         let fr = self.flux(ur, axis);
-        let lambda = self.max_wave_speed(ul, axis).max(self.max_wave_speed(ur, axis));
+        let lambda = self
+            .max_wave_speed(ul, axis)
+            .max(self.max_wave_speed(ur, axis));
         let mut out = [0.0; NVARS];
         for c in 0..NVARS {
             out[c] = 0.5 * sign * (fl[c] + fr[c]) - 0.5 * lambda * (ur[c] - ul[c]);

@@ -87,7 +87,10 @@ impl EulerSolver {
     /// Build the solver with a vacuum (all-zero) state; call
     /// [`EulerSolver::init`] before stepping.
     pub fn new(cfg: EulerConfig) -> Self {
-        assert!(cfg.elems.iter().all(|&e| e > 0), "element counts must be positive");
+        assert!(
+            cfg.elems.iter().all(|&e| e > 0),
+            "element counts must be positive"
+        );
         assert!(
             cfg.artificial_viscosity >= 0.0,
             "artificial viscosity must be non-negative"
@@ -138,7 +141,9 @@ impl EulerSolver {
         let exi = e % ex;
         let eyi = (e / ex) % ey;
         let ezi = e / (ex * ey);
-        let map = |idx: usize, cell: usize, h: f64| (cell as f64 + (self.basis.nodes[idx] + 1.0) / 2.0) * h;
+        let map = |idx: usize, cell: usize, h: f64| {
+            (cell as f64 + (self.basis.nodes[idx] + 1.0) / 2.0) * h
+        };
         [
             map(i, exi, self.geom.hx),
             map(j, eyi, self.geom.hy),
@@ -400,8 +405,8 @@ impl EulerSolver {
                             let lift = self.geom.dscale(axis) / w_end;
                             let off = e * fpe + f.index() * n2;
                             for p in 0..n2 {
-                                let jump = 0.5
-                                    * (self.faces_nbr[c][off + p] - self.faces_own[c][off + p]);
+                                let jump =
+                                    0.5 * (self.faces_nbr[c][off + p] - self.faces_own[c][off + p]);
                                 let vi = face::face_point_volume_index(n, f, p);
                                 self.flux.as_mut_slice()[e * n3 + vi] += lift * sign * jump;
                             }
@@ -432,8 +437,7 @@ impl EulerSolver {
                             let off = e * fpe + f.index() * n2;
                             for p in 0..n2 {
                                 // F* - F_in = sign nu (q_nbr - q_own)/2
-                                let corr =
-                                    lift * sign * nu * 0.5 * (qnbr[off + p] - qown[off + p]);
+                                let corr = lift * sign * nu * 0.5 * (qnbr[off + p] - qown[off + p]);
                                 let vi = face::face_point_volume_index(n, f, p);
                                 self.rhs[c].as_mut_slice()[e * n3 + vi] += corr;
                             }
@@ -540,10 +544,7 @@ mod tests {
             }
             errs.push(err);
         }
-        assert!(
-            errs[2] < errs[0] * 0.05,
-            "no spectral decay: {errs:?}"
-        );
+        assert!(errs[2] < errs[0] * 0.05, "no spectral decay: {errs:?}");
         assert!(errs[2] < 5e-4, "final error too large: {errs:?}");
     }
 
@@ -623,8 +624,14 @@ mod tests {
         let (lx, hx) = run_axis(0);
         let (ly, hy) = run_axis(1);
         let (lz, hz) = run_axis(2);
-        assert!((lx - ly).abs() < 1e-10 && (hx - hy).abs() < 1e-10, "x vs y asymmetric");
-        assert!((lx - lz).abs() < 1e-10 && (hx - hz).abs() < 1e-10, "x vs z asymmetric");
+        assert!(
+            (lx - ly).abs() < 1e-10 && (hx - hy).abs() < 1e-10,
+            "x vs y asymmetric"
+        );
+        assert!(
+            (lx - lz).abs() < 1e-10 && (hx - hz).abs() < 1e-10,
+            "x vs z asymmetric"
+        );
     }
 
     /// The classic isentropic-vortex accuracy test: an exact smooth
@@ -645,8 +652,7 @@ mod tests {
             let e = ((1.0 - r2) / 2.0).exp();
             let du = -beta / (2.0 * PI) * e * dy;
             let dv = beta / (2.0 * PI) * e * dx;
-            let t = 1.0 - (gamma - 1.0) * beta * beta / (8.0 * gamma * PI * PI)
-                * (1.0 - r2).exp();
+            let t = 1.0 - (gamma - 1.0) * beta * beta / (8.0 * gamma * PI * PI) * (1.0 - r2).exp();
             let rho = t.powf(1.0 / (gamma - 1.0));
             Primitive {
                 rho,

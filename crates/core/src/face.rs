@@ -227,11 +227,11 @@ mod tests {
         assert_eq!(faces[0], 0.0); // j=0, k=0
         assert_eq!(faces[1], 10.0); // j=1, k=0
         assert_eq!(faces[3], 1.0); // j=0, k=1
-        // Face RPlus (i = 2): starts at offset 9
+                                   // Face RPlus (i = 2): starts at offset 9
         assert_eq!(faces[9], 200.0);
         // Face SPlus (j = 2): offset 27, point (a=i, b=k)
         assert_eq!(faces[27 + 1], 120.0); // i=1, k=0
-        // Face TPlus (k = 2): offset 45, point (a=i, b=j)
+                                          // Face TPlus (k = 2): offset 45, point (a=i, b=j)
         assert_eq!(faces[45 + 2 * 3 + 1], 122.0); // i=1, j=2
     }
 

@@ -34,7 +34,11 @@ impl Field {
     }
 
     /// Build a field by evaluating `f(e, i, j, k)` at every point.
-    pub fn from_fn(n: usize, nel: usize, mut f: impl FnMut(usize, usize, usize, usize) -> f64) -> Self {
+    pub fn from_fn(
+        n: usize,
+        nel: usize,
+        mut f: impl FnMut(usize, usize, usize, usize) -> f64,
+    ) -> Self {
         let mut fld = Field::zeros(n, nel);
         let mut idx = 0;
         for e in 0..nel {

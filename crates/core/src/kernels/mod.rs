@@ -147,9 +147,33 @@ pub fn grad(
     assert_eq!((ur.n(), ur.nel()), (n, nel), "ur shape mismatch");
     assert_eq!((us.n(), us.nel()), (n, nel), "us shape mismatch");
     assert_eq!((ut.n(), ut.nel()), (n, nel), "ut shape mismatch");
-    deriv(variant, DerivDir::R, n, nel, d, u.as_slice(), ur.as_mut_slice());
-    deriv(variant, DerivDir::S, n, nel, d, u.as_slice(), us.as_mut_slice());
-    deriv(variant, DerivDir::T, n, nel, d, u.as_slice(), ut.as_mut_slice());
+    deriv(
+        variant,
+        DerivDir::R,
+        n,
+        nel,
+        d,
+        u.as_slice(),
+        ur.as_mut_slice(),
+    );
+    deriv(
+        variant,
+        DerivDir::S,
+        n,
+        nel,
+        d,
+        u.as_slice(),
+        us.as_mut_slice(),
+    );
+    deriv(
+        variant,
+        DerivDir::T,
+        n,
+        nel,
+        d,
+        u.as_slice(),
+        ut.as_mut_slice(),
+    );
 }
 
 /// Apply a rectangular tensor-product operator `J` (`m x n`, row-major) to
@@ -294,7 +318,14 @@ mod tests {
         let mut ur = Field::zeros(n, 2);
         let mut us = Field::zeros(n, 2);
         let mut ut = Field::zeros(n, 2);
-        grad(KernelVariant::Optimized, &b.d, &u, &mut ur, &mut us, &mut ut);
+        grad(
+            KernelVariant::Optimized,
+            &b.d,
+            &u,
+            &mut ur,
+            &mut us,
+            &mut ut,
+        );
         for e in 0..2 {
             for k in 0..n {
                 for j in 0..n {

@@ -28,7 +28,11 @@ pub struct ElementGeom {
 impl ElementGeom {
     /// Cubic elements of edge `h`.
     pub fn cube(h: f64) -> Self {
-        ElementGeom { hx: h, hy: h, hz: h }
+        ElementGeom {
+            hx: h,
+            hy: h,
+            hz: h,
+        }
     }
 
     /// Reference-to-physical derivative scale `2/h` along `axis`
@@ -79,7 +83,11 @@ pub fn advect_volume_rhs(
     scratch: &mut Field,
 ) {
     assert_eq!((u.n(), u.nel()), (rhs.n(), rhs.nel()), "rhs shape");
-    assert_eq!((u.n(), u.nel()), (scratch.n(), scratch.nel()), "scratch shape");
+    assert_eq!(
+        (u.n(), u.nel()),
+        (scratch.n(), scratch.nel()),
+        "scratch shape"
+    );
     rhs.fill(0.0);
     for (axis, dir) in [(0, DerivDir::R), (1, DerivDir::S), (2, DerivDir::T)] {
         if vel[axis] == 0.0 {
@@ -167,7 +175,15 @@ mod tests {
         let mut gx = Field::zeros(n, 1);
         let mut gy = Field::zeros(n, 1);
         let mut gz = Field::zeros(n, 1);
-        phys_grad(KernelVariant::Optimized, &basis, &geom, &u, &mut gx, &mut gy, &mut gz);
+        phys_grad(
+            KernelVariant::Optimized,
+            &basis,
+            &geom,
+            &u,
+            &mut gx,
+            &mut gy,
+            &mut gz,
+        );
         assert!(gx.as_slice().iter().all(|v| (v - 1.0).abs() < 1e-11));
         assert!(gy.as_slice().iter().all(|v| (v - 4.0).abs() < 1e-11));
         assert!(gz.as_slice().iter().all(|v| (v - 0.5).abs() < 1e-11));

@@ -272,7 +272,12 @@ mod tests {
         assert_close(l2, (3.0 * 0.25 - 1.0) / 2.0, 1e-14, "L_2(0.5)");
         assert_close(dl2, 3.0 * 0.5, 1e-14, "L_2'(0.5)");
         let (l3, dl3) = legendre(3, -0.3);
-        assert_close(l3, (5.0 * (-0.027) - 3.0 * (-0.3)) / 2.0, 1e-14, "L_3(-0.3)");
+        assert_close(
+            l3,
+            (5.0 * (-0.027) - 3.0 * (-0.3)) / 2.0,
+            1e-14,
+            "L_3(-0.3)",
+        );
         assert_close(dl3, (15.0 * 0.09 - 3.0) / 2.0, 1e-13, "L_3'(-0.3)");
     }
 

@@ -89,8 +89,7 @@ pub fn solve(gas: IdealGas, left: State1d, right: State1d) -> RiemannSolution {
         "initial data generates vacuum"
     );
     // initial guess: PVRS (primitive-variable Riemann solver), floored
-    let p_pv = 0.5 * (left.p + right.p)
-        - 0.125 * du * (left.rho + right.rho) * (al + ar);
+    let p_pv = 0.5 * (left.p + right.p) - 0.125 * du * (left.rho + right.rho) * (al + ar);
     let mut p = p_pv.max(1e-8 * (left.p.min(right.p)));
     // Newton iteration on f(p) = f_L + f_R + du = 0
     for _ in 0..100 {
@@ -128,15 +127,15 @@ impl RiemannSolution {
             // left of the contact
             if self.p_star > l.p {
                 // left shock
-                let ms = l.u - al * ((g + 1.0) / (2.0 * g) * self.p_star / l.p
-                    + (g - 1.0) / (2.0 * g))
-                    .sqrt();
+                let ms = l.u
+                    - al * ((g + 1.0) / (2.0 * g) * self.p_star / l.p + (g - 1.0) / (2.0 * g))
+                        .sqrt();
                 if xi <= ms {
                     l
                 } else {
                     let pr = self.p_star / l.p;
-                    let rho = l.rho * (pr + (g - 1.0) / (g + 1.0))
-                        / (pr * (g - 1.0) / (g + 1.0) + 1.0);
+                    let rho =
+                        l.rho * (pr + (g - 1.0) / (g + 1.0)) / (pr * (g - 1.0) / (g + 1.0) + 1.0);
                     State1d {
                         rho,
                         u: self.u_star,
@@ -169,15 +168,15 @@ impl RiemannSolution {
             // right of the contact (mirror)
             if self.p_star > r.p {
                 // right shock
-                let ms = r.u + ar * ((g + 1.0) / (2.0 * g) * self.p_star / r.p
-                    + (g - 1.0) / (2.0 * g))
-                    .sqrt();
+                let ms = r.u
+                    + ar * ((g + 1.0) / (2.0 * g) * self.p_star / r.p + (g - 1.0) / (2.0 * g))
+                        .sqrt();
                 if xi >= ms {
                     r
                 } else {
                     let pr = self.p_star / r.p;
-                    let rho = r.rho * (pr + (g - 1.0) / (g + 1.0))
-                        / (pr * (g - 1.0) / (g + 1.0) + 1.0);
+                    let rho =
+                        r.rho * (pr + (g - 1.0) / (g + 1.0)) / (pr * (g - 1.0) / (g + 1.0) + 1.0);
                     State1d {
                         rho,
                         u: self.u_star,

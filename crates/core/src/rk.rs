@@ -69,11 +69,7 @@ mod tests {
         let u0 = u.clone();
         let mut rhs = Field::zeros(2, 1);
         for s in 0..STAGES {
-            for (r, v) in rhs
-                .as_mut_slice()
-                .iter_mut()
-                .zip(u.as_slice())
-            {
+            for (r, v) in rhs.as_mut_slice().iter_mut().zip(u.as_slice()) {
                 *r = lambda * v;
             }
             stage_update(s, &mut u, &u0, &rhs, dt);

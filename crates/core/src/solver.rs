@@ -71,7 +71,10 @@ impl AdvectionSolver {
     /// # Panics
     /// Panics if any element count is zero or `n < 2`.
     pub fn new(cfg: AdvectionConfig) -> Self {
-        assert!(cfg.elems.iter().all(|&e| e > 0), "element counts must be positive");
+        assert!(
+            cfg.elems.iter().all(|&e| e > 0),
+            "element counts must be positive"
+        );
         let nel = cfg.elems[0] * cfg.elems[1] * cfg.elems[2];
         let basis = Basis::new(cfg.n);
         let geom = ElementGeom {
@@ -120,7 +123,9 @@ impl AdvectionSolver {
         let exi = e % ex;
         let eyi = (e / ex) % ey;
         let ezi = e / (ex * ey);
-        let map = |idx: usize, cell: usize, h: f64| (cell as f64 + (self.basis.nodes[idx] + 1.0) / 2.0) * h;
+        let map = |idx: usize, cell: usize, h: f64| {
+            (cell as f64 + (self.basis.nodes[idx] + 1.0) / 2.0) * h
+        };
         [
             map(i, exi, self.geom.hx),
             map(j, eyi, self.geom.hy),
@@ -198,7 +203,12 @@ impl AdvectionSolver {
             &mut self.rhs,
             &mut self.scratch,
         );
-        face::full2face(self.cfg.n, self.nel(), self.u.as_slice(), &mut self.faces_in);
+        face::full2face(
+            self.cfg.n,
+            self.nel(),
+            self.u.as_slice(),
+            &mut self.faces_in,
+        );
         self.exchange_faces();
         upwind_face_correction(
             &self.basis,

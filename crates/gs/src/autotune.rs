@@ -159,7 +159,14 @@ mod tests {
             // ids: rank-private ids plus one id shared by all
             let ids = vec![1000 + rank.rank() as u64, 7, 2000 + rank.rank() as u64];
             let handle = GsHandle::setup(rank, &ids);
-            let report = autotune(rank, &handle, AutotuneOptions { trials: 2, allreduce_limit: 1 << 20 });
+            let report = autotune(
+                rank,
+                &handle,
+                AutotuneOptions {
+                    trials: 2,
+                    allreduce_limit: 1 << 20,
+                },
+            );
             (report.chosen, report.timings.len())
         });
         let first = res.results[0].0;

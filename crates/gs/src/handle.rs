@@ -185,7 +185,10 @@ impl GsHandle {
             .map(|(nrank, mut gis)| {
                 gis.sort_by_key(|&gi| groups[gi as usize].gid);
                 gis.dedup();
-                NeighborList { rank: nrank, groups: gis }
+                NeighborList {
+                    rank: nrank,
+                    groups: gis,
+                }
             })
             .collect();
         neighbors.sort_by_key(|nl| nl.rank);

@@ -261,11 +261,7 @@ impl GsHandle {
                 .map(|nl| rank.irecv(nl.rank, TAG))
                 .collect();
             for nl in &self.neighbors {
-                let payload: Vec<f64> = nl
-                    .groups
-                    .iter()
-                    .map(|&gi| combined[gi as usize])
-                    .collect();
+                let payload: Vec<f64> = nl.groups.iter().map(|&gi| combined[gi as usize]).collect();
                 rank.isend_vec(nl.rank, TAG, payload);
             }
             for (nl, req) in self.neighbors.iter().zip(reqs) {

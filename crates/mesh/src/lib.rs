@@ -437,9 +437,8 @@ impl RankMesh {
                     // face-local (a, b) map to tangential axes (t1, t2)
                     let c1 = gc[t1] * n + a;
                     let c2 = gc[t2] * n + b;
-                    let gid = base[axis]
-                        + ((plane as u64) * tang(t1) + c1 as u64) * tang(t2)
-                        + c2 as u64;
+                    let gid =
+                        base[axis] + ((plane as u64) * tang(t1) + c1 as u64) * tang(t2) + c2 as u64;
                     out.push(gid);
                 }
             }
@@ -599,7 +598,10 @@ mod tests {
         };
         let m0 = RankMesh::new(cfg.clone(), 0);
         assert_eq!(m0.neighbor(0, Face::RMinus), Neighbor::Boundary);
-        assert_eq!(m0.neighbor(0, Face::RPlus), Neighbor::Remote { rank: 1, elem: 0 });
+        assert_eq!(
+            m0.neighbor(0, Face::RPlus),
+            Neighbor::Remote { rank: 1, elem: 0 }
+        );
         assert_eq!(m0.neighbor(0, Face::SMinus), Neighbor::Boundary);
         assert_eq!(m0.neighbor(0, Face::TPlus), Neighbor::Boundary);
     }
@@ -807,7 +809,7 @@ mod tests {
         // element 1 of rank 0 is at gy=1 (the top): j=n-1 is boundary
         assert!(m0.is_boundary_point(1, 1, 2, 1));
         assert!(!m0.is_boundary_point(1, 1, 0, 1)); // interior interface gy=1 bottom? no: j=0 of gy=1 touches gy=0 -> interior
-        // periodic mesh never reports boundaries
+                                                    // periodic mesh never reports boundaries
         let per = RankMesh::new(
             MeshConfig {
                 periodic: true,

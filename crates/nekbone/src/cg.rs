@@ -90,7 +90,9 @@ pub fn cg_solve(
     // r = b - A x (skip the apply when x = 0, the usual Nekbone start)
     let mut r = b.clone();
     if x.as_slice().iter().any(|&v| v != 0.0) {
-        apply_assembled(rank, op, handle, method, mask, x, &mut w, &mut t1, &mut t2, prof);
+        apply_assembled(
+            rank, op, handle, method, mask, x, &mut w, &mut t1, &mut t2, prof,
+        );
         r.axpy(-1.0, &w);
     }
     if let Some(m) = mask {
@@ -105,7 +107,9 @@ pub fn cg_solve(
         if history.last().copied().unwrap_or(0.0) <= tol {
             break;
         }
-        apply_assembled(rank, op, handle, method, mask, &p, &mut w, &mut t1, &mut t2, prof);
+        apply_assembled(
+            rank, op, handle, method, mask, &p, &mut w, &mut t1, &mut t2, prof,
+        );
         let pap = glsc3(rank, &p, &w, inv_mult);
         assert!(
             pap > 0.0,

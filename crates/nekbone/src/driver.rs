@@ -94,10 +94,15 @@ impl NekboneReport {
             self.cg.final_residual(),
             self.checksum
         ));
-        out.push_str(&format!("chosen gs method: {}\n", self.chosen_method.name()));
+        out.push_str(&format!(
+            "chosen gs method: {}\n",
+            self.chosen_method.name()
+        ));
         if let Some(t) = &self.autotune {
             out.push_str("\nAutotune (Fig. 7):\n");
-            out.push_str("mini-app   | method             |      avg (s) |      min (s) |      max (s)\n");
+            out.push_str(
+                "mini-app   | method             |      avg (s) |      min (s) |      max (s)\n",
+            );
             out.push_str(&t.table("Nekbone"));
         }
         out.push_str("\nExecution profile:\n");
@@ -221,7 +226,10 @@ fn rank_main(rank: &mut Rank, cfg: &Config, mesh_cfg: &MeshConfig) -> RankOutput
 
 /// Execute the Nekbone proxy and collect its measurement set.
 pub fn run(cfg: &Config) -> NekboneReport {
-    assert!(cfg.n >= 2 && cfg.ranks > 0 && cfg.elems_per_rank > 0, "invalid Nekbone configuration");
+    assert!(
+        cfg.n >= 2 && cfg.ranks > 0 && cfg.elems_per_rank > 0,
+        "invalid Nekbone configuration"
+    );
     let mesh_cfg = MeshConfig::for_ranks(cfg.ranks, cfg.elems_per_rank, cfg.n, cfg.periodic);
     let world = match cfg.net {
         Some(net) => World::with_network(net),
@@ -386,11 +394,7 @@ mod tests {
     #[test]
     fn profile_has_ax_and_dssum_regions() {
         let rep = run(&small_cfg());
-        assert!(rep
-            .profile
-            .flat
-            .iter()
-            .any(|(n, _)| n.starts_with("ax_e")));
+        assert!(rep.profile.flat.iter().any(|(n, _)| n.starts_with("ax_e")));
         assert!(rep.profile.flat.iter().any(|(n, _)| n.starts_with("dssum")));
         // the local stiffness work dominates dssum's self time in a
         // shared-memory world

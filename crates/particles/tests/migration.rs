@@ -54,9 +54,7 @@ fn particles_land_on_the_owning_rank() {
         set.advect_analytic(1.0, |_| [2.3, 1.1, 0.0]);
         set.migrate(rank);
         // after migration, every particle locates to this rank
-        set.particles()
-            .iter()
-            .all(|p| set.locate(p.pos).0 == my)
+        set.particles().iter().all(|p| set.locate(p.pos).0 == my)
     });
     assert!(res.results.iter().all(|&ok| ok));
 }
@@ -71,11 +69,7 @@ fn long_range_migration_via_crystal_router() {
         let basis = Basis::new(cfg.n);
         let mesh = RankMesh::new(cfg.clone(), rank.rank());
         let ge = mesh.config().global_elems();
-        let far = [
-            ge[0] as f64 - 0.5,
-            ge[1] as f64 - 0.5,
-            ge[2] as f64 - 0.5,
-        ];
+        let far = [ge[0] as f64 - 0.5, ge[1] as f64 - 0.5, ge[2] as f64 - 0.5];
         let mut set = ParticleSet::new(mesh, &basis);
         if rank.rank() == 0 {
             for q in 0..10 {

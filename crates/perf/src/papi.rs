@@ -199,9 +199,8 @@ impl CacheModel {
             _ => (0.4, 1.5),
         };
         let ws = Self::working_set(n);
-        let infl = 1.0
-            + p1 * Self::beyond(ws, self.l1_bytes)
-            + p2 * Self::beyond(ws, self.l2_bytes);
+        let infl =
+            1.0 + p1 * Self::beyond(ws, self.l1_bytes) + p2 * Self::beyond(ws, self.l2_bytes);
         PapiEstimate {
             instructions: base.instructions,
             cycles: (base.instructions as f64 * m.cpi * infl).round() as u64,
@@ -226,9 +225,18 @@ mod tests {
         let t = model_kernel(KernelVariant::Optimized, DerivDir::T, c);
         let r = model_kernel(KernelVariant::Optimized, DerivDir::R, c);
         let s = model_kernel(KernelVariant::Optimized, DerivDir::S, c);
-        assert!((t.instructions as f64 / 1.159e9 - 1.0).abs() < 0.15, "{t:?}");
-        assert!((r.instructions as f64 / 2.402e9 - 1.0).abs() < 0.15, "{r:?}");
-        assert!((s.instructions as f64 / 2.595e9 - 1.0).abs() < 0.15, "{s:?}");
+        assert!(
+            (t.instructions as f64 / 1.159e9 - 1.0).abs() < 0.15,
+            "{t:?}"
+        );
+        assert!(
+            (r.instructions as f64 / 2.402e9 - 1.0).abs() < 0.15,
+            "{r:?}"
+        );
+        assert!(
+            (s.instructions as f64 / 2.595e9 - 1.0).abs() < 0.15,
+            "{s:?}"
+        );
     }
 
     #[test]
@@ -237,8 +245,14 @@ mod tests {
         // Paper Fig. 6 (basic): dudt 3.220e9, dudr 2.429e9
         let t = model_kernel(KernelVariant::Basic, DerivDir::T, c);
         let r = model_kernel(KernelVariant::Basic, DerivDir::R, c);
-        assert!((t.instructions as f64 / 3.220e9 - 1.0).abs() < 0.15, "{t:?}");
-        assert!((r.instructions as f64 / 2.429e9 - 1.0).abs() < 0.15, "{r:?}");
+        assert!(
+            (t.instructions as f64 / 3.220e9 - 1.0).abs() < 0.15,
+            "{t:?}"
+        );
+        assert!(
+            (r.instructions as f64 / 2.429e9 - 1.0).abs() < 0.15,
+            "{r:?}"
+        );
     }
 
     #[test]

@@ -172,9 +172,7 @@ impl ProfileReport {
     /// Render a gprof-like flat profile.
     pub fn render_flat(&self) -> String {
         let total = self.total_self_s().max(1e-300);
-        let mut out = String::from(
-            "  %time     self(s)    calls  name\n",
-        );
+        let mut out = String::from("  %time     self(s)    calls  name\n");
         for (name, s) in &self.flat {
             out.push_str(&format!(
                 "{:7.2} {:11.4} {:8}  {}\n",
@@ -191,7 +189,12 @@ impl ProfileReport {
     pub fn render_call_graph(&self) -> String {
         let mut out = String::from("  parent -> child                         calls   incl(s)\n");
         for (p, c, n, t) in &self.edges {
-            out.push_str(&format!("  {:38} {:7} {:9.4}\n", format!("{p} -> {c}"), n, t));
+            out.push_str(&format!(
+                "  {:38} {:7} {:9.4}\n",
+                format!("{p} -> {c}"),
+                n,
+                t
+            ));
         }
         out
     }
@@ -221,7 +224,11 @@ mod tests {
         let r = p.report();
         let outer = &r.flat.iter().find(|(n, _)| n == "outer").unwrap().1;
         let inner = &r.flat.iter().find(|(n, _)| n == "inner").unwrap().1;
-        assert!(outer.inclusive_s >= 0.049, "outer incl {}", outer.inclusive_s);
+        assert!(
+            outer.inclusive_s >= 0.049,
+            "outer incl {}",
+            outer.inclusive_s
+        );
         assert!(outer.self_s() < 0.03, "outer self {}", outer.self_s());
         assert!(inner.self_s() >= 0.029, "inner self {}", inner.self_s());
         // inner is the hotter self-time region, so it sorts first

@@ -134,7 +134,11 @@ impl Rank {
                         let src = (src_v + root) % p;
                         let (other, b) = self.recv_internal::<T>(src, Rank::coll_tag(seq, round));
                         bytes += b;
-                        assert_eq!(other.len(), acc.len(), "reduce length mismatch across ranks");
+                        assert_eq!(
+                            other.len(),
+                            acc.len(),
+                            "reduce length mismatch across ranks"
+                        );
                         for (a, o) in acc.iter_mut().zip(&other) {
                             combine(a, o);
                         }
@@ -158,11 +162,7 @@ impl Rank {
     }
 
     /// Generic elementwise allreduce: reduce to rank 0, then broadcast.
-    pub fn allreduce_with<T: Msg>(
-        &mut self,
-        data: &[T],
-        combine: impl Fn(&mut T, &T),
-    ) -> Vec<T> {
+    pub fn allreduce_with<T: Msg>(&mut self, data: &[T], combine: impl Fn(&mut T, &T)) -> Vec<T> {
         // Recorded as one Allreduce op; the constituent reduce/bcast run
         // untimed inside it.
         let start = Instant::now();
@@ -271,13 +271,11 @@ impl Rank {
         let mut round = 0u64;
         while k < p {
             if rank + k < p {
-                bytes +=
-                    self.send_internal(rank + k, Rank::coll_tag(seq, round), vec![inclusive]);
+                bytes += self.send_internal(rank + k, Rank::coll_tag(seq, round), vec![inclusive]);
                 nmsgs += 1;
             }
             if rank >= k {
-                let (got, b) =
-                    self.recv_internal::<u64>(rank - k, Rank::coll_tag(seq, round));
+                let (got, b) = self.recv_internal::<u64>(rank - k, Rank::coll_tag(seq, round));
                 bytes += b;
                 inclusive += got[0];
             }

@@ -58,7 +58,11 @@ impl Rank {
         let seq = self.next_coll_seq();
         let mut held: Vec<RoutedMsg<T>> = outgoing
             .into_iter()
-            .map(|(dest, data)| RoutedMsg { src: rank, dest, data })
+            .map(|(dest, data)| RoutedMsg {
+                src: rank,
+                dest,
+                data,
+            })
             .collect();
         let mut bytes = 0u64;
         let mut modeled = 0.0f64;
@@ -76,7 +80,11 @@ impl Rank {
         // Phase A (fold): excess ranks hand everything to rank - m.
         if rank >= m {
             let sent = bundle_bytes(&held);
-            self.send_internal(rank - m, Rank::coll_tag(seq, 100), std::mem::take(&mut held));
+            self.send_internal(
+                rank - m,
+                Rank::coll_tag(seq, 100),
+                std::mem::take(&mut held),
+            );
             bytes += sent;
             modeled += self.model_message(sent);
         } else if rank + m < p {

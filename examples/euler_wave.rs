@@ -29,7 +29,12 @@ fn main() {
     let mesh = MeshConfig::for_ranks(cfg.ranks, cfg.elems_per_rank, cfg.n, true);
     let ge = mesh.global_elems();
     let lengths = [ge[0] as f64, ge[1] as f64, ge[2] as f64];
-    println!("Compressible Euler on {} ranks, {} global elements, N = {}\n", cfg.ranks, mesh.total_elems(), cfg.n);
+    println!(
+        "Compressible Euler on {} ranks, {} global elements, N = {}\n",
+        cfg.ranks,
+        mesh.total_elems(),
+        cfg.n
+    );
 
     let init = move |x: f64, _y: f64, _z: f64| Primitive {
         rho: 1.0 + 0.2 * (2.0 * PI * x / lengths[0]).sin(),
@@ -38,7 +43,10 @@ fn main() {
     };
     let rep = run_euler(&cfg, init);
 
-    println!("reached t = {:.4} in {} steps (adaptive CFL dt)", rep.time, cfg.steps);
+    println!(
+        "reached t = {:.4} in {} steps (adaptive CFL dt)",
+        rep.time, cfg.steps
+    );
     println!("physically admissible everywhere: {}", rep.admissible);
     println!("\nconserved-quantity drift over the run:");
     let names = ["mass", "x-momentum", "y-momentum", "z-momentum", "energy"];

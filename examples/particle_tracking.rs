@@ -18,7 +18,10 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(4);
     let cfg = MeshConfig::for_ranks(ranks, 8, 4, true);
-    println!("Particle tracking on {ranks} ranks, {} elements\n", cfg.total_elems());
+    println!(
+        "Particle tracking on {ranks} ranks, {} elements\n",
+        cfg.total_elems()
+    );
     println!("step | global particles | migrated this step (sum over ranks)");
 
     let cfg_run = cfg.clone();

@@ -29,8 +29,7 @@ fn main() {
         });
         let pct = rep.comm.mpi_percent_per_rank();
         let avg_pct: f64 = pct.iter().sum::<f64>() / pct.len() as f64;
-        let modeled: f64 =
-            rep.modeled_comm_s.iter().sum::<f64>() / rep.modeled_comm_s.len() as f64;
+        let modeled: f64 = rep.modeled_comm_s.iter().sum::<f64>() / rep.modeled_comm_s.len() as f64;
         println!(
             "{ranks:5} | {:12.4} | {avg_pct:8.2} | {modeled:21.6}",
             rep.max_wall_s()

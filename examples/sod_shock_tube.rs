@@ -47,9 +47,7 @@ fn main() {
         t += dt;
         steps += 1;
     }
-    println!(
-        "Sod shock tube: N = {n}, 24 elements, {steps} adaptive steps to t = {t_end}\n"
-    );
+    println!("Sod shock tube: N = {n}, 24 elements, {steps} adaptive steps to t = {t_end}\n");
     let exact = solve(cmt_core::eos::IdealGas::default(), left, right);
     println!("   x    | rho (DG)  | rho (exact) |  profile (#=DG, .=exact)");
     let nel = s.nel();

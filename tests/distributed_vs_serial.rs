@@ -69,12 +69,24 @@ fn check(ranks: usize, elems: usize, n: usize, variant: KernelVariant, method: G
 
 #[test]
 fn two_ranks_pairwise_optimized() {
-    check(2, 8, 5, KernelVariant::Optimized, GsMethod::PairwiseExchange);
+    check(
+        2,
+        8,
+        5,
+        KernelVariant::Optimized,
+        GsMethod::PairwiseExchange,
+    );
 }
 
 #[test]
 fn eight_ranks_pairwise_specialized() {
-    check(8, 8, 5, KernelVariant::Specialized, GsMethod::PairwiseExchange);
+    check(
+        8,
+        8,
+        5,
+        KernelVariant::Specialized,
+        GsMethod::PairwiseExchange,
+    );
 }
 
 #[test]
@@ -90,5 +102,11 @@ fn four_ranks_allreduce_basic_kernels() {
 
 #[test]
 fn single_rank_degenerate_world() {
-    check(1, 27, 5, KernelVariant::Optimized, GsMethod::PairwiseExchange);
+    check(
+        1,
+        27,
+        5,
+        KernelVariant::Optimized,
+        GsMethod::PairwiseExchange,
+    );
 }
