@@ -228,6 +228,35 @@ impl GsHandle {
         self.total_compact
     }
 
+    /// Per-slot flags: `true` iff the slot's value can change under any
+    /// `gs_op` — its global id either appears more than once locally or
+    /// is shared with a neighbor rank. Slots flagged `false` are
+    /// *interior*: every combine leaves them bitwise untouched, so work
+    /// on them may safely run inside a split-phase overlap window, before
+    /// [`GsHandle::gs_op_finish`] lands the exchanged values.
+    pub fn shared_slot_flags(&self) -> Vec<bool> {
+        let mut group_shared = vec![false; self.groups.len()];
+        for (gi, g) in self.groups.iter().enumerate() {
+            if g.local_indices.len() > 1 {
+                group_shared[gi] = true;
+            }
+        }
+        for nl in &self.neighbors {
+            for &gi in &nl.groups {
+                group_shared[gi as usize] = true;
+            }
+        }
+        let mut flags = vec![false; self.nlocal];
+        for (gi, g) in self.groups.iter().enumerate() {
+            if group_shared[gi] {
+                for &li in &g.local_indices {
+                    flags[li as usize] = true;
+                }
+            }
+        }
+        flags
+    }
+
     /// The multiplicity (total occurrence count across the world) of each
     /// local slot's id — computed with a unit `gs_op(Add)`; commonly used
     /// to build the inverse-multiplicity weights of an averaging exchange.

@@ -28,6 +28,11 @@
 //!   pairwise exchange (isend/irecv/wait with each touching neighbor),
 //!   crystal router (bundled hypercube routing, `log2 P` stages), and
 //!   all_reduce onto a dense vector over the compact id universe.
+//! * [`GsHandle::gs_op_start`] / [`GsHandle::gs_op_finish`] — the
+//!   split-phase form: `start` combines locally and posts the exchange,
+//!   the caller overlaps unrelated compute with the in-flight messages,
+//!   and `finish` drains and scatters. The blocking `gs_op` and the
+//!   multi-field `gs_op_many` are both built on this pair.
 //! * [`autotune`] — times all three methods on the actual handle and
 //!   picks the fastest, exactly the startup protocol the paper describes;
 //!   its report is the paper's Fig. 7 table.
@@ -40,4 +45,4 @@ mod ops;
 
 pub use autotune::{autotune, AutotuneOptions, AutotuneReport, MethodTiming};
 pub use handle::{GsHandle, HandleStats};
-pub use ops::{GsMethod, GsOp};
+pub use ops::{GsMethod, GsOp, GsPending};

@@ -1,6 +1,7 @@
-//! `gs_op`: the gather–scatter operation with the three exchange methods.
+//! `gs_op`: the gather–scatter operation with the three exchange methods,
+//! in both blocking and split-phase (start/finish) form.
 
-use simmpi::Rank;
+use simmpi::{Rank, RecvRequest, Tag};
 
 use crate::handle::GsHandle;
 
@@ -78,6 +79,58 @@ impl GsMethod {
             GsMethod::AllReduce => "gs:allreduce",
         }
     }
+
+    /// Whether [`GsHandle::gs_op_start`] leaves real communication in
+    /// flight for [`GsHandle::gs_op_finish`] to drain. Pairwise exchange
+    /// posts non-blocking sends/receives and returns; the collective
+    /// methods have no non-blocking form, so their `start` performs the
+    /// full exchange and `finish` only scatters.
+    pub fn split_phase_overlaps(self) -> bool {
+        matches!(self, GsMethod::PairwiseExchange)
+    }
+}
+
+/// Tag space for split-phase pairwise exchanges: a fixed prefix plus a
+/// per-operation sequence number ([`Rank::next_user_seq`]), so several
+/// in-flight exchanges — even over the same neighbor topology — can
+/// never cross-match, whatever order they are finished in.
+const SPLIT_TAG_BASE: Tag = 0x65 << 40; // 'gs' prefix, below the user-tag limit
+const SPLIT_SEQ_MASK: Tag = (1 << 40) - 1;
+
+/// An in-flight split-phase gather–scatter: the token returned by
+/// [`GsHandle::gs_op_start`] and consumed by [`GsHandle::gs_op_finish`].
+///
+/// Owns the locally-combined per-group values and, for the pairwise
+/// method, the posted receive requests. Dropping it without finishing
+/// leaves matched sends undrained in peer mailboxes — always finish.
+#[derive(Debug)]
+pub struct GsPending {
+    /// Number of value arrays bundled in this exchange.
+    k: usize,
+    op: GsOp,
+    method: GsMethod,
+    /// Locally combined values, laid out `[group][field]`.
+    combined: Vec<f64>,
+    /// Posted receives, one per neighbor in neighbor order (pairwise
+    /// method only; empty for the collective methods).
+    reqs: Vec<RecvRequest>,
+}
+
+impl GsPending {
+    /// Number of value arrays bundled in this exchange.
+    pub fn num_fields(&self) -> usize {
+        self.k
+    }
+
+    /// The combining operator of this exchange.
+    pub fn op(&self) -> GsOp {
+        self.op
+    }
+
+    /// The exchange method this operation was started with.
+    pub fn method(&self) -> GsMethod {
+        self.method
+    }
 }
 
 impl GsHandle {
@@ -87,42 +140,15 @@ impl GsHandle {
     /// Collective over the world the handle was set up in; all ranks must
     /// pass the same `op` and `method`.
     ///
+    /// Implemented as [`GsHandle::gs_op_start`] immediately followed by
+    /// [`GsHandle::gs_op_finish`] — the blocking form is the degenerate
+    /// split-phase call with an empty overlap window.
+    ///
     /// # Panics
     /// Panics if `values.len() != self.nlocal()`.
     pub fn gs_op(&self, rank: &mut Rank, values: &mut [f64], op: GsOp, method: GsMethod) {
-        assert_eq!(
-            values.len(),
-            self.nlocal,
-            "gs_op on values of length {}, handle expects {}",
-            values.len(),
-            self.nlocal
-        );
-        // Gather: combine local occurrences per group.
-        let mut combined: Vec<f64> = self
-            .groups
-            .iter()
-            .map(|g| {
-                let mut acc = values[g.local_indices[0] as usize];
-                for &li in &g.local_indices[1..] {
-                    acc = op.combine(acc, values[li as usize]);
-                }
-                acc
-            })
-            .collect();
-
-        // Exchange: fold every remote sharer's locally-combined value in.
-        match method {
-            GsMethod::PairwiseExchange => self.exchange_pairwise(rank, &mut combined, op),
-            GsMethod::CrystalRouter => self.exchange_crystal(rank, &mut combined, op),
-            GsMethod::AllReduce => self.exchange_allreduce(rank, &mut combined, op),
-        }
-
-        // Scatter: write the combined value to every local slot.
-        for (g, &v) in self.groups.iter().zip(&combined) {
-            for &li in &g.local_indices {
-                values[li as usize] = v;
-            }
-        }
+        let pending = self.gs_op_start(rank, &[values], op, method);
+        self.gs_op_finish(rank, pending, &mut [values]);
     }
 
     /// Vector gather–scatter: apply the same combine to `k` value arrays
@@ -141,12 +167,53 @@ impl GsHandle {
         op: GsOp,
         method: GsMethod,
     ) {
-        let k = fields.len();
-        if k == 0 {
+        if fields.is_empty() {
             return;
         }
-        for f in fields.iter() {
-            assert_eq!(f.len(), self.nlocal, "gs_op_many length mismatch");
+        let views: Vec<&[f64]> = fields.iter().map(|f| &**f).collect();
+        let pending = self.gs_op_start(rank, &views, op, method);
+        self.gs_op_finish(rank, pending, fields);
+    }
+
+    /// Start a split-phase gather–scatter over `fields`: combine local
+    /// occurrences per group and *post* the exchange, returning without
+    /// waiting for any remote data. The caller may run unrelated compute
+    /// while messages are in flight, then complete the operation with
+    /// [`GsHandle::gs_op_finish`] — the isend/irecv/compute/wait pipeline
+    /// the mini-app uses to hide face-exchange latency behind its volume
+    /// kernels.
+    ///
+    /// With the pairwise method the receives are genuinely outstanding
+    /// when this returns. The crystal-router and all_reduce methods have
+    /// no non-blocking form, so their `start` runs the full exchange and
+    /// the matching `finish` only scatters
+    /// ([`GsMethod::split_phase_overlaps`]).
+    ///
+    /// The input arrays are *not* modified; the combined results are
+    /// written back by `finish`. Several operations may be in flight at
+    /// once (tags carry a sequence number), but every started operation
+    /// must be finished, all ranks must start and finish the same
+    /// operations in the same order, and the handle must outlive them.
+    ///
+    /// # Panics
+    /// Panics if any array's length differs from `self.nlocal()`.
+    pub fn gs_op_start(
+        &self,
+        rank: &mut Rank,
+        fields: &[&[f64]],
+        op: GsOp,
+        method: GsMethod,
+    ) -> GsPending {
+        let k = fields.len();
+        assert!(k > 0, "gs_op_start with no fields");
+        for f in fields {
+            assert_eq!(
+                f.len(),
+                self.nlocal,
+                "gs_op_start on values of length {}, handle expects {}",
+                f.len(),
+                self.nlocal
+            );
         }
         // Gather: combined values laid out [group][field] so one group's
         // k values are contiguous in the exchange payloads.
@@ -162,14 +229,14 @@ impl GsHandle {
             }
         }
 
-        match method {
+        let reqs = match method {
             GsMethod::PairwiseExchange => {
-                const TAG: u64 = 0x6501;
+                let tag = SPLIT_TAG_BASE | (rank.next_user_seq() & SPLIT_SEQ_MASK);
                 rank.with_subcontext(GsMethod::PairwiseExchange.context(), |rank| {
-                    let reqs: Vec<_> = self
+                    let reqs: Vec<RecvRequest> = self
                         .neighbors
                         .iter()
-                        .map(|nl| rank.irecv(nl.rank, TAG))
+                        .map(|nl| rank.irecv(nl.rank, tag))
                         .collect();
                     for nl in &self.neighbors {
                         let mut payload = Vec::with_capacity(nl.groups.len() * k);
@@ -177,68 +244,74 @@ impl GsHandle {
                             payload
                                 .extend_from_slice(&combined[gi as usize * k..gi as usize * k + k]);
                         }
-                        rank.isend_vec(nl.rank, TAG, payload);
+                        rank.isend_vec(nl.rank, tag, payload);
                     }
-                    for (nl, req) in self.neighbors.iter().zip(reqs) {
-                        let got: Vec<f64> = rank.wait_recv(req);
-                        debug_assert_eq!(got.len(), nl.groups.len() * k);
-                        for (slot, &gi) in nl.groups.iter().enumerate() {
-                            for fi in 0..k {
-                                let c = &mut combined[gi as usize * k + fi];
-                                *c = op.combine(*c, got[slot * k + fi]);
-                            }
-                        }
-                    }
-                });
+                    reqs
+                })
             }
             GsMethod::CrystalRouter => {
-                rank.with_subcontext(GsMethod::CrystalRouter.context(), |rank| {
-                    let outgoing: Vec<(usize, Vec<f64>)> = self
-                        .neighbors
-                        .iter()
-                        .map(|nl| {
-                            let mut payload = Vec::with_capacity(nl.groups.len() * k);
-                            for &gi in &nl.groups {
-                                payload.extend_from_slice(
-                                    &combined[gi as usize * k..gi as usize * k + k],
-                                );
-                            }
-                            (nl.rank, payload)
-                        })
-                        .collect();
-                    for (src, payload) in rank.crystal_router(outgoing) {
-                        let nl = self
-                            .neighbors
-                            .iter()
-                            .find(|nl| nl.rank == src)
-                            .expect("crystal router delivered from a non-neighbor");
-                        for (slot, &gi) in nl.groups.iter().enumerate() {
-                            for fi in 0..k {
-                                let c = &mut combined[gi as usize * k + fi];
-                                *c = op.combine(*c, payload[slot * k + fi]);
-                            }
-                        }
-                    }
-                });
+                self.exchange_crystal(rank, &mut combined, k, op);
+                Vec::new()
             }
             GsMethod::AllReduce => {
-                rank.with_subcontext(GsMethod::AllReduce.context(), |rank| {
-                    let total = self.total_compact as usize;
-                    let mut dense = vec![op.identity(); total * k];
-                    for (gi, g) in self.groups.iter().enumerate() {
-                        let base = g.compact as usize * k;
-                        dense[base..base + k].copy_from_slice(&combined[gi * k..gi * k + k]);
-                    }
-                    let reduced = rank.allreduce_with(&dense, |a, b| *a = op.combine(*a, *b));
-                    for (gi, g) in self.groups.iter().enumerate() {
-                        let base = g.compact as usize * k;
-                        combined[gi * k..gi * k + k].copy_from_slice(&reduced[base..base + k]);
-                    }
-                });
+                self.exchange_allreduce(rank, &mut combined, k, op);
+                Vec::new()
             }
+        };
+
+        GsPending {
+            k,
+            op,
+            method,
+            combined,
+            reqs,
+        }
+    }
+
+    /// Finish a split-phase gather–scatter started by
+    /// [`GsHandle::gs_op_start`]: drain the posted receives (blocking time
+    /// is attributed to `MPI_Wait`, as mpiP attributes it in the paper's
+    /// Fig. 9), fold remote contributions in — always in neighbor order,
+    /// so results are bitwise identical to the blocking path — and scatter
+    /// the combined value to every local slot of every field.
+    ///
+    /// # Panics
+    /// Panics if `fields` does not match the start call in count or
+    /// length.
+    pub fn gs_op_finish(&self, rank: &mut Rank, pending: GsPending, fields: &mut [&mut [f64]]) {
+        let GsPending {
+            k,
+            op,
+            method,
+            mut combined,
+            reqs,
+        } = pending;
+        assert_eq!(
+            fields.len(),
+            k,
+            "gs_op_finish with {} fields, started with {k}",
+            fields.len()
+        );
+        for f in fields.iter() {
+            assert_eq!(f.len(), self.nlocal, "gs_op_finish length mismatch");
         }
 
-        // Scatter back.
+        if method == GsMethod::PairwiseExchange {
+            rank.with_subcontext(GsMethod::PairwiseExchange.context(), |rank| {
+                for (nl, req) in self.neighbors.iter().zip(reqs) {
+                    let got: Vec<f64> = rank.wait_recv(req);
+                    debug_assert_eq!(got.len(), nl.groups.len() * k);
+                    for (slot, &gi) in nl.groups.iter().enumerate() {
+                        for fi in 0..k {
+                            let c = &mut combined[gi as usize * k + fi];
+                            *c = op.combine(*c, got[slot * k + fi]);
+                        }
+                    }
+                }
+            });
+        }
+
+        // Scatter: write the combined value to every local slot.
         for (gi, g) in self.groups.iter().enumerate() {
             for (fi, f) in fields.iter_mut().enumerate() {
                 let v = combined[gi * k + fi];
@@ -249,43 +322,20 @@ impl GsHandle {
         }
     }
 
-    /// Pairwise exchange: post all receives, send to every neighbor, wait
-    /// — the `MPI_Isend`/`MPI_Irecv`/`MPI_Wait` pattern whose wait time
-    /// dominates the paper's Fig. 9.
-    fn exchange_pairwise(&self, rank: &mut Rank, combined: &mut [f64], op: GsOp) {
-        const TAG: u64 = 0x6500; // 'gs'
-        rank.with_subcontext(GsMethod::PairwiseExchange.context(), |rank| {
-            let reqs: Vec<_> = self
-                .neighbors
-                .iter()
-                .map(|nl| rank.irecv(nl.rank, TAG))
-                .collect();
-            for nl in &self.neighbors {
-                let payload: Vec<f64> = nl.groups.iter().map(|&gi| combined[gi as usize]).collect();
-                rank.isend_vec(nl.rank, TAG, payload);
-            }
-            for (nl, req) in self.neighbors.iter().zip(reqs) {
-                let got: Vec<f64> = rank.wait_recv(req);
-                debug_assert_eq!(got.len(), nl.groups.len());
-                for (&gi, v) in nl.groups.iter().zip(got) {
-                    combined[gi as usize] = op.combine(combined[gi as usize], v);
-                }
-            }
-        });
-    }
-
-    /// Crystal-router exchange: the same per-neighbor payloads, bundled
-    /// through the hypercube router.
-    fn exchange_crystal(&self, rank: &mut Rank, combined: &mut [f64], op: GsOp) {
+    /// Crystal-router exchange: the per-neighbor payloads, bundled
+    /// through the hypercube router. Fully synchronous — used by `start`
+    /// with a no-op communication `finish`.
+    fn exchange_crystal(&self, rank: &mut Rank, combined: &mut [f64], k: usize, op: GsOp) {
         rank.with_subcontext(GsMethod::CrystalRouter.context(), |rank| {
             let outgoing: Vec<(usize, Vec<f64>)> = self
                 .neighbors
                 .iter()
                 .map(|nl| {
-                    (
-                        nl.rank,
-                        nl.groups.iter().map(|&gi| combined[gi as usize]).collect(),
-                    )
+                    let mut payload = Vec::with_capacity(nl.groups.len() * k);
+                    for &gi in &nl.groups {
+                        payload.extend_from_slice(&combined[gi as usize * k..gi as usize * k + k]);
+                    }
+                    (nl.rank, payload)
                 })
                 .collect();
             let arrived = rank.crystal_router(outgoing);
@@ -296,9 +346,12 @@ impl GsHandle {
                     .iter()
                     .find(|nl| nl.rank == src)
                     .expect("crystal router delivered from a non-neighbor");
-                debug_assert_eq!(payload.len(), nl.groups.len());
-                for (&gi, v) in nl.groups.iter().zip(payload) {
-                    combined[gi as usize] = op.combine(combined[gi as usize], v);
+                debug_assert_eq!(payload.len(), nl.groups.len() * k);
+                for (slot, &gi) in nl.groups.iter().enumerate() {
+                    for fi in 0..k {
+                        let c = &mut combined[gi as usize * k + fi];
+                        *c = op.combine(*c, payload[slot * k + fi]);
+                    }
                 }
             }
         });
@@ -308,15 +361,20 @@ impl GsHandle {
     /// vector over the compact global id universe, allreduce it with the
     /// op, read back. "Too expensive for both mini-apps" at the paper's
     /// problem setup — but exact, and competitive only for tiny worlds.
-    fn exchange_allreduce(&self, rank: &mut Rank, combined: &mut [f64], op: GsOp) {
+    /// Fully synchronous — used by `start` with a no-op communication
+    /// `finish`.
+    fn exchange_allreduce(&self, rank: &mut Rank, combined: &mut [f64], k: usize, op: GsOp) {
         rank.with_subcontext(GsMethod::AllReduce.context(), |rank| {
-            let mut dense = vec![op.identity(); self.total_compact as usize];
-            for (g, &v) in self.groups.iter().zip(combined.iter()) {
-                dense[g.compact as usize] = v;
+            let total = self.total_compact as usize;
+            let mut dense = vec![op.identity(); total * k];
+            for (gi, g) in self.groups.iter().enumerate() {
+                let base = g.compact as usize * k;
+                dense[base..base + k].copy_from_slice(&combined[gi * k..gi * k + k]);
             }
             let reduced = rank.allreduce_with(&dense, |a, b| *a = op.combine(*a, *b));
-            for (g, c) in self.groups.iter().zip(combined.iter_mut()) {
-                *c = reduced[g.compact as usize];
+            for (gi, g) in self.groups.iter().enumerate() {
+                let base = g.compact as usize * k;
+                combined[gi * k..gi * k + k].copy_from_slice(&reduced[base..base + k]);
             }
         });
     }

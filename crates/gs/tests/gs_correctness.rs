@@ -114,6 +114,136 @@ fn randomized_id_maps_match_reference() {
     }
 }
 
+/// The split-phase pair must be *bitwise* identical to the blocking call:
+/// `finish` folds neighbor contributions in the same fixed order, for
+/// every method, on arbitrary id maps and world sizes.
+#[test]
+fn split_phase_is_bitwise_identical_to_blocking_on_random_maps() {
+    let mut rng = SmallRng::seed_from_u64(0x5417_0001);
+    for _trial in 0..5 {
+        let p = rng.range_usize(2, 7);
+        let universe = rng.range_u64(4, 25);
+        let ids: Vec<Vec<u64>> = (0..p)
+            .map(|_| {
+                let len = rng.range_usize(1, 33);
+                (0..len).map(|_| rng.range_u64(0, universe)).collect()
+            })
+            .collect();
+        let vals: Vec<Vec<f64>> = ids
+            .iter()
+            .map(|v| v.iter().map(|_| rng.range_f64(-1.0, 1.0)).collect())
+            .collect();
+        for method in GsMethod::ALL {
+            for op in [GsOp::Add, GsOp::Mul, GsOp::Min, GsOp::Max] {
+                let (ids, vals) = (ids.clone(), vals.clone());
+                let res = World::new().run(p, move |rank| {
+                    let me = rank.rank();
+                    let handle = GsHandle::setup(rank, &ids[me]);
+                    let mut blocking = vals[me].clone();
+                    handle.gs_op(rank, &mut blocking, op, method);
+                    let mut split = vals[me].clone();
+                    let pending = handle.gs_op_start(rank, &[&split], op, method);
+                    // unrelated compute in the overlap window
+                    let burn: f64 = split.iter().map(|v| v * v).sum();
+                    handle.gs_op_finish(rank, pending, &mut [&mut split]);
+                    assert!(burn.is_finite());
+                    (blocking, split)
+                });
+                for (r, (blocking, split)) in res.results.iter().enumerate() {
+                    assert_eq!(blocking, split, "{method:?} {op:?} p={p} rank {r}");
+                }
+            }
+        }
+    }
+}
+
+/// Two split-phase exchanges may be in flight at once; sequence-numbered
+/// tags keep their messages from cross-matching even when they finish in
+/// the reverse of start order.
+#[test]
+fn overlapping_split_phase_exchanges_do_not_cross_match() {
+    let p = 4;
+    let ids_of = |r: usize| vec![r as u64, ((r + 1) % p) as u64, 50 + r as u64];
+    let res = World::new().run(p, move |rank| {
+        let me = rank.rank();
+        let handle = GsHandle::setup(rank, &ids_of(me));
+        let base: Vec<f64> = (0..3).map(|i| (me * 3 + i) as f64 + 0.5).collect();
+
+        let mut add_blocking = base.clone();
+        handle.gs_op(
+            rank,
+            &mut add_blocking,
+            GsOp::Add,
+            GsMethod::PairwiseExchange,
+        );
+        let mut max_blocking = base.clone();
+        handle.gs_op(
+            rank,
+            &mut max_blocking,
+            GsOp::Max,
+            GsMethod::PairwiseExchange,
+        );
+
+        // both exchanges outstanding at once, finished in reverse order
+        let mut add_split = base.clone();
+        let mut max_split = base.clone();
+        let pending_add =
+            handle.gs_op_start(rank, &[&add_split], GsOp::Add, GsMethod::PairwiseExchange);
+        let pending_max =
+            handle.gs_op_start(rank, &[&max_split], GsOp::Max, GsMethod::PairwiseExchange);
+        handle.gs_op_finish(rank, pending_max, &mut [&mut max_split]);
+        handle.gs_op_finish(rank, pending_add, &mut [&mut add_split]);
+
+        assert_eq!(add_blocking, add_split, "rank {me}: Add cross-matched");
+        assert_eq!(max_blocking, max_split, "rank {me}: Max cross-matched");
+        add_split
+    });
+    assert_eq!(res.results.len(), p);
+}
+
+/// `shared_slot_flags` marks exactly the slots any `gs_op` can change:
+/// a slot is flagged iff its global multiplicity exceeds one.
+#[test]
+fn shared_slot_flags_match_multiplicities_and_gs_invariance() {
+    let mut rng = SmallRng::seed_from_u64(0x5417_0002);
+    for _trial in 0..4 {
+        let p = rng.range_usize(2, 6);
+        let universe = rng.range_u64(3, 20);
+        let ids: Vec<Vec<u64>> = (0..p)
+            .map(|_| {
+                let len = rng.range_usize(1, 25);
+                (0..len).map(|_| rng.range_u64(0, universe)).collect()
+            })
+            .collect();
+        let vals: Vec<Vec<f64>> = ids
+            .iter()
+            .map(|v| v.iter().map(|_| rng.range_f64(0.0, 9.0)).collect())
+            .collect();
+        let res = World::new().run(p, move |rank| {
+            let me = rank.rank();
+            let handle = GsHandle::setup(rank, &ids[me]);
+            let flags = handle.shared_slot_flags();
+            let mult = handle.multiplicities(rank, GsMethod::PairwiseExchange);
+            let mut after = vals[me].clone();
+            handle.gs_op(rank, &mut after, GsOp::Add, GsMethod::PairwiseExchange);
+            for (i, &f) in flags.iter().enumerate() {
+                assert_eq!(
+                    f,
+                    mult[i] > 1.0,
+                    "rank {me} slot {i}: flag {f}, multiplicity {}",
+                    mult[i]
+                );
+                if !f {
+                    // interior slots are bitwise untouched by any combine
+                    assert_eq!(after[i], vals[me][i], "rank {me} slot {i} changed");
+                }
+            }
+            flags.len()
+        });
+        assert_eq!(res.results.len(), p);
+    }
+}
+
 #[test]
 fn mesh_face_exchange_multiplicities() {
     // On a periodic conforming mesh, gs_op(Add) of all-ones over the

@@ -40,6 +40,7 @@ pub struct Rank {
     pub(crate) net: Option<NetworkModel>,
     pub(crate) modeled_time_s: f64,
     pub(crate) coll_seq: u64,
+    pub(crate) user_seq: u64,
 }
 
 /// A pending non-blocking receive (the analogue of an `MPI_Request` from
@@ -280,6 +281,18 @@ impl Rank {
             self.pending.push_back(env);
         }
         self.pending.iter().any(|e| e.src == src && e.tag == tag)
+    }
+
+    /// Allocate a fresh user-level sequence number. Like the collective
+    /// sequence, every rank advances it identically in SPMD code, so it
+    /// lets libraries derive per-operation tags that keep *overlapping*
+    /// non-blocking exchanges (split-phase gather–scatter, say) from
+    /// cross-matching under the FIFO `(source, tag)` matching rule, even
+    /// when they complete out of start order.
+    pub fn next_user_seq(&mut self) -> u64 {
+        let s = self.user_seq;
+        self.user_seq += 1;
+        s
     }
 
     // ---------------------------------------------------------------

@@ -109,6 +109,7 @@ impl World {
                         net,
                         modeled_time_s: 0.0,
                         coll_seq: 0,
+                        user_seq: 0,
                     };
                     let start = Instant::now();
                     let out = f(&mut rank);

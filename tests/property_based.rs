@@ -157,6 +157,59 @@ fn gs_matches_dense_reference() {
     }
 }
 
+/// The split-phase pair (gs_op_start + overlap compute + gs_op_finish)
+/// is bitwise identical to the blocking gs_op, for every method, on
+/// random multi-field batches, id maps, and world sizes.
+#[test]
+fn split_phase_gs_is_bitwise_identical_to_blocking() {
+    let mut rng = SmallRng::seed_from_u64(0x7E57_0007);
+    for _ in 0..12 {
+        let p = rng.range_usize(1, 6);
+        let universe = rng.range_u64(2, 18);
+        let k = rng.range_usize(1, 5); // fields per batched exchange
+        let ids: Vec<Vec<u64>> = (0..p)
+            .map(|_| {
+                let len = rng.range_usize(1, 21);
+                (0..len).map(|_| rng.range_u64(0, universe)).collect()
+            })
+            .collect();
+        let vals: Vec<Vec<Vec<f64>>> = ids
+            .iter()
+            .map(|idv| {
+                (0..k)
+                    .map(|_| idv.iter().map(|_| rng.range_f64(-4.0, 4.0)).collect())
+                    .collect()
+            })
+            .collect();
+        for method in GsMethod::ALL {
+            let ids_c = ids.clone();
+            let vals_c = vals.clone();
+            let res = World::new().run(p, move |rank| {
+                let me = rank.rank();
+                let handle = GsHandle::setup(rank, &ids_c[me]);
+                // blocking reference: one gs_op per field
+                let mut blocking = vals_c[me].clone();
+                for f in blocking.iter_mut() {
+                    handle.gs_op(rank, f, GsOp::Add, method);
+                }
+                // split-phase: one batched start, compute, one finish
+                let mut split = vals_c[me].clone();
+                let views: Vec<&[f64]> = split.iter().map(|f| f.as_slice()).collect();
+                let pending = handle.gs_op_start(rank, &views, GsOp::Add, method);
+                let burn: f64 = split.iter().flatten().map(|v| v * v).sum();
+                assert!(burn.is_finite());
+                let mut outs: Vec<&mut [f64]> =
+                    split.iter_mut().map(|f| f.as_mut_slice()).collect();
+                handle.gs_op_finish(rank, pending, &mut outs);
+                (blocking, split)
+            });
+            for (r, (blocking, split)) in res.results.iter().enumerate() {
+                assert_eq!(blocking, split, "{method:?} p={p} k={k} rank {r}");
+            }
+        }
+    }
+}
+
 /// Crystal router delivers exactly the messages alltoallv does, for
 /// random sparse patterns and world sizes (incl. non-powers-of-two).
 #[test]
