@@ -1,0 +1,33 @@
+//! Overlap bench: the split-phase schedule (one batched `gs_op_start`
+//! per stage, volume kernels in the overlap window, `gs_op_finish`)
+//! against the legacy blocking per-field schedule, on the full CMT-bone
+//! timestep mix. The gap is the exchange latency the overlap hides plus
+//! the per-message overhead the field batching removes.
+
+use cmt_bench::harness::Harness;
+use cmt_bone::{Config, Pipeline};
+use cmt_gs::GsMethod;
+
+fn main() {
+    let h = Harness::new("overlap_vs_blocking");
+    for ranks in [2usize, 4, 8] {
+        for (name, pipeline) in [
+            ("blocking", Pipeline::Blocking),
+            ("overlapped", Pipeline::Overlapped),
+        ] {
+            let cfg = Config {
+                ranks,
+                n: 8,
+                elems_per_rank: 8,
+                steps: 3,
+                fields: 5,
+                method: Some(GsMethod::PairwiseExchange),
+                pipeline,
+                ..Default::default()
+            };
+            h.bench(&format!("p{ranks}/{name}"), 0, || {
+                std::hint::black_box(cmt_bone::run(&cfg).checksum);
+            });
+        }
+    }
+}

@@ -12,6 +12,7 @@
 //! * `fig9` — top-20 most expensive MPI call sites
 //! * `fig10` — total/average message sizes of the busiest MPI calls
 //! * `netmodel` — latency/bandwidth what-if ablation (paper §VI outlook)
+//! * `overlap` — split-phase overlapped vs blocking exchange schedule
 //!
 //! `--full` selects the paper's exact parameters (256 thread-ranks for
 //! fig7, 1000-step kernel runs); the default is a seconds-scale version
@@ -181,8 +182,12 @@ fn comm_run(full: bool) -> cmt_bone::RunReport {
         cfl_interval: 5,
         // The paper's production runs use pairwise exchange ("CMT-bone
         // execution run uses a simple pairwise exchange strategy", §VI);
-        // Figs. 8-10 characterize that configuration.
+        // Figs. 8-10 characterize that configuration. The paper's code has
+        // no split-phase overlap either — the blocking schedule is what
+        // produces the MPI_Wait-dominated Fig. 9 profile (the `overlap`
+        // ablation measures the split-phase remedy against this baseline).
         method: Some(cmt_gs::GsMethod::PairwiseExchange),
+        pipeline: cmt_bone::Pipeline::Blocking,
         ..Default::default()
     })
 }
@@ -334,6 +339,63 @@ fn dealias_fig() {
     println!();
 }
 
+fn overlap_fig(full: bool) {
+    use cmt_bone::Pipeline;
+    println!("== Ablation: split-phase overlap vs blocking exchange schedule ==");
+    println!("(one batched 5-field gs_op_start per RK stage with the volume kernels");
+    println!(" in the overlap window, vs one blocking gs_op per field; pairwise)\n");
+    println!("ranks | pipeline   | wall max (s) | gs self-time share | MPI_Wait share of MPI | face msgs");
+    let ranks_list: &[usize] = if full { &[4, 8, 16, 32] } else { &[4, 8, 16] };
+    for &ranks in ranks_list {
+        for pipeline in [Pipeline::Blocking, Pipeline::Overlapped] {
+            let rep = cmt_bone::run(&BoneConfig {
+                ranks,
+                n: 10,
+                elems_per_rank: 27,
+                steps: if full { 100 } else { 20 },
+                fields: 5,
+                cfl_interval: 5,
+                method: Some(cmt_gs::GsMethod::PairwiseExchange),
+                pipeline,
+                ..Default::default()
+            });
+            // Fig. 4 view: total gather-scatter self time (the blocking
+            // row is all gs_op_; the overlapped row splits into
+            // start + finish under a near-zero parent).
+            let gs: f64 = [
+                "gs_op_ (numerical flux exchange)",
+                "gs_op_start (post exchange)",
+                "gs_op_finish (wait + combine)",
+            ]
+            .iter()
+            .map(|r| rep.profile.share(r))
+            .sum();
+            // Fig. 9 view: MPI_Wait share of total MPI time.
+            let wait = rep.comm.time_of_op(simmpi::MpiOp::Wait);
+            let wait_share = wait / rep.comm.total_mpi_s().max(1e-300);
+            let face_msgs: u64 = rep
+                .comm
+                .sites
+                .iter()
+                .filter(|s| {
+                    s.site.op == simmpi::MpiOp::Isend && s.site.context == "faces/gs:pairwise"
+                })
+                .map(|s| s.calls)
+                .sum();
+            println!(
+                "{ranks:5} | {:10} | {:12.4} | {:17.1}% | {:20.1}% | {face_msgs:9}",
+                pipeline.name(),
+                rep.max_wall_s(),
+                100.0 * gs,
+                100.0 * wait_share,
+            );
+        }
+    }
+    println!("\n(The overlapped rows should show the gs/Wait shares shrinking: the");
+    println!(" in-flight time is hidden behind the flux-divergence and dealias");
+    println!(" kernels, and each stage sends 5x fewer, 5x larger messages.)\n");
+}
+
 fn netmodel() {
     println!("== Network-model ablation (paper §VI outlook): modelled exchange time ==\n");
     println!("model               | avg modelled comm s/rank | max modelled comm s/rank");
@@ -380,6 +442,7 @@ fn main() {
             "fig9" => fig9(full),
             "fig10" => fig10(full),
             "netmodel" => netmodel(),
+            "overlap" => overlap_fig(full),
             "crossover" => crossover(),
             "kernelsweep" => kernelsweep(),
             "scaling" => scaling(),
@@ -393,6 +456,7 @@ fn main() {
                 fig9(full);
                 fig10(full);
                 netmodel();
+                overlap_fig(full);
                 crossover();
                 dealias_fig();
                 kernelsweep();
@@ -401,7 +465,7 @@ fn main() {
             other => {
                 eprintln!("unknown figure: {other}");
                 eprintln!(
-                    "usage: figures [--full] [fig4|fig5|fig6|fig7|fig8|fig9|fig10|netmodel|crossover|dealias|kernelsweep|scaling|all]"
+                    "usage: figures [--full] [fig4|fig5|fig6|fig7|fig8|fig9|fig10|netmodel|overlap|crossover|dealias|kernelsweep|scaling|all]"
                 );
                 std::process::exit(2);
             }

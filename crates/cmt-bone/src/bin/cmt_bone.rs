@@ -3,14 +3,14 @@
 //! ```text
 //! cmt-bone [--ranks P] [--elems NEL] [--n N] [--steps S] [--fields F]
 //!          [--variant basic|opt|spec] [--method pairwise|crystal|allreduce]
-//!          [--net qdr|exa|gbe] [--quiet]
+//!          [--pipeline blocking|overlapped] [--net qdr|exa|gbe] [--quiet]
 //! ```
 //!
 //! Runs the mini-app and prints the paper-style report (setup block,
 //! Fig. 7 autotune table, Fig. 4 profile, Figs. 8-10 communication
 //! statistics).
 
-use cmt_bone::{run, Config};
+use cmt_bone::{run, Config, Pipeline};
 use cmt_core::KernelVariant;
 use cmt_gs::GsMethod;
 use simmpi::NetworkModel;
@@ -19,7 +19,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: cmt-bone [--ranks P] [--elems NEL_PER_RANK] [--n N] [--steps S]\n\
          \x20                [--fields F] [--variant basic|opt|spec]\n\
-         \x20                [--method pairwise|crystal|allreduce] [--net qdr|exa|gbe]\n\
+         \x20                [--method pairwise|crystal|allreduce]\n\
+         \x20                [--pipeline blocking|overlapped] [--net qdr|exa|gbe]\n\
          \x20                [--cfl-interval K] [--dealias M] [--euler] [--quiet]"
     );
     std::process::exit(2);
@@ -90,6 +91,13 @@ fn main() {
                     Some("pairwise") => Some(GsMethod::PairwiseExchange),
                     Some("crystal") => Some(GsMethod::CrystalRouter),
                     Some("allreduce") => Some(GsMethod::AllReduce),
+                    _ => usage(),
+                }
+            }
+            "--pipeline" => {
+                cfg.pipeline = match args.next().as_deref() {
+                    Some("blocking") => Pipeline::Blocking,
+                    Some("overlapped") => Pipeline::Overlapped,
                     _ => usage(),
                 }
             }

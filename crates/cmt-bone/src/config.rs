@@ -4,6 +4,33 @@ use cmt_core::KernelVariant;
 use cmt_gs::{AutotuneOptions, GsMethod};
 use simmpi::NetworkModel;
 
+/// How the RK stage schedules its face exchanges relative to compute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Pipeline {
+    /// Legacy schedule: one blocking `gs_op` per field per stage, issued
+    /// between surface extraction and flux lifting. Kept as the baseline
+    /// the overlap measurements compare against.
+    Blocking,
+    /// Split-phase schedule: extract faces for *all* fields, start one
+    /// batched exchange (`k` fields in one message per neighbor), run the
+    /// flux-divergence and dealias volume kernels while messages are in
+    /// flight, then finish the exchange and lift. Hides exchange latency
+    /// behind compute and cuts per-stage message count by the field
+    /// count.
+    #[default]
+    Overlapped,
+}
+
+impl Pipeline {
+    /// Display name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Pipeline::Blocking => "blocking",
+            Pipeline::Overlapped => "overlapped",
+        }
+    }
+}
+
 /// CMT-bone run configuration. The defaults are a laptop-scale version of
 /// the paper's canonical setup (its Fig. 7 block is 256 ranks x 100
 /// elements x N = 10; thread-rank worlds reproduce that exactly when
@@ -64,6 +91,9 @@ pub struct Config {
     pub cfl: f64,
     /// Optional network model for modelled-time accounting.
     pub net: Option<NetworkModel>,
+    /// Exchange scheduling: blocking per-field `gs_op`s (the legacy
+    /// baseline) or the batched split-phase overlap.
+    pub pipeline: Pipeline,
 }
 
 impl Default for Config {
@@ -83,6 +113,7 @@ impl Default for Config {
             velocity: [0.8, 0.53, 0.31],
             cfl: 0.25,
             net: None,
+            pipeline: Pipeline::default(),
         }
     }
 }

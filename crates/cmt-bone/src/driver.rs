@@ -14,7 +14,7 @@ use cmt_mesh::{MeshConfig, RankMesh};
 use cmt_perf::{MpipReport, Profiler};
 use simmpi::{Rank, ReduceOp, World};
 
-use crate::config::Config;
+use crate::config::{Config, Pipeline};
 use crate::report::RunReport;
 
 /// Profiler region names used by the driver, mirroring the routines of
@@ -26,6 +26,11 @@ pub(crate) mod regions {
     pub const FULL2FACE: &str = "full2face_cmt";
     /// The gather-scatter surface exchange — the paper's `gs_op_`.
     pub const GS_OP: &str = "gs_op_ (numerical flux exchange)";
+    /// Split-phase exchange start (gather + post sends/recvs). Nested
+    /// under [`GS_OP`] so the parent row keeps the total exchange time.
+    pub const GS_START: &str = "gs_op_start (post exchange)";
+    /// Split-phase exchange finish (wait + combine + scatter).
+    pub const GS_FINISH: &str = "gs_op_finish (wait + combine)";
     /// Upwind lifting of the exchanged fluxes back into the volume.
     pub const FLUX_LIFT: &str = "add_face2full (flux lift)";
     /// Runge-Kutta stage update.
@@ -98,6 +103,201 @@ fn stable_dt(cfg: &Config, geom: &ElementGeom) -> f64 {
     }
 }
 
+/// Per-rank invariants shared by the stage passes.
+struct StageEnv<'a> {
+    cfg: &'a Config,
+    basis: &'a Basis,
+    geom: &'a ElementGeom,
+    handle: &'a GsHandle,
+    chosen: GsMethod,
+    nel: usize,
+}
+
+/// BR1 viscous workspace: the gradient fields plus per-axis face-trace
+/// buffers (own and neighbor) for the q exchanges.
+struct ViscousWs {
+    nu: f64,
+    q: [Field; 3],
+    qown: [Vec<f64>; 3],
+    qnbr: [Vec<f64>; 3],
+}
+
+/// Central-flux surface correction of the viscous divergence along one
+/// axis. On entry `qnbr` holds the exchanged trace *sum* (own + neighbor);
+/// it is reduced to the absolute neighbor trace in place, then the
+/// correction is lifted into `rhs`.
+#[allow(clippy::too_many_arguments)]
+fn viscous_axis_correction(
+    n: usize,
+    nel: usize,
+    axis: usize,
+    lift: f64,
+    nu: f64,
+    qnbr: &mut [f64],
+    qown: &[f64],
+    rhs: &mut Field,
+) {
+    let fpe = face::face_values_per_element(n);
+    let n2 = n * n;
+    let n3 = n2 * n;
+    for (nb, ow) in qnbr.iter_mut().zip(qown.iter()) {
+        *nb -= ow;
+    }
+    for e in 0..nel {
+        for fc in Face::ALL {
+            if fc.axis() != axis {
+                continue;
+            }
+            let sign = fc.sign() as f64;
+            let off = e * fpe + fc.index() * n2;
+            for p in 0..n2 {
+                // F* - F_in = sign nu ((q_own+q_nbr)/2 - q_own)
+                //           = sign nu (q_nbr - q_own)/2
+                let corr = lift * sign * nu * 0.5 * (qnbr[off + p] - qown[off + p]);
+                let vi = face::face_point_volume_index(n, fc, p);
+                rhs.as_mut_slice()[e * n3 + vi] += corr;
+            }
+        }
+    }
+}
+
+/// The BR1 viscous passes for one field: gradient with central traces,
+/// then the viscous divergence with its q-trace exchange. Under the
+/// blocking pipeline each axis runs its own blocking `gs_op` (3 exchanges
+/// per field per stage); under the overlapped pipeline all three axis
+/// traces go out in one batched split-phase exchange whose in-flight time
+/// the three volume divergence derivatives overlap.
+#[allow(clippy::too_many_arguments)]
+fn viscous_pass(
+    env: &StageEnv,
+    rank: &mut Rank,
+    prof: &mut Profiler,
+    ws: &mut ViscousWs,
+    uf: &Field,
+    faces: &[f64],
+    faces_own: &[f64],
+    rhs: &mut Field,
+    scratch: &mut Field,
+) {
+    let cfg = env.cfg;
+    let (n, nel) = (cfg.n, env.nel);
+    let (basis, geom) = (env.basis, env.geom);
+    let fpe = face::face_values_per_element(n);
+    let n2 = n * n;
+    let n3 = n2 * n;
+    let w_end = basis.weights[0];
+    let nu = ws.nu;
+    const AXES: [(usize, DerivDir); 3] = [(0, DerivDir::R), (1, DerivDir::S), (2, DerivDir::T)];
+
+    prof.enter(regions::VISCOUS);
+    // gradient volume part
+    for (axis, dir) in AXES {
+        kernels::deriv(
+            cfg.variant,
+            dir,
+            n,
+            nel,
+            &basis.d,
+            uf.as_slice(),
+            ws.q[axis].as_mut_slice(),
+        );
+        ws.q[axis].scale(geom.dscale(axis));
+    }
+    // gradient lifting: q_a += lift * sign * (u* - u_in),
+    // u* - u_in = (nbr - own)/2; `faces` holds the absolute neighbor
+    // trace after the flux lift.
+    for e in 0..nel {
+        for fc in Face::ALL {
+            let axis = fc.axis();
+            let sign = fc.sign() as f64;
+            let lift = geom.dscale(axis) / w_end;
+            let off = e * fpe + fc.index() * n2;
+            for p in 0..n2 {
+                let jump = 0.5 * (faces[off + p] - faces_own[off + p]);
+                let vi = face::face_point_volume_index(n, fc, p);
+                ws.q[axis].as_mut_slice()[e * n3 + vi] += lift * sign * jump;
+            }
+        }
+    }
+    // viscous divergence: volume + central surface flux
+    match cfg.pipeline {
+        Pipeline::Blocking => {
+            for (axis, dir) in AXES {
+                kernels::deriv(
+                    cfg.variant,
+                    dir,
+                    n,
+                    nel,
+                    &basis.d,
+                    ws.q[axis].as_slice(),
+                    scratch.as_mut_slice(),
+                );
+                rhs.axpy(nu * geom.dscale(axis), scratch);
+                face::full2face(n, nel, ws.q[axis].as_slice(), &mut ws.qown[axis]);
+                ws.qnbr[axis].copy_from_slice(&ws.qown[axis]);
+                rank.set_context("faces_visc");
+                env.handle
+                    .gs_op(rank, &mut ws.qnbr[axis], GsOp::Add, env.chosen);
+                rank.set_context("main");
+                viscous_axis_correction(
+                    n,
+                    nel,
+                    axis,
+                    geom.dscale(axis) / w_end,
+                    nu,
+                    &mut ws.qnbr[axis],
+                    &ws.qown[axis],
+                    rhs,
+                );
+            }
+        }
+        Pipeline::Overlapped => {
+            // extract all three axis traces and start one bundled exchange
+            for axis in 0..3 {
+                face::full2face(n, nel, ws.q[axis].as_slice(), &mut ws.qown[axis]);
+            }
+            prof.enter(regions::GS_START);
+            rank.set_context("faces_visc");
+            let views: Vec<&[f64]> = ws.qown.iter().map(|v| v.as_slice()).collect();
+            let pending = env.handle.gs_op_start(rank, &views, GsOp::Add, env.chosen);
+            rank.set_context("main");
+            prof.exit();
+            // overlap window: the three volume divergence derivatives
+            for (axis, dir) in AXES {
+                kernels::deriv(
+                    cfg.variant,
+                    dir,
+                    n,
+                    nel,
+                    &basis.d,
+                    ws.q[axis].as_slice(),
+                    scratch.as_mut_slice(),
+                );
+                rhs.axpy(nu * geom.dscale(axis), scratch);
+            }
+            prof.enter(regions::GS_FINISH);
+            rank.set_context("faces_visc");
+            let mut outs: Vec<&mut [f64]> = ws.qnbr.iter_mut().map(|v| v.as_mut_slice()).collect();
+            env.handle.gs_op_finish(rank, pending, &mut outs);
+            rank.set_context("main");
+            prof.exit();
+            for axis in 0..3 {
+                viscous_axis_correction(
+                    n,
+                    nel,
+                    axis,
+                    geom.dscale(axis) / w_end,
+                    nu,
+                    &mut ws.qnbr[axis],
+                    &ws.qown[axis],
+                    rhs,
+                );
+            }
+        }
+    }
+    prof.exit();
+}
+
 fn rank_main(rank: &mut Rank, cfg: &Config, mesh_cfg: &MeshConfig, collect: bool) -> RankOutput {
     let start = Instant::now();
     let mut prof = Profiler::new();
@@ -142,11 +342,15 @@ fn rank_main(rank: &mut Rank, cfg: &Config, mesh_cfg: &MeshConfig, collect: bool
         })
         .collect();
     let mut u0: Vec<Field> = u.clone();
-    let mut rhs = Field::zeros(n, nel);
+    // Per-field RHS and face-trace buffers. The overlapped pipeline keeps
+    // every field's surface data alive across the whole stage (all fields
+    // are extracted before any volume work runs), so each field owns its
+    // buffers; the blocking pipeline uses them one at a time.
+    let mut rhs_all: Vec<Field> = (0..cfg.fields).map(|_| Field::zeros(n, nel)).collect();
     let mut scratch = Field::zeros(n, nel);
     let fpe = face::face_values_per_element(n);
-    let mut faces = vec![0.0; fpe * nel];
-    let mut faces_own = vec![0.0; fpe * nel];
+    let mut faces_all: Vec<Vec<f64>> = (0..cfg.fields).map(|_| vec![0.0; fpe * nel]).collect();
+    let mut faces_own_all: Vec<Vec<f64>> = (0..cfg.fields).map(|_| vec![0.0; fpe * nel]).collect();
     let dt = stable_dt(cfg, &geom);
 
     // Dealiasing operators: interpolation to the m-point fine mesh and
@@ -162,19 +366,33 @@ fn rank_main(rank: &mut Rank, cfg: &Config, mesh_cfg: &MeshConfig, collect: bool
     });
     let mut dealias = dealias;
 
-    // BR1 viscous workspace (gradient fields + q-trace buffers).
-    let mut viscous = cfg.viscosity.map(|nu| {
-        (
-            nu,
-            [
-                Field::zeros(n, nel),
-                Field::zeros(n, nel),
-                Field::zeros(n, nel),
-            ],
-            vec![0.0; fpe * nel], // q own traces
-            vec![0.0; fpe * nel], // q neighbor traces
-        )
+    // BR1 viscous workspace (gradient fields + per-axis q-trace buffers).
+    let mut viscous = cfg.viscosity.map(|nu| ViscousWs {
+        nu,
+        q: [
+            Field::zeros(n, nel),
+            Field::zeros(n, nel),
+            Field::zeros(n, nel),
+        ],
+        qown: [
+            vec![0.0; fpe * nel],
+            vec![0.0; fpe * nel],
+            vec![0.0; fpe * nel],
+        ],
+        qnbr: [
+            vec![0.0; fpe * nel],
+            vec![0.0; fpe * nel],
+            vec![0.0; fpe * nel],
+        ],
     });
+    let env = StageEnv {
+        cfg,
+        basis: &basis,
+        geom: &geom,
+        handle: &handle,
+        chosen,
+        nel,
+    };
 
     // ---- timestep loop --------------------------------------------------
     prof.enter(regions::LOOP);
@@ -184,135 +402,182 @@ fn rank_main(rank: &mut Rank, cfg: &Config, mesh_cfg: &MeshConfig, collect: bool
             u0f.as_mut_slice().copy_from_slice(uf.as_slice());
         }
         for stage in 0..rk::STAGES {
-            for f in 0..cfg.fields {
-                // (1) flux divergence: the small-matrix-multiply kernel
-                prof.enter(regions::DERIV);
-                advect_volume_rhs(
-                    cfg.variant,
-                    &basis,
-                    &geom,
-                    cfg.velocity,
-                    &u[f],
-                    &mut rhs,
-                    &mut scratch,
-                );
-                prof.exit();
+            match cfg.pipeline {
+                // ---- legacy schedule: one blocking exchange per field ----
+                Pipeline::Blocking => {
+                    for f in 0..cfg.fields {
+                        let rhs = &mut rhs_all[f];
+                        let faces = &mut faces_all[f];
+                        let faces_own = &mut faces_own_all[f];
 
-                // (1b) dealiasing round-trip on the RHS (identity on the
-                // resolved polynomial content; pure kernel workload)
-                if let Some((m, up, down, fine)) = dealias.as_mut() {
-                    prof.enter(regions::DEALIAS);
-                    cmt_core::kernels::tensor3_apply(*m, n, up, rhs.as_slice(), fine, nel);
-                    cmt_core::kernels::tensor3_apply(n, *m, down, fine, rhs.as_mut_slice(), nel);
-                    prof.exit();
-                }
-
-                // (2) surface extraction
-                prof.enter(regions::FULL2FACE);
-                face::full2face(n, nel, u[f].as_slice(), &mut faces);
-                faces_own.copy_from_slice(&faces);
-                prof.exit();
-
-                // (3) numerical flux: nearest-neighbor exchange. The
-                // face-exchange ids pair each face point with exactly its
-                // across-face twin, so Add recovers own + neighbor.
-                prof.enter(regions::GS_OP);
-                rank.set_context("faces");
-                handle.gs_op(rank, &mut faces, GsOp::Add, chosen);
-                rank.set_context("main");
-                prof.exit();
-
-                // (4) upwind lifting: neighbor trace = sum - own
-                prof.enter(regions::FLUX_LIFT);
-                for (s, o) in faces.iter_mut().zip(&faces_own) {
-                    *s -= o;
-                }
-                upwind_face_correction(&basis, &geom, cfg.velocity, &faces_own, &faces, &mut rhs);
-                prof.exit();
-
-                // (4v) viscous BR1 passes: gradient with central traces,
-                // then the viscous divergence with its own q-trace
-                // exchange per axis (3 more gs_op calls per field/stage).
-                if let Some((nu, q, qown, qnbr)) = viscous.as_mut() {
-                    prof.enter(regions::VISCOUS);
-                    let n2 = n * n;
-                    let n3 = n2 * n;
-                    let w_end = basis.weights[0];
-                    // gradient volume part
-                    for (axis, dir) in [(0, DerivDir::R), (1, DerivDir::S), (2, DerivDir::T)] {
-                        kernels::deriv(
+                        // (1) flux divergence: the small-matrix-multiply kernel
+                        prof.enter(regions::DERIV);
+                        advect_volume_rhs(
                             cfg.variant,
-                            dir,
-                            n,
-                            nel,
-                            &basis.d,
-                            u[f].as_slice(),
-                            q[axis].as_mut_slice(),
+                            &basis,
+                            &geom,
+                            cfg.velocity,
+                            &u[f],
+                            rhs,
+                            &mut scratch,
                         );
-                        q[axis].scale(geom.dscale(axis));
-                    }
-                    // gradient lifting: q_a += lift * sign * (u* - u_in),
-                    // u* - u_in = (nbr - own)/2; `faces` holds the
-                    // absolute neighbor trace after step (4).
-                    for e in 0..nel {
-                        for fc in Face::ALL {
-                            let axis = fc.axis();
-                            let sign = fc.sign() as f64;
-                            let lift = geom.dscale(axis) / w_end;
-                            let off = e * fpe + fc.index() * n2;
-                            for p in 0..n2 {
-                                let jump = 0.5 * (faces[off + p] - faces_own[off + p]);
-                                let vi = face::face_point_volume_index(n, fc, p);
-                                q[axis].as_mut_slice()[e * n3 + vi] += lift * sign * jump;
-                            }
+                        prof.exit();
+
+                        // (1b) dealiasing round-trip on the RHS (identity on
+                        // the resolved polynomial content; pure kernel
+                        // workload)
+                        if let Some((m, up, down, fine)) = dealias.as_mut() {
+                            prof.enter(regions::DEALIAS);
+                            kernels::tensor3_apply(*m, n, up, rhs.as_slice(), fine, nel);
+                            kernels::tensor3_apply(n, *m, down, fine, rhs.as_mut_slice(), nel);
+                            prof.exit();
                         }
-                    }
-                    // viscous divergence: volume + central surface flux
-                    for (axis, dir) in [(0, DerivDir::R), (1, DerivDir::S), (2, DerivDir::T)] {
-                        kernels::deriv(
-                            cfg.variant,
-                            dir,
-                            n,
-                            nel,
-                            &basis.d,
-                            q[axis].as_slice(),
-                            scratch.as_mut_slice(),
-                        );
-                        rhs.axpy(*nu * geom.dscale(axis), &scratch);
-                        face::full2face(n, nel, q[axis].as_slice(), qown);
-                        qnbr.copy_from_slice(qown);
-                        rank.set_context("faces_visc");
-                        handle.gs_op(rank, qnbr, GsOp::Add, chosen);
+
+                        // (2) surface extraction
+                        prof.enter(regions::FULL2FACE);
+                        face::full2face(n, nel, u[f].as_slice(), faces);
+                        faces_own.copy_from_slice(faces);
+                        prof.exit();
+
+                        // (3) numerical flux: nearest-neighbor exchange. The
+                        // face-exchange ids pair each face point with exactly
+                        // its across-face twin, so Add recovers own + neighbor.
+                        prof.enter(regions::GS_OP);
+                        rank.set_context("faces");
+                        handle.gs_op(rank, faces, GsOp::Add, chosen);
                         rank.set_context("main");
-                        for (nb, ow) in qnbr.iter_mut().zip(qown.iter()) {
-                            *nb -= ow;
+                        prof.exit();
+
+                        // (4) upwind lifting: neighbor trace = sum - own
+                        prof.enter(regions::FLUX_LIFT);
+                        for (s, o) in faces.iter_mut().zip(faces_own.iter()) {
+                            *s -= o;
                         }
-                        for e in 0..nel {
-                            for fc in Face::ALL {
-                                if fc.axis() != axis {
-                                    continue;
-                                }
-                                let sign = fc.sign() as f64;
-                                let lift = geom.dscale(axis) / w_end;
-                                let off = e * fpe + fc.index() * n2;
-                                for p in 0..n2 {
-                                    // F* - F_in = sign nu ((q_own+q_nbr)/2 - q_own)
-                                    //           = sign nu (q_nbr - q_own)/2
-                                    let corr =
-                                        lift * sign * *nu * 0.5 * (qnbr[off + p] - qown[off + p]);
-                                    let vi = face::face_point_volume_index(n, fc, p);
-                                    rhs.as_mut_slice()[e * n3 + vi] += corr;
-                                }
-                            }
+                        upwind_face_correction(&basis, &geom, cfg.velocity, faces_own, faces, rhs);
+                        prof.exit();
+
+                        // (4v) viscous BR1 passes
+                        if let Some(ws) = viscous.as_mut() {
+                            viscous_pass(
+                                &env,
+                                rank,
+                                &mut prof,
+                                ws,
+                                &u[f],
+                                &faces_all[f],
+                                &faces_own_all[f],
+                                &mut rhs_all[f],
+                                &mut scratch,
+                            );
                         }
+
+                        // (5) RK stage update
+                        prof.enter(regions::RK);
+                        rk::stage_update(stage, &mut u[f], &u0[f], &rhs_all[f], dt);
+                        prof.exit();
                     }
-                    prof.exit();
                 }
 
-                // (5) RK stage update
-                prof.enter(regions::RK);
-                rk::stage_update(stage, &mut u[f], &u0[f], &rhs, dt);
-                prof.exit();
+                // ---- split-phase schedule: batch, start, overlap, finish ----
+                Pipeline::Overlapped => {
+                    // (1) surface extraction for every field up front
+                    prof.enter(regions::FULL2FACE);
+                    for f in 0..cfg.fields {
+                        face::full2face(n, nel, u[f].as_slice(), &mut faces_all[f]);
+                        faces_own_all[f].copy_from_slice(&faces_all[f]);
+                    }
+                    prof.exit();
+
+                    // (2) start ONE exchange carrying all fields (a k-field
+                    // payload per neighbor: `fields`x fewer messages than the
+                    // blocking schedule)
+                    prof.enter(regions::GS_OP);
+                    prof.enter(regions::GS_START);
+                    rank.set_context("faces");
+                    let views: Vec<&[f64]> = faces_all.iter().map(|v| v.as_slice()).collect();
+                    let pending = handle.gs_op_start(rank, &views, GsOp::Add, chosen);
+                    rank.set_context("main");
+                    prof.exit();
+                    prof.exit();
+
+                    // (3) overlap window: every field's volume work (flux
+                    // divergence + dealias) runs while the face messages are
+                    // in flight
+                    for f in 0..cfg.fields {
+                        prof.enter(regions::DERIV);
+                        advect_volume_rhs(
+                            cfg.variant,
+                            &basis,
+                            &geom,
+                            cfg.velocity,
+                            &u[f],
+                            &mut rhs_all[f],
+                            &mut scratch,
+                        );
+                        prof.exit();
+                        if let Some((m, up, down, fine)) = dealias.as_mut() {
+                            prof.enter(regions::DEALIAS);
+                            kernels::tensor3_apply(*m, n, up, rhs_all[f].as_slice(), fine, nel);
+                            kernels::tensor3_apply(
+                                n,
+                                *m,
+                                down,
+                                fine,
+                                rhs_all[f].as_mut_slice(),
+                                nel,
+                            );
+                            prof.exit();
+                        }
+                    }
+
+                    // (4) finish: wait, fold remote contributions, scatter
+                    prof.enter(regions::GS_OP);
+                    prof.enter(regions::GS_FINISH);
+                    rank.set_context("faces");
+                    let mut outs: Vec<&mut [f64]> =
+                        faces_all.iter_mut().map(|v| v.as_mut_slice()).collect();
+                    handle.gs_op_finish(rank, pending, &mut outs);
+                    rank.set_context("main");
+                    prof.exit();
+                    prof.exit();
+
+                    // (5) per-field lift + viscous + RK
+                    for f in 0..cfg.fields {
+                        prof.enter(regions::FLUX_LIFT);
+                        let faces = &mut faces_all[f];
+                        let faces_own = &faces_own_all[f];
+                        for (s, o) in faces.iter_mut().zip(faces_own.iter()) {
+                            *s -= o;
+                        }
+                        upwind_face_correction(
+                            &basis,
+                            &geom,
+                            cfg.velocity,
+                            faces_own,
+                            faces,
+                            &mut rhs_all[f],
+                        );
+                        prof.exit();
+
+                        if let Some(ws) = viscous.as_mut() {
+                            viscous_pass(
+                                &env,
+                                rank,
+                                &mut prof,
+                                ws,
+                                &u[f],
+                                &faces_all[f],
+                                &faces_own_all[f],
+                                &mut rhs_all[f],
+                                &mut scratch,
+                            );
+                        }
+
+                        prof.enter(regions::RK);
+                        rk::stage_update(stage, &mut u[f], &u0[f], &rhs_all[f], dt);
+                        prof.exit();
+                    }
+                }
             }
         }
         time += dt;
@@ -642,6 +907,144 @@ mod tests {
             .sites
             .iter()
             .any(|s| s.site.context.contains("faces_visc")));
+    }
+
+    /// The overlapped schedule only reorders *independent* work (volume
+    /// kernels of other fields run between start and finish), and `finish`
+    /// folds neighbor contributions in the same fixed order as the
+    /// blocking path — so the inviscid solve must be bitwise identical.
+    #[test]
+    fn overlapped_pipeline_is_bitwise_identical_to_blocking_inviscid() {
+        let base = Config {
+            n: 5,
+            elems_per_rank: 8,
+            ranks: 4,
+            steps: 3,
+            fields: 3,
+            dealias_m: Some(8),
+            method: Some(GsMethod::PairwiseExchange),
+            ..Default::default()
+        };
+        let (_, blocking) = run_collecting_solution(&Config {
+            pipeline: Pipeline::Blocking,
+            ..base.clone()
+        });
+        let (_, overlapped) = run_collecting_solution(&Config {
+            pipeline: Pipeline::Overlapped,
+            ..base.clone()
+        });
+        assert_eq!(blocking.len(), overlapped.len());
+        for (a, b) in blocking.iter().zip(&overlapped) {
+            assert_eq!(a.global_elem_ids, b.global_elem_ids);
+            for (fa, fb) in a.fields.iter().zip(&b.fields) {
+                assert_eq!(fa, fb, "overlapped inviscid must match blocking bitwise");
+            }
+        }
+    }
+
+    /// The overlapped viscous pass accumulates the three axis divergences
+    /// before the three surface corrections (the blocking path interleaves
+    /// them), so it is equal only to roundoff — but no looser.
+    #[test]
+    fn overlapped_viscous_matches_blocking_to_roundoff() {
+        let base = Config {
+            n: 5,
+            elems_per_rank: 4,
+            ranks: 4,
+            steps: 3,
+            fields: 2,
+            viscosity: Some(0.02),
+            method: Some(GsMethod::PairwiseExchange),
+            ..Default::default()
+        };
+        let a = run(&Config {
+            pipeline: Pipeline::Blocking,
+            ..base.clone()
+        })
+        .checksum;
+        let b = run(&Config {
+            pipeline: Pipeline::Overlapped,
+            ..base.clone()
+        })
+        .checksum;
+        assert!((a - b).abs() < 1e-11 * (1.0 + a.abs()), "{a} vs {b}");
+    }
+
+    /// One batched exchange carries all fields: the overlapped schedule
+    /// must send `fields`x fewer face messages than the blocking one.
+    #[test]
+    fn overlapped_pipeline_batches_field_exchanges() {
+        let base = Config {
+            n: 5,
+            elems_per_rank: 8,
+            ranks: 4,
+            steps: 2,
+            fields: 5,
+            method: Some(GsMethod::PairwiseExchange),
+            ..Default::default()
+        };
+        let face_isends = |rep: &RunReport| -> u64 {
+            rep.comm
+                .sites
+                .iter()
+                .filter(|s| {
+                    s.site.op == simmpi::MpiOp::Isend && s.site.context == "faces/gs:pairwise"
+                })
+                .map(|s| s.calls)
+                .sum()
+        };
+        let blocking = run(&Config {
+            pipeline: Pipeline::Blocking,
+            ..base.clone()
+        });
+        let overlapped = run(&Config {
+            pipeline: Pipeline::Overlapped,
+            ..base.clone()
+        });
+        let (nb, no) = (face_isends(&blocking), face_isends(&overlapped));
+        assert!(no > 0, "overlapped run sent no face messages");
+        assert_eq!(
+            nb,
+            base.fields as u64 * no,
+            "blocking sent {nb} face messages, overlapped {no}; expected a {}x reduction",
+            base.fields
+        );
+    }
+
+    #[test]
+    fn overlapped_profile_splits_gs_into_start_and_finish() {
+        let rep = run(&Config {
+            steps: 4,
+            ..small_cfg()
+        });
+        for name in [regions::GS_OP, regions::GS_START, regions::GS_FINISH] {
+            assert!(
+                rep.profile.flat.iter().any(|(n, _)| n == name),
+                "missing region {name}"
+            );
+        }
+        // start/finish nest under the gs_op_ parent row
+        for child in [regions::GS_START, regions::GS_FINISH] {
+            assert!(
+                rep.profile
+                    .edges
+                    .iter()
+                    .any(|(p, c, _, _)| p == regions::GS_OP && c == child),
+                "missing call-graph edge {} -> {child}",
+                regions::GS_OP
+            );
+        }
+        // the blocking baseline keeps the undivided gs_op_ row
+        let blocking = run(&Config {
+            steps: 2,
+            pipeline: Pipeline::Blocking,
+            ..small_cfg()
+        });
+        assert!(!blocking
+            .profile
+            .flat
+            .iter()
+            .any(|(n, _)| n == regions::GS_START));
     }
 
     #[test]

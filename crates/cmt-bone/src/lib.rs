@@ -39,7 +39,7 @@ mod driver;
 pub mod euler;
 mod report;
 
-pub use config::Config;
+pub use config::{Config, Pipeline};
 pub use driver::{run, run_collecting_solution, SolutionDump};
 pub use euler::{run_euler, EulerRunConfig, EulerRunReport};
 pub use report::RunReport;

@@ -11,6 +11,13 @@
 //! inconsistent partial sums, `dssum` restores consistency, and dot
 //! products weight each entry by the reciprocal of its sharer count so
 //! every mathematical degree of freedom counts once.
+//!
+//! The iteration's `dssum` runs split-phase: after `ax` the exchange is
+//! *started*, the interior portion of the `<p, A p>` dot product — slots
+//! whose values no `gs_op` can change, per
+//! [`GsHandle::shared_slot_flags`] — accumulates while the face messages
+//! are in flight, and only then does the exchange finish and the shared
+//! portion complete the reduction.
 
 use cmt_core::Field;
 use cmt_gs::{GsHandle, GsMethod, GsOp};
@@ -86,6 +93,9 @@ pub fn cg_solve(
     let mut w = Field::zeros(n, nel);
     let mut t1 = Field::zeros(n, nel);
     let mut t2 = Field::zeros(n, nel);
+    // Interior slots are untouched by dssum: their dot-product partial can
+    // run inside the split-phase overlap window.
+    let shared = handle.shared_slot_flags();
 
     // r = b - A x (skip the apply when x = 0, the usual Nekbone start)
     let mut r = b.clone();
@@ -107,10 +117,9 @@ pub fn cg_solve(
         if history.last().copied().unwrap_or(0.0) <= tol {
             break;
         }
-        apply_assembled(
-            rank, op, handle, method, mask, &p, &mut w, &mut t1, &mut t2, prof,
+        let pap = apply_assembled_dot(
+            rank, op, handle, method, mask, inv_mult, &shared, &p, &mut w, &mut t1, &mut t2, prof,
         );
-        let pap = glsc3(rank, &p, &w, inv_mult);
         assert!(
             pap > 0.0,
             "CG breakdown: p^T A p = {pap} (operator not SPD?)"
@@ -138,6 +147,88 @@ pub fn apply_mask(v: &mut Field, mask: &[f64]) {
     for (x, &m) in v.as_mut_slice().iter_mut().zip(mask) {
         *x *= m;
     }
+}
+
+/// One assembled operator application fused with the weighted dot product:
+/// `w = mask(dssum(A_local u))`, returning the global `<u, w>`.
+///
+/// The split-phase schedule: `ax`, then `gs_op_start` posts the dssum
+/// exchange, the interior partial of the dot product (slots no `gs_op`
+/// can change) accumulates while the messages are in flight,
+/// `gs_op_finish` lands the exchanged sums, and the shared partial plus
+/// one `MPI_Allreduce` complete the product. Versus the blocking
+/// apply-then-`glsc3` sequence, only the reduction's summation order
+/// changes (interior before shared), so results agree to roundoff.
+#[allow(clippy::too_many_arguments)]
+fn apply_assembled_dot(
+    rank: &mut Rank,
+    op: &AxOperator,
+    handle: &GsHandle,
+    method: GsMethod,
+    mask: Option<&[f64]>,
+    inv_mult: &[f64],
+    shared: &[bool],
+    u: &Field,
+    w: &mut Field,
+    t1: &mut Field,
+    t2: &mut Field,
+    prof: &mut Profiler,
+) -> f64 {
+    prof.enter("ax_e (local stiffness+mass)");
+    op.apply(u, w, t1, t2);
+    prof.exit();
+
+    prof.enter("dssum (gs_op)");
+    prof.enter("dssum_start (post exchange)");
+    rank.set_context("dssum");
+    let pending = handle.gs_op_start(rank, &[w.as_slice()], GsOp::Add, method);
+    rank.set_context("main");
+    prof.exit();
+    prof.exit();
+
+    // Overlap window: the interior partial of <u, w>. The mask multiplies
+    // w *after* dssum, but interior slots keep their pre-exchange values,
+    // so folding it in here is exact.
+    prof.enter("glsc3_interior (overlap window)");
+    let mut interior = 0.0;
+    {
+        let us = u.as_slice();
+        let ws = w.as_slice();
+        for (i, (&sh, &im)) in shared.iter().zip(inv_mult).enumerate() {
+            if !sh {
+                let mw = mask.map_or(1.0, |m| m[i]);
+                interior += us[i] * ws[i] * im * mw;
+            }
+        }
+    }
+    prof.exit();
+
+    prof.enter("dssum (gs_op)");
+    prof.enter("dssum_finish (wait + combine)");
+    rank.set_context("dssum");
+    handle.gs_op_finish(rank, pending, &mut [w.as_mut_slice()]);
+    rank.set_context("main");
+    prof.exit();
+    prof.exit();
+
+    if let Some(m) = mask {
+        apply_mask(w, m);
+    }
+
+    let mut shared_part = 0.0;
+    {
+        let us = u.as_slice();
+        let ws = w.as_slice();
+        for (i, (&sh, &im)) in shared.iter().zip(inv_mult).enumerate() {
+            if sh {
+                shared_part += us[i] * ws[i] * im;
+            }
+        }
+    }
+    rank.set_context("glsc3");
+    let out = rank.allreduce_scalar(interior + shared_part, ReduceOp::Sum);
+    rank.set_context("main");
+    out
 }
 
 /// One assembled operator application: `w = mask(dssum(A_local u))`.

@@ -402,6 +402,27 @@ mod tests {
     }
 
     #[test]
+    fn dssum_runs_split_phase_with_overlap_window() {
+        let rep = run(&small_cfg());
+        for name in [
+            "dssum_start (post exchange)",
+            "dssum_finish (wait + combine)",
+            "glsc3_interior (overlap window)",
+        ] {
+            assert!(
+                rep.profile.flat.iter().any(|(n, _)| n == name),
+                "missing region {name}"
+            );
+        }
+        // exchange wait time stays attributed to the dssum call site
+        assert!(rep
+            .comm
+            .sites
+            .iter()
+            .any(|s| s.site.op == simmpi::MpiOp::Wait && s.site.context == "dssum/gs:pairwise"));
+    }
+
+    #[test]
     fn autotune_produces_fig7_rows() {
         let rep = run(&Config {
             method: None,
