@@ -1,0 +1,62 @@
+//! Resilience bench: checkpoint serialize/restore throughput per element
+//! count, and the in-world cost of a replicated save and a rollback
+//! recovery.
+//!
+//! The encode/decode rows bound the per-checkpoint CPU cost the solver
+//! loop pays at every cadence point (CRC-64 over the full payload
+//! dominates); the world rows add the ring replica exchange and the
+//! recovery protocol on top.
+
+use cmt_bench::harness::Harness;
+use cmt_resilience::{Checkpoint, Resilience};
+use simmpi::World;
+
+/// A CMT-bone-shaped checkpoint: 5 conserved fields of `nel` N=10
+/// elements.
+fn ckpt(nel: usize) -> Checkpoint {
+    let pts = 10 * 10 * 10 * nel;
+    Checkpoint {
+        rank: 0,
+        step: 7,
+        stage: 0,
+        time: 0.35,
+        rng_state: 0x1234_5678,
+        scalars: vec![1.0; 8],
+        fields: (0..5)
+            .map(|f| (0..pts).map(|i| (f * pts + i) as f64 * 1e-6).collect())
+            .collect(),
+    }
+}
+
+fn main() {
+    let h = Harness::new("resilience");
+    for nel in [8usize, 27, 64] {
+        let c = ckpt(nel);
+        let bytes = c.encode();
+        let elems = nel as u64;
+        h.bench(
+            &format!("encode/nel{nel} ({} kB)", bytes.len() / 1024),
+            elems,
+            || {
+                std::hint::black_box(c.encode());
+            },
+        );
+        h.bench(&format!("decode/nel{nel}"), elems, || {
+            std::hint::black_box(Checkpoint::decode(&bytes).unwrap());
+        });
+    }
+
+    // Replicated save + rollback recovery inside a 4-rank world.
+    let nel_world = if h.is_quick() { 8 } else { 27 };
+    h.bench(&format!("world4/save+recover/nel{nel_world}"), 0, || {
+        let res = World::new().run(4, move |rank| {
+            let mut rz = Resilience::new(1, None);
+            let mut c = ckpt(nel_world);
+            c.rank = rank.rank() as u64;
+            let size = rz.save(rank, &c);
+            let back = rz.recover(rank, &[2]);
+            (size, back.step)
+        });
+        std::hint::black_box(res.results);
+    });
+}

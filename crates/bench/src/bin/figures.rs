@@ -13,6 +13,8 @@
 //! * `fig10` — total/average message sizes of the busiest MPI calls
 //! * `netmodel` — latency/bandwidth what-if ablation (paper §VI outlook)
 //! * `overlap` — split-phase overlapped vs blocking exchange schedule
+//! * `resilience` — recovery overhead vs checkpoint cadence under an
+//!   injected rank kill
 //!
 //! `--full` selects the paper's exact parameters (256 thread-ranks for
 //! fig7, 1000-step kernel runs); the default is a seconds-scale version
@@ -396,6 +398,54 @@ fn overlap_fig(full: bool) {
     println!(" kernels, and each stage sends 5x fewer, 5x larger messages.)\n");
 }
 
+fn resilience_fig(full: bool) {
+    println!("== Resilience: recovery overhead vs checkpoint cadence ==");
+    println!("(N = 8, 27 elements/rank, 16 steps, 5 fields, pairwise; one rank");
+    println!(" killed at step 11, rolled back to its last checkpoint and replayed)\n");
+    println!("ranks | cadence | ckpt-only overhead | kill+recover overhead | bitwise ok");
+    let steps = 16usize;
+    let ranks_list: &[usize] = if full { &[4, 8, 16, 32] } else { &[4, 8, 16] };
+    for &ranks in ranks_list {
+        let base = BoneConfig {
+            ranks,
+            n: 8,
+            elems_per_rank: 27,
+            steps,
+            fields: 5,
+            cfl_interval: 4,
+            method: Some(cmt_gs::GsMethod::PairwiseExchange),
+            ..Default::default()
+        };
+        let clean = cmt_bone::run(&base);
+        for every in [2usize, 4, 8] {
+            let ckpt = cmt_bone::run(&BoneConfig {
+                checkpoint_every: every,
+                ..base.clone()
+            });
+            let killed = cmt_bone::run(&BoneConfig {
+                checkpoint_every: every,
+                fault_plan: Some(simmpi::FaultPlan::parse("kill:rank=1,step=11").unwrap()),
+                ..base.clone()
+            });
+            let base_wall = clean.max_wall_s().max(1e-12);
+            println!(
+                "{ranks:5} | {every:7} | {:17.1}% | {:20.1}% | {}",
+                100.0 * (ckpt.max_wall_s() / base_wall - 1.0),
+                100.0 * (killed.max_wall_s() / base_wall - 1.0),
+                if killed.state_hash == clean.state_hash {
+                    "yes"
+                } else {
+                    "NO"
+                }
+            );
+        }
+    }
+    println!("\n(A sparser cadence pays less checkpoint overhead but replays more");
+    println!(" steps after a kill: the kill at step 11 replays 11 - 8*floor(11/8)");
+    println!(" steps at cadence 8 versus one at cadence 2. Every row must end");
+    println!(" 'bitwise ok = yes' — recovery replays the identical trajectory.)\n");
+}
+
 fn netmodel() {
     println!("== Network-model ablation (paper §VI outlook): modelled exchange time ==\n");
     println!("model               | avg modelled comm s/rank | max modelled comm s/rank");
@@ -443,6 +493,7 @@ fn main() {
             "fig10" => fig10(full),
             "netmodel" => netmodel(),
             "overlap" => overlap_fig(full),
+            "resilience" => resilience_fig(full),
             "crossover" => crossover(),
             "kernelsweep" => kernelsweep(),
             "scaling" => scaling(),
@@ -457,6 +508,7 @@ fn main() {
                 fig10(full);
                 netmodel();
                 overlap_fig(full);
+                resilience_fig(full);
                 crossover();
                 dealias_fig();
                 kernelsweep();
@@ -465,7 +517,7 @@ fn main() {
             other => {
                 eprintln!("unknown figure: {other}");
                 eprintln!(
-                    "usage: figures [--full] [fig4|fig5|fig6|fig7|fig8|fig9|fig10|netmodel|overlap|crossover|dealias|kernelsweep|scaling|all]"
+                    "usage: figures [--full] [fig4|fig5|fig6|fig7|fig8|fig9|fig10|netmodel|overlap|resilience|crossover|dealias|kernelsweep|scaling|all]"
                 );
                 std::process::exit(2);
             }

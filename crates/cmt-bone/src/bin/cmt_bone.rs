@@ -13,7 +13,7 @@
 use cmt_bone::{run, Config, Pipeline};
 use cmt_core::KernelVariant;
 use cmt_gs::GsMethod;
-use simmpi::NetworkModel;
+use simmpi::{FaultPlan, NetworkModel};
 
 fn usage() -> ! {
     eprintln!(
@@ -21,7 +21,12 @@ fn usage() -> ! {
          \x20                [--fields F] [--variant basic|opt|spec]\n\
          \x20                [--method pairwise|crystal|allreduce]\n\
          \x20                [--pipeline blocking|overlapped] [--net qdr|exa|gbe]\n\
-         \x20                [--cfl-interval K] [--dealias M] [--euler] [--quiet]"
+         \x20                [--cfl-interval K] [--dealias M] [--euler] [--quiet]\n\
+         \x20                [--checkpoint-every K] [--checkpoint-dir PATH]\n\
+         \x20                [--restart PATH] [--fault-plan SPEC]\n\
+         \n\
+         fault plan SPEC: semicolon-separated events, e.g.\n\
+         \x20 'delay:prob=0.1,us=200;drop:prob=0.05;kill:rank=2,step=5;seed=7'"
     );
     std::process::exit(2);
 }
@@ -109,6 +114,21 @@ fn main() {
                     _ => usage(),
                 }
             }
+            "--checkpoint-every" => cfg.checkpoint_every = parse_usize(args.next()),
+            "--checkpoint-dir" => {
+                cfg.checkpoint_dir = Some(args.next().unwrap_or_else(|| usage()).into())
+            }
+            "--restart" => cfg.restart_from = Some(args.next().unwrap_or_else(|| usage()).into()),
+            "--fault-plan" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                cfg.fault_plan = match FaultPlan::parse(&spec) {
+                    Ok(plan) => Some(plan),
+                    Err(e) => {
+                        eprintln!("bad fault plan: {e}");
+                        usage()
+                    }
+                }
+            }
             "--quiet" => quiet = true,
             "--euler" => euler = true,
             "--help" | "-h" => usage(),
@@ -129,8 +149,9 @@ fn main() {
     let report = run(&cfg);
     if quiet {
         println!(
-            "checksum {:.12e}  wall avg {:.4}s max {:.4}s  method {}",
+            "checksum {:.12e}  state {:016x}  wall avg {:.4}s max {:.4}s  method {}",
             report.checksum,
+            report.state_hash,
             report.avg_wall_s(),
             report.max_wall_s(),
             report.chosen_method.name()

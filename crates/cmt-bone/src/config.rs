@@ -1,8 +1,10 @@
 //! Mini-app configuration.
 
+use std::path::PathBuf;
+
 use cmt_core::KernelVariant;
 use cmt_gs::{AutotuneOptions, GsMethod};
-use simmpi::NetworkModel;
+use simmpi::{FaultPlan, NetworkModel};
 
 /// How the RK stage schedules its face exchanges relative to compute.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -94,6 +96,18 @@ pub struct Config {
     /// Exchange scheduling: blocking per-field `gs_op`s (the legacy
     /// baseline) or the batched split-phase overlap.
     pub pipeline: Pipeline,
+    /// Checkpoint every this many steps (0 disables). Required non-zero
+    /// when the fault plan schedules rank kills.
+    pub checkpoint_every: usize,
+    /// Mirror every checkpoint to this directory (enables cross-run
+    /// `--restart`); `None` keeps checkpoints in memory only.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Resume from the per-rank checkpoints in this directory instead of
+    /// starting at step 0.
+    pub restart_from: Option<PathBuf>,
+    /// Deterministic fault schedule injected into the world (message
+    /// delays, drop/retransmit, scheduled rank kills).
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for Config {
@@ -114,6 +128,10 @@ impl Default for Config {
             cfl: 0.25,
             net: None,
             pipeline: Pipeline::default(),
+            checkpoint_every: 0,
+            checkpoint_dir: None,
+            restart_from: None,
+            fault_plan: None,
         }
     }
 }
@@ -172,6 +190,14 @@ impl Config {
         if let Some(nu) = self.viscosity {
             if !(nu > 0.0) {
                 return Err(format!("viscosity must be positive, got {nu}"));
+            }
+        }
+        if let Some(plan) = &self.fault_plan {
+            plan.validate(self.ranks)?;
+            if !plan.kills.is_empty() && self.checkpoint_every == 0 {
+                return Err("fault plan schedules rank kills but checkpointing is off \
+                     (set checkpoint_every)"
+                    .into());
             }
         }
         Ok(())

@@ -12,6 +12,7 @@ use cmt_core::{rk, Field};
 use cmt_gs::{autotune, AutotuneReport, GsHandle, GsMethod, GsOp};
 use cmt_mesh::{MeshConfig, RankMesh};
 use cmt_perf::{MpipReport, Profiler};
+use cmt_resilience::{hash, load_checkpoint, Checkpoint, Resilience};
 use simmpi::{Rank, ReduceOp, World};
 
 use crate::config::{Config, Pipeline};
@@ -66,9 +67,61 @@ struct RankOutput {
     autotune: Option<AutotuneReport>,
     chosen: GsMethod,
     checksum: f64,
+    state_hash: u64,
     wall_s: f64,
     modeled_s: f64,
     solution: Option<SolutionDump>,
+}
+
+/// Hash this rank's final fields, bitwise (used for the cross-run
+/// final-state identity checks of the resilience tests and CI).
+fn hash_fields(u: &[Field]) -> u64 {
+    let mut h = hash::FNV_OFFSET;
+    for f in u {
+        hash::fnv1a_f64s(&mut h, f.as_slice());
+    }
+    h
+}
+
+/// Capture this rank's loop state at the top of `step` (stage 0).
+fn capture_checkpoint(rank: &Rank, step: u64, time: f64, u: &[Field]) -> Checkpoint {
+    Checkpoint {
+        rank: rank.rank() as u64,
+        step,
+        stage: 0,
+        time,
+        rng_state: rank.fault_rng_state().unwrap_or(0),
+        scalars: Vec::new(),
+        fields: u.iter().map(|f| f.as_slice().to_vec()).collect(),
+    }
+}
+
+/// Restore the loop state captured by [`capture_checkpoint`].
+fn restore_checkpoint(
+    rank: &mut Rank,
+    ckpt: &Checkpoint,
+    u: &mut [Field],
+    time: &mut f64,
+    step: &mut u64,
+) {
+    assert_eq!(
+        ckpt.fields.len(),
+        u.len(),
+        "checkpoint holds {} fields, run has {}",
+        ckpt.fields.len(),
+        u.len()
+    );
+    for (uf, cf) in u.iter_mut().zip(&ckpt.fields) {
+        assert_eq!(
+            uf.as_slice().len(),
+            cf.len(),
+            "checkpoint field size mismatch"
+        );
+        uf.as_mut_slice().copy_from_slice(cf);
+    }
+    *time = ckpt.time;
+    *step = ckpt.step;
+    rank.set_fault_rng_state(ckpt.rng_state);
 }
 
 /// The smooth initial profile of proxy field `f` (periodic in the global
@@ -394,10 +447,38 @@ fn rank_main(rank: &mut Rank, cfg: &Config, mesh_cfg: &MeshConfig, collect: bool
         nel,
     };
 
+    // ---- resilience: restart, then checkpoint/recover in the loop -----
+    let mut rz = Resilience::new(cfg.checkpoint_every as u64, cfg.checkpoint_dir.clone());
+    let mut time = 0.0;
+    let mut step: u64 = 0;
+    if let Some(dir) = &cfg.restart_from {
+        let ckpt = load_checkpoint(dir, rank.rank())
+            .unwrap_or_else(|e| panic!("rank {}: restart: {e}", rank.rank()));
+        restore_checkpoint(rank, &ckpt, &mut u, &mut time, &mut step);
+    }
+
     // ---- timestep loop --------------------------------------------------
     prof.enter(regions::LOOP);
-    let mut time = 0.0;
-    for step in 0..cfg.steps {
+    let steps = cfg.steps as u64;
+    while step < steps {
+        // Checkpoint at the top of the step, before any kill scheduled
+        // here can fire, so a kill at step s rolls back to a capture
+        // taken at (or before) s.
+        if rz.checkpoint_due(step) {
+            prof.enter(cmt_perf::regions::CHECKPOINT);
+            rz.save(rank, &capture_checkpoint(rank, step, time, &u));
+            prof.exit();
+        }
+        // Scheduled rank kills: SPMD-known, so every rank detects them
+        // without communication and runs the coordinated rollback.
+        let killed = rz.killed_at(rank, step);
+        if !killed.is_empty() {
+            prof.enter(cmt_perf::regions::RECOVERY);
+            let back = rz.recover(rank, &killed);
+            restore_checkpoint(rank, &back, &mut u, &mut time, &mut step);
+            prof.exit();
+            continue;
+        }
         for (uf, u0f) in u.iter().zip(u0.iter_mut()) {
             u0f.as_mut_slice().copy_from_slice(uf.as_slice());
         }
@@ -582,7 +663,7 @@ fn rank_main(rank: &mut Rank, cfg: &Config, mesh_cfg: &MeshConfig, collect: bool
         }
         time += dt;
         // (6) vector reduction: timestep control
-        if (step + 1) % cfg.cfl_interval == 0 {
+        if (step + 1) % cfg.cfl_interval as u64 == 0 {
             prof.enter(regions::CFL);
             rank.set_context("cfl");
             let local_max = u.iter().fold(0.0f64, |m, f| m.max(f.norm_inf()));
@@ -590,6 +671,7 @@ fn rank_main(rank: &mut Rank, cfg: &Config, mesh_cfg: &MeshConfig, collect: bool
             rank.set_context("main");
             prof.exit();
         }
+        step += 1;
     }
     prof.exit();
 
@@ -611,6 +693,7 @@ fn rank_main(rank: &mut Rank, cfg: &Config, mesh_cfg: &MeshConfig, collect: bool
         autotune: tune_report,
         chosen,
         checksum,
+        state_hash: hash_fields(&u),
         wall_s: start.elapsed().as_secs_f64(),
         modeled_s: rank.modeled_time_s(),
         solution,
@@ -620,16 +703,20 @@ fn rank_main(rank: &mut Rank, cfg: &Config, mesh_cfg: &MeshConfig, collect: bool
 fn run_inner(cfg: &Config, collect: bool) -> (RunReport, Vec<SolutionDump>) {
     cfg.validate().expect("invalid CMT-bone configuration");
     let mesh_cfg = MeshConfig::for_ranks(cfg.ranks, cfg.elems_per_rank, cfg.n, true);
-    let world = match cfg.net {
+    let mut world = match cfg.net {
         Some(net) => World::with_network(net),
         None => World::new(),
     };
+    if let Some(plan) = &cfg.fault_plan {
+        world = world.with_fault_plan(plan.clone());
+    }
     let result = world.run(cfg.ranks, |rank| rank_main(rank, cfg, &mesh_cfg, collect));
 
     let mut merged = Profiler::new();
     let mut autotune_rep = None;
     let mut chosen = None;
     let mut checksum = f64::NAN;
+    let mut state_hash = hash::FNV_OFFSET;
     let mut rank_wall = Vec::with_capacity(cfg.ranks);
     let mut modeled = Vec::with_capacity(cfg.ranks);
     let mut dumps = Vec::new();
@@ -640,6 +727,8 @@ fn run_inner(cfg: &Config, collect: bool) -> (RunReport, Vec<SolutionDump>) {
         }
         chosen.get_or_insert(out.chosen);
         checksum = out.checksum; // identical on every rank
+                                 // combine per-rank hashes host-side, in rank order
+        hash::fnv1a(&mut state_hash, &out.state_hash.to_le_bytes());
         rank_wall.push(out.wall_s);
         modeled.push(out.modeled_s);
         if let Some(d) = out.solution {
@@ -656,6 +745,7 @@ fn run_inner(cfg: &Config, collect: bool) -> (RunReport, Vec<SolutionDump>) {
         rank_wall_s: rank_wall,
         modeled_comm_s: modeled,
         checksum,
+        state_hash,
         steps: cfg.steps,
         fields: cfg.fields,
     };
@@ -1073,6 +1163,87 @@ mod tests {
         let _ = run(&Config {
             n: 1,
             ..Default::default()
+        });
+    }
+
+    #[test]
+    fn injected_kill_recovers_to_identical_state() {
+        let base = Config {
+            steps: 8,
+            checkpoint_every: 2,
+            method: Some(GsMethod::PairwiseExchange),
+            ..small_cfg()
+        };
+        let clean = run(&base);
+        let faulty = run(&Config {
+            fault_plan: Some(simmpi::FaultPlan::parse("kill:rank=2,step=5").unwrap()),
+            ..base.clone()
+        });
+        // coordinated rollback + deterministic solver: the interrupted run
+        // must finish bitwise identical to the uninterrupted one
+        assert_eq!(clean.checksum, faulty.checksum);
+        assert_eq!(
+            clean.state_hash, faulty.state_hash,
+            "recovered run diverged from the uninterrupted run"
+        );
+        // recovery shows up as its own region in the Fig. 4 profile...
+        for name in [cmt_perf::regions::CHECKPOINT, cmt_perf::regions::RECOVERY] {
+            assert!(
+                faulty.profile.flat.iter().any(|(n, _)| n == name),
+                "missing region {name}"
+            );
+        }
+        assert!(!clean
+            .profile
+            .flat
+            .iter()
+            .any(|(n, _)| n == cmt_perf::regions::RECOVERY));
+        // ...and its traffic is a distinct context in the mpiP report
+        for ctx in ["checkpoint", "recovery"] {
+            assert!(
+                faulty.comm.sites.iter().any(|s| s.site.context == ctx),
+                "missing '{ctx}' comm context"
+            );
+        }
+    }
+
+    #[test]
+    fn message_faults_are_reported_and_harmless() {
+        let base = Config {
+            method: Some(GsMethod::PairwiseExchange),
+            ..small_cfg()
+        };
+        let clean = run(&base);
+        let faulty = run(&Config {
+            fault_plan: Some(
+                simmpi::FaultPlan::parse(
+                    "delay:prob=0.2,us=50;drop:prob=0.1,us=100,retries=3;seed=11",
+                )
+                .unwrap(),
+            ),
+            ..base.clone()
+        });
+        // delays and retransmissions never change what arrives
+        assert_eq!(clean.state_hash, faulty.state_hash);
+        assert_eq!(clean.checksum, faulty.checksum);
+        // injected events are distinct entries in the mpiP-style report
+        let injected: u64 = faulty
+            .comm
+            .sites
+            .iter()
+            .filter(|s| s.site.op.is_fault())
+            .map(|s| s.calls)
+            .sum();
+        assert!(injected > 0, "fault plan injected nothing");
+        assert!(!clean.comm.sites.iter().any(|s| s.site.op.is_fault()));
+    }
+
+    #[test]
+    #[should_panic(expected = "checkpointing is off")]
+    fn kills_without_checkpointing_rejected() {
+        let _ = run(&Config {
+            fault_plan: Some(simmpi::FaultPlan::parse("kill:rank=1,step=2").unwrap()),
+            ..small_cfg()
         });
     }
 }

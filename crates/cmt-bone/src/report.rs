@@ -27,6 +27,11 @@ pub struct RunReport {
     pub modeled_comm_s: Vec<f64>,
     /// Deterministic global checksum of the final fields.
     pub checksum: f64,
+    /// FNV-1a hash over every rank's final field bytes, combined in rank
+    /// order — a bitwise fingerprint of the final state, used by the
+    /// resilience tests and the CI fault-injection smoke job to compare
+    /// recovered runs against uninterrupted ones.
+    pub state_hash: u64,
     /// Timesteps executed.
     pub steps: usize,
     /// Conserved-variable fields stepped.
@@ -81,6 +86,7 @@ impl RunReport {
             "\nsteps = {}  fields = {}  checksum = {:.12e}\n",
             self.steps, self.fields, self.checksum
         ));
+        out.push_str(&format!("state hash: {:016x}\n", self.state_hash));
         out.push_str(&format!(
             "wall time: avg {:.4}s  max {:.4}s   modelled kernel work: {:.2} Gflop ({:.2} Gflop/s)\n",
             self.avg_wall_s(),

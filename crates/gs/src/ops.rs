@@ -1,7 +1,7 @@
 //! `gs_op`: the gather–scatter operation with the three exchange methods,
 //! in both blocking and split-phase (start/finish) form.
 
-use simmpi::{Rank, RecvRequest, Tag};
+use simmpi::{DiscardList, Rank, RecvRequest, Tag};
 
 use crate::handle::GsHandle;
 
@@ -102,7 +102,12 @@ const SPLIT_SEQ_MASK: Tag = (1 << 40) - 1;
 ///
 /// Owns the locally-combined per-group values and, for the pairwise
 /// method, the posted receive requests. Dropping it without finishing
-/// leaves matched sends undrained in peer mailboxes — always finish.
+/// discards the operation's result, and — via the rank's
+/// [`DiscardList`] — cancels its in-flight neighbor messages so they
+/// cannot cross-match a later exchange; the `#[must_use]` lint flags
+/// the started-but-never-finished call sites at compile time.
+#[must_use = "a started gather–scatter must be finished with gs_op_finish \
+              (dropping it discards the exchange)"]
 #[derive(Debug)]
 pub struct GsPending {
     /// Number of value arrays bundled in this exchange.
@@ -114,6 +119,9 @@ pub struct GsPending {
     /// Posted receives, one per neighbor in neighbor order (pairwise
     /// method only; empty for the collective methods).
     reqs: Vec<RecvRequest>,
+    /// The owning rank's discard list, for cancelling in-flight
+    /// messages if the operation is dropped unfinished.
+    discards: DiscardList,
 }
 
 impl GsPending {
@@ -130,6 +138,20 @@ impl GsPending {
     /// The exchange method this operation was started with.
     pub fn method(&self) -> GsMethod {
         self.method
+    }
+}
+
+impl Drop for GsPending {
+    /// Abandoning an unfinished exchange must not poison later matching:
+    /// register every still-posted receive's `(source, tag)` with the
+    /// rank's [`DiscardList`] so the in-flight payloads are consumed
+    /// silently instead of lingering as match candidates for a future
+    /// exchange. `gs_op_finish` empties `reqs` before dropping, making
+    /// the normal path a no-op.
+    fn drop(&mut self) {
+        for req in &self.reqs {
+            self.discards.cancel(req.src, req.tag, 1);
+        }
     }
 }
 
@@ -265,6 +287,7 @@ impl GsHandle {
             method,
             combined,
             reqs,
+            discards: rank.discard_list(),
         }
     }
 
@@ -278,14 +301,15 @@ impl GsHandle {
     /// # Panics
     /// Panics if `fields` does not match the start call in count or
     /// length.
-    pub fn gs_op_finish(&self, rank: &mut Rank, pending: GsPending, fields: &mut [&mut [f64]]) {
-        let GsPending {
-            k,
-            op,
-            method,
-            mut combined,
-            reqs,
-        } = pending;
+    pub fn gs_op_finish(&self, rank: &mut Rank, mut pending: GsPending, fields: &mut [&mut [f64]]) {
+        let k = pending.k;
+        let op = pending.op;
+        let method = pending.method;
+        // Take the buffers out so the subsequent drop of `pending` sees
+        // an empty request list and cancels nothing.
+        let mut combined = std::mem::take(&mut pending.combined);
+        let reqs = std::mem::take(&mut pending.reqs);
+        drop(pending);
         assert_eq!(
             fields.len(),
             k,

@@ -8,12 +8,18 @@
 use cmt_core::KernelVariant;
 use cmt_gs::GsMethod;
 use nekbone::{run, Config};
+use simmpi::FaultPlan;
 
 fn usage() -> ! {
     eprintln!(
         "usage: nekbone [--ranks P] [--elems NEL_PER_RANK] [--n N] [--iters K]\n\
          \x20              [--tol T] [--variant basic|opt|spec]\n\
-         \x20              [--method pairwise|crystal|allreduce] [--quiet]"
+         \x20              [--method pairwise|crystal|allreduce] [--quiet]\n\
+         \x20              [--checkpoint-every K] [--checkpoint-dir PATH]\n\
+         \x20              [--restart PATH] [--fault-plan SPEC]\n\
+         \n\
+         fault plan SPEC: semicolon-separated events, e.g.\n\
+         \x20 'delay:prob=0.1,us=200;drop:prob=0.05;kill:rank=2,step=5;seed=7'"
     );
     std::process::exit(2);
 }
@@ -54,6 +60,21 @@ fn main() {
                     _ => usage(),
                 }
             }
+            "--checkpoint-every" => cfg.checkpoint_every = parse_usize(args.next()),
+            "--checkpoint-dir" => {
+                cfg.checkpoint_dir = Some(args.next().unwrap_or_else(|| usage()).into())
+            }
+            "--restart" => cfg.restart_from = Some(args.next().unwrap_or_else(|| usage()).into()),
+            "--fault-plan" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                cfg.fault_plan = match FaultPlan::parse(&spec) {
+                    Ok(plan) => Some(plan),
+                    Err(e) => {
+                        eprintln!("bad fault plan: {e}");
+                        usage()
+                    }
+                }
+            }
             "--quiet" => quiet = true,
             "--help" | "-h" => usage(),
             other => {
@@ -65,10 +86,11 @@ fn main() {
     let report = run(&cfg);
     if quiet {
         println!(
-            "iters {}  residual {:.3e}  checksum {:.12e}  method {}",
+            "iters {}  residual {:.3e}  checksum {:.12e}  state {:016x}  method {}",
             report.cg.iterations,
             report.cg.final_residual(),
             report.checksum,
+            report.state_hash,
             report.chosen_method.name()
         );
     } else {

@@ -22,6 +22,7 @@
 use cmt_core::Field;
 use cmt_gs::{GsHandle, GsMethod, GsOp};
 use cmt_perf::Profiler;
+use cmt_resilience::{Checkpoint, Resilience};
 use simmpi::{Rank, ReduceOp};
 
 use crate::ax::AxOperator;
@@ -84,6 +85,33 @@ pub fn cg_solve(
     max_iter: usize,
     prof: &mut Profiler,
 ) -> CgStats {
+    let mut rez = Resilience::new(0, None);
+    cg_solve_resilient(
+        rank, op, handle, method, inv_mult, mask, b, x, tol, max_iter, prof, &mut rez, None,
+    )
+}
+
+/// [`cg_solve`] with checkpoint/restart: a checkpoint of the iteration
+/// state (`x`, `r`, `p`, `rz`, the residual history) is captured through
+/// `rez` every `rez.every()` iterations, scheduled rank kills from the
+/// world's fault plan trigger the coordinated rollback, and `restart`
+/// resumes a previous run's solve from its on-disk checkpoint.
+#[allow(clippy::too_many_arguments)]
+pub fn cg_solve_resilient(
+    rank: &mut Rank,
+    op: &AxOperator,
+    handle: &GsHandle,
+    method: GsMethod,
+    inv_mult: &[f64],
+    mask: Option<&[f64]>,
+    b: &Field,
+    x: &mut Field,
+    tol: f64,
+    max_iter: usize,
+    prof: &mut Profiler,
+    rez: &mut Resilience,
+    restart: Option<&Checkpoint>,
+) -> CgStats {
     let (n, nel) = (b.n(), b.nel());
     assert_eq!((x.n(), x.nel()), (n, nel), "x shape");
     assert_eq!(inv_mult.len(), b.len(), "inv_mult length");
@@ -113,7 +141,50 @@ pub fn cg_solve(
     let mut history = vec![rz.max(0.0).sqrt()];
     let mut iters = 0;
 
-    for _ in 0..max_iter {
+    // Disk restart: overwrite the freshly built iteration state with the
+    // checkpointed one and resume at its iteration index.
+    if let Some(ckpt) = restart {
+        restore_cg_state(
+            rank,
+            ckpt,
+            x,
+            &mut r,
+            &mut p,
+            &mut rz,
+            &mut history,
+            &mut iters,
+        );
+    }
+
+    while iters < max_iter {
+        // Checkpoint at the top of the iteration, before any kill
+        // scheduled here fires, so a kill at iteration i rolls back to a
+        // capture taken at (or before) i.
+        if rez.checkpoint_due(iters as u64) {
+            prof.enter(cmt_perf::regions::CHECKPOINT);
+            rez.save(
+                rank,
+                &capture_cg_state(rank, iters, x, &r, &p, rz, &history),
+            );
+            prof.exit();
+        }
+        let killed = rez.killed_at(rank, iters as u64);
+        if !killed.is_empty() {
+            prof.enter(cmt_perf::regions::RECOVERY);
+            let back = rez.recover(rank, &killed);
+            restore_cg_state(
+                rank,
+                &back,
+                x,
+                &mut r,
+                &mut p,
+                &mut rz,
+                &mut history,
+                &mut iters,
+            );
+            prof.exit();
+            continue;
+        }
         if history.last().copied().unwrap_or(0.0) <= tol {
             break;
         }
@@ -140,6 +211,67 @@ pub fn cg_solve(
         iterations: iters,
         res_history: history,
     }
+}
+
+/// Capture the CG iteration state at the top of iteration `iters`:
+/// fields `x`, `r`, `p`, and `rz` plus the residual history as scalars.
+fn capture_cg_state(
+    rank: &Rank,
+    iters: usize,
+    x: &Field,
+    r: &Field,
+    p: &Field,
+    rz: f64,
+    history: &[f64],
+) -> Checkpoint {
+    let mut scalars = Vec::with_capacity(1 + history.len());
+    scalars.push(rz);
+    scalars.extend_from_slice(history);
+    Checkpoint {
+        rank: rank.rank() as u64,
+        step: iters as u64,
+        stage: 0,
+        time: 0.0,
+        rng_state: rank.fault_rng_state().unwrap_or(0),
+        scalars,
+        fields: vec![
+            x.as_slice().to_vec(),
+            r.as_slice().to_vec(),
+            p.as_slice().to_vec(),
+        ],
+    }
+}
+
+/// Restore the iteration state captured by [`capture_cg_state`].
+#[allow(clippy::too_many_arguments)]
+fn restore_cg_state(
+    rank: &mut Rank,
+    ckpt: &Checkpoint,
+    x: &mut Field,
+    r: &mut Field,
+    p: &mut Field,
+    rz: &mut f64,
+    history: &mut Vec<f64>,
+    iters: &mut usize,
+) {
+    assert_eq!(ckpt.fields.len(), 3, "CG checkpoint holds x, r, p");
+    for (dst, src) in [&mut *x, r, p].into_iter().zip(&ckpt.fields) {
+        assert_eq!(
+            dst.as_slice().len(),
+            src.len(),
+            "CG checkpoint field size mismatch"
+        );
+        dst.as_mut_slice().copy_from_slice(src);
+    }
+    assert!(
+        !ckpt.scalars.is_empty(),
+        "CG checkpoint scalars hold rz + residual history"
+    );
+    *rz = ckpt.scalars[0];
+    history.clear();
+    history.extend_from_slice(&ckpt.scalars[1..]);
+    *iters = ckpt.step as usize;
+    rank.set_fault_rng_state(ckpt.rng_state);
 }
 
 /// Zero the masked (Dirichlet) degrees of freedom.

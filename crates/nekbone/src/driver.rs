@@ -1,15 +1,17 @@
 //! The Nekbone proxy driver: setup, autotune, instrumented CG run.
 
+use std::path::PathBuf;
 use std::time::Instant;
 
 use cmt_core::{Field, KernelVariant};
 use cmt_gs::{autotune, AutotuneOptions, AutotuneReport, GsHandle, GsMethod};
 use cmt_mesh::{MeshConfig, RankMesh};
 use cmt_perf::{MpipReport, ProfileReport, Profiler};
-use simmpi::{NetworkModel, Rank, World};
+use cmt_resilience::{hash, load_checkpoint, Resilience};
+use simmpi::{FaultPlan, NetworkModel, Rank, World};
 
 use crate::ax::AxOperator;
-use crate::cg::{cg_solve, CgStats};
+use crate::cg::{cg_solve_resilient, CgStats};
 
 /// Nekbone run configuration (mirrors `cmt_bone::Config` where the two
 /// mini-apps share parameters, so Fig. 7 can run both on identical
@@ -40,6 +42,16 @@ pub struct Config {
     pub autotune: AutotuneOptions,
     /// Optional network model.
     pub net: Option<NetworkModel>,
+    /// Checkpoint the CG iteration state every this many iterations
+    /// (0 disables). Required non-zero when the fault plan kills ranks.
+    pub checkpoint_every: usize,
+    /// Mirror every checkpoint to this directory (enables cross-run
+    /// `--restart`); `None` keeps checkpoints in memory only.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Resume the solve from the per-rank checkpoints in this directory.
+    pub restart_from: Option<PathBuf>,
+    /// Deterministic fault schedule injected into the world.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for Config {
@@ -56,6 +68,10 @@ impl Default for Config {
             method: None,
             autotune: AutotuneOptions::default(),
             net: None,
+            checkpoint_every: 0,
+            checkpoint_dir: None,
+            restart_from: None,
+            fault_plan: None,
         }
     }
 }
@@ -81,6 +97,9 @@ pub struct NekboneReport {
     pub rank_wall_s: Vec<f64>,
     /// Deterministic solution checksum.
     pub checksum: f64,
+    /// FNV-1a hash over every rank's final solution bytes, combined in
+    /// rank order — the bitwise fingerprint the resilience tests compare.
+    pub state_hash: u64,
 }
 
 impl NekboneReport {
@@ -94,6 +113,7 @@ impl NekboneReport {
             self.cg.final_residual(),
             self.checksum
         ));
+        out.push_str(&format!("state hash: {:016x}\n", self.state_hash));
         out.push_str(&format!(
             "chosen gs method: {}\n",
             self.chosen_method.name()
@@ -119,6 +139,7 @@ struct RankOutput {
     chosen: GsMethod,
     cg: CgStats,
     checksum: f64,
+    state_hash: u64,
     wall_s: f64,
 }
 
@@ -188,8 +209,16 @@ fn rank_main(rank: &mut Rank, cfg: &Config, mesh_cfg: &MeshConfig) -> RankOutput
     }
     let mut x = Field::zeros(n, nel);
 
+    // Resilience: cadence + vault, and the previous run's checkpoint when
+    // restarting from disk.
+    let mut rez = Resilience::new(cfg.checkpoint_every as u64, cfg.checkpoint_dir.clone());
+    let restart = cfg.restart_from.as_ref().map(|dir| {
+        load_checkpoint(dir, rank.rank())
+            .unwrap_or_else(|e| panic!("rank {}: restart: {e}", rank.rank()))
+    });
+
     prof.enter("cg_loop");
-    let cg = cg_solve(
+    let cg = cg_solve_resilient(
         rank,
         &op,
         &handle,
@@ -201,6 +230,8 @@ fn rank_main(rank: &mut Rank, cfg: &Config, mesh_cfg: &MeshConfig) -> RankOutput
         cfg.tol,
         cfg.cg_iters,
         &mut prof,
+        &mut rez,
+        restart.as_ref(),
     );
     prof.exit();
 
@@ -214,12 +245,19 @@ fn rank_main(rank: &mut Rank, cfg: &Config, mesh_cfg: &MeshConfig) -> RankOutput
     let checksum = rank.allreduce_scalar(local_sum, simmpi::ReduceOp::Sum);
     rank.set_context("main");
 
+    let state_hash = {
+        let mut h = hash::FNV_OFFSET;
+        hash::fnv1a_f64s(&mut h, x.as_slice());
+        h
+    };
+
     RankOutput {
         profiler: prof,
         autotune: tune_report,
         chosen,
         cg,
         checksum,
+        state_hash,
         wall_s: start.elapsed().as_secs_f64(),
     }
 }
@@ -230,11 +268,23 @@ pub fn run(cfg: &Config) -> NekboneReport {
         cfg.n >= 2 && cfg.ranks > 0 && cfg.elems_per_rank > 0,
         "invalid Nekbone configuration"
     );
+    if let Some(plan) = &cfg.fault_plan {
+        plan.validate(cfg.ranks)
+            .unwrap_or_else(|e| panic!("invalid Nekbone configuration: {e}"));
+        assert!(
+            plan.kills.is_empty() || cfg.checkpoint_every > 0,
+            "invalid Nekbone configuration: fault plan schedules rank kills \
+             but checkpointing is off (set checkpoint_every)"
+        );
+    }
     let mesh_cfg = MeshConfig::for_ranks(cfg.ranks, cfg.elems_per_rank, cfg.n, cfg.periodic);
-    let world = match cfg.net {
+    let mut world = match cfg.net {
         Some(net) => World::with_network(net),
         None => World::new(),
     };
+    if let Some(plan) = &cfg.fault_plan {
+        world = world.with_fault_plan(plan.clone());
+    }
     let result = world.run(cfg.ranks, |rank| rank_main(rank, cfg, &mesh_cfg));
 
     let mut merged = Profiler::new();
@@ -242,6 +292,7 @@ pub fn run(cfg: &Config) -> NekboneReport {
     let mut chosen = None;
     let mut cg = None;
     let mut checksum = f64::NAN;
+    let mut state_hash = hash::FNV_OFFSET;
     let mut wall = Vec::new();
     for out in result.results {
         merged.merge(&out.profiler);
@@ -251,6 +302,7 @@ pub fn run(cfg: &Config) -> NekboneReport {
         chosen.get_or_insert(out.chosen);
         cg.get_or_insert(out.cg);
         checksum = out.checksum;
+        hash::fnv1a(&mut state_hash, &out.state_hash.to_le_bytes());
         wall.push(out.wall_s);
     }
     NekboneReport {
@@ -263,6 +315,7 @@ pub fn run(cfg: &Config) -> NekboneReport {
         cg: cg.expect("ranks > 0"),
         rank_wall_s: wall,
         checksum,
+        state_hash,
     }
 }
 
@@ -420,6 +473,50 @@ mod tests {
             .sites
             .iter()
             .any(|s| s.site.op == simmpi::MpiOp::Wait && s.site.context == "dssum/gs:pairwise"));
+    }
+
+    #[test]
+    fn injected_kill_recovers_to_identical_state() {
+        let base = Config {
+            cg_iters: 12,
+            tol: 0.0,
+            checkpoint_every: 3,
+            ..small_cfg()
+        };
+        let clean = run(&base);
+        let faulty = run(&Config {
+            fault_plan: Some(FaultPlan::parse("kill:rank=1,step=7").unwrap()),
+            ..base.clone()
+        });
+        // rollback + deterministic CG: bitwise-identical final solve
+        assert_eq!(clean.checksum, faulty.checksum);
+        assert_eq!(
+            clean.state_hash, faulty.state_hash,
+            "recovered run diverged from the uninterrupted run"
+        );
+        assert_eq!(clean.cg.res_history, faulty.cg.res_history);
+        // recovery is a distinct region and comm context
+        for name in [cmt_perf::regions::CHECKPOINT, cmt_perf::regions::RECOVERY] {
+            assert!(
+                faulty.profile.flat.iter().any(|(n, _)| n == name),
+                "missing region {name}"
+            );
+        }
+        for ctx in ["checkpoint", "recovery"] {
+            assert!(
+                faulty.comm.sites.iter().any(|s| s.site.context == ctx),
+                "missing '{ctx}' comm context"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "checkpointing is off")]
+    fn kills_without_checkpointing_rejected() {
+        let _ = run(&Config {
+            fault_plan: Some(FaultPlan::parse("kill:rank=1,step=2").unwrap()),
+            ..small_cfg()
+        });
     }
 
     #[test]

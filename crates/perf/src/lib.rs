@@ -24,6 +24,18 @@ pub mod mpip;
 pub mod papi;
 pub mod profiler;
 
+/// Profiler region names shared across the solver drivers, so
+/// cross-cutting machinery (checkpoint/restart, recovery) shows up under
+/// one name in every mini-app's Fig. 4-style profile.
+pub mod regions {
+    /// Checkpoint capture: encode solver state, replicate to the partner
+    /// rank, optionally mirror to disk.
+    pub const CHECKPOINT: &str = "checkpoint (encode + replicate)";
+    /// Rollback recovery: re-fetch a killed rank's checkpoint from its
+    /// replica holder, restore solver state, re-enter the loop.
+    pub const RECOVERY: &str = "recovery (restore + rollback)";
+}
+
 pub use mpip::{MpipReport, SiteAggregate};
 pub use papi::{model_kernel, PapiEstimate};
 pub use profiler::{ProfileReport, Profiler};

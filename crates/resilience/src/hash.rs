@@ -1,0 +1,45 @@
+//! Bitwise state fingerprints.
+//!
+//! The resilience tests and the CI fault-injection smoke job compare a
+//! recovered run against an uninterrupted one by *bitwise* equality of
+//! the final solver state, not by a tolerance — rollback recovery replays
+//! the identical trajectory, so anything weaker would hide real
+//! divergence. Both solver drivers hash each rank's final fields with
+//! FNV-1a and fold the per-rank hashes together in rank order.
+
+/// FNV-1a offset basis.
+pub const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+
+/// Fold `bytes` into an FNV-1a running hash (order-sensitive).
+pub fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash = (*hash ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+}
+
+/// Fold a slice of `f64` values into the hash, bitwise (little-endian
+/// byte order, so NaN payloads and signed zeros are distinguished).
+pub fn fnv1a_f64s(hash: &mut u64, values: &[f64]) {
+    for v in values {
+        fnv1a(hash, &v.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_order_and_bit_sensitive() {
+        let mut a = FNV_OFFSET;
+        let mut b = FNV_OFFSET;
+        fnv1a_f64s(&mut a, &[1.0, 2.0]);
+        fnv1a_f64s(&mut b, &[2.0, 1.0]);
+        assert_ne!(a, b);
+        let mut c = FNV_OFFSET;
+        fnv1a_f64s(&mut c, &[0.0, -0.0]);
+        let mut d = FNV_OFFSET;
+        fnv1a_f64s(&mut d, &[0.0, 0.0]);
+        assert_ne!(c, d, "signed zeros must be distinguished");
+    }
+}

@@ -1,0 +1,37 @@
+//! # cmt-resilience
+//!
+//! Checkpoint/restart for the CMT-bone reproduction's solvers, paired
+//! with `simmpi`'s deterministic fault injection.
+//!
+//! The paper's target machines make faults routine at scale, and the
+//! CMT line of work (dynamic load balancing, production Nek-family
+//! checkpoint/restart) assumes mid-run state capture machinery. This
+//! crate provides the storage half of that story:
+//!
+//! * [`Checkpoint`] — a versioned, CRC-64-checksummed byte format for
+//!   one rank's solver state (step/stage indices, simulation time,
+//!   solver scalars and fields, and the fault-RNG state needed for
+//!   bitwise replay);
+//! * [`Resilience`] — the driver-facing orchestrator: cadence,
+//!   partner-rank in-memory redundancy over a ring (each rank's
+//!   checkpoint is mirrored on `(r + 1) % P`), optional disk mirroring
+//!   for cross-run `--restart`, and the coordinated-rollback recovery
+//!   protocol that restores a killed rank's state from its replica
+//!   holder.
+//!
+//! The solvers stay deterministic, so rolling every rank back to the
+//! same checkpoint replays the identical trajectory: a run that
+//! suffered an injected kill finishes bitwise identical to an
+//! uninterrupted run at the same checkpoint cadence — the property the
+//! workspace's end-to-end resilience tests assert.
+
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod hash;
+pub mod store;
+
+pub use checkpoint::{crc64, Checkpoint, CheckpointError, MAGIC, VERSION};
+pub use store::{
+    checkpoint_path, load_checkpoint, replica_holder, replica_source, RankVault, Resilience,
+};

@@ -1,0 +1,307 @@
+//! Deterministic fault injection for the rank runtime.
+//!
+//! Production Nek-family solvers run at scales where component faults are
+//! routine, and resilience studies on CMT (dynamic load balancing,
+//! checkpoint/restart) need a way to *provoke* faults reproducibly. A
+//! [`FaultPlan`] is a seeded, deterministic description of the faults one
+//! world run should experience:
+//!
+//! * **message delays** — with probability `prob`, a point-to-point send
+//!   is held for a fixed time before delivery (a congested or degraded
+//!   link);
+//! * **message drops with retransmit** — with probability `prob`, the
+//!   first transmission attempt of a send is lost; the sender times out
+//!   and retransmits with exponential backoff until an attempt succeeds
+//!   (the delivered payload is always intact, so drops perturb *timing*
+//!   and *cost*, never results);
+//! * **rank kills** — at a chosen application step, a chosen rank loses
+//!   its in-memory state. The runtime does not act on kill events itself:
+//!   drivers consult the plan ([`FaultPlan::kills`]) and run their
+//!   checkpoint/restart recovery (see the `resilience` crate).
+//!
+//! Every injected delay and retransmit is recorded in the rank's
+//! mpiP-style statistics under its own operation kind
+//! ([`crate::MpiOp::FaultDelay`], [`crate::MpiOp::FaultRetransmit`]), so
+//! the cost of running through faults is measurable per call site, not
+//! anecdotal.
+//!
+//! Determinism: each rank derives its own [`crate::rng::SmallRng`] stream
+//! from the plan seed and its rank id, and draws from it once per
+//! configured hazard per send. SPMD code performs the same send sequence
+//! on every run, so the injected schedule is bitwise reproducible. The
+//! RNG state can be captured and restored ([`crate::Rank::fault_rng_state`])
+//! so a rollback replays the same decisions.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::rng::SmallRng;
+
+/// Per-rank fault-injection state: the shared plan plus this rank's own
+/// deterministic hazard stream.
+#[derive(Debug, Clone)]
+pub(crate) struct FaultState {
+    pub(crate) plan: Arc<FaultPlan>,
+    pub(crate) rng: SmallRng,
+}
+
+impl FaultState {
+    /// Derive rank `r`'s hazard stream from the plan seed. The golden-ratio
+    /// multiplier decorrelates adjacent ranks' streams.
+    pub(crate) fn for_rank(plan: Arc<FaultPlan>, r: usize) -> FaultState {
+        let seed = plan
+            .seed
+            .wrapping_add((r as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        FaultState {
+            plan,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+/// Message-delay hazard: each send is delayed with probability `prob`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayFault {
+    /// Per-send probability of injecting the delay, in `[0, 1]`.
+    pub prob: f64,
+    /// The injected delay.
+    pub delay: Duration,
+}
+
+/// Drop-and-retransmit hazard: each transmission attempt of a send is
+/// lost with probability `prob`; the sender waits one timeout (doubling
+/// per attempt) and retransmits, up to `max_retries` forced attempts —
+/// after which the transmission is treated as delivered, modelling a
+/// reliable link layer that eventually gets through.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DropFault {
+    /// Per-attempt probability of losing the transmission, in `[0, 1]`.
+    pub prob: f64,
+    /// Retransmit timeout of the first attempt; attempt `k` waits
+    /// `timeout * 2^k` (exponential backoff).
+    pub timeout: Duration,
+    /// Maximum number of retransmissions per send.
+    pub max_retries: u32,
+}
+
+/// A scheduled rank kill: at the top of application step `step`, rank
+/// `rank` loses its in-memory state. Fires once (drivers mark events
+/// consumed so a post-recovery replay of the same step does not re-kill).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KillEvent {
+    /// The rank that dies.
+    pub rank: usize,
+    /// The application step (timestep / CG iteration) at which it dies.
+    pub step: u64,
+}
+
+/// A deterministic, seeded fault schedule for one world run.
+///
+/// Parse one from the `--fault-plan` command-line grammar with
+/// [`FaultPlan::parse`]:
+///
+/// ```
+/// use simmpi::FaultPlan;
+///
+/// let plan = FaultPlan::parse("kill:rank=2,step=5;drop:prob=0.1;seed=7").unwrap();
+/// assert_eq!(plan.kills.len(), 1);
+/// assert_eq!(plan.kills[0].rank, 2);
+/// assert_eq!(plan.seed, 7);
+/// assert!(plan.delay.is_none());
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Seed of the per-rank hazard RNG streams.
+    pub seed: u64,
+    /// Optional message-delay hazard.
+    pub delay: Option<DelayFault>,
+    /// Optional drop-and-retransmit hazard.
+    pub drop: Option<DropFault>,
+    /// Scheduled rank kills, in the order given.
+    pub kills: Vec<KillEvent>,
+}
+
+impl FaultPlan {
+    /// Whether the plan injects any message-level hazard (delay or drop).
+    pub fn has_message_faults(&self) -> bool {
+        self.delay.is_some() || self.drop.is_some()
+    }
+
+    /// Kill events scheduled for `step`, in plan order.
+    pub fn kills_at(&self, step: u64) -> impl Iterator<Item = &KillEvent> {
+        self.kills.iter().filter(move |k| k.step == step)
+    }
+
+    /// Parse the `--fault-plan` grammar: semicolon-separated clauses
+    ///
+    /// * `kill:rank=R,step=S` — schedule a rank kill (repeatable);
+    /// * `delay:prob=P,us=U` — delay each send with probability `P` by
+    ///   `U` microseconds;
+    /// * `drop:prob=P[,us=U][,retries=K]` — lose each transmission
+    ///   attempt with probability `P`, retransmit after `U` microseconds
+    ///   (default 200) with backoff, at most `K` retries (default 4);
+    /// * `seed=N` — RNG seed (default 0).
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for clause in spec.split(';').filter(|c| !c.trim().is_empty()) {
+            let clause = clause.trim();
+            if let Some(v) = clause.strip_prefix("seed=") {
+                plan.seed = v
+                    .parse()
+                    .map_err(|_| format!("bad seed in fault plan: {clause:?}"))?;
+                continue;
+            }
+            let (kind, args) = clause
+                .split_once(':')
+                .ok_or_else(|| format!("bad fault clause (want kind:k=v,...): {clause:?}"))?;
+            let kv = parse_kv(args)?;
+            let get = |key: &str| -> Result<f64, String> {
+                kv.iter()
+                    .find(|(k, _)| k == key)
+                    .map(|(_, v)| *v)
+                    .ok_or_else(|| format!("fault clause {clause:?} missing {key}="))
+            };
+            let opt = |key: &str| kv.iter().find(|(k, _)| k == key).map(|(_, v)| *v);
+            match kind {
+                "kill" => plan.kills.push(KillEvent {
+                    rank: get("rank")? as usize,
+                    step: get("step")? as u64,
+                }),
+                "delay" => {
+                    plan.delay = Some(DelayFault {
+                        prob: check_prob(get("prob")?, clause)?,
+                        delay: Duration::from_micros(get("us")? as u64),
+                    })
+                }
+                "drop" => {
+                    plan.drop = Some(DropFault {
+                        prob: check_prob(get("prob")?, clause)?,
+                        timeout: Duration::from_micros(opt("us").unwrap_or(200.0) as u64),
+                        max_retries: opt("retries").unwrap_or(4.0) as u32,
+                    })
+                }
+                other => return Err(format!("unknown fault kind {other:?} in {clause:?}")),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Validate the plan against a world of `size` ranks: kill targets
+    /// must exist, and a killed rank needs a distinct partner to restore
+    /// from, so worlds of one rank cannot host kills.
+    pub fn validate(&self, size: usize) -> Result<(), String> {
+        for k in &self.kills {
+            if k.rank >= size {
+                return Err(format!(
+                    "fault plan kills rank {} but the world has {size} ranks",
+                    k.rank
+                ));
+            }
+        }
+        if !self.kills.is_empty() && size < 2 {
+            return Err("rank kills need at least 2 ranks (partner redundancy)".into());
+        }
+        Ok(())
+    }
+}
+
+fn parse_kv(args: &str) -> Result<Vec<(String, f64)>, String> {
+    args.split(',')
+        .filter(|a| !a.trim().is_empty())
+        .map(|a| {
+            let (k, v) = a
+                .split_once('=')
+                .ok_or_else(|| format!("bad fault argument (want k=v): {a:?}"))?;
+            let v: f64 = v
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad fault value in {a:?}"))?;
+            Ok((k.trim().to_string(), v))
+        })
+        .collect()
+}
+
+fn check_prob(p: f64, clause: &str) -> Result<f64, String> {
+    if (0.0..=1.0).contains(&p) {
+        Ok(p)
+    } else {
+        Err(format!("probability out of [0,1] in {clause:?}: {p}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_grammar() {
+        let plan = FaultPlan::parse(
+            "kill:rank=2,step=5;kill:rank=0,step=9;delay:prob=0.5,us=100;drop:prob=0.25,us=50,retries=2;seed=99",
+        )
+        .unwrap();
+        assert_eq!(
+            plan.kills,
+            vec![
+                KillEvent { rank: 2, step: 5 },
+                KillEvent { rank: 0, step: 9 }
+            ]
+        );
+        let d = plan.delay.unwrap();
+        assert_eq!(d.prob, 0.5);
+        assert_eq!(d.delay, Duration::from_micros(100));
+        let dr = plan.drop.unwrap();
+        assert_eq!(dr.prob, 0.25);
+        assert_eq!(dr.timeout, Duration::from_micros(50));
+        assert_eq!(dr.max_retries, 2);
+        assert_eq!(plan.seed, 99);
+        assert!(plan.has_message_faults());
+    }
+
+    #[test]
+    fn drop_defaults_apply() {
+        let plan = FaultPlan::parse("drop:prob=0.1").unwrap();
+        let dr = plan.drop.unwrap();
+        assert_eq!(dr.timeout, Duration::from_micros(200));
+        assert_eq!(dr.max_retries, 4);
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for bad in [
+            "kill:rank=2",          // missing step
+            "explode:rank=1",       // unknown kind
+            "delay:prob=1.5,us=10", // probability out of range
+            "drop:prob=x",          // unparseable value
+            "seed=abc",             // bad seed
+            "justtext",             // no kind separator
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn empty_spec_is_empty_plan() {
+        let plan = FaultPlan::parse("").unwrap();
+        assert_eq!(plan, FaultPlan::default());
+        assert!(!plan.has_message_faults());
+    }
+
+    #[test]
+    fn kills_at_filters_by_step() {
+        let plan =
+            FaultPlan::parse("kill:rank=1,step=3;kill:rank=2,step=3;kill:rank=0,step=7").unwrap();
+        let at3: Vec<usize> = plan.kills_at(3).map(|k| k.rank).collect();
+        assert_eq!(at3, vec![1, 2]);
+        assert_eq!(plan.kills_at(4).count(), 0);
+    }
+
+    #[test]
+    fn validate_checks_rank_bounds_and_world_size() {
+        let plan = FaultPlan::parse("kill:rank=4,step=1").unwrap();
+        assert!(plan.validate(4).is_err());
+        assert!(plan.validate(5).is_ok());
+        let plan = FaultPlan::parse("kill:rank=0,step=1").unwrap();
+        assert!(plan.validate(1).is_err());
+        assert!(FaultPlan::default().validate(1).is_ok());
+    }
+}

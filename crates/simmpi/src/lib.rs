@@ -42,6 +42,7 @@
 pub mod collectives;
 pub mod crystal;
 pub mod envelope;
+pub mod faults;
 pub mod netmodel;
 pub mod rank;
 pub mod rng;
@@ -49,8 +50,9 @@ pub mod stats;
 pub mod world;
 
 pub use envelope::Msg;
+pub use faults::{DelayFault, DropFault, FaultPlan, KillEvent};
 pub use netmodel::NetworkModel;
-pub use rank::{Rank, RecvRequest, Tag};
+pub use rank::{DiscardList, Rank, RecvRequest, Tag};
 pub use stats::{CommStats, MpiOp, SiteKey, SiteStats};
 pub use world::{World, WorldResult};
 

@@ -1,12 +1,13 @@
 //! The per-rank handle: point-to-point messaging and instrumentation.
 
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::envelope::{Envelope, Msg};
+use crate::faults::{FaultPlan, FaultState};
 use crate::netmodel::NetworkModel;
 use crate::stats::{CommRecorder, MpiOp};
 
@@ -41,6 +42,74 @@ pub struct Rank {
     pub(crate) modeled_time_s: f64,
     pub(crate) coll_seq: u64,
     pub(crate) user_seq: u64,
+    pub(crate) faults: Option<FaultState>,
+    pub(crate) discards: DiscardList,
+}
+
+/// A cancellation list for in-flight messages whose receiver abandoned
+/// them — e.g. a dropped, never-finished split-phase gather–scatter
+/// handle. Registering `(src, tag, count)` makes the rank's matching
+/// engine silently consume (rather than enqueue) the next `count`
+/// arrivals from `src` with tag `tag`, so an abandoned exchange cannot
+/// leak stale payloads into later receives on the same `(source, tag)`
+/// FIFO lane.
+///
+/// Cloneable so library handles (which cannot hold `&mut Rank`) can
+/// register cancellations from their `Drop` impls.
+#[derive(Debug, Clone, Default)]
+pub struct DiscardList {
+    inner: Arc<DiscardInner>,
+}
+
+#[derive(Debug, Default)]
+struct DiscardInner {
+    /// Total messages awaiting discard — lets the receive hot path skip
+    /// the mutex entirely in the common (empty) case.
+    outstanding: AtomicU64,
+    map: Mutex<HashMap<(usize, Tag), u64>>,
+}
+
+impl DiscardList {
+    /// Register `count` future (or already-pending) messages from
+    /// `(src, tag)` for silent discard.
+    pub fn cancel(&self, src: usize, tag: Tag, count: u64) {
+        if count == 0 {
+            return;
+        }
+        *self
+            .inner
+            .map
+            .lock()
+            .unwrap()
+            .entry((src, tag))
+            .or_insert(0) += count;
+        self.inner.outstanding.fetch_add(count, Ordering::Release);
+    }
+
+    /// Whether no discards are outstanding (lock-free).
+    fn is_empty(&self) -> bool {
+        self.inner.outstanding.load(Ordering::Acquire) == 0
+    }
+
+    /// If `(src, tag)` is registered, consume one discard credit and
+    /// return true (the caller drops the envelope).
+    fn consume(&self, src: usize, tag: Tag) -> bool {
+        if self.is_empty() {
+            return false;
+        }
+        let mut map = self.inner.map.lock().unwrap();
+        match map.get_mut(&(src, tag)) {
+            Some(n) => {
+                *n -= 1;
+                if *n == 0 {
+                    map.remove(&(src, tag));
+                }
+                self.inner.outstanding.fetch_sub(1, Ordering::Release);
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 /// A pending non-blocking receive (the analogue of an `MPI_Request` from
@@ -109,6 +178,71 @@ impl Rank {
         self.modeled_time_s
     }
 
+    /// The world's fault plan, if one was installed with
+    /// [`crate::World::with_fault_plan`]. Drivers consult it for
+    /// scheduled rank kills; message-level hazards are injected by the
+    /// runtime itself.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref().map(|f| &*f.plan)
+    }
+
+    /// Current state of this rank's fault-hazard RNG stream, for
+    /// checkpointing. `None` when no fault plan is installed.
+    pub fn fault_rng_state(&self) -> Option<u64> {
+        self.faults.as_ref().map(|f| f.rng.state())
+    }
+
+    /// Restore the fault-hazard RNG stream to a state captured with
+    /// [`Rank::fault_rng_state`], so a rollback replays the identical
+    /// injected-fault schedule. No-op when no fault plan is installed.
+    pub fn set_fault_rng_state(&mut self, state: u64) {
+        if let Some(f) = self.faults.as_mut() {
+            f.rng.set_state(state);
+        }
+    }
+
+    /// A clone of this rank's [`DiscardList`], for library handles that
+    /// must cancel in-flight messages from a `Drop` impl.
+    pub fn discard_list(&self) -> DiscardList {
+        self.discards.clone()
+    }
+
+    /// Inject configured message-level hazards for one outbound send of
+    /// `bytes` bytes. Called before the operation's own timer starts, so
+    /// the regular `MPI_Send`/`MPI_Isend` rows stay comparable across
+    /// faulty and fault-free runs and the injected cost shows up only
+    /// under its own `fault_*` entries.
+    fn inject_send_faults(&mut self, bytes: u64) {
+        let Some(fs) = self.faults.as_mut() else {
+            return;
+        };
+        if let Some(d) = fs.plan.delay {
+            if fs.rng.unit_f64() < d.prob {
+                std::thread::sleep(d.delay);
+                let ctx = std::mem::take(&mut self.context);
+                self.recorder
+                    .record(MpiOp::FaultDelay, &ctx, d.delay, bytes, 0.0);
+                self.context = ctx;
+            }
+        }
+        if let Some(dr) = fs.plan.drop {
+            let mut attempt = 0u32;
+            while attempt < dr.max_retries && fs.rng.unit_f64() < dr.prob {
+                // The attempt was lost: serve the retransmit timeout
+                // (doubling per attempt), then try again. The payload is
+                // only ever handed to the transport once, after this
+                // loop, so drops cost time but never corrupt delivery.
+                let backoff = dr.timeout.saturating_mul(1u32 << attempt.min(20));
+                std::thread::sleep(backoff);
+                let ctx = std::mem::take(&mut self.context);
+                self.recorder
+                    .record(MpiOp::FaultRetransmit, &ctx, backoff, bytes, 0.0);
+                self.context = ctx;
+                attempt += 1;
+            }
+        }
+    }
+
     // ---------------------------------------------------------------
     // raw transport (shared with collectives and the crystal router)
     // ---------------------------------------------------------------
@@ -123,8 +257,19 @@ impl Rank {
             .expect("peer mailbox closed: world is shutting down abnormally");
     }
 
+    /// Remove pending-queue entries cancelled via the [`DiscardList`].
+    /// Cheap when nothing is cancelled (one relaxed atomic load).
+    fn purge_discarded(&mut self) {
+        if self.discards.is_empty() {
+            return;
+        }
+        let discards = &self.discards;
+        self.pending.retain(|e| !discards.consume(e.src, e.tag));
+    }
+
     pub(crate) fn raw_recv(&mut self, src: usize, tag: Tag) -> Envelope {
         assert!(src < self.size, "recv from rank {src} of {}", self.size);
+        self.purge_discarded();
         // First, search messages that already arrived but didn't match an
         // earlier receive.
         if let Some(pos) = self
@@ -138,6 +283,9 @@ impl Rank {
         loop {
             match self.rx.recv_timeout(POLL) {
                 Ok(env) => {
+                    if self.discards.consume(env.src, env.tag) {
+                        continue;
+                    }
                     if env.src == src && env.tag == tag {
                         return env;
                     }
@@ -196,8 +344,9 @@ impl Rank {
     /// Blocking send that takes ownership of the buffer (no copy).
     pub fn send_vec<T: Msg>(&mut self, dest: usize, tag: Tag, data: Vec<T>) {
         Self::assert_user_tag(tag);
-        let start = Instant::now();
         let env = Envelope::new(self.rank, tag, data);
+        self.inject_send_faults(env.bytes as u64);
+        let start = Instant::now();
         let bytes = env.bytes as u64;
         self.raw_send(dest, env);
         let modeled = self.model_message(bytes);
@@ -230,8 +379,9 @@ impl Rank {
     /// Non-blocking send taking ownership of the buffer.
     pub fn isend_vec<T: Msg>(&mut self, dest: usize, tag: Tag, data: Vec<T>) {
         Self::assert_user_tag(tag);
-        let start = Instant::now();
         let env = Envelope::new(self.rank, tag, data);
+        self.inject_send_faults(env.bytes as u64);
+        let start = Instant::now();
         let bytes = env.bytes as u64;
         self.raw_send(dest, env);
         let modeled = self.model_message(bytes);
@@ -280,6 +430,7 @@ impl Rank {
         while let Ok(env) = self.rx.try_recv() {
             self.pending.push_back(env);
         }
+        self.purge_discarded();
         self.pending.iter().any(|e| e.src == src && e.tag == tag)
     }
 
@@ -318,6 +469,7 @@ impl Rank {
     pub(crate) fn send_internal<T: Msg>(&mut self, dest: usize, tag: Tag, data: Vec<T>) -> u64 {
         let env = Envelope::new(self.rank, tag, data);
         let bytes = env.bytes as u64;
+        self.inject_send_faults(bytes);
         self.raw_send(dest, env);
         bytes
     }

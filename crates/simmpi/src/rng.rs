@@ -30,6 +30,19 @@ impl SmallRng {
         SmallRng { state: seed }
     }
 
+    /// The current internal state. Together with [`SmallRng::set_state`]
+    /// this lets a checkpoint capture the generator mid-stream and a
+    /// restart resume the identical sequence — required for bitwise
+    /// replay after a rollback.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Restore a state previously read with [`SmallRng::state`].
+    pub fn set_state(&mut self, state: u64) {
+        self.state = state;
+    }
+
     /// Next raw 64-bit output.
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);

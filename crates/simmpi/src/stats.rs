@@ -42,6 +42,11 @@ pub enum MpiOp {
     Alltoallv,
     /// Crystal-router generalized all-to-all.
     CrystalRouter,
+    /// Injected message delay (fault injection; time is the delay served).
+    FaultDelay,
+    /// Injected drop + retransmit (fault injection; time is the
+    /// timeout/backoff served before the retransmission got through).
+    FaultRetransmit,
 }
 
 impl MpiOp {
@@ -61,7 +66,15 @@ impl MpiOp {
             MpiOp::Scan => "MPI_Scan",
             MpiOp::Alltoallv => "MPI_Alltoallv",
             MpiOp::CrystalRouter => "crystal_router",
+            MpiOp::FaultDelay => "fault_delay",
+            MpiOp::FaultRetransmit => "fault_retransmit",
         }
+    }
+
+    /// Whether this entry is an injected-fault record rather than a real
+    /// communication operation.
+    pub fn is_fault(self) -> bool {
+        matches!(self, MpiOp::FaultDelay | MpiOp::FaultRetransmit)
     }
 }
 

@@ -7,8 +7,9 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use crate::envelope::Envelope;
+use crate::faults::{FaultPlan, FaultState};
 use crate::netmodel::NetworkModel;
-use crate::rank::Rank;
+use crate::rank::{DiscardList, Rank};
 use crate::stats::{CommRecorder, CommStats};
 
 /// A world of `P` simulated MPI ranks. Construct once, then [`World::run`]
@@ -28,6 +29,7 @@ use crate::stats::{CommRecorder, CommStats};
 #[derive(Debug, Default, Clone)]
 pub struct World {
     net: Option<NetworkModel>,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 /// Everything a [`World::run`] produces: the per-rank return values and
@@ -43,12 +45,28 @@ pub struct WorldResult<T> {
 impl World {
     /// A world without a network model (only real time is recorded).
     pub fn new() -> Self {
-        World { net: None }
+        World::default()
     }
 
     /// A world that additionally accumulates modelled network time.
     pub fn with_network(net: NetworkModel) -> Self {
-        World { net: Some(net) }
+        World {
+            net: Some(net),
+            ..World::default()
+        }
+    }
+
+    /// Install a deterministic [`FaultPlan`]. Message-level hazards
+    /// (delays, drop/retransmit) are injected by the runtime on every
+    /// point-to-point and collective-internal send; scheduled rank kills
+    /// are surfaced to drivers via [`Rank::fault_plan`].
+    ///
+    /// # Panics
+    /// Panics if the plan fails [`FaultPlan::validate`] at `run` time
+    /// (e.g. a kill targets a rank outside the world).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(Arc::new(plan));
+        self
     }
 
     /// Run `f` as an SPMD program on `p` ranks (one OS thread each) and
@@ -63,6 +81,11 @@ impl World {
         F: Fn(&mut Rank) -> T + Send + Sync,
     {
         assert!(p > 0, "world needs at least one rank");
+        if let Some(plan) = &self.faults {
+            if let Err(e) = plan.validate(p) {
+                panic!("invalid fault plan: {e}");
+            }
+        }
         let mut senders = Vec::with_capacity(p);
         let mut receivers = Vec::with_capacity(p);
         for _ in 0..p {
@@ -85,6 +108,10 @@ impl World {
                 let senders = Arc::clone(&senders);
                 let poisoned = Arc::clone(&poisoned);
                 let net = self.net;
+                let faults = self
+                    .faults
+                    .as_ref()
+                    .map(|plan| FaultState::for_rank(Arc::clone(plan), r));
                 handles.push(scope.spawn(move || {
                     // Poison the world if this rank unwinds, so blocked
                     // peers abort promptly instead of deadlocking.
@@ -110,6 +137,8 @@ impl World {
                         modeled_time_s: 0.0,
                         coll_seq: 0,
                         user_seq: 0,
+                        faults,
+                        discards: DiscardList::default(),
                     };
                     let start = Instant::now();
                     let out = f(&mut rank);
@@ -465,6 +494,104 @@ mod tests {
                 let _ = rank.recv::<f64>(from, 99);
             }
         });
+    }
+
+    /// Injected message faults (delay and drop/retransmit) perturb timing
+    /// only: results are identical to a fault-free run, and every injected
+    /// event appears in the mpiP-style books under its own operation.
+    #[test]
+    fn message_faults_preserve_results_and_are_recorded() {
+        let p = 4;
+        let program = |rank: &mut Rank| {
+            let mut acc = Vec::new();
+            for round in 0..3u64 {
+                let next = (rank.rank() + 1) % rank.size();
+                let prev = (rank.rank() + rank.size() - 1) % rank.size();
+                rank.send(next, round, &[(rank.rank() as u64) << round]);
+                acc.push(rank.recv::<u64>(prev, round)[0]);
+                acc.push(rank.allreduce_u64(&[acc[acc.len() - 1]], ReduceOp::Sum)[0]);
+            }
+            acc
+        };
+        let clean = World::new().run(p, program);
+        let plan =
+            crate::FaultPlan::parse("delay:prob=0.5,us=300;drop:prob=0.5,us=100;seed=3").unwrap();
+        let faulty = World::new().with_fault_plan(plan).run(p, program);
+        assert_eq!(clean.results, faulty.results);
+        let injected: u64 = faulty
+            .stats
+            .iter()
+            .flat_map(|s| s.sites.iter())
+            .filter(|(k, _)| k.op.is_fault())
+            .map(|(_, s)| s.calls)
+            .sum();
+        assert!(injected > 0, "hazards with prob=0.5 injected nothing");
+        // fault-free run has no fault entries at all
+        assert!(clean
+            .stats
+            .iter()
+            .flat_map(|s| s.sites.iter())
+            .all(|(k, _)| !k.op.is_fault()));
+    }
+
+    /// Fault schedules are deterministic: same plan, same world, same
+    /// injected event counts.
+    #[test]
+    fn fault_schedule_is_deterministic() {
+        let plan = crate::FaultPlan::parse("drop:prob=0.4,us=50,retries=3;seed=11").unwrap();
+        let count = |res: &WorldResult<()>| -> Vec<u64> {
+            res.stats
+                .iter()
+                .map(|s| {
+                    s.sites
+                        .iter()
+                        .filter(|(k, _)| k.op.is_fault())
+                        .map(|(_, st)| st.calls)
+                        .sum()
+                })
+                .collect()
+        };
+        let run = || {
+            World::new().with_fault_plan(plan.clone()).run(3, |rank| {
+                for i in 0..5u64 {
+                    let next = (rank.rank() + 1) % rank.size();
+                    let prev = (rank.rank() + rank.size() - 1) % rank.size();
+                    rank.send(next, i, &[i]);
+                    let _ = rank.recv::<u64>(prev, i);
+                }
+            })
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(count(&a), count(&b));
+        assert!(count(&a).iter().sum::<u64>() > 0);
+    }
+
+    /// An invalid fault plan is rejected at `run` time.
+    #[test]
+    #[should_panic(expected = "invalid fault plan")]
+    fn out_of_range_kill_is_rejected() {
+        let plan = crate::FaultPlan::parse("kill:rank=9,step=1").unwrap();
+        let _ = World::new().with_fault_plan(plan).run(2, |_| ());
+    }
+
+    /// The discard list silently consumes cancelled in-flight messages so
+    /// they cannot cross-match a later receive on the same (src, tag).
+    #[test]
+    fn discard_list_consumes_cancelled_messages() {
+        let res = World::new().run(2, |rank| {
+            if rank.rank() == 0 {
+                rank.send(1, 5, &[111.0f64]); // will be cancelled
+                rank.send(1, 5, &[222.0f64]); // second message, same lane
+                Vec::new()
+            } else {
+                // Cancel the first in-flight (0, tag 5) message, then
+                // receive: we must get the *second* payload.
+                rank.discard_list().cancel(0, 5, 1);
+                rank.recv::<f64>(0, 5)
+            }
+        });
+        assert_eq!(res.results[1], vec![222.0]);
     }
 
     /// Failure injection mid-collective: a death during a barrier must

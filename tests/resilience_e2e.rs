@@ -1,0 +1,153 @@
+//! End-to-end resilience: injected rank kills plus rollback recovery
+//! must leave both mini-apps bitwise identical to uninterrupted runs,
+//! and the on-disk checkpoint mirror must support cross-run restart.
+
+use simmpi::FaultPlan;
+
+fn bone_cfg() -> cmt_bone::Config {
+    cmt_bone::Config {
+        n: 5,
+        elems_per_rank: 8,
+        ranks: 4,
+        steps: 8,
+        fields: 2,
+        cfl_interval: 2,
+        checkpoint_every: 2,
+        method: Some(cmt_gs::GsMethod::PairwiseExchange),
+        ..Default::default()
+    }
+}
+
+fn nek_cfg() -> nekbone::Config {
+    nekbone::Config {
+        n: 5,
+        elems_per_rank: 8,
+        ranks: 4,
+        cg_iters: 12,
+        tol: 0.0,
+        checkpoint_every: 3,
+        method: Some(cmt_gs::GsMethod::PairwiseExchange),
+        ..Default::default()
+    }
+}
+
+/// A fresh scratch directory under the system temp dir (unique per test
+/// so parallel tests never collide).
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("cmt_rz_e2e_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn cmt_bone_kill_and_restart_is_bitwise_identical() {
+    let base = bone_cfg();
+    let clean = cmt_bone::run(&base);
+    let faulty = cmt_bone::run(&cmt_bone::Config {
+        fault_plan: Some(FaultPlan::parse("kill:rank=2,step=5").unwrap()),
+        ..base.clone()
+    });
+    assert_eq!(clean.checksum, faulty.checksum);
+    assert_eq!(
+        clean.state_hash, faulty.state_hash,
+        "CMT-bone recovered run diverged from the uninterrupted run"
+    );
+}
+
+#[test]
+fn cmt_bone_survives_multiple_kills() {
+    let base = bone_cfg();
+    let clean = cmt_bone::run(&base);
+    // two separate kills, including the same rank dying twice
+    let faulty = cmt_bone::run(&cmt_bone::Config {
+        fault_plan: Some(FaultPlan::parse("kill:rank=1,step=3;kill:rank=1,step=6").unwrap()),
+        ..base.clone()
+    });
+    assert_eq!(clean.state_hash, faulty.state_hash);
+}
+
+#[test]
+fn nekbone_kill_and_restart_is_bitwise_identical() {
+    let base = nek_cfg();
+    let clean = nekbone::run(&base);
+    let faulty = nekbone::run(&nekbone::Config {
+        fault_plan: Some(FaultPlan::parse("kill:rank=3,step=8").unwrap()),
+        ..base.clone()
+    });
+    assert_eq!(clean.checksum, faulty.checksum);
+    assert_eq!(
+        clean.state_hash, faulty.state_hash,
+        "Nekbone recovered run diverged from the uninterrupted run"
+    );
+    assert_eq!(clean.cg.res_history, faulty.cg.res_history);
+}
+
+#[test]
+fn cmt_bone_disk_restart_resumes_to_identical_state() {
+    let dir = scratch("bone");
+    let base = bone_cfg();
+    // uninterrupted reference
+    let full = cmt_bone::run(&base);
+    // same run mirroring checkpoints to disk (the cadence traffic itself
+    // must not change the physics)
+    let mirrored = cmt_bone::run(&cmt_bone::Config {
+        checkpoint_dir: Some(dir.clone()),
+        ..base.clone()
+    });
+    assert_eq!(full.state_hash, mirrored.state_hash);
+    // restart from the last on-disk checkpoint (step 6 of 8) and run the
+    // remaining steps: the final state must match the full run bitwise
+    let resumed = cmt_bone::run(&cmt_bone::Config {
+        restart_from: Some(dir.clone()),
+        checkpoint_dir: None,
+        ..base.clone()
+    });
+    assert_eq!(
+        full.state_hash, resumed.state_hash,
+        "disk restart diverged from the uninterrupted run"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn nekbone_disk_restart_resumes_to_identical_state() {
+    let dir = scratch("nek");
+    let base = nek_cfg();
+    let full = nekbone::run(&base);
+    let mirrored = nekbone::run(&nekbone::Config {
+        checkpoint_dir: Some(dir.clone()),
+        ..base.clone()
+    });
+    assert_eq!(full.state_hash, mirrored.state_hash);
+    let resumed = nekbone::run(&nekbone::Config {
+        restart_from: Some(dir.clone()),
+        checkpoint_dir: None,
+        ..base.clone()
+    });
+    assert_eq!(
+        full.state_hash, resumed.state_hash,
+        "disk restart diverged from the uninterrupted run"
+    );
+    assert_eq!(full.cg.res_history, resumed.cg.res_history);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn message_hazards_with_kills_still_converge_identically() {
+    // The hard case: drops and delays are live while a rank dies. The
+    // checkpoint captures the fault-RNG state, so the injected schedule
+    // replays identically after rollback and the run still lands bitwise
+    // on the uninterrupted result (whose plan has the same hazards but no
+    // kill — kill-only events never draw from the hazard RNG).
+    let base = bone_cfg();
+    let hazards = "delay:prob=0.05,us=40;drop:prob=0.05,us=80,retries=3;seed=23";
+    let clean = cmt_bone::run(&cmt_bone::Config {
+        fault_plan: Some(FaultPlan::parse(hazards).unwrap()),
+        ..base.clone()
+    });
+    let killed = cmt_bone::run(&cmt_bone::Config {
+        fault_plan: Some(FaultPlan::parse(&format!("{hazards};kill:rank=2,step=5")).unwrap()),
+        ..base.clone()
+    });
+    assert_eq!(clean.state_hash, killed.state_hash);
+}
