@@ -24,9 +24,13 @@ fn usage() -> ! {
          \x20                [--cfl-interval K] [--dealias M] [--euler] [--quiet]\n\
          \x20                [--checkpoint-every K] [--checkpoint-dir PATH]\n\
          \x20                [--restart PATH] [--fault-plan SPEC]\n\
+         \x20                [--verify] [--chaos-sched SEED]\n\
          \n\
          fault plan SPEC: semicolon-separated events, e.g.\n\
-         \x20 'delay:prob=0.1,us=200;drop:prob=0.05;kill:rank=2,step=5;seed=7'"
+         \x20 'delay:prob=0.1,us=200;drop:prob=0.05;kill:rank=2,step=5;seed=7'\n\
+         --verify runs the cmt-verify dynamic checker (deadlock, collective\n\
+         matching, message leaks, races); exit status 1 on findings.\n\
+         --chaos-sched overlays seeded message delays to perturb the schedule."
     );
     std::process::exit(2);
 }
@@ -129,6 +133,10 @@ fn main() {
                     }
                 }
             }
+            "--verify" => cfg.verify = true,
+            "--chaos-sched" => {
+                cfg.chaos_sched = args.next().and_then(|s| s.parse().ok()).or_else(|| usage())
+            }
             "--quiet" => quiet = true,
             "--euler" => euler = true,
             "--help" | "-h" => usage(),
@@ -156,7 +164,13 @@ fn main() {
             report.max_wall_s(),
             report.chosen_method.name()
         );
+        if let Some(findings) = &report.verify {
+            print!("{}", cmt_verify::render_findings(findings));
+        }
     } else {
         println!("{}", report.render());
+    }
+    if report.verify.as_ref().is_some_and(|f| !f.is_empty()) {
+        std::process::exit(1);
     }
 }

@@ -108,6 +108,15 @@ pub struct Config {
     /// Deterministic fault schedule injected into the world (message
     /// delays, drop/retransmit, scheduled rank kills).
     pub fault_plan: Option<FaultPlan>,
+    /// Run under the `cmt-verify` dynamic checker: deadlock detection
+    /// over blocked receives, collective-matching verification, finalize
+    /// message-leak sweep, and the vector-clock race detector. Findings
+    /// land in [`crate::RunReport::verify`].
+    pub verify: bool,
+    /// Seeded schedule perturbation (`--chaos-sched`): overlay random
+    /// message delays on the world to explore alternative interleavings.
+    /// Composes with `fault_plan` (kills and drops are kept).
+    pub chaos_sched: Option<u64>,
 }
 
 impl Default for Config {
@@ -132,6 +141,8 @@ impl Default for Config {
             checkpoint_dir: None,
             restart_from: None,
             fault_plan: None,
+            verify: false,
+            chaos_sched: None,
         }
     }
 }

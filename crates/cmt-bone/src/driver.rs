@@ -13,7 +13,9 @@ use cmt_gs::{autotune, AutotuneReport, GsHandle, GsMethod, GsOp};
 use cmt_mesh::{MeshConfig, RankMesh};
 use cmt_perf::{MpipReport, Profiler};
 use cmt_resilience::{hash, load_checkpoint, Checkpoint, Resilience};
+use cmt_verify::Verifier;
 use simmpi::{Rank, ReduceOp, World};
+use std::sync::Arc;
 
 use crate::config::{Config, Pipeline};
 use crate::report::RunReport;
@@ -681,6 +683,16 @@ fn rank_main(rank: &mut Rank, cfg: &Config, mesh_cfg: &MeshConfig, collect: bool
     let checksum = rank.allreduce_scalar(local_sum, ReduceOp::Sum);
     rank.set_context("main");
 
+    // Finalize-time verification sweep (leaked messages, abandoned
+    // exchanges), timed as its own region so overhead comparisons can
+    // isolate the checker's cost. `World::run` would run the sweep
+    // anyway; doing it here puts it on this rank's profile.
+    if rank.verifying() {
+        prof.enter(cmt_perf::regions::VERIFY);
+        rank.verify_finalize();
+        prof.exit();
+    }
+
     let solution = collect.then(|| SolutionDump {
         global_elem_ids: (0..nel).map(|le| mesh.global_elem_id(le)).collect(),
         fields: u.iter().map(|f| f.as_slice().to_vec()).collect(),
@@ -709,6 +721,13 @@ fn run_inner(cfg: &Config, collect: bool) -> (RunReport, Vec<SolutionDump>) {
     };
     if let Some(plan) = &cfg.fault_plan {
         world = world.with_fault_plan(plan.clone());
+    }
+    if let Some(seed) = cfg.chaos_sched {
+        world = world.with_chaos_sched(seed);
+    }
+    let verifier = cfg.verify.then(|| Arc::new(Verifier::new()));
+    if let Some(v) = &verifier {
+        world = world.with_verifier(v.clone());
     }
     let result = world.run(cfg.ranks, |rank| rank_main(rank, cfg, &mesh_cfg, collect));
 
@@ -748,6 +767,7 @@ fn run_inner(cfg: &Config, collect: bool) -> (RunReport, Vec<SolutionDump>) {
         state_hash,
         steps: cfg.steps,
         fields: cfg.fields,
+        verify: verifier.map(|v| v.findings()),
     };
     (report, dumps)
 }

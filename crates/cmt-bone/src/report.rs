@@ -36,6 +36,9 @@ pub struct RunReport {
     pub steps: usize,
     /// Conserved-variable fields stepped.
     pub fields: usize,
+    /// `cmt-verify` findings when the run was checked (`Config::verify`);
+    /// `None` when verification was off, `Some(vec![])` for a clean run.
+    pub verify: Option<Vec<cmt_verify::Finding>>,
 }
 
 impl RunReport {
@@ -98,6 +101,9 @@ impl RunReport {
             "chosen gs method: {}\n",
             self.chosen_method.name()
         ));
+        if let Some(findings) = &self.verify {
+            out.push_str(&cmt_verify::render_findings(findings));
+        }
         if let Some(t) = &self.autotune {
             out.push_str("\nAutotune (Fig. 7):\n");
             out.push_str(

@@ -265,4 +265,50 @@ impl GsHandle {
         self.gs_op(rank, &mut ones, crate::GsOp::Add, method);
         ones
     }
+
+    /// Global ids this handle exchanges with neighbor ranks (deduplicated,
+    /// ascending) — the shared slots the `cmt-verify` race detector
+    /// tracks. Interior ids never cross ranks and are not included.
+    pub(crate) fn exchanged_gids(&self) -> Vec<u64> {
+        let mut gids: Vec<u64> = self
+            .neighbors
+            .iter()
+            .flat_map(|nl| nl.groups.iter().map(|&gi| self.groups[gi as usize].gid))
+            .collect();
+        gids.sort_unstable();
+        gids.dedup();
+        gids
+    }
+
+    /// Report an application-level read (`write == false`) or write of
+    /// local slot `local_index` to the world's verifier, feeding the
+    /// happens-before race detector over this handle's shared slots.
+    ///
+    /// Only accesses to *exchanged* slots are material (interior slots
+    /// never leave the rank), so the call is a no-op for interior slots
+    /// and for worlds without a verifier. The verifier flags two kinds of
+    /// hazard: accesses made while this rank's own split-phase exchange
+    /// is in flight, and cross-rank write conflicts with no
+    /// happens-before ordering (replica divergence).
+    pub fn verify_note_access(&self, rank: &Rank, local_index: usize, write: bool, label: &str) {
+        if !rank.verifying() {
+            return;
+        }
+        assert!(local_index < self.nlocal, "slot index out of range");
+        let li = local_index as u32;
+        let Some(gi) = self
+            .groups
+            .iter()
+            .position(|g| g.local_indices.contains(&li))
+        else {
+            return;
+        };
+        let shared = self
+            .neighbors
+            .iter()
+            .any(|nl| nl.groups.contains(&(gi as u32)));
+        if shared {
+            rank.verify_slot_access(&[self.groups[gi].gid], write, label);
+        }
+    }
 }

@@ -122,6 +122,10 @@ pub struct GsPending {
     /// The owning rank's discard list, for cancelling in-flight
     /// messages if the operation is dropped unfinished.
     discards: DiscardList,
+    /// The verifier's exchange-epoch id, when the world carries one.
+    /// Closed by `gs_op_finish`; an epoch still open at finalize is an
+    /// abandoned exchange.
+    verify_epoch: Option<u64>,
 }
 
 impl GsPending {
@@ -237,6 +241,13 @@ impl GsHandle {
                 self.nlocal
             );
         }
+        // Open a verifier exchange epoch over the shared slots before
+        // any message moves, so every in-window hazard is attributable.
+        let verify_epoch = if rank.verifying() {
+            rank.verify_exchange_start(&self.exchanged_gids(), method.context())
+        } else {
+            None
+        };
         // Gather: combined values laid out [group][field] so one group's
         // k values are contiguous in the exchange payloads.
         let ng = self.groups.len();
@@ -288,6 +299,7 @@ impl GsHandle {
             combined,
             reqs,
             discards: rank.discard_list(),
+            verify_epoch,
         }
     }
 
@@ -309,6 +321,7 @@ impl GsHandle {
         // an empty request list and cancels nothing.
         let mut combined = std::mem::take(&mut pending.combined);
         let reqs = std::mem::take(&mut pending.reqs);
+        let verify_epoch = pending.verify_epoch;
         drop(pending);
         assert_eq!(
             fields.len(),
@@ -344,6 +357,8 @@ impl GsHandle {
                 }
             }
         }
+        // The exchange's effects are fully landed: close the epoch.
+        rank.verify_exchange_finish(verify_epoch);
     }
 
     /// Crystal-router exchange: the per-neighbor payloads, bundled

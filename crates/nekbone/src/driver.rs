@@ -8,7 +8,9 @@ use cmt_gs::{autotune, AutotuneOptions, AutotuneReport, GsHandle, GsMethod};
 use cmt_mesh::{MeshConfig, RankMesh};
 use cmt_perf::{MpipReport, ProfileReport, Profiler};
 use cmt_resilience::{hash, load_checkpoint, Resilience};
+use cmt_verify::Verifier;
 use simmpi::{FaultPlan, NetworkModel, Rank, World};
+use std::sync::Arc;
 
 use crate::ax::AxOperator;
 use crate::cg::{cg_solve_resilient, CgStats};
@@ -52,6 +54,12 @@ pub struct Config {
     pub restart_from: Option<PathBuf>,
     /// Deterministic fault schedule injected into the world.
     pub fault_plan: Option<FaultPlan>,
+    /// Run under the `cmt-verify` dynamic checker; findings land in
+    /// [`NekboneReport::verify`].
+    pub verify: bool,
+    /// Seeded schedule perturbation: overlay random message delays to
+    /// explore alternative interleavings (composes with `fault_plan`).
+    pub chaos_sched: Option<u64>,
 }
 
 impl Default for Config {
@@ -72,6 +80,8 @@ impl Default for Config {
             checkpoint_dir: None,
             restart_from: None,
             fault_plan: None,
+            verify: false,
+            chaos_sched: None,
         }
     }
 }
@@ -100,6 +110,9 @@ pub struct NekboneReport {
     /// FNV-1a hash over every rank's final solution bytes, combined in
     /// rank order — the bitwise fingerprint the resilience tests compare.
     pub state_hash: u64,
+    /// `cmt-verify` findings when the run was checked (`Config::verify`);
+    /// `None` when verification was off, `Some(vec![])` for a clean run.
+    pub verify: Option<Vec<cmt_verify::Finding>>,
 }
 
 impl NekboneReport {
@@ -118,6 +131,9 @@ impl NekboneReport {
             "chosen gs method: {}\n",
             self.chosen_method.name()
         ));
+        if let Some(findings) = &self.verify {
+            out.push_str(&cmt_verify::render_findings(findings));
+        }
         if let Some(t) = &self.autotune {
             out.push_str("\nAutotune (Fig. 7):\n");
             out.push_str(
@@ -245,6 +261,14 @@ fn rank_main(rank: &mut Rank, cfg: &Config, mesh_cfg: &MeshConfig) -> RankOutput
     let checksum = rank.allreduce_scalar(local_sum, simmpi::ReduceOp::Sum);
     rank.set_context("main");
 
+    // Finalize-time verification sweep, timed as its own region (see the
+    // CMT-bone driver for rationale).
+    if rank.verifying() {
+        prof.enter(cmt_perf::regions::VERIFY);
+        rank.verify_finalize();
+        prof.exit();
+    }
+
     let state_hash = {
         let mut h = hash::FNV_OFFSET;
         hash::fnv1a_f64s(&mut h, x.as_slice());
@@ -285,6 +309,13 @@ pub fn run(cfg: &Config) -> NekboneReport {
     if let Some(plan) = &cfg.fault_plan {
         world = world.with_fault_plan(plan.clone());
     }
+    if let Some(seed) = cfg.chaos_sched {
+        world = world.with_chaos_sched(seed);
+    }
+    let verifier = cfg.verify.then(|| Arc::new(Verifier::new()));
+    if let Some(v) = &verifier {
+        world = world.with_verifier(v.clone());
+    }
     let result = world.run(cfg.ranks, |rank| rank_main(rank, cfg, &mesh_cfg));
 
     let mut merged = Profiler::new();
@@ -316,6 +347,7 @@ pub fn run(cfg: &Config) -> NekboneReport {
         rank_wall_s: wall,
         checksum,
         state_hash,
+        verify: verifier.map(|v| v.findings()),
     }
 }
 

@@ -34,6 +34,10 @@ pub mod regions {
     /// Rollback recovery: re-fetch a killed rank's checkpoint from its
     /// replica holder, restore solver state, re-enter the loop.
     pub const RECOVERY: &str = "recovery (restore + rollback)";
+    /// `cmt-verify` finalize sweep: the end-of-run barrier plus the
+    /// mailbox scan for leaked messages and abandoned exchanges. Also
+    /// isolates the verifier's cost in overhead comparisons.
+    pub const VERIFY: &str = "verify (finalize sweep)";
 }
 
 pub use mpip::{MpipReport, SiteAggregate};

@@ -16,6 +16,7 @@ use std::time::Instant;
 use crate::envelope::Msg;
 use crate::rank::Rank;
 use crate::stats::MpiOp;
+use crate::verify::CollKind;
 use crate::ReduceOp;
 
 impl Rank {
@@ -23,6 +24,7 @@ impl Rank {
     pub fn barrier(&mut self) {
         let start = Instant::now();
         let seq = self.next_coll_seq();
+        self.verify_collective(seq, CollKind::Barrier, None, "", None);
         let p = self.size();
         let mut bytes = 0;
         let mut k = 1usize;
@@ -50,6 +52,16 @@ impl Rank {
         assert!(root < self.size(), "bcast root out of range");
         let start = Instant::now();
         let seq = self.next_coll_seq();
+        // Only the root's buffer length is part of the contract; other
+        // ranks pass an ignored placeholder.
+        let len = (self.rank() == root).then_some(data.len());
+        self.verify_collective(
+            seq,
+            CollKind::Bcast,
+            Some(root),
+            std::any::type_name::<T>(),
+            len,
+        );
         let p = self.size();
         let vrank = (self.rank() + p - root) % p; // root-relative rank
         let mut bytes = 0u64;
@@ -109,6 +121,13 @@ impl Rank {
         assert!(root < self.size(), "reduce root out of range");
         let start = Instant::now();
         let seq = self.next_coll_seq();
+        self.verify_collective(
+            seq,
+            CollKind::Reduce,
+            Some(root),
+            std::any::type_name::<T>(),
+            Some(data.len()),
+        );
         let p = self.size();
         let vrank = (self.rank() + p - root) % p;
         let mut acc = data.to_vec();
@@ -167,6 +186,13 @@ impl Rank {
         // untimed inside it.
         let start = Instant::now();
         let seq = self.next_coll_seq();
+        self.verify_collective(
+            seq,
+            CollKind::Allreduce,
+            None,
+            std::any::type_name::<T>(),
+            Some(data.len()),
+        );
         let p = self.size();
         let rank = self.rank();
         let mut acc = data.to_vec();
@@ -262,6 +288,7 @@ impl Rank {
     pub fn exscan_u64(&mut self, v: u64) -> u64 {
         let start = Instant::now();
         let seq = self.next_coll_seq();
+        self.verify_collective(seq, CollKind::Exscan, None, "u64", Some(1));
         let p = self.size();
         let rank = self.rank();
         let mut bytes = 0u64;
@@ -296,6 +323,14 @@ impl Rank {
         assert!(root < self.size(), "gather root out of range");
         let start = Instant::now();
         let seq = self.next_coll_seq();
+        // Contributions legitimately differ in length per rank.
+        self.verify_collective(
+            seq,
+            CollKind::Gather,
+            Some(root),
+            std::any::type_name::<T>(),
+            None,
+        );
         let p = self.size();
         let mut bytes = 0u64;
         let out = if self.rank() == root {
@@ -335,6 +370,15 @@ impl Rank {
         assert_eq!(sends.len(), p, "alltoallv needs one send buffer per rank");
         let start = Instant::now();
         let seq = self.next_coll_seq();
+        // Per-peer buffer lengths legitimately differ; the contract is
+        // one buffer per rank, already asserted above.
+        self.verify_collective(
+            seq,
+            CollKind::Alltoallv,
+            None,
+            std::any::type_name::<T>(),
+            None,
+        );
         let rank = self.rank();
         let mut recvs: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
         recvs[rank] = std::mem::take(&mut sends[rank]);

@@ -56,6 +56,15 @@ impl Rank {
         }
         let start = Instant::now();
         let seq = self.next_coll_seq();
+        // Message sets legitimately differ per rank; only kind and
+        // element type are part of the cross-rank contract.
+        self.verify_collective(
+            seq,
+            crate::verify::CollKind::CrystalRouter,
+            None,
+            std::any::type_name::<T>(),
+            None,
+        );
         let mut held: Vec<RoutedMsg<T>> = outgoing
             .into_iter()
             .map(|(dest, data)| RoutedMsg {

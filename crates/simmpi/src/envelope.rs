@@ -18,6 +18,12 @@ impl<T: Clone + Send + 'static> Msg for T {}
 
 /// A message in flight: source rank, tag, type-erased payload, and its
 /// wire-equivalent size in bytes.
+///
+/// When a verifier is installed ([`crate::World::with_verifier`]) the
+/// envelope additionally piggybacks the sender's vector clock — the
+/// happens-before edge the race detector rides on — and the sender's
+/// context label, so message-leak diagnostics can name the send site.
+/// Both stay `None` (zero cost beyond the option) in unverified worlds.
 pub struct Envelope {
     /// Sending rank.
     pub src: usize,
@@ -27,6 +33,10 @@ pub struct Envelope {
     pub payload: Box<dyn Any + Send>,
     /// Wire-equivalent payload size in bytes.
     pub bytes: usize,
+    /// Piggybacked sender vector clock (verifier installed only).
+    pub clock: Option<Box<[u64]>>,
+    /// Sender's context label at send time (verifier installed only).
+    pub sender_ctx: Option<Box<str>>,
 }
 
 impl Envelope {
@@ -38,6 +48,8 @@ impl Envelope {
             tag,
             payload: Box::new(data),
             bytes,
+            clock: None,
+            sender_ctx: None,
         }
     }
 

@@ -122,6 +122,31 @@ pub struct FaultPlan {
 }
 
 impl FaultPlan {
+    /// The `--chaos-sched` schedule-perturbation plan: a delay hazard
+    /// that holds a random (but seed-deterministic) quarter of all sends
+    /// for 150 µs. Nothing is dropped or killed, so a correct SPMD
+    /// program must produce bitwise-identical results under every seed —
+    /// the perturbation only explores message *interleavings* the
+    /// default schedule never exhibits, which is exactly what the
+    /// `cmt-verify` checker wants to run under in CI.
+    pub fn chaos(seed: u64) -> FaultPlan {
+        FaultPlan::chaos_over(FaultPlan::default(), seed)
+    }
+
+    /// Overlay the chaos delay hazard and seed onto `base`, keeping its
+    /// kills and drop hazard (so `--chaos-sched` composes with an
+    /// explicit `--fault-plan`).
+    pub fn chaos_over(base: FaultPlan, seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            delay: Some(DelayFault {
+                prob: 0.25,
+                delay: Duration::from_micros(150),
+            }),
+            ..base
+        }
+    }
+
     /// Whether the plan injects any message-level hazard (delay or drop).
     pub fn has_message_faults(&self) -> bool {
         self.delay.is_some() || self.drop.is_some()

@@ -47,6 +47,7 @@ pub mod netmodel;
 pub mod rank;
 pub mod rng;
 pub mod stats;
+pub mod verify;
 pub mod world;
 
 pub use envelope::Msg;
@@ -54,6 +55,7 @@ pub use faults::{DelayFault, DropFault, FaultPlan, KillEvent};
 pub use netmodel::NetworkModel;
 pub use rank::{DiscardList, Rank, RecvRequest, Tag};
 pub use stats::{CommStats, MpiOp, SiteKey, SiteStats};
+pub use verify::{CollFingerprint, CollKind, LeakInfo, VerifyHooks};
 pub use world::{World, WorldResult};
 
 /// Elementwise reduction operators for the typed collectives.

@@ -10,6 +10,7 @@ use crate::envelope::{Envelope, Msg};
 use crate::faults::{FaultPlan, FaultState};
 use crate::netmodel::NetworkModel;
 use crate::stats::{CommRecorder, MpiOp};
+use crate::verify::{CollFingerprint, CollKind, LeakInfo, VerifyHooks};
 
 /// Message tag. User tags must be below [`USER_TAG_LIMIT`]; the space above
 /// is reserved for collective-internal traffic.
@@ -44,6 +45,8 @@ pub struct Rank {
     pub(crate) user_seq: u64,
     pub(crate) faults: Option<FaultState>,
     pub(crate) discards: DiscardList,
+    pub(crate) verify: Option<Arc<dyn VerifyHooks>>,
+    pub(crate) finalized: bool,
 }
 
 /// A cancellation list for in-flight messages whose receiver abandoned
@@ -89,6 +92,22 @@ impl DiscardList {
     /// Whether no discards are outstanding (lock-free).
     fn is_empty(&self) -> bool {
         self.inner.outstanding.load(Ordering::Acquire) == 0
+    }
+
+    /// Discard credits still outstanding, as `(src, tag, count)` — the
+    /// cancelled messages that never arrived. Consumed by the verifier's
+    /// finalize-time leak check.
+    pub(crate) fn snapshot(&self) -> Vec<(usize, Tag, u64)> {
+        let mut v: Vec<(usize, Tag, u64)> = self
+            .inner
+            .map
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(&(src, tag), &n)| (src, tag, n))
+            .collect();
+        v.sort_unstable();
+        v
     }
 
     /// If `(src, tag)` is registered, consume one discard credit and
@@ -247,8 +266,14 @@ impl Rank {
     // raw transport (shared with collectives and the crystal router)
     // ---------------------------------------------------------------
 
-    pub(crate) fn raw_send(&self, dest: usize, env: Envelope) {
+    pub(crate) fn raw_send(&self, dest: usize, mut env: Envelope) {
         assert!(dest < self.size, "send to rank {dest} of {}", self.size);
+        if let Some(v) = &self.verify {
+            env.clock = v
+                .on_send(self.rank, dest, env.tag, env.bytes as u64, &self.context)
+                .map(Vec::into_boxed_slice);
+            env.sender_ctx = Some(self.context.as_str().into());
+        }
         // Channels are unbounded: a send never blocks, matching MPI's
         // buffered/eager regime for the small-to-medium messages the
         // mini-apps exchange.
@@ -257,14 +282,46 @@ impl Rank {
             .expect("peer mailbox closed: world is shutting down abnormally");
     }
 
+    /// Tell the verifier (if any) that a receive matched `env`.
+    fn note_recv(&self, env: &Envelope) {
+        if let Some(v) = &self.verify {
+            v.on_recv(self.rank, env.src, env.tag, env.clock.as_deref());
+        }
+    }
+
+    /// Tell the verifier (if any) that `env` was silently consumed as
+    /// cancelled exchange traffic.
+    fn note_discarded(&self, env: &Envelope) {
+        if let Some(v) = &self.verify {
+            v.on_discarded(
+                self.rank,
+                env.src,
+                env.tag,
+                env.bytes as u64,
+                env.sender_ctx.as_deref(),
+            );
+        }
+    }
+
     /// Remove pending-queue entries cancelled via the [`DiscardList`].
     /// Cheap when nothing is cancelled (one relaxed atomic load).
     fn purge_discarded(&mut self) {
         if self.discards.is_empty() {
             return;
         }
-        let discards = &self.discards;
-        self.pending.retain(|e| !discards.consume(e.src, e.tag));
+        let discards = self.discards.clone();
+        let verify = self.verify.clone();
+        let rank = self.rank;
+        self.pending.retain(|e| {
+            if discards.consume(e.src, e.tag) {
+                if let Some(v) = &verify {
+                    v.on_discarded(rank, e.src, e.tag, e.bytes as u64, e.sender_ctx.as_deref());
+                }
+                false
+            } else {
+                true
+            }
+        });
     }
 
     pub(crate) fn raw_recv(&mut self, src: usize, tag: Tag) -> Envelope {
@@ -277,16 +334,27 @@ impl Rank {
             .iter()
             .position(|e| e.src == src && e.tag == tag)
         {
-            return self.pending.remove(pos).unwrap();
+            let env = self.pending.remove(pos).unwrap();
+            self.note_recv(&env);
+            return env;
         }
         let start = Instant::now();
+        // Registered with the verifier's wait-for graph after the first
+        // empty poll, so the fast path (message already en route) never
+        // touches the checker.
+        let mut block_id: Option<u64> = None;
         loop {
             match self.rx.recv_timeout(POLL) {
                 Ok(env) => {
                     if self.discards.consume(env.src, env.tag) {
+                        self.note_discarded(&env);
                         continue;
                     }
                     if env.src == src && env.tag == tag {
+                        if let (Some(v), Some(id)) = (&self.verify, block_id) {
+                            v.on_unblock(self.rank, id);
+                        }
+                        self.note_recv(&env);
                         return env;
                     }
                     self.pending.push_back(env);
@@ -297,6 +365,14 @@ impl Rank {
                             "rank {}: aborting receive (src {src}, tag {tag:#x}): a peer rank failed",
                             self.rank
                         );
+                    }
+                    if let Some(v) = &self.verify {
+                        let id = *block_id
+                            .get_or_insert_with(|| v.on_block(self.rank, src, tag, &self.context));
+                        if let Some(diag) = v.on_block_poll(self.rank, id) {
+                            self.poisoned.store(true, Ordering::Relaxed);
+                            panic!("{diag}");
+                        }
                     }
                     if start.elapsed() > DEADLOCK {
                         panic!(
@@ -479,5 +555,108 @@ impl Rank {
         let env = self.raw_recv(src, tag);
         let bytes = env.bytes as u64;
         (env.open(), bytes)
+    }
+
+    // ---------------------------------------------------------------
+    // verifier hooks (see crate::verify)
+    // ---------------------------------------------------------------
+
+    /// Whether a verifier is installed on this world
+    /// ([`crate::World::with_verifier`]).
+    #[inline]
+    pub fn verifying(&self) -> bool {
+        self.verify.is_some()
+    }
+
+    /// Register collective `seq`'s fingerprint with the verifier and
+    /// abort (poison + panic) on a cross-rank mismatch. No-op without a
+    /// verifier.
+    pub(crate) fn verify_collective(
+        &self,
+        seq: u64,
+        kind: CollKind,
+        root: Option<usize>,
+        elem_type: &'static str,
+        len: Option<usize>,
+    ) {
+        let Some(v) = &self.verify else { return };
+        let fp = CollFingerprint {
+            kind,
+            root,
+            elem_type,
+            len,
+            context: &self.context,
+        };
+        if let Err(diag) = v.on_collective(self.rank, seq, fp) {
+            self.poisoned.store(true, Ordering::Relaxed);
+            panic!("{diag}");
+        }
+    }
+
+    /// Report the start of a split-phase exchange over the shared slots
+    /// `gids` to the verifier; the returned epoch id must be closed with
+    /// [`Rank::verify_exchange_finish`]. `None` without a verifier.
+    pub fn verify_exchange_start(&self, gids: &[u64], label: &str) -> Option<u64> {
+        self.verify
+            .as_ref()
+            .map(|v| v.on_exchange_start(self.rank, gids, label))
+    }
+
+    /// Close a split-phase exchange epoch opened by
+    /// [`Rank::verify_exchange_start`]. No-op for `None`.
+    pub fn verify_exchange_finish(&self, epoch: Option<u64>) {
+        if let (Some(v), Some(e)) = (&self.verify, epoch) {
+            v.on_exchange_finish(self.rank, e);
+        }
+    }
+
+    /// Report an application-level read (`write == false`) or write of
+    /// the shared slots `gids` to the verifier's happens-before race
+    /// detector. No-op without a verifier.
+    pub fn verify_slot_access(&self, gids: &[u64], write: bool, label: &str) {
+        if let Some(v) = &self.verify {
+            v.on_slot_access(self.rank, gids, write, label);
+        }
+    }
+
+    /// Run the verifier's finalize-time leak check: a runtime barrier (so
+    /// every peer's pre-finalize sends are already delivered), then a
+    /// sweep of this rank's mailbox for unmatched messages and of its
+    /// [`DiscardList`] for cancelled messages that never arrived.
+    ///
+    /// Called automatically by [`crate::World::run`] when the SPMD
+    /// closure returns; drivers may call it earlier (it is idempotent) to
+    /// attribute the cost to a profiler region. No-op without a verifier
+    /// or on a poisoned world.
+    pub fn verify_finalize(&mut self) {
+        let Some(v) = self.verify.clone() else { return };
+        if self.finalized || self.poisoned.load(Ordering::Relaxed) {
+            return;
+        }
+        self.finalized = true;
+        // The barrier orders every peer's pre-finalize sends before this
+        // rank's mailbox sweep (channel pushes are immediate, and the
+        // dissemination barrier's exit happens-after every entry), so a
+        // message from a slow-but-correct peer is never misreported.
+        let saved = std::mem::replace(&mut self.context, String::from("verify:finalize"));
+        self.barrier();
+        self.context = saved;
+        while let Ok(env) = self.rx.try_recv() {
+            self.pending.push_back(env);
+        }
+        self.purge_discarded(); // reports cancelled arrivals via on_discarded
+        let leaked: Vec<LeakInfo> = self
+            .pending
+            .iter()
+            .map(|e| LeakInfo {
+                src: e.src,
+                tag: e.tag,
+                bytes: e.bytes as u64,
+                sender_context: e.sender_ctx.as_deref().map(str::to_owned),
+            })
+            .collect();
+        self.pending.clear();
+        let unclaimed = self.discards.snapshot();
+        v.on_finalize(self.rank, self.coll_seq, &leaked, &unclaimed);
     }
 }

@@ -1,0 +1,171 @@
+//! Verifier hook interface: the runtime side of the `cmt-verify` checker.
+//!
+//! The runtime stays checker-agnostic: it defines the [`VerifyHooks`]
+//! trait and calls it at every event a dynamic MPI verifier cares about —
+//! sends (where a vector clock may be piggybacked on the envelope),
+//! matched receives, blocking-receive entry/poll/exit (the wait-for-graph
+//! feed), collective entry (fingerprint matching), gather–scatter
+//! shared-slot accesses, and rank finalization (message-leak detection).
+//! The `cmt-verify` crate supplies the implementation; a world without a
+//! verifier pays one `Option` check per event.
+//!
+//! Two hook results steer the runtime:
+//!
+//! * [`VerifyHooks::on_block_poll`] may return a deadlock diagnostic, in
+//!   which case the blocked rank poisons the world and panics with it —
+//!   turning a 300-second timeout into a sub-second, fully explained
+//!   abort;
+//! * [`VerifyHooks::on_collective`] may return a mismatch diagnostic,
+//!   aborting the offending collective *before* its internal messages can
+//!   entangle the tag space.
+
+use crate::rank::Tag;
+
+/// Which collective a fingerprint describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollKind {
+    /// Dissemination barrier.
+    Barrier,
+    /// Binomial-tree broadcast.
+    Bcast,
+    /// Binomial-tree reduce-to-root.
+    Reduce,
+    /// Allreduce (reduce-to-0 + broadcast).
+    Allreduce,
+    /// Hillis–Steele exclusive scan.
+    Exscan,
+    /// Gather-to-root.
+    Gather,
+    /// Pairwise-exchange alltoallv.
+    Alltoallv,
+    /// Crystal-router generalized all-to-all.
+    CrystalRouter,
+}
+
+impl CollKind {
+    /// Display name used in diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            CollKind::Barrier => "barrier",
+            CollKind::Bcast => "bcast",
+            CollKind::Reduce => "reduce",
+            CollKind::Allreduce => "allreduce",
+            CollKind::Exscan => "exscan",
+            CollKind::Gather => "gather",
+            CollKind::Alltoallv => "alltoallv",
+            CollKind::CrystalRouter => "crystal_router",
+        }
+    }
+}
+
+/// One rank's view of one collective call, checked against its peers'.
+///
+/// `len` is `None` where the call carries no length contract for this
+/// rank (a non-root `bcast` buffer is ignored; `gather` contributions and
+/// crystal-router payloads may legitimately differ per rank).
+#[derive(Debug, Clone, Copy)]
+pub struct CollFingerprint<'a> {
+    /// The collective's kind.
+    pub kind: CollKind,
+    /// Root rank, for rooted collectives.
+    pub root: Option<usize>,
+    /// Element type name (`std::any::type_name`), empty for barriers.
+    pub elem_type: &'static str,
+    /// Element count this rank contributed, where the algorithm requires
+    /// rank agreement.
+    pub len: Option<usize>,
+    /// The caller's context label (the mpiP call-site analogue).
+    pub context: &'a str,
+}
+
+/// One message found unreceived (or consumed as cancelled exchange
+/// traffic) when a rank finalized.
+#[derive(Debug, Clone)]
+pub struct LeakInfo {
+    /// Sending rank.
+    pub src: usize,
+    /// Message tag.
+    pub tag: Tag,
+    /// Wire-equivalent payload size.
+    pub bytes: u64,
+    /// The sender's context label at send time, when the runtime
+    /// recorded one.
+    pub sender_context: Option<String>,
+}
+
+/// Checker callbacks invoked by the runtime. All methods take `&self`:
+/// implementations are shared across the world's rank threads.
+pub trait VerifyHooks: Send + Sync + std::fmt::Debug {
+    /// The world is about to spawn `size` ranks.
+    fn on_start(&self, size: usize);
+
+    /// `from` is sending `bytes` bytes to `to` under `tag`. The returned
+    /// vector clock (if any) is piggybacked on the envelope and handed to
+    /// [`VerifyHooks::on_recv`] when the message is matched.
+    fn on_send(
+        &self,
+        from: usize,
+        to: usize,
+        tag: Tag,
+        bytes: u64,
+        context: &str,
+    ) -> Option<Vec<u64>>;
+
+    /// A receive on `rank` matched a message from `src` carrying `clock`.
+    fn on_recv(&self, rank: usize, src: usize, tag: Tag, clock: Option<&[u64]>);
+
+    /// `rank` entered collective `seq` with fingerprint `fp`. An `Err`
+    /// diagnostic makes the rank poison the world and panic before the
+    /// collective exchanges anything.
+    fn on_collective(&self, rank: usize, seq: u64, fp: CollFingerprint<'_>) -> Result<(), String>;
+
+    /// `rank` has been blocked in a receive for at least one poll
+    /// interval. Returns an id identifying this blocked episode in
+    /// subsequent [`VerifyHooks::on_block_poll`] / `on_unblock` calls.
+    fn on_block(&self, rank: usize, src: usize, tag: Tag, context: &str) -> u64;
+
+    /// Periodic progress poll while `rank` stays blocked. A `Some`
+    /// diagnostic reports a confirmed deadlock: the rank poisons the
+    /// world and panics with it.
+    fn on_block_poll(&self, rank: usize, block_id: u64) -> Option<String>;
+
+    /// The blocked receive `block_id` on `rank` matched a message.
+    fn on_unblock(&self, rank: usize, block_id: u64);
+
+    /// `rank` started a split-phase exchange covering the shared slots
+    /// `gids`. Returns an epoch id the matching
+    /// [`VerifyHooks::on_exchange_finish`] closes; epochs still open at
+    /// finalize are abandoned exchanges.
+    fn on_exchange_start(&self, rank: usize, gids: &[u64], context: &str) -> u64;
+
+    /// `rank` finished (drained and scattered) exchange `epoch`.
+    fn on_exchange_finish(&self, rank: usize, epoch: u64);
+
+    /// Application code on `rank` read (`write == false`) or wrote the
+    /// shared slots `gids` outside the exchange protocol. Fed to the
+    /// happens-before race detector.
+    fn on_slot_access(&self, rank: usize, gids: &[u64], write: bool, context: &str);
+
+    /// The matching engine on `rank` silently consumed a message whose
+    /// receiver had cancelled it (an abandoned split-phase exchange).
+    fn on_discarded(
+        &self,
+        rank: usize,
+        src: usize,
+        tag: Tag,
+        bytes: u64,
+        sender_context: Option<&str>,
+    );
+
+    /// `rank`'s SPMD closure returned. `coll_seq` is its final collective
+    /// count; `leaked` are messages still sitting unmatched in its
+    /// mailbox after a finalize barrier; `unclaimed` are discard credits
+    /// `(src, tag, count)` registered for messages that never arrived.
+    fn on_finalize(
+        &self,
+        rank: usize,
+        coll_seq: u64,
+        leaked: &[LeakInfo],
+        unclaimed: &[(usize, Tag, u64)],
+    );
+}

@@ -11,6 +11,7 @@ use crate::faults::{FaultPlan, FaultState};
 use crate::netmodel::NetworkModel;
 use crate::rank::{DiscardList, Rank};
 use crate::stats::{CommRecorder, CommStats};
+use crate::verify::VerifyHooks;
 
 /// A world of `P` simulated MPI ranks. Construct once, then [`World::run`]
 /// an SPMD closure on it.
@@ -30,6 +31,7 @@ use crate::stats::{CommRecorder, CommStats};
 pub struct World {
     net: Option<NetworkModel>,
     faults: Option<Arc<FaultPlan>>,
+    verify: Option<Arc<dyn VerifyHooks>>,
 }
 
 /// Everything a [`World::run`] produces: the per-rank return values and
@@ -69,6 +71,33 @@ impl World {
         self
     }
 
+    /// Install a dynamic verifier (the `cmt-verify` checker, or any
+    /// [`VerifyHooks`] implementation). The runtime then feeds it every
+    /// send, matched receive, blocked-receive episode, collective
+    /// fingerprint, and shared-slot access, piggybacks vector clocks on
+    /// message envelopes, and runs a finalize-time message-leak sweep as
+    /// each rank's closure returns.
+    pub fn with_verifier(mut self, hooks: Arc<dyn VerifyHooks>) -> Self {
+        self.verify = Some(hooks);
+        self
+    }
+
+    /// Seeded schedule perturbation: install a [`FaultPlan`] whose delay
+    /// hazard jitters a random-but-deterministic subset of sends
+    /// ([`FaultPlan::chaos`]), exploring message interleavings the normal
+    /// schedule never exhibits — pointed at CI runs under the checker.
+    /// Overlays the delay hazard and seed onto any fault plan already
+    /// installed, keeping its kills and drop hazard.
+    pub fn with_chaos_sched(mut self, seed: u64) -> Self {
+        let base = self
+            .faults
+            .as_ref()
+            .map(|p| (**p).clone())
+            .unwrap_or_default();
+        self.faults = Some(Arc::new(FaultPlan::chaos_over(base, seed)));
+        self
+    }
+
     /// Run `f` as an SPMD program on `p` ranks (one OS thread each) and
     /// wait for completion.
     ///
@@ -95,6 +124,9 @@ impl World {
         }
         let senders = Arc::new(senders);
         let poisoned = Arc::new(AtomicBool::new(false));
+        if let Some(v) = &self.verify {
+            v.on_start(p);
+        }
         let f = &f;
 
         let mut slots: Vec<Option<(T, CommStats)>> = Vec::with_capacity(p);
@@ -108,6 +140,7 @@ impl World {
                 let senders = Arc::clone(&senders);
                 let poisoned = Arc::clone(&poisoned);
                 let net = self.net;
+                let verify = self.verify.clone();
                 let faults = self
                     .faults
                     .as_ref()
@@ -139,9 +172,14 @@ impl World {
                         user_seq: 0,
                         faults,
                         discards: DiscardList::default(),
+                        verify: verify.clone(),
+                        finalized: false,
                     };
                     let start = Instant::now();
                     let out = f(&mut rank);
+                    // Finalize-time leak check (idempotent; drivers may
+                    // have run it already under a profiler region).
+                    rank.verify_finalize();
                     let app_time = start.elapsed().as_secs_f64();
                     let stats = rank.recorder.finish(r, app_time);
                     (out, stats)
