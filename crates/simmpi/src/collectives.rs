@@ -144,7 +144,13 @@ impl Rank {
                 if vrank & mask != 0 {
                     let dst_v = vrank - mask;
                     let dst = (dst_v + root) % p;
-                    bytes += self.send_internal(dst, Rank::coll_tag(seq, round), acc.clone());
+                    // The retiring send is this rank's last use of the
+                    // accumulator: move it instead of cloning.
+                    bytes += self.send_internal(
+                        dst,
+                        Rank::coll_tag(seq, round),
+                        std::mem::take(&mut acc),
+                    );
                     nmsgs += 1;
                     retired = true;
                 } else {
@@ -206,7 +212,13 @@ impl Rank {
             if !retired {
                 if rank & mask != 0 {
                     let dst = rank - mask;
-                    bytes += self.send_internal(dst, Rank::coll_tag(seq, round), acc.clone());
+                    // Retiring rank: the accumulator is dead after this
+                    // send (the broadcast phase overwrites it), so move.
+                    bytes += self.send_internal(
+                        dst,
+                        Rank::coll_tag(seq, round),
+                        std::mem::take(&mut acc),
+                    );
                     nmsgs += 1;
                     retired = true;
                 } else if rank + mask < p {
@@ -319,7 +331,7 @@ impl Rank {
 
     /// Gather each rank's buffer to `root`. Returns `Some(vec of per-rank
     /// buffers)` on root, `None` elsewhere.
-    pub fn gather<T: Msg>(&mut self, root: usize, data: Vec<T>) -> Option<Vec<Vec<T>>> {
+    pub fn gather<T: Msg>(&mut self, root: usize, mut data: Vec<T>) -> Option<Vec<Vec<T>>> {
         assert!(root < self.size(), "gather root out of range");
         let start = Instant::now();
         let seq = self.next_coll_seq();
@@ -337,7 +349,8 @@ impl Rank {
             let mut all: Vec<Vec<T>> = Vec::with_capacity(p);
             for src in 0..p {
                 if src == root {
-                    all.push(data.clone());
+                    // Root's own contribution: move, don't clone.
+                    all.push(std::mem::take(&mut data));
                 } else {
                     let (got, b) = self.recv_internal::<T>(src, Rank::coll_tag(seq, 0));
                     bytes += b;
