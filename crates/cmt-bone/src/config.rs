@@ -117,6 +117,11 @@ pub struct Config {
     /// message delays on the world to explore alternative interleavings.
     /// Composes with `fault_plan` (kills and drops are kept).
     pub chaos_sched: Option<u64>,
+    /// Recycle message payload buffers through the per-rank
+    /// [`simmpi::BufferPool`] (the zero-allocation steady state). `false`
+    /// (`--no-pool`) falls back to plain allocation per message — the
+    /// escape hatch for A/B comparisons and for debugging buffer reuse.
+    pub pool: bool,
 }
 
 impl Default for Config {
@@ -143,6 +148,7 @@ impl Default for Config {
             fault_plan: None,
             verify: false,
             chaos_sched: None,
+            pool: true,
         }
     }
 }

@@ -311,9 +311,9 @@ fn viscous_pass(
             for axis in 0..3 {
                 face::full2face(n, nel, ws.q[axis].as_slice(), &mut ws.qown[axis]);
             }
+            let views: Vec<&[f64]> = ws.qown.iter().map(|v| v.as_slice()).collect();
             prof.enter(regions::GS_START);
             rank.set_context("faces_visc");
-            let views: Vec<&[f64]> = ws.qown.iter().map(|v| v.as_slice()).collect();
             let pending = env.handle.gs_op_start(rank, &views, GsOp::Add, env.chosen);
             rank.set_context("main");
             prof.exit();
@@ -330,9 +330,9 @@ fn viscous_pass(
                 );
                 rhs.axpy(nu * geom.dscale(axis), scratch);
             }
+            let mut outs: Vec<&mut [f64]> = ws.qnbr.iter_mut().map(|v| v.as_mut_slice()).collect();
             prof.enter(regions::GS_FINISH);
             rank.set_context("faces_visc");
-            let mut outs: Vec<&mut [f64]> = ws.qnbr.iter_mut().map(|v| v.as_mut_slice()).collect();
             env.handle.gs_op_finish(rank, pending, &mut outs);
             rank.set_context("main");
             prof.exit();
@@ -573,11 +573,13 @@ fn rank_main(rank: &mut Rank, cfg: &Config, mesh_cfg: &MeshConfig, collect: bool
 
                     // (2) start ONE exchange carrying all fields (a k-field
                     // payload per neighbor: `fields`x fewer messages than the
-                    // blocking schedule)
+                    // blocking schedule). The slice-view list is assembled
+                    // before the region opens so its allocation never counts
+                    // against the exchange.
+                    let views: Vec<&[f64]> = faces_all.iter().map(|v| v.as_slice()).collect();
                     prof.enter(regions::GS_OP);
                     prof.enter(regions::GS_START);
                     rank.set_context("faces");
-                    let views: Vec<&[f64]> = faces_all.iter().map(|v| v.as_slice()).collect();
                     let pending = handle.gs_op_start(rank, &views, GsOp::Add, chosen);
                     rank.set_context("main");
                     prof.exit();
@@ -614,11 +616,12 @@ fn rank_main(rank: &mut Rank, cfg: &Config, mesh_cfg: &MeshConfig, collect: bool
                     }
 
                     // (4) finish: wait, fold remote contributions, scatter
+                    // (view list built outside the region, as at start)
+                    let mut outs: Vec<&mut [f64]> =
+                        faces_all.iter_mut().map(|v| v.as_mut_slice()).collect();
                     prof.enter(regions::GS_OP);
                     prof.enter(regions::GS_FINISH);
                     rank.set_context("faces");
-                    let mut outs: Vec<&mut [f64]> =
-                        faces_all.iter_mut().map(|v| v.as_mut_slice()).collect();
                     handle.gs_op_finish(rank, pending, &mut outs);
                     rank.set_context("main");
                     prof.exit();
@@ -719,6 +722,7 @@ fn run_inner(cfg: &Config, collect: bool) -> (RunReport, Vec<SolutionDump>) {
         Some(net) => World::with_network(net),
         None => World::new(),
     };
+    world = world.with_pooling(cfg.pool);
     if let Some(plan) = &cfg.fault_plan {
         world = world.with_fault_plan(plan.clone());
     }

@@ -1,8 +1,9 @@
 //! `gs_setup`: the discovery phase and the exchange-topology handle.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 
-use simmpi::{Rank, ReduceOp};
+use simmpi::{Rank, RecvRequest, ReduceOp};
 
 /// One gather group: all local indices that carry the same global id,
 /// plus where else in the world that id lives.
@@ -56,6 +57,32 @@ pub struct GsHandle {
     /// Total distinct global ids across the world (the all_reduce vector
     /// length).
     pub(crate) total_compact: u64,
+    /// Exchanged global ids (deduplicated, ascending), precomputed at
+    /// setup so opening a verifier exchange epoch costs no allocation.
+    pub(crate) exchanged: Vec<u64>,
+    /// Persistent-plan staging buffers, reused across `gs_op` calls (the
+    /// owned-staging half of gslib's persistent handles).
+    pub(crate) bufs: RefCell<PlanBufs>,
+}
+
+/// Owned staging buffers of a handle's persistent exchange plan. Every
+/// vector here is cleared and refilled in place each `gs_op`, so the
+/// steady state recycles capacity instead of allocating:
+///
+/// * `combined`/`reqs` — stacks of per-operation buffers (stacks rather
+///   than single slots so several split-phase operations may be in
+///   flight on one handle at once);
+/// * `outgoing`/`arrived` — the crystal-router message lists, whose
+///   payload vectors cycle rank-to-rank through the router and back;
+/// * `dense` — the all_reduce method's vector over the compact global id
+///   universe.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PlanBufs {
+    pub combined: Vec<Vec<f64>>,
+    pub reqs: Vec<Vec<RecvRequest>>,
+    pub outgoing: Vec<(usize, Vec<f64>)>,
+    pub arrived: Vec<(usize, Vec<f64>)>,
+    pub dense: Vec<f64>,
 }
 
 /// Summary statistics of a handle's topology, for reporting.
@@ -193,11 +220,20 @@ impl GsHandle {
             .collect();
         neighbors.sort_by_key(|nl| nl.rank);
 
+        let mut exchanged: Vec<u64> = neighbors
+            .iter()
+            .flat_map(|nl| nl.groups.iter().map(|&gi| groups[gi as usize].gid))
+            .collect();
+        exchanged.sort_unstable();
+        exchanged.dedup();
+
         GsHandle {
             nlocal: ids.len(),
             groups,
             neighbors,
             total_compact,
+            exchanged,
+            bufs: RefCell::new(PlanBufs::default()),
         }
     }
 
@@ -269,15 +305,9 @@ impl GsHandle {
     /// Global ids this handle exchanges with neighbor ranks (deduplicated,
     /// ascending) — the shared slots the `cmt-verify` race detector
     /// tracks. Interior ids never cross ranks and are not included.
-    pub(crate) fn exchanged_gids(&self) -> Vec<u64> {
-        let mut gids: Vec<u64> = self
-            .neighbors
-            .iter()
-            .flat_map(|nl| nl.groups.iter().map(|&gi| self.groups[gi as usize].gid))
-            .collect();
-        gids.sort_unstable();
-        gids.dedup();
-        gids
+    /// Precomputed at setup.
+    pub(crate) fn exchanged_gids(&self) -> &[u64] {
+        &self.exchanged
     }
 
     /// Report an application-level read (`write == false`) or write of

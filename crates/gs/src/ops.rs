@@ -3,7 +3,7 @@
 
 use simmpi::{DiscardList, Rank, RecvRequest, Tag};
 
-use crate::handle::GsHandle;
+use crate::handle::{GsHandle, PlanBufs};
 
 /// The combining operator of a gather–scatter (the ops gslib offers).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -244,14 +244,18 @@ impl GsHandle {
         // Open a verifier exchange epoch over the shared slots before
         // any message moves, so every in-window hazard is attributable.
         let verify_epoch = if rank.verifying() {
-            rank.verify_exchange_start(&self.exchanged_gids(), method.context())
+            rank.verify_exchange_start(self.exchanged_gids(), method.context())
         } else {
             None
         };
         // Gather: combined values laid out [group][field] so one group's
-        // k values are contiguous in the exchange payloads.
+        // k values are contiguous in the exchange payloads. The buffer
+        // comes off the handle's persistent-plan stack and goes back on
+        // it in `gs_op_finish`, so the steady state recycles capacity.
         let ng = self.groups.len();
-        let mut combined = vec![0.0f64; ng * k];
+        let mut combined = self.bufs.borrow_mut().combined.pop().unwrap_or_default();
+        combined.clear();
+        combined.resize(ng * k, 0.0);
         for (gi, g) in self.groups.iter().enumerate() {
             for (fi, f) in fields.iter().enumerate() {
                 let mut acc = f[g.local_indices[0] as usize];
@@ -262,34 +266,28 @@ impl GsHandle {
             }
         }
 
-        let reqs = match method {
+        let mut reqs = self.bufs.borrow_mut().reqs.pop().unwrap_or_default();
+        reqs.clear();
+        match method {
             GsMethod::PairwiseExchange => {
                 let tag = SPLIT_TAG_BASE | (rank.next_user_seq() & SPLIT_SEQ_MASK);
                 rank.with_subcontext(GsMethod::PairwiseExchange.context(), |rank| {
-                    let reqs: Vec<RecvRequest> = self
-                        .neighbors
-                        .iter()
-                        .map(|nl| rank.irecv(nl.rank, tag))
-                        .collect();
+                    reqs.extend(self.neighbors.iter().map(|nl| rank.irecv(nl.rank, tag)));
                     for nl in &self.neighbors {
-                        let mut payload = Vec::with_capacity(nl.groups.len() * k);
+                        // Pack the neighbor's plan (its sorted group index
+                        // list) into a pooled payload: the buffer moves
+                        // into the envelope and recycles at the receiver.
+                        let mut payload = rank.pooled_vec::<f64>();
                         for &gi in &nl.groups {
                             payload
                                 .extend_from_slice(&combined[gi as usize * k..gi as usize * k + k]);
                         }
-                        rank.isend_vec(nl.rank, tag, payload);
+                        rank.isend_pooled(nl.rank, tag, payload);
                     }
-                    reqs
                 })
             }
-            GsMethod::CrystalRouter => {
-                self.exchange_crystal(rank, &mut combined, k, op);
-                Vec::new()
-            }
-            GsMethod::AllReduce => {
-                self.exchange_allreduce(rank, &mut combined, k, op);
-                Vec::new()
-            }
+            GsMethod::CrystalRouter => self.exchange_crystal(rank, &mut combined, k, op),
+            GsMethod::AllReduce => self.exchange_allreduce(rank, &mut combined, k, op),
         };
 
         GsPending {
@@ -320,7 +318,7 @@ impl GsHandle {
         // Take the buffers out so the subsequent drop of `pending` sees
         // an empty request list and cancels nothing.
         let mut combined = std::mem::take(&mut pending.combined);
-        let reqs = std::mem::take(&mut pending.reqs);
+        let mut reqs = std::mem::take(&mut pending.reqs);
         let verify_epoch = pending.verify_epoch;
         drop(pending);
         assert_eq!(
@@ -335,8 +333,10 @@ impl GsHandle {
 
         if method == GsMethod::PairwiseExchange {
             rank.with_subcontext(GsMethod::PairwiseExchange.context(), |rank| {
-                for (nl, req) in self.neighbors.iter().zip(reqs) {
-                    let got: Vec<f64> = rank.wait_recv(req);
+                for (nl, &req) in self.neighbors.iter().zip(reqs.iter()) {
+                    // The pooled receive adopts the sender's buffer; its
+                    // guard parks it in this rank's pool when dropped.
+                    let got = rank.wait_recv_pooled::<f64>(req);
                     debug_assert_eq!(got.len(), nl.groups.len() * k);
                     for (slot, &gi) in nl.groups.iter().enumerate() {
                         for fi in 0..k {
@@ -359,6 +359,11 @@ impl GsHandle {
         }
         // The exchange's effects are fully landed: close the epoch.
         rank.verify_exchange_finish(verify_epoch);
+        // Return the operation's staging buffers to the persistent plan.
+        reqs.clear();
+        let mut bufs = self.bufs.borrow_mut();
+        bufs.combined.push(combined);
+        bufs.reqs.push(reqs);
     }
 
     /// Crystal-router exchange: the per-neighbor payloads, bundled
@@ -366,24 +371,31 @@ impl GsHandle {
     /// with a no-op communication `finish`.
     fn exchange_crystal(&self, rank: &mut Rank, combined: &mut [f64], k: usize, op: GsOp) {
         rank.with_subcontext(GsMethod::CrystalRouter.context(), |rank| {
-            let outgoing: Vec<(usize, Vec<f64>)> = self
-                .neighbors
-                .iter()
-                .map(|nl| {
-                    let mut payload = Vec::with_capacity(nl.groups.len() * k);
-                    for &gi in &nl.groups {
-                        payload.extend_from_slice(&combined[gi as usize * k..gi as usize * k + k]);
-                    }
-                    (nl.rank, payload)
-                })
-                .collect();
-            let arrived = rank.crystal_router(outgoing);
+            let mut bufs = self.bufs.borrow_mut();
+            let PlanBufs {
+                outgoing, arrived, ..
+            } = &mut *bufs;
+            // Repack into the outgoing list, recycling the payload
+            // vectors that arrived on the *previous* call (the neighbor
+            // relation is symmetric, so counts and sizes balance and the
+            // steady state allocates nothing).
+            debug_assert!(outgoing.is_empty());
+            for nl in &self.neighbors {
+                let mut payload = arrived.pop().map(|(_, v)| v).unwrap_or_default();
+                payload.clear();
+                for &gi in &nl.groups {
+                    payload.extend_from_slice(&combined[gi as usize * k..gi as usize * k + k]);
+                }
+                outgoing.push((nl.rank, payload));
+            }
+            arrived.clear();
+            rank.crystal_router_into(outgoing, arrived);
             debug_assert_eq!(arrived.len(), self.neighbors.len());
-            for (src, payload) in arrived {
+            for (src, payload) in arrived.iter() {
                 let nl = self
                     .neighbors
                     .iter()
-                    .find(|nl| nl.rank == src)
+                    .find(|nl| nl.rank == *src)
                     .expect("crystal router delivered from a non-neighbor");
                 debug_assert_eq!(payload.len(), nl.groups.len() * k);
                 for (slot, &gi) in nl.groups.iter().enumerate() {
@@ -393,6 +405,7 @@ impl GsHandle {
                     }
                 }
             }
+            // `arrived` keeps its payload vectors for the next repack.
         });
     }
 
@@ -405,15 +418,20 @@ impl GsHandle {
     fn exchange_allreduce(&self, rank: &mut Rank, combined: &mut [f64], k: usize, op: GsOp) {
         rank.with_subcontext(GsMethod::AllReduce.context(), |rank| {
             let total = self.total_compact as usize;
-            let mut dense = vec![op.identity(); total * k];
+            // The dense vector is part of the persistent plan: cleared
+            // and refilled in place, reduced in place, never reallocated.
+            let mut bufs = self.bufs.borrow_mut();
+            let dense = &mut bufs.dense;
+            dense.clear();
+            dense.resize(total * k, op.identity());
             for (gi, g) in self.groups.iter().enumerate() {
                 let base = g.compact as usize * k;
                 dense[base..base + k].copy_from_slice(&combined[gi * k..gi * k + k]);
             }
-            let reduced = rank.allreduce_with(&dense, |a, b| *a = op.combine(*a, *b));
+            rank.allreduce_in_place(dense, |a, b| *a = op.combine(*a, *b));
             for (gi, g) in self.groups.iter().enumerate() {
                 let base = g.compact as usize * k;
-                combined[gi * k..gi * k + k].copy_from_slice(&reduced[base..base + k]);
+                combined[gi * k..gi * k + k].copy_from_slice(&dense[base..base + k]);
             }
         });
     }

@@ -17,13 +17,14 @@ fn usage() -> ! {
          \x20              [--method pairwise|crystal|allreduce] [--quiet]\n\
          \x20              [--checkpoint-every K] [--checkpoint-dir PATH]\n\
          \x20              [--restart PATH] [--fault-plan SPEC]\n\
-         \x20              [--verify] [--chaos-sched SEED]\n\
+         \x20              [--verify] [--chaos-sched SEED] [--no-pool]\n\
          \n\
          fault plan SPEC: semicolon-separated events, e.g.\n\
          \x20 'delay:prob=0.1,us=200;drop:prob=0.05;kill:rank=2,step=5;seed=7'\n\
          --verify runs the cmt-verify dynamic checker (deadlock, collective\n\
          matching, message leaks, races); exit status 1 on findings.\n\
-         --chaos-sched overlays seeded message delays to perturb the schedule."
+         --chaos-sched overlays seeded message delays to perturb the schedule.\n\
+         --no-pool disables message-buffer recycling (allocate per message)."
     );
     std::process::exit(2);
 }
@@ -80,6 +81,7 @@ fn main() {
                 }
             }
             "--verify" => cfg.verify = true,
+            "--no-pool" => cfg.pool = false,
             "--chaos-sched" => {
                 cfg.chaos_sched = args.next().and_then(|s| s.parse().ok()).or_else(|| usage())
             }

@@ -60,6 +60,9 @@ pub struct Config {
     /// Seeded schedule perturbation: overlay random message delays to
     /// explore alternative interleavings (composes with `fault_plan`).
     pub chaos_sched: Option<u64>,
+    /// Recycle message payload buffers through the per-rank
+    /// [`simmpi::BufferPool`]; `false` (`--no-pool`) allocates per message.
+    pub pool: bool,
 }
 
 impl Default for Config {
@@ -82,6 +85,7 @@ impl Default for Config {
             fault_plan: None,
             verify: false,
             chaos_sched: None,
+            pool: true,
         }
     }
 }
@@ -306,6 +310,7 @@ pub fn run(cfg: &Config) -> NekboneReport {
         Some(net) => World::with_network(net),
         None => World::new(),
     };
+    world = world.with_pooling(cfg.pool);
     if let Some(plan) = &cfg.fault_plan {
         world = world.with_fault_plan(plan.clone());
     }

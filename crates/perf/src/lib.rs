@@ -13,6 +13,9 @@
 //!   Figs. 5-6. The model's parameters are calibrated so the basic-vs-
 //!   optimized ratios match the paper's measurements on the AMD Opteron
 //!   6378 (dudt ~2.3x, dudr ~1.0x, duds ~1x).
+//! * [`alloc`] — thread-local heap-allocation counters (feature-gated
+//!   counting global allocator) that the profiler attributes to regions,
+//!   turning "zero allocations at steady state" into an asserted fact.
 //! * [`mpip`] — mpiP-style aggregation of [`simmpi::CommStats`] across
 //!   ranks: per-rank MPI time fractions (Fig. 8), the most expensive call
 //!   sites (Fig. 9), and per-call-site message volumes (Fig. 10), with
@@ -20,6 +23,7 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod mpip;
 pub mod papi;
 pub mod profiler;

@@ -10,9 +10,17 @@
 //! Regions nest: `enter("step")`, `enter("deriv")`, `exit()`, `exit()`.
 //! Self time of a region excludes time spent in its instrumented
 //! children; inclusive time includes it.
+//!
+//! When the crate is built with the `count-alloc` feature, every region
+//! also accumulates heap-allocation counts and bytes (from
+//! [`crate::alloc::thread_counts`]), attributed to regions exactly like
+//! wall time: a region's *self* allocations exclude those made inside
+//! instrumented children. Without the feature the counters stay zero.
 
 use std::collections::HashMap;
 use std::time::Instant;
+
+use crate::alloc::thread_counts;
 
 /// Accumulated statistics of one region name.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -23,6 +31,14 @@ pub struct RegionStats {
     pub inclusive_s: f64,
     /// Time spent in instrumented child regions, seconds.
     pub child_s: f64,
+    /// Inclusive heap allocations (needs the `count-alloc` feature).
+    pub allocs: u64,
+    /// Heap allocations made in instrumented child regions.
+    pub child_allocs: u64,
+    /// Inclusive heap bytes allocated (needs the `count-alloc` feature).
+    pub alloc_bytes: u64,
+    /// Heap bytes allocated in instrumented child regions.
+    pub child_alloc_bytes: u64,
 }
 
 impl RegionStats {
@@ -30,21 +46,45 @@ impl RegionStats {
     pub fn self_s(&self) -> f64 {
         (self.inclusive_s - self.child_s).max(0.0)
     }
+
+    /// Self (exclusive) heap allocations.
+    pub fn self_allocs(&self) -> u64 {
+        self.allocs.saturating_sub(self.child_allocs)
+    }
+
+    /// Self (exclusive) heap bytes allocated.
+    pub fn self_alloc_bytes(&self) -> u64 {
+        self.alloc_bytes.saturating_sub(self.child_alloc_bytes)
+    }
 }
 
 struct Frame {
     name: String,
     start: Instant,
     child_s: f64,
+    alloc_start: u64,
+    bytes_start: u64,
+    child_allocs: u64,
+    child_bytes: u64,
 }
 
 /// The profiler. Not thread-safe by design: each rank owns one (gprof is
 /// per-process too); cross-rank aggregation happens at reporting time.
+///
+/// The hot path is allocation-free at steady state, so the profiler's own
+/// bookkeeping never pollutes the per-region allocation counters: frame
+/// names recycle through a spare-string pool, and the region/edge maps
+/// use borrowed-`&str` lookups, cloning keys only the first time a name
+/// appears (the same idiom as `simmpi`'s `CommRecorder`).
 #[derive(Default)]
 pub struct Profiler {
     regions: HashMap<String, RegionStats>,
-    edges: HashMap<(String, String), (u64, f64)>, // (calls, inclusive_s)
+    /// parent -> child -> (calls, inclusive_s), two-level so the steady
+    /// state needs no owned key to look an edge up.
+    edges: HashMap<String, HashMap<String, (u64, f64)>>,
     stack: Vec<Frame>,
+    /// Retired frame-name strings, reused by the next `enter`.
+    spares: Vec<String>,
 }
 
 impl Profiler {
@@ -55,10 +95,22 @@ impl Profiler {
 
     /// Enter a region.
     pub fn enter(&mut self, name: &str) {
+        // Build the owned name from a recycled spare and pre-reserve the
+        // stack before snapshotting the counters: after a few calls every
+        // piece has its capacity and the enter itself allocates nothing.
+        let mut owned = self.spares.pop().unwrap_or_default();
+        owned.clear();
+        owned.push_str(name);
+        self.stack.reserve(1);
+        let (alloc_start, bytes_start) = thread_counts();
         self.stack.push(Frame {
-            name: name.to_owned(),
+            name: owned,
             start: Instant::now(),
             child_s: 0.0,
+            alloc_start,
+            bytes_start,
+            child_allocs: 0,
+            child_bytes: 0,
         });
     }
 
@@ -67,21 +119,41 @@ impl Profiler {
     /// # Panics
     /// Panics if no region is open.
     pub fn exit(&mut self) {
+        // Snapshot first: anything the bookkeeping below might allocate
+        // (first-appearance key clones) must not be charged to the region.
+        let (alloc_now, bytes_now) = thread_counts();
         let frame = self.stack.pop().expect("Profiler::exit without enter");
         let elapsed = frame.start.elapsed().as_secs_f64();
-        let stats = self.regions.entry(frame.name.clone()).or_default();
+        let allocs = alloc_now - frame.alloc_start;
+        let bytes = bytes_now - frame.bytes_start;
+        if !self.regions.contains_key(frame.name.as_str()) {
+            self.regions
+                .insert(frame.name.clone(), RegionStats::default());
+        }
+        let stats = self.regions.get_mut(frame.name.as_str()).expect("present");
         stats.calls += 1;
         stats.inclusive_s += elapsed;
         stats.child_s += frame.child_s;
+        stats.allocs += allocs;
+        stats.child_allocs += frame.child_allocs;
+        stats.alloc_bytes += bytes;
+        stats.child_alloc_bytes += frame.child_bytes;
         if let Some(parent) = self.stack.last_mut() {
             parent.child_s += elapsed;
-            let edge = self
-                .edges
-                .entry((parent.name.clone(), frame.name))
-                .or_insert((0, 0.0));
+            parent.child_allocs += allocs;
+            parent.child_bytes += bytes;
+            if !self.edges.contains_key(parent.name.as_str()) {
+                self.edges.insert(parent.name.clone(), HashMap::new());
+            }
+            let by_child = self.edges.get_mut(parent.name.as_str()).expect("present");
+            if !by_child.contains_key(frame.name.as_str()) {
+                by_child.insert(frame.name.clone(), (0, 0.0));
+            }
+            let edge = by_child.get_mut(frame.name.as_str()).expect("present");
             edge.0 += 1;
             edge.1 += elapsed;
         }
+        self.spares.push(frame.name);
     }
 
     /// Run `f` inside a region (convenience wrapper around enter/exit).
@@ -116,7 +188,11 @@ impl Profiler {
         let mut edges: Vec<(String, String, u64, f64)> = self
             .edges
             .iter()
-            .map(|((p, c), &(n, t))| (p.clone(), c.clone(), n, t))
+            .flat_map(|(p, by_child)| {
+                by_child
+                    .iter()
+                    .map(move |(c, &(n, t))| (p.clone(), c.clone(), n, t))
+            })
             .collect();
         edges.sort_by(|a, b| b.3.total_cmp(&a.3));
         ProfileReport { flat, edges }
@@ -131,11 +207,18 @@ impl Profiler {
             mine.calls += st.calls;
             mine.inclusive_s += st.inclusive_s;
             mine.child_s += st.child_s;
+            mine.allocs += st.allocs;
+            mine.child_allocs += st.child_allocs;
+            mine.alloc_bytes += st.alloc_bytes;
+            mine.child_alloc_bytes += st.child_alloc_bytes;
         }
-        for (edge, &(n, t)) in &other.edges {
-            let mine = self.edges.entry(edge.clone()).or_insert((0, 0.0));
-            mine.0 += n;
-            mine.1 += t;
+        for (parent, by_child) in &other.edges {
+            let mine = self.edges.entry(parent.clone()).or_default();
+            for (child, &(n, t)) in by_child {
+                let e = mine.entry(child.clone()).or_insert((0, 0.0));
+                e.0 += n;
+                e.1 += t;
+            }
         }
     }
 }
@@ -169,18 +252,37 @@ impl ProfileReport {
             .unwrap_or(0.0)
     }
 
-    /// Render a gprof-like flat profile.
+    /// Render a gprof-like flat profile. When any region saw heap
+    /// allocations (the `count-alloc` build), two extra columns report
+    /// self allocations and self bytes per region.
     pub fn render_flat(&self) -> String {
         let total = self.total_self_s().max(1e-300);
-        let mut out = String::from("  %time     self(s)    calls  name\n");
+        let with_allocs = self.flat.iter().any(|(_, s)| s.allocs > 0);
+        let mut out = if with_allocs {
+            String::from("  %time     self(s)    calls      allocs       bytes  name\n")
+        } else {
+            String::from("  %time     self(s)    calls  name\n")
+        };
         for (name, s) in &self.flat {
-            out.push_str(&format!(
-                "{:7.2} {:11.4} {:8}  {}\n",
-                100.0 * s.self_s() / total,
-                s.self_s(),
-                s.calls,
-                name
-            ));
+            if with_allocs {
+                out.push_str(&format!(
+                    "{:7.2} {:11.4} {:8} {:11} {:11}  {}\n",
+                    100.0 * s.self_s() / total,
+                    s.self_s(),
+                    s.calls,
+                    s.self_allocs(),
+                    s.self_alloc_bytes(),
+                    name
+                ));
+            } else {
+                out.push_str(&format!(
+                    "{:7.2} {:11.4} {:8}  {}\n",
+                    100.0 * s.self_s() / total,
+                    s.self_s(),
+                    s.calls,
+                    name
+                ));
+            }
         }
         out
     }
@@ -304,5 +406,49 @@ mod tests {
     fn exit_without_enter_panics() {
         let mut p = Profiler::new();
         p.exit();
+    }
+
+    #[test]
+    fn self_allocs_subtract_children() {
+        let s = RegionStats {
+            calls: 1,
+            allocs: 10,
+            child_allocs: 7,
+            alloc_bytes: 4096,
+            child_alloc_bytes: 1024,
+            ..Default::default()
+        };
+        assert_eq!(s.self_allocs(), 3);
+        assert_eq!(s.self_alloc_bytes(), 3072);
+    }
+
+    #[cfg(feature = "count-alloc")]
+    #[test]
+    fn allocations_attributed_to_regions() {
+        let mut p = Profiler::new();
+        p.enter("outer");
+        let a: Vec<u8> = Vec::with_capacity(100);
+        p.enter("inner");
+        let b: Vec<u8> = Vec::with_capacity(5000);
+        p.exit();
+        p.exit();
+        p.scope("quiet", || {});
+        drop((a, b));
+        let r = p.report();
+        let find = |n: &str| r.flat.iter().find(|(m, _)| m == n).unwrap().1.clone();
+        let outer = find("outer");
+        let inner = find("inner");
+        let quiet = find("quiet");
+        assert!(inner.self_allocs() >= 1);
+        assert!(inner.self_alloc_bytes() >= 5000);
+        assert!(outer.self_allocs() >= 1);
+        assert!(
+            outer.self_alloc_bytes() < 5000,
+            "inner's 5000-byte vec must not count as outer self ({})",
+            outer.self_alloc_bytes()
+        );
+        assert!(outer.allocs >= inner.allocs, "inclusive includes children");
+        assert_eq!(quiet.allocs, 0, "an allocation-free region reports 0");
+        assert!(r.render_flat().contains("allocs"));
     }
 }

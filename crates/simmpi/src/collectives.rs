@@ -11,9 +11,10 @@
 //! * uses a fixed reduction/broadcast tree, so results are bitwise
 //!   deterministic across runs for any rank count.
 
+use std::sync::Arc;
 use std::time::Instant;
 
-use crate::envelope::Msg;
+use crate::envelope::{Msg, INLINE_ELEMS};
 use crate::rank::Rank;
 use crate::stats::MpiOp;
 use crate::verify::CollKind;
@@ -32,8 +33,8 @@ impl Rank {
         while k < p {
             let to = (self.rank() + k) % p;
             let from = (self.rank() + p - k) % p;
-            bytes += self.send_internal::<u8>(to, Rank::coll_tag(seq, round), vec![1]);
-            let _ = self.recv_internal::<u8>(from, Rank::coll_tag(seq, round));
+            bytes += self.send_internal_slice::<u8>(to, Rank::coll_tag(seq, round), &[1]);
+            let _ = self.recv_internal_pooled::<u8>(from, Rank::coll_tag(seq, round));
             k <<= 1;
             round += 1;
         }
@@ -89,17 +90,51 @@ impl Rank {
         } else {
             vrank & vrank.wrapping_neg()
         };
-        let mut k = my_lsb >> 1;
-        let mut nmsgs = 0u64;
-        while k >= 1 {
-            let child_v = vrank + k;
-            if child_v < p {
-                let child = (child_v + root) % p;
-                let round = k.trailing_zeros() as u64;
-                bytes += self.send_internal(child, Rank::coll_tag(seq, round), buf.clone());
-                nmsgs += 1;
+        let mut nchildren = 0u64;
+        {
+            let mut k = my_lsb >> 1;
+            while k >= 1 {
+                if vrank + k < p {
+                    nchildren += 1;
+                }
+                k >>= 1;
             }
-            k >>= 1;
+        }
+        let mut nmsgs = 0u64;
+        if nchildren > 0 && buf.len() > INLINE_ELEMS {
+            // Share one Arc-backed payload across the whole fan-out: the
+            // sends are reference bumps, and whichever consumer opens the
+            // envelope last (or this rank, reclaiming below) moves the
+            // buffer instead of cloning it.
+            let shared = Arc::new(buf);
+            let mut k = my_lsb >> 1;
+            while k >= 1 {
+                let child_v = vrank + k;
+                if child_v < p {
+                    let child = (child_v + root) % p;
+                    let round = k.trailing_zeros() as u64;
+                    bytes += self.send_internal_shared(
+                        child,
+                        Rank::coll_tag(seq, round),
+                        Arc::clone(&shared),
+                    );
+                    nmsgs += 1;
+                }
+                k >>= 1;
+            }
+            buf = Arc::try_unwrap(shared).unwrap_or_else(|a| (*a).clone());
+        } else {
+            let mut k = my_lsb >> 1;
+            while k >= 1 {
+                let child_v = vrank + k;
+                if child_v < p {
+                    let child = (child_v + root) % p;
+                    let round = k.trailing_zeros() as u64;
+                    bytes += self.send_internal_slice(child, Rank::coll_tag(seq, round), &buf);
+                    nmsgs += 1;
+                }
+                k >>= 1;
+            }
         }
         let per_msg = (buf.len() * std::mem::size_of::<T>()) as u64;
         let modeled = (0..nmsgs).map(|_| self.model_message(per_msg)).sum();
@@ -157,14 +192,15 @@ impl Rank {
                     let src_v = vrank + mask;
                     if src_v < p {
                         let src = (src_v + root) % p;
-                        let (other, b) = self.recv_internal::<T>(src, Rank::coll_tag(seq, round));
+                        let (other, b) =
+                            self.recv_internal_pooled::<T>(src, Rank::coll_tag(seq, round));
                         bytes += b;
                         assert_eq!(
                             other.len(),
                             acc.len(),
                             "reduce length mismatch across ranks"
                         );
-                        for (a, o) in acc.iter_mut().zip(&other) {
+                        for (a, o) in acc.iter_mut().zip(other.iter()) {
                             combine(a, o);
                         }
                     }
@@ -223,10 +259,10 @@ impl Rank {
                     retired = true;
                 } else if rank + mask < p {
                     let (other, b) =
-                        self.recv_internal::<T>(rank + mask, Rank::coll_tag(seq, round));
+                        self.recv_internal_pooled::<T>(rank + mask, Rank::coll_tag(seq, round));
                     bytes += b;
                     assert_eq!(other.len(), acc.len(), "allreduce length mismatch");
-                    for (a, o) in acc.iter_mut().zip(&other) {
+                    for (a, o) in acc.iter_mut().zip(other.iter()) {
                         combine(a, o);
                     }
                 }
@@ -247,25 +283,54 @@ impl Rank {
             let lsb = rank & rank.wrapping_neg();
             let parent = rank - lsb;
             let round = 32 + lsb.trailing_zeros() as u64;
-            let (got, b) = self.recv_internal::<T>(parent, Rank::coll_tag(seq, round));
+            let (got, b) = self.recv_internal_pooled::<T>(parent, Rank::coll_tag(seq, round));
             bytes += b;
-            acc = got;
+            // acc was moved away by the retiring send; refill it from the
+            // pooled receive (the pooled buffer itself stays recyclable).
+            acc.clear();
+            acc.extend_from_slice(&got);
         }
         let my_lsb = if rank == 0 {
             usize::MAX
         } else {
             rank & rank.wrapping_neg()
         };
-        while k >= 1 {
-            if k < my_lsb || rank == 0 {
-                let child = rank + k;
-                if child < p && (rank == 0 || k < my_lsb) {
+        let mut nchildren = 0u64;
+        {
+            let mut kk = k;
+            while kk >= 1 {
+                if (rank == 0 || kk < my_lsb) && rank + kk < p {
+                    nchildren += 1;
+                }
+                kk >>= 1;
+            }
+        }
+        if nchildren > 0 && acc.len() > INLINE_ELEMS {
+            // Arc-shared fan-out: N children cost zero clones; the last
+            // opener (or this rank, reclaiming below) moves the buffer.
+            let shared = Arc::new(acc);
+            while k >= 1 {
+                if (rank == 0 || k < my_lsb) && rank + k < p {
                     let round = 32 + k.trailing_zeros() as u64;
-                    bytes += self.send_internal(child, Rank::coll_tag(seq, round), acc.clone());
+                    bytes += self.send_internal_shared(
+                        rank + k,
+                        Rank::coll_tag(seq, round),
+                        Arc::clone(&shared),
+                    );
                     nmsgs += 1;
                 }
+                k >>= 1;
             }
-            k >>= 1;
+            acc = Arc::try_unwrap(shared).unwrap_or_else(|a| (*a).clone());
+        } else {
+            while k >= 1 {
+                if (rank == 0 || k < my_lsb) && rank + k < p {
+                    let round = 32 + k.trailing_zeros() as u64;
+                    bytes += self.send_internal_slice(rank + k, Rank::coll_tag(seq, round), &acc);
+                    nmsgs += 1;
+                }
+                k >>= 1;
+            }
         }
         let per_msg = (data.len() * std::mem::size_of::<T>()) as u64;
         let modeled = (0..nmsgs).map(|_| self.model_message(per_msg)).sum();
@@ -274,6 +339,86 @@ impl Rank {
             .record(MpiOp::Allreduce, &ctx, start.elapsed(), bytes, modeled);
         self.context = ctx;
         acc
+    }
+
+    /// Elementwise allreduce performed *in place* on `acc`: the
+    /// allocation-free variant for steady-state use (the gather–scatter
+    /// dense method and scalar dot products). Identical algorithm, tree,
+    /// and verifier fingerprint as [`Rank::allreduce_with`]; payloads move
+    /// inline (small) or through pooled buffers (large), so a warm rank
+    /// performs no heap allocation here.
+    pub fn allreduce_in_place<T: Msg>(&mut self, acc: &mut [T], combine: impl Fn(&mut T, &T)) {
+        let start = Instant::now();
+        let seq = self.next_coll_seq();
+        self.verify_collective(
+            seq,
+            CollKind::Allreduce,
+            None,
+            std::any::type_name::<T>(),
+            Some(acc.len()),
+        );
+        let p = self.size();
+        let rank = self.rank();
+        let mut bytes = 0u64;
+        let mut nmsgs = 0u64;
+        // reduce to 0 (same binomial schedule as allreduce_with)
+        let mut mask = 1usize;
+        let mut retired = false;
+        let mut round = 0u64;
+        while mask < p {
+            if !retired {
+                if rank & mask != 0 {
+                    bytes += self.send_internal_slice(rank - mask, Rank::coll_tag(seq, round), acc);
+                    nmsgs += 1;
+                    retired = true;
+                } else if rank + mask < p {
+                    let (other, b) =
+                        self.recv_internal_pooled::<T>(rank + mask, Rank::coll_tag(seq, round));
+                    bytes += b;
+                    assert_eq!(other.len(), acc.len(), "allreduce length mismatch");
+                    for (a, o) in acc.iter_mut().zip(other.iter()) {
+                        combine(a, o);
+                    }
+                }
+            }
+            mask <<= 1;
+            round += 1;
+        }
+        // broadcast from 0, rounds offset by 32
+        if rank != 0 {
+            let lsb = rank & rank.wrapping_neg();
+            let parent = rank - lsb;
+            let round = 32 + lsb.trailing_zeros() as u64;
+            let (got, b) = self.recv_internal_pooled::<T>(parent, Rank::coll_tag(seq, round));
+            bytes += b;
+            acc.clone_from_slice(&got);
+        }
+        let my_lsb = if rank == 0 {
+            usize::MAX
+        } else {
+            rank & rank.wrapping_neg()
+        };
+        let mut k = {
+            let mut m = 1usize;
+            while m < p {
+                m <<= 1;
+            }
+            m >> 1
+        };
+        while k >= 1 {
+            if (rank == 0 || k < my_lsb) && rank + k < p {
+                let round = 32 + k.trailing_zeros() as u64;
+                bytes += self.send_internal_slice(rank + k, Rank::coll_tag(seq, round), acc);
+                nmsgs += 1;
+            }
+            k >>= 1;
+        }
+        let per_msg = (acc.len() * std::mem::size_of::<T>()) as u64;
+        let modeled = (0..nmsgs).map(|_| self.model_message(per_msg)).sum();
+        let ctx = std::mem::take(&mut self.context);
+        self.recorder
+            .record(MpiOp::Allreduce, &ctx, start.elapsed(), bytes, modeled);
+        self.context = ctx;
     }
 
     /// Elementwise `f64` allreduce with a named operator.
@@ -286,9 +431,12 @@ impl Rank {
         self.allreduce_with(data, |a, b| *a = op.apply_u64(*a, *b))
     }
 
-    /// Scalar sum-allreduce convenience (the CG dot-product workhorse).
+    /// Scalar allreduce convenience (the CG dot-product workhorse).
+    /// Runs in place on a stack cell — allocation-free.
     pub fn allreduce_scalar(&mut self, v: f64, op: ReduceOp) -> f64 {
-        self.allreduce_f64(&[v], op)[0]
+        let mut a = [v];
+        self.allreduce_in_place(&mut a, |x, y| *x = op.apply_f64(*x, *y));
+        a[0]
     }
 
     /// Exclusive prefix sum of a `u64` across ranks: rank `r` receives
@@ -310,11 +458,13 @@ impl Rank {
         let mut round = 0u64;
         while k < p {
             if rank + k < p {
-                bytes += self.send_internal(rank + k, Rank::coll_tag(seq, round), vec![inclusive]);
+                bytes +=
+                    self.send_internal_slice(rank + k, Rank::coll_tag(seq, round), &[inclusive]);
                 nmsgs += 1;
             }
             if rank >= k {
-                let (got, b) = self.recv_internal::<u64>(rank - k, Rank::coll_tag(seq, round));
+                let (got, b) =
+                    self.recv_internal_pooled::<u64>(rank - k, Rank::coll_tag(seq, round));
                 bytes += b;
                 inclusive += got[0];
             }

@@ -12,6 +12,12 @@
 //! the ranks above the largest power of two `m <= P` first fold their
 //! traffic into their `r - m` partner, the hypercube runs on `m` ranks,
 //! and a final unfold step delivers messages destined to the folded ranks.
+//!
+//! The staging vectors (the held set and each stage's outbound bundle)
+//! cycle through the rank's [`crate::BufferPool`], and
+//! [`Rank::crystal_router_into`] lets callers keep the outgoing/arrived
+//! vectors across calls, so a warm steady-state routing step performs no
+//! heap allocation.
 
 use std::time::Instant;
 
@@ -43,15 +49,32 @@ fn bundle_bytes<T>(msgs: &[RoutedMsg<T>]) -> u64 {
 impl Rank {
     /// Route every `(dest, payload)` in `outgoing` to its destination via
     /// the crystal-router algorithm; returns all messages that arrived at
-    /// this rank as `(src, payload)` pairs, sorted by source rank (ties by
-    /// arrival order) for determinism.
+    /// this rank as `(src, payload)` pairs, sorted by source rank for
+    /// determinism.
     pub fn crystal_router<T: Msg>(
         &mut self,
-        outgoing: Vec<(usize, Vec<T>)>,
+        mut outgoing: Vec<(usize, Vec<T>)>,
     ) -> Vec<(usize, Vec<T>)> {
+        let mut arrived = Vec::new();
+        self.crystal_router_into(&mut outgoing, &mut arrived);
+        arrived
+    }
+
+    /// [`Rank::crystal_router`] with caller-owned staging: drains
+    /// `outgoing`, clears `arrived`, and fills it with the `(src,
+    /// payload)` pairs delivered to this rank, sorted by source rank (the
+    /// sort is deterministic, but the relative order of two messages from
+    /// the *same* source is unspecified). Reusing both vectors across
+    /// calls — together with the pooled internal staging — makes the
+    /// steady-state routing step allocation-free.
+    pub fn crystal_router_into<T: Msg>(
+        &mut self,
+        outgoing: &mut Vec<(usize, Vec<T>)>,
+        arrived: &mut Vec<(usize, Vec<T>)>,
+    ) {
         let p = self.size();
         let rank = self.rank();
-        for (dest, _) in &outgoing {
+        for (dest, _) in outgoing.iter() {
             assert!(*dest < p, "crystal router destination {dest} out of range");
         }
         let start = Instant::now();
@@ -65,14 +88,14 @@ impl Rank {
             std::any::type_name::<T>(),
             None,
         );
-        let mut held: Vec<RoutedMsg<T>> = outgoing
-            .into_iter()
-            .map(|(dest, data)| RoutedMsg {
+        let mut held = self.pool.take::<RoutedMsg<T>>();
+        for (dest, data) in outgoing.drain(..) {
+            held.push(RoutedMsg {
                 src: rank,
                 dest,
                 data,
-            })
-            .collect();
+            });
+        }
         let mut bytes = 0u64;
         let mut modeled = 0.0f64;
 
@@ -85,39 +108,51 @@ impl Rank {
         let dims = m.trailing_zeros() as u64;
         // Map a destination into the folded hypercube.
         let fold = |d: usize| if d >= m { d - m } else { d };
+        // Placeholder a message is swapped with when it moves to an
+        // outbound bundle (no heap behind it).
+        let hollow = || RoutedMsg {
+            src: 0,
+            dest: 0,
+            data: Vec::new(),
+        };
 
         // Phase A (fold): excess ranks hand everything to rank - m.
         if rank >= m {
             let sent = bundle_bytes(&held);
-            self.send_internal(
-                rank - m,
-                Rank::coll_tag(seq, 100),
-                std::mem::take(&mut held),
-            );
+            let boxed = held.detach();
+            self.send_internal_box(rank - m, Rank::coll_tag(seq, 100), boxed);
+            held = self.pool.take();
             bytes += sent;
             modeled += self.model_message(sent);
         } else if rank + m < p {
             let (mut got, _) =
-                self.recv_internal::<RoutedMsg<T>>(rank + m, Rank::coll_tag(seq, 100));
+                self.recv_internal_pooled::<RoutedMsg<T>>(rank + m, Rank::coll_tag(seq, 100));
             bytes += bundle_bytes(&got);
             held.append(&mut got);
         }
 
-        // Hypercube phase among ranks < m: log2(m) stages.
+        // Hypercube phase among ranks < m: log2(m) stages. Each stage's
+        // outbound bundle comes from the pool, travels boxed, and parks in
+        // the partner's pool; the partner's bundle arrives the same way.
         if rank < m {
             for d in 0..dims {
                 let bit = 1usize << d;
                 let partner = rank ^ bit;
-                let (mine, theirs): (Vec<_>, Vec<_>) = held
-                    .into_iter()
-                    .partition(|msg| (fold(msg.dest) & bit) == (rank & bit));
-                held = mine;
+                let mut theirs = self.pool.take::<RoutedMsg<T>>();
+                held.retain_mut(|msg| {
+                    if (fold(msg.dest) & bit) == (rank & bit) {
+                        true
+                    } else {
+                        theirs.push(std::mem::replace(msg, hollow()));
+                        false
+                    }
+                });
                 let sent = bundle_bytes(&theirs);
-                self.send_internal(partner, Rank::coll_tag(seq, d), theirs);
+                self.send_internal_box(partner, Rank::coll_tag(seq, d), theirs.detach());
                 bytes += sent;
                 modeled += self.model_message(sent);
                 let (mut got, _) =
-                    self.recv_internal::<RoutedMsg<T>>(partner, Rank::coll_tag(seq, d));
+                    self.recv_internal_pooled::<RoutedMsg<T>>(partner, Rank::coll_tag(seq, d));
                 bytes += bundle_bytes(&got);
                 held.append(&mut got);
             }
@@ -125,26 +160,35 @@ impl Rank {
 
         // Phase C (unfold): deliver messages destined to folded ranks.
         if rank < m && rank + m < p {
-            let (mine, theirs): (Vec<_>, Vec<_>) =
-                held.into_iter().partition(|msg| msg.dest == rank);
-            held = mine;
+            let mut theirs = self.pool.take::<RoutedMsg<T>>();
+            held.retain_mut(|msg| {
+                if msg.dest == rank {
+                    true
+                } else {
+                    theirs.push(std::mem::replace(msg, hollow()));
+                    false
+                }
+            });
             let sent = bundle_bytes(&theirs);
-            self.send_internal(rank + m, Rank::coll_tag(seq, 101), theirs);
+            self.send_internal_box(rank + m, Rank::coll_tag(seq, 101), theirs.detach());
             bytes += sent;
             modeled += self.model_message(sent);
         } else if rank >= m {
-            let (got, _) = self.recv_internal::<RoutedMsg<T>>(rank - m, Rank::coll_tag(seq, 101));
+            let (mut got, _) =
+                self.recv_internal_pooled::<RoutedMsg<T>>(rank - m, Rank::coll_tag(seq, 101));
             bytes += bundle_bytes(&got);
-            held = got;
+            held.append(&mut got);
         }
 
         debug_assert!(held.iter().all(|msg| msg.dest == rank));
-        held.sort_by_key(|msg| msg.src);
-        let out: Vec<(usize, Vec<T>)> = held.into_iter().map(|msg| (msg.src, msg.data)).collect();
+        held.sort_unstable_by_key(|msg| msg.src);
+        arrived.clear();
+        for msg in held.drain(..) {
+            arrived.push((msg.src, msg.data));
+        }
         let ctx = std::mem::take(&mut self.context);
         self.recorder
             .record(MpiOp::CrystalRouter, &ctx, start.elapsed(), bytes, modeled);
         self.context = ctx;
-        out
     }
 }

@@ -1,20 +1,53 @@
 //! Typed message envelopes.
 //!
-//! Messages travel between ranks as type-erased `Box<dyn Any + Send>`
-//! payloads carrying a `Vec<T>`; no serialization happens (the ranks share
-//! an address space), but each envelope records the byte size the payload
-//! *would* occupy on a wire, which is what the mpiP-style statistics and
-//! the network model consume.
+//! Messages travel between ranks as type-erased payloads carrying a
+//! `Vec<T>`; no serialization happens (the ranks share an address space),
+//! but each envelope records the byte size the payload *would* occupy on
+//! a wire, which is what the mpiP-style statistics and the network model
+//! consume.
+//!
+//! Three payload representations keep the steady state allocation-free:
+//!
+//! * **Boxed** — the general case: a `Box<Vec<T>>` whose box shell *and*
+//!   vector capacity both recycle through the receiving rank's
+//!   [`crate::BufferPool`].
+//! * **Shared** — an `Arc<Vec<T>>` for one-to-many fan-outs (broadcast
+//!   trees): `N` children cost zero payload clones, and the last opener
+//!   moves the buffer out instead of cloning it.
+//! * **Inline** — small payloads of the workhorse element types
+//!   (`f64`/`u64`/`u8`, up to [`INLINE_ELEMS`] elements) ride inside the
+//!   envelope itself: the eager path that skips the heap entirely.
 
-use std::any::Any;
+use std::any::{Any, TypeId};
+use std::sync::Arc;
+
+use crate::pool::{BufferPool, PooledVec};
 
 /// Marker trait for element types that may cross ranks.
 ///
-/// Blanket-implemented for every `Clone + Send + 'static` type; in
+/// Blanket-implemented for every `Clone + Send + Sync + 'static` type; in
 /// practice the mini-apps move `f64` field data and `u64`/`usize` id
-/// lists.
-pub trait Msg: Clone + Send + 'static {}
-impl<T: Clone + Send + 'static> Msg for T {}
+/// lists. (`Sync` is required so a payload can be `Arc`-shared across a
+/// broadcast fan-out.)
+pub trait Msg: Clone + Send + Sync + 'static {}
+impl<T: Clone + Send + Sync + 'static> Msg for T {}
+
+/// Maximum element count of the inline (eager) payload representation.
+pub const INLINE_ELEMS: usize = 8;
+
+/// The type-erased payload representations (see module docs).
+pub(crate) enum Payload {
+    /// `Box<Vec<T>>` behind `dyn Any`; shell and capacity are recyclable.
+    Boxed(Box<dyn Any + Send>),
+    /// `Arc<Vec<T>>` shared by a one-to-many fan-out.
+    Shared(Arc<dyn Any + Send + Sync>),
+    /// Small `f64` payload carried inline (length, storage).
+    InlineF64(u8, [f64; INLINE_ELEMS]),
+    /// Small `u64` payload carried inline.
+    InlineU64(u8, [u64; INLINE_ELEMS]),
+    /// Small `u8` payload carried inline.
+    InlineU8(u8, [u8; INLINE_ELEMS]),
+}
 
 /// A message in flight: source rank, tag, type-erased payload, and its
 /// wire-equivalent size in bytes.
@@ -29,8 +62,8 @@ pub struct Envelope {
     pub src: usize,
     /// User or internal tag (see [`crate::rank::Tag`]).
     pub tag: u64,
-    /// `Vec<T>` behind `dyn Any`.
-    pub payload: Box<dyn Any + Send>,
+    /// The type-erased payload.
+    pub(crate) payload: Payload,
     /// Wire-equivalent payload size in bytes.
     pub bytes: usize,
     /// Piggybacked sender vector clock (verifier installed only).
@@ -39,35 +72,182 @@ pub struct Envelope {
     pub sender_ctx: Option<Box<str>>,
 }
 
+/// Copy a small slice into an inline payload, if the element type has an
+/// inline form. The per-element `dyn Any` downcast is how a generic `T`
+/// is matched against the concrete inline types without `unsafe`.
+fn to_inline<T: Msg>(data: &[T]) -> Option<Payload> {
+    if data.len() > INLINE_ELEMS {
+        return None;
+    }
+    let tid = TypeId::of::<T>();
+    if tid == TypeId::of::<f64>() {
+        let mut arr = [0.0f64; INLINE_ELEMS];
+        for (slot, v) in arr.iter_mut().zip(data) {
+            *slot = *(v as &dyn Any).downcast_ref::<f64>().unwrap();
+        }
+        Some(Payload::InlineF64(data.len() as u8, arr))
+    } else if tid == TypeId::of::<u64>() {
+        let mut arr = [0u64; INLINE_ELEMS];
+        for (slot, v) in arr.iter_mut().zip(data) {
+            *slot = *(v as &dyn Any).downcast_ref::<u64>().unwrap();
+        }
+        Some(Payload::InlineU64(data.len() as u8, arr))
+    } else if tid == TypeId::of::<u8>() {
+        let mut arr = [0u8; INLINE_ELEMS];
+        for (slot, v) in arr.iter_mut().zip(data) {
+            *slot = *(v as &dyn Any).downcast_ref::<u8>().unwrap();
+        }
+        Some(Payload::InlineU8(data.len() as u8, arr))
+    } else {
+        None
+    }
+}
+
+/// Copy inline elements of concrete type `E` out as `Vec<T>`; panics with
+/// the datatype-mismatch diagnostic if `T != E`.
+fn open_inline<T: Msg, E: Msg>(src: usize, tag: u64, vals: &[E], out: &mut Vec<T>) {
+    if TypeId::of::<T>() != TypeId::of::<E>() {
+        mismatch::<T>(src, tag);
+    }
+    out.extend(
+        vals.iter()
+            .map(|v| (v as &dyn Any).downcast_ref::<T>().unwrap().clone()),
+    );
+}
+
+fn mismatch<T>(src: usize, tag: u64) -> ! {
+    panic!(
+        "message type mismatch: rank {} tag {:#x} does not hold Vec<{}>",
+        src,
+        tag,
+        std::any::type_name::<T>()
+    )
+}
+
 impl Envelope {
     /// Wrap a typed payload.
     pub fn new<T: Msg>(src: usize, tag: u64, data: Vec<T>) -> Self {
+        Envelope::from_box(src, tag, Box::new(data))
+    }
+
+    /// Wrap an already-boxed payload (the pooled zero-alloc send path:
+    /// the box shell came out of a [`BufferPool`] and will return to the
+    /// receiver's — the shell, not the vector, is the recyclable unit).
+    #[allow(clippy::box_collection)]
+    pub(crate) fn from_box<T: Msg>(src: usize, tag: u64, data: Box<Vec<T>>) -> Self {
         let bytes = data.len() * std::mem::size_of::<T>();
         Envelope {
             src,
             tag,
-            payload: Box::new(data),
+            payload: Payload::Boxed(data),
             bytes,
             clock: None,
             sender_ctx: None,
         }
     }
 
+    /// Wrap a shared payload for a one-to-many fan-out.
+    pub(crate) fn from_shared<T: Msg>(src: usize, tag: u64, data: Arc<Vec<T>>) -> Self {
+        let bytes = data.len() * std::mem::size_of::<T>();
+        Envelope {
+            src,
+            tag,
+            payload: Payload::Shared(data),
+            bytes,
+            clock: None,
+            sender_ctx: None,
+        }
+    }
+
+    /// Build an inline (eager, heap-free) envelope for a small payload of
+    /// a supported element type; `None` if the payload is too large or
+    /// the type has no inline form.
+    pub(crate) fn inline_from<T: Msg>(src: usize, tag: u64, data: &[T]) -> Option<Self> {
+        let payload = to_inline(data)?;
+        Some(Envelope {
+            src,
+            tag,
+            payload,
+            bytes: data.len() * std::mem::size_of::<T>(),
+            clock: None,
+            sender_ctx: None,
+        })
+    }
+
     /// Recover the typed payload.
+    ///
+    /// For a shared payload the last opener moves the buffer out; earlier
+    /// openers clone it.
     ///
     /// # Panics
     /// Panics if the stored type differs from `T` — that is a programming
     /// error equivalent to an MPI datatype mismatch.
     pub fn open<T: Msg>(self) -> Vec<T> {
-        match self.payload.downcast::<Vec<T>>() {
-            Ok(v) => *v,
-            Err(_) => panic!(
-                "message type mismatch: rank {} tag {:#x} does not hold Vec<{}>",
-                self.src,
-                self.tag,
-                std::any::type_name::<T>()
-            ),
+        let Envelope {
+            src, tag, payload, ..
+        } = self;
+        match payload {
+            Payload::Boxed(b) => match b.downcast::<Vec<T>>() {
+                Ok(v) => *v,
+                Err(_) => mismatch::<T>(src, tag),
+            },
+            Payload::Shared(a) => match a.downcast::<Vec<T>>() {
+                Ok(arc) => Arc::try_unwrap(arc).unwrap_or_else(|a| (*a).clone()),
+                Err(_) => mismatch::<T>(src, tag),
+            },
+            inline => {
+                let mut out = Vec::new();
+                open_inline_payload(src, tag, inline, &mut out);
+                out
+            }
         }
+    }
+
+    /// Recover the typed payload into a pool-guarded buffer: the general
+    /// (boxed) case adopts the sender's box wholesale — zero copies, zero
+    /// allocations — and the guard parks it in `pool` when the receiver
+    /// is done. Inline and still-shared payloads copy into a recycled
+    /// buffer taken from `pool`.
+    ///
+    /// # Panics
+    /// Panics on a datatype mismatch, as [`Envelope::open`] does.
+    pub(crate) fn open_pooled<T: Msg>(self, pool: &BufferPool) -> PooledVec<T> {
+        let Envelope {
+            src, tag, payload, ..
+        } = self;
+        match payload {
+            Payload::Boxed(b) => match b.downcast::<Vec<T>>() {
+                Ok(v) => pool.adopt(v),
+                Err(_) => mismatch::<T>(src, tag),
+            },
+            Payload::Shared(a) => match a.downcast::<Vec<T>>() {
+                Ok(arc) => match Arc::try_unwrap(arc) {
+                    Ok(v) => pool.adopt(Box::new(v)),
+                    Err(arc) => {
+                        let mut buf = pool.take::<T>();
+                        buf.extend_from_slice(&arc);
+                        buf
+                    }
+                },
+                Err(_) => mismatch::<T>(src, tag),
+            },
+            inline => {
+                let mut buf = pool.take::<T>();
+                open_inline_payload(src, tag, inline, &mut buf);
+                buf
+            }
+        }
+    }
+}
+
+/// Dispatch an inline payload variant into `out` (panics on mismatch, or
+/// if called with a non-inline variant — the callers matched those away).
+fn open_inline_payload<T: Msg>(src: usize, tag: u64, payload: Payload, out: &mut Vec<T>) {
+    match payload {
+        Payload::InlineF64(len, arr) => open_inline::<T, f64>(src, tag, &arr[..len as usize], out),
+        Payload::InlineU64(len, arr) => open_inline::<T, u64>(src, tag, &arr[..len as usize], out),
+        Payload::InlineU8(len, arr) => open_inline::<T, u8>(src, tag, &arr[..len as usize], out),
+        _ => unreachable!("boxed/shared payloads are handled by the caller"),
     }
 }
 
@@ -95,5 +275,40 @@ mod tests {
     fn type_mismatch_panics() {
         let env = Envelope::new(0, 0, vec![1.0f64]);
         let _ = env.open::<u32>();
+    }
+
+    #[test]
+    fn inline_round_trip_all_types() {
+        let env = Envelope::inline_from(1, 2, &[1.5f64, -2.5]).expect("f64 inlines");
+        assert_eq!(env.bytes, 16);
+        assert_eq!(env.open::<f64>(), vec![1.5, -2.5]);
+        let env = Envelope::inline_from(1, 2, &[7u64; 8]).expect("u64 inlines");
+        assert_eq!(env.open::<u64>(), vec![7; 8]);
+        let env = Envelope::inline_from(1, 2, &[9u8]).expect("u8 inlines");
+        assert_eq!(env.open::<u8>(), vec![9]);
+    }
+
+    #[test]
+    fn oversized_or_unsupported_does_not_inline() {
+        assert!(Envelope::inline_from(0, 0, &[0.0f64; 9]).is_none());
+        assert!(Envelope::inline_from(0, 0, &[0u32; 2]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn inline_type_mismatch_panics() {
+        let env = Envelope::inline_from(0, 0, &[1u64]).unwrap();
+        let _ = env.open::<f64>();
+    }
+
+    #[test]
+    fn shared_payload_last_opener_moves() {
+        let arc = Arc::new(vec![4.0f64, 5.0]);
+        let a = Envelope::from_shared(0, 1, Arc::clone(&arc));
+        let b = Envelope::from_shared(0, 1, Arc::clone(&arc));
+        drop(arc);
+        assert_eq!(a.bytes, 16);
+        assert_eq!(a.open::<f64>(), vec![4.0, 5.0]); // clones (b still holds it)
+        assert_eq!(b.open::<f64>(), vec![4.0, 5.0]); // moves (last reference)
     }
 }

@@ -43,16 +43,19 @@ pub mod collectives;
 pub mod crystal;
 pub mod envelope;
 pub mod faults;
+pub(crate) mod mailbox;
 pub mod netmodel;
+pub mod pool;
 pub mod rank;
 pub mod rng;
 pub mod stats;
 pub mod verify;
 pub mod world;
 
-pub use envelope::Msg;
+pub use envelope::{Msg, INLINE_ELEMS};
 pub use faults::{DelayFault, DropFault, FaultPlan, KillEvent};
 pub use netmodel::NetworkModel;
+pub use pool::{BufferPool, PooledVec};
 pub use rank::{DiscardList, Rank, RecvRequest, Tag};
 pub use stats::{CommStats, MpiOp, SiteKey, SiteStats};
 pub use verify::{CollFingerprint, CollKind, LeakInfo, VerifyHooks};

@@ -2,13 +2,14 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::envelope::{Envelope, Msg};
 use crate::faults::{FaultPlan, FaultState};
+use crate::mailbox::Mailbox;
 use crate::netmodel::NetworkModel;
+use crate::pool::{BufferPool, PooledVec};
 use crate::stats::{CommRecorder, MpiOp};
 use crate::verify::{CollFingerprint, CollKind, LeakInfo, VerifyHooks};
 
@@ -33,9 +34,10 @@ const DEADLOCK: Duration = Duration::from_secs(300);
 pub struct Rank {
     pub(crate) rank: usize,
     pub(crate) size: usize,
-    pub(crate) rx: Receiver<Envelope>,
     pub(crate) pending: VecDeque<Envelope>,
-    pub(crate) senders: Arc<Vec<Sender<Envelope>>>,
+    pub(crate) mailboxes: Arc<Vec<Mailbox>>,
+    pub(crate) pool: BufferPool,
+    pub(crate) ctx_spares: Vec<String>,
     pub(crate) poisoned: Arc<AtomicBool>,
     pub(crate) recorder: CommRecorder,
     pub(crate) context: String,
@@ -158,7 +160,10 @@ impl Rank {
     /// Set the context label under which subsequent operations are
     /// recorded (the mpiP "call site" analogue).
     pub fn set_context(&mut self, label: &str) {
-        self.context = label.to_owned();
+        // Reuse the string's capacity: steady-state relabelling with
+        // already-seen labels never touches the allocator.
+        self.context.clear();
+        self.context.push_str(label);
     }
 
     /// Current context label.
@@ -166,11 +171,32 @@ impl Rank {
         &self.context
     }
 
+    /// Swap in a context string built from `label` (optionally composed
+    /// onto the current context) using a recycled spare string, returning
+    /// the displaced outer context. Paired with [`Rank::pop_context`].
+    fn push_context(&mut self, label: &str, compose: bool) -> String {
+        let mut s = self.ctx_spares.pop().unwrap_or_default();
+        s.clear();
+        if compose && !(self.context == "main" || self.context.is_empty()) {
+            s.push_str(&self.context);
+            s.push('/');
+        }
+        s.push_str(label);
+        std::mem::replace(&mut self.context, s)
+    }
+
+    /// Restore `saved` as the context and park the displaced scratch
+    /// string for reuse by the next [`Rank::push_context`].
+    fn pop_context(&mut self, saved: String) {
+        let used = std::mem::replace(&mut self.context, saved);
+        self.ctx_spares.push(used);
+    }
+
     /// Run `f` with the context label temporarily set to `label`.
     pub fn with_context<R>(&mut self, label: &str, f: impl FnOnce(&mut Rank) -> R) -> R {
-        let saved = std::mem::replace(&mut self.context, label.to_owned());
+        let saved = self.push_context(label, false);
         let out = f(self);
-        self.context = saved;
+        self.pop_context(saved);
         out
     }
 
@@ -180,14 +206,9 @@ impl Rank {
     /// call from the viscous pass records as `faces_visc/gs:pairwise`.
     /// A default (`"main"`) outer context is dropped from the composition.
     pub fn with_subcontext<R>(&mut self, label: &str, f: impl FnOnce(&mut Rank) -> R) -> R {
-        let composed = if self.context == "main" || self.context.is_empty() {
-            label.to_owned()
-        } else {
-            format!("{}/{}", self.context, label)
-        };
-        let saved = std::mem::replace(&mut self.context, composed);
+        let saved = self.push_context(label, true);
         let out = f(self);
-        self.context = saved;
+        self.pop_context(saved);
         out
     }
 
@@ -274,12 +295,10 @@ impl Rank {
                 .map(Vec::into_boxed_slice);
             env.sender_ctx = Some(self.context.as_str().into());
         }
-        // Channels are unbounded: a send never blocks, matching MPI's
+        // Mailboxes are unbounded: a send never blocks, matching MPI's
         // buffered/eager regime for the small-to-medium messages the
         // mini-apps exchange.
-        self.senders[dest]
-            .send(env)
-            .expect("peer mailbox closed: world is shutting down abnormally");
+        self.mailboxes[dest].push(env);
     }
 
     /// Tell the verifier (if any) that a receive matched `env`.
@@ -344,8 +363,8 @@ impl Rank {
         // touches the checker.
         let mut block_id: Option<u64> = None;
         loop {
-            match self.rx.recv_timeout(POLL) {
-                Ok(env) => {
+            match self.mailboxes[self.rank].pop_timeout(POLL) {
+                Some(env) => {
                     if self.discards.consume(env.src, env.tag) {
                         self.note_discarded(&env);
                         continue;
@@ -359,7 +378,7 @@ impl Rank {
                     }
                     self.pending.push_back(env);
                 }
-                Err(RecvTimeoutError::Timeout) => {
+                None => {
                     if self.poisoned.load(Ordering::Relaxed) {
                         panic!(
                             "rank {}: aborting receive (src {src}, tag {tag:#x}): a peer rank failed",
@@ -380,9 +399,6 @@ impl Rank {
                             self.rank
                         );
                     }
-                }
-                Err(RecvTimeoutError::Disconnected) => {
-                    panic!("rank {}: world channel closed unexpectedly", self.rank)
                 }
             }
         }
@@ -411,16 +427,9 @@ impl Rank {
     // point-to-point
     // ---------------------------------------------------------------
 
-    /// Blocking send of a typed slice (internally buffered; completes
-    /// locally, like an eager-protocol `MPI_Send`).
-    pub fn send<T: Msg>(&mut self, dest: usize, tag: Tag, data: &[T]) {
-        self.send_vec(dest, tag, data.to_vec());
-    }
-
-    /// Blocking send that takes ownership of the buffer (no copy).
-    pub fn send_vec<T: Msg>(&mut self, dest: usize, tag: Tag, data: Vec<T>) {
-        Self::assert_user_tag(tag);
-        let env = Envelope::new(self.rank, tag, data);
+    /// Inject faults, push `env`, and record the operation as `op` —
+    /// the shared tail of every timed send variant.
+    fn send_env_timed(&mut self, dest: usize, env: Envelope, op: MpiOp) {
         self.inject_send_faults(env.bytes as u64);
         let start = Instant::now();
         let bytes = env.bytes as u64;
@@ -428,8 +437,27 @@ impl Rank {
         let modeled = self.model_message(bytes);
         let ctx = std::mem::take(&mut self.context);
         self.recorder
-            .record(MpiOp::Send, &ctx, start.elapsed(), bytes, modeled);
+            .record(op, &ctx, start.elapsed(), bytes, modeled);
         self.context = ctx;
+    }
+
+    /// Blocking send of a typed slice (internally buffered; completes
+    /// locally, like an eager-protocol `MPI_Send`). Payloads of at most
+    /// [`crate::INLINE_ELEMS`] `f64`/`u64`/`u8` elements travel inline in
+    /// the envelope — the eager path, free of heap traffic.
+    pub fn send<T: Msg>(&mut self, dest: usize, tag: Tag, data: &[T]) {
+        Self::assert_user_tag(tag);
+        match Envelope::inline_from(self.rank, tag, data) {
+            Some(env) => self.send_env_timed(dest, env, MpiOp::Send),
+            None => self.send_vec(dest, tag, data.to_vec()),
+        }
+    }
+
+    /// Blocking send that takes ownership of the buffer (no copy).
+    pub fn send_vec<T: Msg>(&mut self, dest: usize, tag: Tag, data: Vec<T>) {
+        Self::assert_user_tag(tag);
+        let env = Envelope::new(self.rank, tag, data);
+        self.send_env_timed(dest, env, MpiOp::Send);
     }
 
     /// Blocking receive of a typed message from `(src, tag)`.
@@ -447,24 +475,30 @@ impl Rank {
     }
 
     /// Non-blocking send (recorded as `MPI_Isend`; completes immediately —
-    /// the eager regime).
+    /// the eager regime). Small `f64`/`u64`/`u8` payloads travel inline,
+    /// as with [`Rank::send`].
     pub fn isend<T: Msg>(&mut self, dest: usize, tag: Tag, data: &[T]) {
-        self.isend_vec(dest, tag, data.to_vec());
+        Self::assert_user_tag(tag);
+        match Envelope::inline_from(self.rank, tag, data) {
+            Some(env) => self.send_env_timed(dest, env, MpiOp::Isend),
+            None => self.isend_vec(dest, tag, data.to_vec()),
+        }
     }
 
     /// Non-blocking send taking ownership of the buffer.
     pub fn isend_vec<T: Msg>(&mut self, dest: usize, tag: Tag, data: Vec<T>) {
         Self::assert_user_tag(tag);
         let env = Envelope::new(self.rank, tag, data);
-        self.inject_send_faults(env.bytes as u64);
-        let start = Instant::now();
-        let bytes = env.bytes as u64;
-        self.raw_send(dest, env);
-        let modeled = self.model_message(bytes);
-        let ctx = std::mem::take(&mut self.context);
-        self.recorder
-            .record(MpiOp::Isend, &ctx, start.elapsed(), bytes, modeled);
-        self.context = ctx;
+        self.send_env_timed(dest, env, MpiOp::Isend);
+    }
+
+    /// Non-blocking send of a pool-guarded buffer: the box moves into the
+    /// envelope without copying, and the *receiver* parks it in its own
+    /// pool after opening — the zero-allocation steady-state send path.
+    pub fn isend_pooled<T: Msg>(&mut self, dest: usize, tag: Tag, data: PooledVec<T>) {
+        Self::assert_user_tag(tag);
+        let env = Envelope::from_box(self.rank, tag, data.detach());
+        self.send_env_timed(dest, env, MpiOp::Isend);
     }
 
     /// Post a non-blocking receive. The returned request is completed by
@@ -499,11 +533,39 @@ impl Rank {
         reqs.iter().map(|&r| self.wait_recv(r)).collect()
     }
 
+    /// Complete a posted receive into a pool-guarded buffer. Boxed
+    /// payloads are adopted wholesale (zero copies, zero allocations);
+    /// the guard parks the buffer in this rank's [`BufferPool`] when
+    /// dropped, ready for the next [`Rank::pooled_vec`] take.
+    pub fn wait_recv_pooled<T: Msg>(&mut self, req: RecvRequest) -> PooledVec<T> {
+        let start = Instant::now();
+        let env = self.raw_recv(req.src, req.tag);
+        let bytes = env.bytes as u64;
+        let data = env.open_pooled(&self.pool);
+        let ctx = std::mem::take(&mut self.context);
+        self.recorder
+            .record(MpiOp::Wait, &ctx, start.elapsed(), bytes, 0.0);
+        self.context = ctx;
+        data
+    }
+
+    /// This rank's payload-buffer recycling pool.
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    /// Take a recycled, empty buffer from this rank's pool (fresh if the
+    /// pool is cold or disabled). Fill it and hand it to
+    /// [`Rank::isend_pooled`] for an allocation-free send.
+    pub fn pooled_vec<T: Msg>(&self) -> PooledVec<T> {
+        self.pool.take()
+    }
+
     /// Probe (non-blocking) whether a matching message has arrived.
     pub fn iprobe(&mut self, src: usize, tag: Tag) -> bool {
         Self::assert_user_tag(tag);
-        // Drain the channel into the pending queue, then search it.
-        while let Ok(env) = self.rx.try_recv() {
+        // Drain the mailbox into the pending queue, then search it.
+        while let Some(env) = self.mailboxes[self.rank].try_pop() {
             self.pending.push_back(env);
         }
         self.purge_discarded();
@@ -550,11 +612,69 @@ impl Rank {
         bytes
     }
 
+    /// Internal untimed send of a slice: inline when small, through a
+    /// pooled buffer otherwise — never a fresh allocation once warm.
+    pub(crate) fn send_internal_slice<T: Msg>(&mut self, dest: usize, tag: Tag, data: &[T]) -> u64 {
+        if let Some(env) = Envelope::inline_from(self.rank, tag, data) {
+            let bytes = env.bytes as u64;
+            self.inject_send_faults(bytes);
+            self.raw_send(dest, env);
+            return bytes;
+        }
+        let mut buf = self.pool.take::<T>();
+        buf.extend_from_slice(data);
+        self.send_internal_box(dest, tag, buf.detach())
+    }
+
+    /// Internal untimed send of an already-boxed payload (pool path; the
+    /// box shell is the recyclable unit, hence no flattening to `Vec`).
+    #[allow(clippy::box_collection)]
+    pub(crate) fn send_internal_box<T: Msg>(
+        &mut self,
+        dest: usize,
+        tag: Tag,
+        data: Box<Vec<T>>,
+    ) -> u64 {
+        let env = Envelope::from_box(self.rank, tag, data);
+        let bytes = env.bytes as u64;
+        self.inject_send_faults(bytes);
+        self.raw_send(dest, env);
+        bytes
+    }
+
+    /// Internal untimed send of an `Arc`-shared payload (one-to-many
+    /// fan-out: the clones are reference bumps, and the last opener moves
+    /// the buffer out).
+    pub(crate) fn send_internal_shared<T: Msg>(
+        &mut self,
+        dest: usize,
+        tag: Tag,
+        data: Arc<Vec<T>>,
+    ) -> u64 {
+        let env = Envelope::from_shared(self.rank, tag, data);
+        let bytes = env.bytes as u64;
+        self.inject_send_faults(bytes);
+        self.raw_send(dest, env);
+        bytes
+    }
+
     /// Internal untimed receive used inside collective algorithms.
     pub(crate) fn recv_internal<T: Msg>(&mut self, src: usize, tag: Tag) -> (Vec<T>, u64) {
         let env = self.raw_recv(src, tag);
         let bytes = env.bytes as u64;
         (env.open(), bytes)
+    }
+
+    /// Internal untimed receive into a pool-guarded buffer.
+    pub(crate) fn recv_internal_pooled<T: Msg>(
+        &mut self,
+        src: usize,
+        tag: Tag,
+    ) -> (PooledVec<T>, u64) {
+        let env = self.raw_recv(src, tag);
+        let bytes = env.bytes as u64;
+        let data = env.open_pooled(&self.pool);
+        (data, bytes)
     }
 
     // ---------------------------------------------------------------
@@ -638,10 +758,10 @@ impl Rank {
         // rank's mailbox sweep (channel pushes are immediate, and the
         // dissemination barrier's exit happens-after every entry), so a
         // message from a slow-but-correct peer is never misreported.
-        let saved = std::mem::replace(&mut self.context, String::from("verify:finalize"));
+        let saved = self.push_context("verify:finalize", false);
         self.barrier();
-        self.context = saved;
-        while let Ok(env) = self.rx.try_recv() {
+        self.pop_context(saved);
+        while let Some(env) = self.mailboxes[self.rank].try_pop() {
             self.pending.push_back(env);
         }
         self.purge_discarded(); // reports cancelled arrivals via on_discarded

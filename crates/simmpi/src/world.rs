@@ -2,13 +2,13 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::channel;
 use std::sync::Arc;
 use std::time::Instant;
 
-use crate::envelope::Envelope;
 use crate::faults::{FaultPlan, FaultState};
+use crate::mailbox::Mailbox;
 use crate::netmodel::NetworkModel;
+use crate::pool::BufferPool;
 use crate::rank::{DiscardList, Rank};
 use crate::stats::{CommRecorder, CommStats};
 use crate::verify::VerifyHooks;
@@ -27,11 +27,23 @@ use crate::verify::VerifyHooks;
 /// // per-rank mpiP-style statistics come back alongside the results
 /// assert_eq!(res.stats.len(), 4);
 /// ```
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Clone)]
 pub struct World {
     net: Option<NetworkModel>,
     faults: Option<Arc<FaultPlan>>,
     verify: Option<Arc<dyn VerifyHooks>>,
+    pooling: bool,
+}
+
+impl Default for World {
+    fn default() -> Self {
+        World {
+            net: None,
+            faults: None,
+            verify: None,
+            pooling: true,
+        }
+    }
 }
 
 /// Everything a [`World::run`] produces: the per-rank return values and
@@ -98,6 +110,15 @@ impl World {
         self
     }
 
+    /// Enable or disable per-rank payload-buffer recycling (the
+    /// [`BufferPool`]); on by default. With pooling off, every receive
+    /// allocates and every returned buffer is freed — the `--no-pool`
+    /// escape hatch for isolating pool bugs or measuring its benefit.
+    pub fn with_pooling(mut self, on: bool) -> Self {
+        self.pooling = on;
+        self
+    }
+
     /// Run `f` as an SPMD program on `p` ranks (one OS thread each) and
     /// wait for completion.
     ///
@@ -115,14 +136,7 @@ impl World {
                 panic!("invalid fault plan: {e}");
             }
         }
-        let mut senders = Vec::with_capacity(p);
-        let mut receivers = Vec::with_capacity(p);
-        for _ in 0..p {
-            let (tx, rx) = channel::<Envelope>();
-            senders.push(tx);
-            receivers.push(rx);
-        }
-        let senders = Arc::new(senders);
+        let mailboxes: Arc<Vec<Mailbox>> = Arc::new((0..p).map(|_| Mailbox::new()).collect());
         let poisoned = Arc::new(AtomicBool::new(false));
         if let Some(v) = &self.verify {
             v.on_start(p);
@@ -136,10 +150,11 @@ impl World {
 
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(p);
-            for (r, rx) in receivers.into_iter().enumerate() {
-                let senders = Arc::clone(&senders);
+            for r in 0..p {
+                let mailboxes = Arc::clone(&mailboxes);
                 let poisoned = Arc::clone(&poisoned);
                 let net = self.net;
+                let pooling = self.pooling;
                 let verify = self.verify.clone();
                 let faults = self
                     .faults
@@ -160,9 +175,10 @@ impl World {
                     let mut rank = Rank {
                         rank: r,
                         size: p,
-                        rx,
-                        pending: VecDeque::new(),
-                        senders,
+                        pending: VecDeque::with_capacity(128),
+                        mailboxes,
+                        pool: BufferPool::new(pooling),
+                        ctx_spares: Vec::with_capacity(8),
                         poisoned,
                         recorder: CommRecorder::default(),
                         context: String::from("main"),

@@ -96,6 +96,41 @@ fn cmt_bone_chaos_sched_is_deterministic_and_clean() {
 }
 
 #[test]
+fn cmt_bone_pooled_buffers_are_not_message_leaks() {
+    // Buffer pooling (the default) parks payload buffers on each rank
+    // between timesteps; the finalize leak sweep must distinguish those
+    // from genuinely undelivered messages, under every exchange method
+    // and with the scheduler perturbed. The pooled verified run must
+    // also stay bitwise identical to the `--no-pool` verified run.
+    for method in GsMethod::ALL {
+        let cfg = cmt_bone::Config {
+            method: Some(method),
+            verify: true,
+            chaos_sched: Some(11),
+            ..bone_cfg()
+        };
+        let pooled = cmt_bone::run(&cmt_bone::Config {
+            pool: true,
+            ..cfg.clone()
+        });
+        let fresh = cmt_bone::run(&cmt_bone::Config { pool: false, ..cfg });
+        for (label, run) in [("pool", &pooled), ("no-pool", &fresh)] {
+            let findings = run.verify.as_deref().expect("verification ran");
+            assert!(
+                findings.is_empty(),
+                "{method:?}/{label}: {}",
+                cmt_verify::render_findings(findings)
+            );
+        }
+        assert_eq!(
+            pooled.state_hash, fresh.state_hash,
+            "{method:?}: pooling changed the verified final state"
+        );
+        assert_eq!(pooled.checksum, fresh.checksum);
+    }
+}
+
+#[test]
 fn nekbone_8_ranks_verifies_clean() {
     let plain = nekbone::run(&nek_cfg());
     assert!(plain.verify.is_none(), "verification must default to off");
