@@ -1,0 +1,228 @@
+//! Hybrid-kernel bench: the MPI+workers overlap window against the pure
+//! MPI baseline, plus the startup kernel autotune, on a compute-heavy
+//! CMT-bone configuration.
+//!
+//! For each side it reports wall time (min of repeated runs) and the
+//! flux-divergence share of self time; one autotuned run records which
+//! variant × chunk-grain the startup sweep picked for this shape.
+//!
+//! Modes (after `cargo bench -p cmt-bench --bench kernels --`):
+//! * default — measure, print the table, and write `BENCH_kernels.json`
+//!   at the repo root (the committed CI baseline).
+//! * `--check` — measure and gate: fail if results diverge bitwise
+//!   between worker counts, or if the hybrid/serial wall ratio regressed
+//!   more than 10% against the committed `BENCH_kernels.json`.
+//! * `--test` — smoke mode: one tiny run per side, no file writes.
+
+use std::time::Instant;
+
+use cmt_bone::{Config, Pipeline};
+use cmt_gs::GsMethod;
+
+/// Workers per rank on the hybrid side.
+const HYBRID_WORKERS: usize = 4;
+
+/// A deriv-dominated shape: few ranks (leave cores for the pool), many
+/// elements, mid-range N.
+fn base_cfg(workers: usize, steps: usize) -> Config {
+    Config {
+        ranks: 2,
+        n: 12,
+        elems_per_rank: 32,
+        steps,
+        fields: 5,
+        workers,
+        method: Some(GsMethod::PairwiseExchange),
+        pipeline: Pipeline::Overlapped,
+        ..Default::default()
+    }
+}
+
+/// Self-time share of the flux-divergence derivative regions.
+fn deriv_share(rep: &cmt_bone::RunReport) -> f64 {
+    let mut self_s = 0.0;
+    for (name, s) in &rep.profile.flat {
+        if name.starts_with("ax_cmt") {
+            self_s += s.self_s();
+        }
+    }
+    let total = rep.profile.total_self_s();
+    if total > 0.0 {
+        self_s / total
+    } else {
+        0.0
+    }
+}
+
+struct Side {
+    wall_s: f64,
+    deriv_share: f64,
+    state_hash: u64,
+}
+
+/// Measure one side: wall as min over `reps` full runs.
+fn measure(workers: usize, reps: usize) -> Side {
+    let cfg = base_cfg(workers, 4);
+    let mut wall_s = f64::INFINITY;
+    let mut rep = None;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let r = cmt_bone::run(&cfg);
+        wall_s = wall_s.min(t.elapsed().as_secs_f64());
+        rep = Some(r);
+    }
+    let rep = rep.expect("reps > 0");
+    Side {
+        wall_s,
+        deriv_share: deriv_share(&rep),
+        state_hash: rep.state_hash,
+    }
+}
+
+/// One autotuned run on the same shape: which variant × grain won.
+fn autotune() -> (String, usize) {
+    let rep = cmt_bone::run(&Config {
+        kernel_autotune: true,
+        steps: 1,
+        ..base_cfg(1, 1)
+    });
+    let t = rep.kernel_autotune.expect("kernel autotune report");
+    (t.effective.name().to_string(), t.chosen.grain)
+}
+
+fn json_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_kernels.json")
+}
+
+/// Pull a bare numeric value out of a flat JSON document by key.
+fn json_f64(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let tail = text[at..].trim_start();
+    let end = tail
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
+fn render_json(serial: &Side, hybrid: &Side, tuned: &(String, usize)) -> String {
+    let side = |s: &Side| {
+        format!(
+            "{{\"wall_s\": {:.6}, \"deriv_share\": {:.6}}}",
+            s.wall_s, s.deriv_share
+        )
+    };
+    format!(
+        "{{\n  \"suite\": \"kernels\",\n  \
+         \"config\": {{\"ranks\": 2, \"n\": 12, \"elems_per_rank\": 32, \
+         \"fields\": 5, \"steps\": 4, \"method\": \"pairwise\", \
+         \"pipeline\": \"overlapped\", \"hybrid_workers\": {}}},\n  \
+         \"serial\": {},\n  \"hybrid\": {},\n  \"wall_ratio\": {:.6},\n  \
+         \"autotune\": {{\"variant\": \"{}\", \"grain\": {}}}\n}}\n",
+        HYBRID_WORKERS,
+        side(serial),
+        side(hybrid),
+        hybrid.wall_s / serial.wall_s,
+        tuned.0,
+        tuned.1,
+    )
+}
+
+fn print_table(serial: &Side, hybrid: &Side, tuned: &(String, usize)) {
+    println!("suite kernels (hybrid workers: {HYBRID_WORKERS})");
+    println!(
+        "{:<10} {:>10} {:>12} {:>18}",
+        "side", "wall (s)", "deriv share", "state hash"
+    );
+    for (name, s) in [("serial", serial), ("hybrid", hybrid)] {
+        println!(
+            "{:<10} {:>10.4} {:>11.1}% {:>18}",
+            name,
+            s.wall_s,
+            100.0 * s.deriv_share,
+            format!("{:016x}", s.state_hash),
+        );
+    }
+    println!(
+        "wall ratio (hybrid / serial): {:.3}",
+        hybrid.wall_s / serial.wall_s
+    );
+    println!("autotune picked: {} (grain {})", tuned.0, tuned.1);
+}
+
+fn main() {
+    let mut quick = false;
+    let mut check = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--test" => quick = true,
+            "--check" => check = true,
+            _ => {}
+        }
+    }
+
+    if quick {
+        for workers in [1, 2] {
+            let cfg = base_cfg(workers, 2);
+            std::hint::black_box(cmt_bone::run(&cfg).checksum);
+            println!("test kernels/workers={workers} ... ok");
+        }
+        let tuned = autotune();
+        println!("test kernels/autotune={} ... ok", tuned.0);
+        return;
+    }
+
+    let reps = if check { 5 } else { 3 };
+    let serial = measure(1, reps);
+    let hybrid = measure(HYBRID_WORKERS, reps);
+    let tuned = autotune();
+    print_table(&serial, &hybrid, &tuned);
+
+    if check {
+        let mut failed = false;
+        if serial.state_hash != hybrid.state_hash {
+            eprintln!(
+                "FAIL: hybrid final state {:016x} differs from serial {:016x}",
+                hybrid.state_hash, serial.state_hash
+            );
+            failed = true;
+        }
+        match std::fs::read_to_string(json_path()) {
+            Ok(baseline) => {
+                let base_ratio = json_f64(&baseline, "wall_ratio")
+                    .expect("BENCH_kernels.json has no wall_ratio");
+                let ratio = hybrid.wall_s / serial.wall_s;
+                // Allow 10% over the committed ratio, floored at an
+                // absolute 1.10: CI machines have unpredictable core
+                // counts, so the gate catches "hybrid decisively slower
+                // than serial", not "less speedup than the baseline box".
+                let limit = (base_ratio * 1.10).max(1.10);
+                if ratio > limit {
+                    eprintln!(
+                        "FAIL: hybrid/serial wall ratio {ratio:.3} exceeds {limit:.3} \
+                         (committed baseline {base_ratio:.3} + 10%)"
+                    );
+                    failed = true;
+                } else {
+                    println!(
+                        "wall ratio {ratio:.3} within limit {limit:.3} \
+                         (baseline {base_ratio:.3})"
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("FAIL: cannot read committed BENCH_kernels.json: {e}");
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("kernels check passed");
+    } else {
+        let path = json_path();
+        std::fs::write(&path, render_json(&serial, &hybrid, &tuned))
+            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        println!("wrote {}", path.display());
+    }
+}

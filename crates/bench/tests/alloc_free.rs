@@ -81,6 +81,40 @@ fn cmt_bone_no_pool_baseline_does_allocate() {
     );
 }
 
+/// The hybrid worker pool must not reintroduce steady-state allocations:
+/// the overlap-window compute regions (flux-divergence derivatives and
+/// the dealias maps) stay at zero allocations per step with a 4-worker
+/// pool sharing the element loops. Worker-side allocations are charged
+/// back to the region via `Profiler::charge_allocs`, so a regression on
+/// either side of the pool shows up here.
+#[test]
+fn cmt_bone_worker_pool_adds_no_steady_state_allocations() {
+    assert!(cmt_perf::alloc::counting(), "counting allocator not active");
+    let cfg = |steps: usize| Config {
+        workers: 4,
+        dealias_m: Some(8),
+        ..bone_cfg(
+            GsMethod::PairwiseExchange,
+            Pipeline::Overlapped,
+            true,
+            steps,
+        )
+    };
+    let long = cmt_bone::run(&cfg(6));
+    let short = cmt_bone::run(&cfg(2));
+    for prefix in ["ax_cmt", "dealias"] {
+        let (a_l, b_l) = region_allocs(&long.profile, prefix);
+        let (a_s, b_s) = region_allocs(&short.profile, prefix);
+        let (allocs, bytes) = (a_l.saturating_sub(a_s), b_l.saturating_sub(b_s));
+        assert_eq!(
+            (allocs, bytes),
+            (0, 0),
+            "{prefix}*: {allocs} allocs / {bytes} bytes per 4 steady-state \
+             steps with a 4-worker pool"
+        );
+    }
+}
+
 #[test]
 fn nekbone_dssum_regions_allocation_free_at_steady_state() {
     assert!(cmt_perf::alloc::counting(), "counting allocator not active");

@@ -18,7 +18,8 @@ use simmpi::{FaultPlan, NetworkModel};
 fn usage() -> ! {
     eprintln!(
         "usage: cmt-bone [--ranks P] [--elems NEL_PER_RANK] [--n N] [--steps S]\n\
-         \x20                [--fields F] [--variant basic|opt|spec]\n\
+         \x20                [--fields F] [--variant basic|opt|spec|batched|unroll|auto]\n\
+         \x20                [--workers W]\n\
          \x20                [--method pairwise|crystal|allreduce]\n\
          \x20                [--pipeline blocking|overlapped] [--net qdr|exa|gbe]\n\
          \x20                [--cfl-interval K] [--dealias M] [--euler] [--quiet]\n\
@@ -28,6 +29,11 @@ fn usage() -> ! {
          \n\
          fault plan SPEC: semicolon-separated events, e.g.\n\
          \x20 'delay:prob=0.1,us=200;drop:prob=0.05;kill:rank=2,step=5;seed=7'\n\
+         --variant auto autotunes the derivative kernel at startup (variant x\n\
+         chunk grain, averaged across ranks — the Fig. 7 protocol for compute).\n\
+         --workers shares each rank's overlap-window element loops across a\n\
+         work-stealing pool of W threads (1 = pure MPI); results are bitwise\n\
+         identical across worker counts.\n\
          --verify runs the cmt-verify dynamic checker (deadlock, collective\n\
          matching, message leaks, races); exit status 1 on findings.\n\
          --chaos-sched overlays seeded message delays to perturb the schedule.\n\
@@ -88,14 +94,16 @@ fn main() {
             "--fields" => cfg.fields = parse_usize(args.next()),
             "--cfl-interval" => cfg.cfl_interval = parse_usize(args.next()),
             "--dealias" => cfg.dealias_m = Some(parse_usize(args.next())),
-            "--variant" => {
-                cfg.variant = match args.next().as_deref() {
-                    Some("basic") => KernelVariant::Basic,
-                    Some("opt") => KernelVariant::Optimized,
-                    Some("spec") => KernelVariant::Specialized,
-                    _ => usage(),
-                }
-            }
+            "--variant" => match args.next().as_deref() {
+                Some("basic") => cfg.variant = KernelVariant::Basic,
+                Some("opt") => cfg.variant = KernelVariant::Optimized,
+                Some("spec") => cfg.variant = KernelVariant::Specialized,
+                Some("batched") => cfg.variant = KernelVariant::Batched,
+                Some("unroll") => cfg.variant = KernelVariant::UnrollJam,
+                Some("auto") => cfg.kernel_autotune = true,
+                _ => usage(),
+            },
+            "--workers" => cfg.workers = parse_usize(args.next()),
             "--method" => {
                 cfg.method = match args.next().as_deref() {
                     Some("pairwise") => Some(GsMethod::PairwiseExchange),

@@ -64,8 +64,18 @@ pub struct Config {
     pub steps: usize,
     /// Number of conserved-variable fields (5 = mass, 3 momentum, energy).
     pub fields: usize,
-    /// Derivative-kernel implementation.
+    /// Derivative-kernel implementation (ignored when `kernel_autotune`
+    /// is set — the startup kernel autotune picks it instead).
     pub variant: KernelVariant,
+    /// Autotune the derivative kernel at startup (`--variant auto`): time
+    /// every variant × chunk-grain candidate on this run's `(N, elems)`
+    /// shape, average across ranks, and run the winner — the gs-style
+    /// Fig. 7 protocol applied to compute.
+    pub kernel_autotune: bool,
+    /// Worker threads per rank for the hybrid MPI+X element loops (1 =
+    /// pure MPI; >1 shares the overlap-window element loops across a
+    /// work-stealing pool while ranks stay the communication unit).
+    pub workers: usize,
     /// Force a gather-scatter method; `None` runs the startup autotune,
     /// as CMT-nek/CMT-bone do.
     pub method: Option<GsMethod>,
@@ -133,6 +143,8 @@ impl Default for Config {
             steps: 20,
             fields: 5,
             variant: KernelVariant::Optimized,
+            kernel_autotune: false,
+            workers: 1,
             method: None,
             autotune: AutotuneOptions::default(),
             cfl_interval: 5,
@@ -181,6 +193,15 @@ impl Config {
         if self.n < 2 {
             return Err(format!("n must be >= 2, got {}", self.n));
         }
+        if self.n > 25 {
+            return Err(format!(
+                "n must be <= 25 (the paper's range), got {}",
+                self.n
+            ));
+        }
+        if self.workers == 0 {
+            return Err("workers must be positive (1 = pure MPI)".into());
+        }
         if self.ranks == 0 {
             return Err("ranks must be positive".into());
         }
@@ -207,6 +228,14 @@ impl Config {
         if let Some(nu) = self.viscosity {
             if !(nu > 0.0) {
                 return Err(format!("viscosity must be positive, got {nu}"));
+            }
+        }
+        if let Some(dir) = &self.restart_from {
+            if !dir.is_dir() {
+                return Err(format!(
+                    "restart directory {} does not exist",
+                    dir.display()
+                ));
             }
         }
         if let Some(plan) = &self.fault_plan {
@@ -244,6 +273,8 @@ mod tests {
     fn validation_catches_bad_params() {
         for breaker in [
             &(|c: &mut Config| c.n = 1) as &dyn Fn(&mut Config),
+            &|c| c.n = 26,
+            &|c| c.workers = 0,
             &|c| c.ranks = 0,
             &|c| c.elems_per_rank = 0,
             &|c| c.fields = 0,

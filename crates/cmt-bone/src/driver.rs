@@ -5,8 +5,11 @@ use std::f64::consts::PI;
 use std::time::Instant;
 
 use cmt_core::face::{self, Face};
+use cmt_core::kernels::autotune::{time_candidates, KernelAutotuneOptions, KernelAutotuneReport};
 use cmt_core::kernels::{self, DerivDir};
-use cmt_core::ops::{advect_volume_rhs, upwind_face_correction, ElementGeom};
+use cmt_core::ops::{
+    advect_volume_rhs, advect_volume_rhs_slices, upwind_face_correction, ElementGeom,
+};
 use cmt_core::poly::Basis;
 use cmt_core::{rk, Field};
 use cmt_gs::{autotune, AutotuneReport, GsHandle, GsMethod, GsOp};
@@ -14,7 +17,7 @@ use cmt_mesh::{MeshConfig, RankMesh};
 use cmt_perf::{MpipReport, Profiler};
 use cmt_resilience::{hash, load_checkpoint, Checkpoint, Resilience};
 use cmt_verify::Verifier;
-use simmpi::{Rank, ReduceOp, World};
+use simmpi::{chunk_count, chunk_range, Rank, ReduceOp, SharedSliceMut, World};
 use std::sync::Arc;
 
 use crate::config::{Config, Pipeline};
@@ -67,6 +70,7 @@ pub struct SolutionDump {
 struct RankOutput {
     profiler: Profiler,
     autotune: Option<AutotuneReport>,
+    kernel_autotune: Option<KernelAutotuneReport>,
     chosen: GsMethod,
     checksum: f64,
     state_hash: u64,
@@ -376,10 +380,54 @@ fn rank_main(rank: &mut Rank, cfg: &Config, mesh_cfg: &MeshConfig, collect: bool
             (rep.chosen, Some(rep))
         }
     };
+    // Kernel autotune (`--variant auto`): time every variant × chunk
+    // grain on this rank's shape, average across ranks (the gs-autotune
+    // protocol), and let every rank pick the same winner.
+    let kernel_tune = cfg.kernel_autotune.then(|| {
+        let (cands, local) =
+            time_candidates(n, mesh.nel(), &basis.d, KernelAutotuneOptions::default());
+        rank.set_context("kernel_autotune");
+        let avg: Vec<f64> = local
+            .iter()
+            .map(|&t| rank.allreduce_scalar(t, ReduceOp::Sum) / rank.size() as f64)
+            .collect();
+        rank.set_context("main");
+        KernelAutotuneReport::from_avg_times(n, cands, avg)
+    });
     prof.exit();
+
+    // Effective config: the kernel autotune overrides the requested
+    // variant; everything downstream reads the resolved choice.
+    let mut cfg_eff = cfg.clone();
+    if let Some(t) = &kernel_tune {
+        cfg_eff.variant = t.effective;
+    }
+    let cfg = &cfg_eff;
 
     // ---- fields -------------------------------------------------------
     let nel = mesh.nel();
+    let n3 = n * n * n;
+
+    // ---- hybrid worker pool: chunk geometry + per-chunk scratch --------
+    // The pooled element loops call the same kernels on disjoint
+    // contiguous element ranges, so results are bitwise identical for
+    // every worker count; all scratch is sized here, once, keeping the
+    // steady state allocation-free.
+    let pool = rank.worker_pool();
+    let grain = kernel_tune
+        .as_ref()
+        .map(|t| t.chosen.grain)
+        .unwrap_or_else(|| nel.div_ceil(rank.workers() * 4).max(1));
+    let n_chunks = chunk_count(nel, grain);
+    let mut pool_scratch = if pool.is_some() {
+        vec![0.0; n_chunks * grain * n3]
+    } else {
+        Vec::new()
+    };
+    let mut dealias_pool_scratch = match (&pool, cfg.dealias_m) {
+        (Some(_), Some(m)) => vec![0.0; n_chunks * 2 * m.max(n).pow(3)],
+        _ => Vec::new(),
+    };
     let coords = |e: usize, i: usize, j: usize, k: usize| {
         let gc = mesh.global_elem_coords(e);
         [
@@ -587,30 +635,92 @@ fn rank_main(rank: &mut Rank, cfg: &Config, mesh_cfg: &MeshConfig, collect: bool
 
                     // (3) overlap window: every field's volume work (flux
                     // divergence + dealias) runs while the face messages are
-                    // in flight
+                    // in flight. With `--workers`, the element loop of each
+                    // kernel is shared across the rank's work-stealing pool —
+                    // compute fills the same in-flight window, just on more
+                    // cores. Chunks write disjoint element ranges and nothing
+                    // is reduced across chunks, so the result is bitwise
+                    // identical to the serial path.
                     for f in 0..cfg.fields {
                         prof.enter(regions::DERIV);
-                        advect_volume_rhs(
-                            cfg.variant,
-                            &basis,
-                            &geom,
-                            cfg.velocity,
-                            &u[f],
-                            &mut rhs_all[f],
-                            &mut scratch,
-                        );
+                        if let Some(pool) = &pool {
+                            let us = u[f].as_slice();
+                            let rhs_sh = SharedSliceMut::new(rhs_all[f].as_mut_slice());
+                            let scr_sh = SharedSliceMut::new(&mut pool_scratch[..]);
+                            pool.run(n_chunks, &|c| {
+                                let (lo, hi) = chunk_range(nel, grain, c);
+                                // SAFETY: chunk ranges partition 0..nel and
+                                // each chunk owns slab c of the scratch, so
+                                // every range below is touched by one chunk.
+                                let rhs_c = unsafe { rhs_sh.range_mut(lo * n3, hi * n3) };
+                                let scr_c = unsafe {
+                                    scr_sh.range_mut(c * grain * n3, (c * grain + (hi - lo)) * n3)
+                                };
+                                advect_volume_rhs_slices(
+                                    cfg.variant,
+                                    &basis,
+                                    &geom,
+                                    cfg.velocity,
+                                    n,
+                                    hi - lo,
+                                    &us[lo * n3..hi * n3],
+                                    rhs_c,
+                                    scr_c,
+                                );
+                            });
+                            let (wa, wb) = pool.drain_worker_allocs();
+                            prof.charge_allocs(wa, wb);
+                        } else {
+                            advect_volume_rhs(
+                                cfg.variant,
+                                &basis,
+                                &geom,
+                                cfg.velocity,
+                                &u[f],
+                                &mut rhs_all[f],
+                                &mut scratch,
+                            );
+                        }
                         prof.exit();
                         if let Some((m, up, down, fine)) = dealias.as_mut() {
                             prof.enter(regions::DEALIAS);
-                            kernels::tensor3_apply(*m, n, up, rhs_all[f].as_slice(), fine, nel);
-                            kernels::tensor3_apply(
-                                n,
-                                *m,
-                                down,
-                                fine,
-                                rhs_all[f].as_mut_slice(),
-                                nel,
-                            );
+                            if let Some(pool) = &pool {
+                                let (m, up, down): (usize, &[f64], &[f64]) = (*m, up, down);
+                                let m3 = m * m * m;
+                                let big3 = m.max(n).pow(3);
+                                let rhs_sh = SharedSliceMut::new(rhs_all[f].as_mut_slice());
+                                let fine_sh = SharedSliceMut::new(&mut fine[..]);
+                                let t_sh = SharedSliceMut::new(&mut dealias_pool_scratch[..]);
+                                pool.run(n_chunks, &|c| {
+                                    let (lo, hi) = chunk_range(nel, grain, c);
+                                    let nel_c = hi - lo;
+                                    // SAFETY: disjoint element ranges per
+                                    // chunk; slab c of the scratch is private.
+                                    let rhs_c = unsafe { rhs_sh.range_mut(lo * n3, hi * n3) };
+                                    let fine_c = unsafe { fine_sh.range_mut(lo * m3, hi * m3) };
+                                    let ts =
+                                        unsafe { t_sh.range_mut(2 * c * big3, 2 * (c + 1) * big3) };
+                                    let (t1, t2) = ts.split_at_mut(big3);
+                                    kernels::tensor3_apply_scratch(
+                                        m, n, up, rhs_c, fine_c, nel_c, t1, t2,
+                                    );
+                                    kernels::tensor3_apply_scratch(
+                                        n, m, down, fine_c, rhs_c, nel_c, t1, t2,
+                                    );
+                                });
+                                let (wa, wb) = pool.drain_worker_allocs();
+                                prof.charge_allocs(wa, wb);
+                            } else {
+                                kernels::tensor3_apply(*m, n, up, rhs_all[f].as_slice(), fine, nel);
+                                kernels::tensor3_apply(
+                                    n,
+                                    *m,
+                                    down,
+                                    fine,
+                                    rhs_all[f].as_mut_slice(),
+                                    nel,
+                                );
+                            }
                             prof.exit();
                         }
                     }
@@ -706,6 +816,7 @@ fn rank_main(rank: &mut Rank, cfg: &Config, mesh_cfg: &MeshConfig, collect: bool
     RankOutput {
         profiler: prof,
         autotune: tune_report,
+        kernel_autotune: kernel_tune,
         chosen,
         checksum,
         state_hash: hash_fields(&u),
@@ -722,7 +833,10 @@ fn run_inner(cfg: &Config, collect: bool) -> (RunReport, Vec<SolutionDump>) {
         Some(net) => World::with_network(net),
         None => World::new(),
     };
-    world = world.with_pooling(cfg.pool);
+    world = world
+        .with_pooling(cfg.pool)
+        .with_workers(cfg.workers)
+        .with_worker_alloc_counters(cmt_perf::alloc::thread_counts);
     if let Some(plan) = &cfg.fault_plan {
         world = world.with_fault_plan(plan.clone());
     }
@@ -737,6 +851,7 @@ fn run_inner(cfg: &Config, collect: bool) -> (RunReport, Vec<SolutionDump>) {
 
     let mut merged = Profiler::new();
     let mut autotune_rep = None;
+    let mut kernel_autotune_rep = None;
     let mut chosen = None;
     let mut checksum = f64::NAN;
     let mut state_hash = hash::FNV_OFFSET;
@@ -747,6 +862,9 @@ fn run_inner(cfg: &Config, collect: bool) -> (RunReport, Vec<SolutionDump>) {
         merged.merge(&out.profiler);
         if out.autotune.is_some() && autotune_rep.is_none() {
             autotune_rep = out.autotune;
+        }
+        if out.kernel_autotune.is_some() && kernel_autotune_rep.is_none() {
+            kernel_autotune_rep = out.kernel_autotune;
         }
         chosen.get_or_insert(out.chosen);
         checksum = out.checksum; // identical on every rank
@@ -763,6 +881,7 @@ fn run_inner(cfg: &Config, collect: bool) -> (RunReport, Vec<SolutionDump>) {
         mesh: mesh_cfg,
         chosen_method: chosen.expect("at least one rank"),
         autotune: autotune_rep,
+        kernel_autotune: kernel_autotune_rep,
         profile: merged.report(),
         comm: MpipReport::from_stats(&result.stats),
         rank_wall_s: rank_wall,
@@ -818,6 +937,55 @@ mod tests {
         assert!(a.checksum.is_finite());
         assert_eq!(a.checksum, b.checksum, "checksum not deterministic");
         assert_eq!(a.chosen_method, GsMethod::PairwiseExchange);
+    }
+
+    /// The hybrid MPI+workers overlap window must not change a single
+    /// bit: chunked element loops reuse the serial kernels on disjoint
+    /// subslices, so state hash and checksum are invariant in the worker
+    /// count (with and without dealiasing).
+    #[test]
+    fn hybrid_workers_are_bitwise_identical_to_serial() {
+        for dealias_m in [None, Some(7)] {
+            let cfg = Config {
+                method: Some(GsMethod::PairwiseExchange),
+                dealias_m,
+                ..small_cfg()
+            };
+            let serial = run(&cfg);
+            for workers in [2, 4] {
+                let hybrid = run(&Config {
+                    workers,
+                    ..cfg.clone()
+                });
+                assert_eq!(
+                    serial.state_hash, hybrid.state_hash,
+                    "state diverged with {workers} workers (dealias {dealias_m:?})"
+                );
+                assert_eq!(serial.checksum, hybrid.checksum);
+            }
+        }
+    }
+
+    /// `--variant auto`: the startup kernel autotune must produce a
+    /// report, pick a resolved (effective) variant, and leave the run
+    /// numerically sane.
+    #[test]
+    fn kernel_autotune_runs_and_reports() {
+        let cfg = Config {
+            kernel_autotune: true,
+            method: Some(GsMethod::PairwiseExchange),
+            steps: 2,
+            ..small_cfg()
+        };
+        let rep = run(&cfg);
+        let tune = rep
+            .kernel_autotune
+            .as_ref()
+            .expect("kernel autotune report");
+        assert_eq!(tune.effective, tune.chosen.variant.resolve(cfg.n));
+        assert!(!tune.timings.is_empty());
+        assert!(rep.checksum.is_finite());
+        assert!(rep.render().contains("Kernel autotune"));
     }
 
     #[test]

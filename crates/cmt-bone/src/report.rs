@@ -16,6 +16,10 @@ pub struct RunReport {
     pub chosen_method: GsMethod,
     /// The startup tuning table (Fig. 7 body), when autotuning ran.
     pub autotune: Option<AutotuneReport>,
+    /// The derivative-kernel tuning table (`--variant auto`): variant ×
+    /// chunk-grain timings averaged across ranks, when the kernel
+    /// autotune ran.
+    pub kernel_autotune: Option<cmt_core::kernels::autotune::KernelAutotuneReport>,
     /// Region profile merged over all ranks (Fig. 4).
     pub profile: ProfileReport,
     /// mpiP-style communication statistics (Figs. 8-10).
@@ -109,6 +113,10 @@ impl RunReport {
             out.push_str(
                 "mini-app   | method             |      avg (s) |      min (s) |      max (s)\n",
             );
+            out.push_str(&t.table("CMT-bone"));
+        }
+        if let Some(t) = &self.kernel_autotune {
+            out.push_str("\nKernel autotune (variant x grain, rank-averaged):\n");
             out.push_str(&t.table("CMT-bone"));
         }
         out.push_str("\nExecution profile (Fig. 4):\n");

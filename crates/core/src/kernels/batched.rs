@@ -1,0 +1,177 @@
+//! Batched, cache-blocked derivative kernels.
+//!
+//! The [`crate::kernels::opt`] kernels already fuse loops, but they walk
+//! each element in the textbook order, which stops paying once the
+//! per-element working set (`2 n^3 + n^2` doubles) outgrows L1 — the
+//! paper's §V observation that `duds`/`dudt` suffer "a large number of
+//! cache misses due to poor data locality" at larger `N`. These variants
+//! contract `D` across *all* elements of a rank in one call and tile the
+//! fused point index so every loaded cache line is reused `n` times
+//! before eviction:
+//!
+//! * `dudr`: the fused `(j, k, e)` column loop is processed in tiles with
+//!   the `i` (output-row) loop hoisted *outside* the tile, so one row of
+//!   `D` serves a whole tile of columns instead of being re-fetched per
+//!   column.
+//! * `duds`: same hoisting per `k`-slab tile — one `D` row per tile of
+//!   slabs.
+//! * `dudt`: the `n^2` fused `(i, j)` index is split into blocks sized so
+//!   an input block column (`n` strided slab segments) plus its output
+//!   block stay within L1 across the whole `k x m` contraction; this is
+//!   the kernel whose naive stride-`n^2` walk the paper's Fig. 5/6 study
+//!   targets.
+//!
+//! Every output point is accumulated in the *same order* as the
+//! [`crate::kernels::opt`] kernels (ascending `m`, first term
+//! initializes), so results are bitwise identical to the optimized
+//! variant for every shape — blocking only changes *which* outputs are
+//! computed when, never how each one is summed.
+
+/// Points per block stream for the `dudt` tiling: keep
+/// `2 * n * block * 8` bytes (input + output tile) within a 32 KB L1
+/// budget, but never split below one cache line's worth of doubles.
+#[inline]
+fn t_block(n: usize) -> usize {
+    (2048 / n).max(8)
+}
+
+/// Columns per tile for the `dudr`/`duds` row-hoisted loops.
+const COL_TILE: usize = 32;
+
+/// Batched `dudr`: tiles of fused `(j, k, e)` columns with the output-row
+/// loop hoisted so each `D` row is loaded once per tile.
+pub fn deriv_r(n: usize, nel: usize, d: &[f64], u: &[f64], out: &mut [f64]) {
+    let ncols = n * n * nel;
+    let mut c0 = 0;
+    while c0 < ncols {
+        let c1 = (c0 + COL_TILE).min(ncols);
+        for i in 0..n {
+            let drow = &d[i * n..i * n + n];
+            for c in c0..c1 {
+                let ucol = &u[c * n..c * n + n];
+                let mut s = 0.0;
+                for (dv, uv) in drow.iter().zip(ucol) {
+                    s += dv * uv;
+                }
+                out[c * n + i] = s;
+            }
+        }
+        c0 = c1;
+    }
+}
+
+/// Batched `duds`: tiles of fused `(k, e)` slabs with the `j` loop
+/// hoisted so each `D` row serves a whole tile of slabs.
+pub fn deriv_s(n: usize, nel: usize, d: &[f64], u: &[f64], out: &mut [f64]) {
+    let n2 = n * n;
+    let nslabs = n * nel;
+    let mut s0 = 0;
+    while s0 < nslabs {
+        let s1 = (s0 + COL_TILE).min(nslabs);
+        for j in 0..n {
+            let drow = &d[j * n..j * n + n];
+            let d0 = drow[0];
+            for sl in s0..s1 {
+                let slab = &u[sl * n2..(sl + 1) * n2];
+                let ocol = &mut out[sl * n2 + j * n..sl * n2 + j * n + n];
+                // first term initializes, rest accumulate — identical
+                // summation order to opt::deriv_s
+                for (o, uv) in ocol.iter_mut().zip(&slab[..n]) {
+                    *o = d0 * uv;
+                }
+                for (m, &dv) in drow.iter().enumerate().skip(1) {
+                    let ucol = &slab[m * n..m * n + n];
+                    for (o, uv) in ocol.iter_mut().zip(ucol) {
+                        *o += dv * uv;
+                    }
+                }
+            }
+        }
+        s0 = s1;
+    }
+}
+
+/// Batched `dudt`: the fused `(i, j)` point index is blocked so the full
+/// `k x m` contraction runs over an L1-resident input/output tile.
+pub fn deriv_t(n: usize, nel: usize, d: &[f64], u: &[f64], out: &mut [f64]) {
+    let n2 = n * n;
+    let n3 = n2 * n;
+    let block = t_block(n);
+    for e in 0..nel {
+        let ue = &u[e * n3..(e + 1) * n3];
+        let oe = &mut out[e * n3..(e + 1) * n3];
+        let mut t0 = 0;
+        while t0 < n2 {
+            let t1 = (t0 + block).min(n2);
+            for k in 0..n {
+                let drow = &d[k * n..k * n + n];
+                let ocol = &mut oe[k * n2 + t0..k * n2 + t1];
+                // first term initializes, rest accumulate — identical
+                // summation order to opt::deriv_t
+                let d0 = drow[0];
+                for (o, uv) in ocol.iter_mut().zip(&ue[t0..t1]) {
+                    *o = d0 * uv;
+                }
+                for (m, &dv) in drow.iter().enumerate().skip(1) {
+                    let ucol = &ue[m * n2 + t0..m * n2 + t1];
+                    for (o, uv) in ocol.iter_mut().zip(ucol) {
+                        *o += dv * uv;
+                    }
+                }
+            }
+            t0 = t1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::opt;
+    use crate::poly::Basis;
+
+    fn pseudo_random(len: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0x2545F4914F6CDD1D).max(1);
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state as f64 / u64::MAX as f64) * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bitwise_identical_to_opt() {
+        // The blocking must not change summation order: exact equality,
+        // including shapes where tiles split unevenly.
+        for &(n, nel) in &[(2, 1), (3, 7), (5, 13), (10, 3), (17, 2), (25, 2), (27, 1)] {
+            let b = Basis::new(n);
+            let u = pseudo_random(n * n * n * nel, n as u64 * 131 + nel as u64);
+            let mut a = vec![0.0; u.len()];
+            let mut c = vec![0.0; u.len()];
+            for (fo, fb) in [
+                (
+                    opt::deriv_r as fn(usize, usize, &[f64], &[f64], &mut [f64]),
+                    deriv_r as fn(usize, usize, &[f64], &[f64], &mut [f64]),
+                ),
+                (opt::deriv_s, deriv_s),
+                (opt::deriv_t, deriv_t),
+            ] {
+                fo(n, nel, &b.d, &u, &mut a);
+                fb(n, nel, &b.d, &u, &mut c);
+                assert_eq!(a, c, "n={n} nel={nel}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_length_bounded() {
+        for n in 2..=32 {
+            let b = t_block(n);
+            assert!(b >= 8);
+            assert!(2 * n * b * 8 <= 2 * 2048 * 8 + 2 * n * 8 * 8);
+        }
+    }
+}

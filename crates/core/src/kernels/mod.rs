@@ -29,9 +29,12 @@
 //! All variants compute bit-for-bit comparable results (same summation
 //! order is *not* guaranteed, so tests compare with a tight tolerance).
 
+pub mod autotune;
 pub mod basic;
+pub mod batched;
 pub mod opt;
 pub mod specialized;
+pub mod unroll;
 
 use crate::field::Field;
 
@@ -70,14 +73,20 @@ pub enum KernelVariant {
     /// Const-generic fully-unrolled inner products (Nek `mxm` analogue);
     /// falls back to [`KernelVariant::Optimized`] for unsupported `n`.
     Specialized,
+    /// All-elements batched, cache-blocked loop orders ([`batched`]).
+    Batched,
+    /// Unroll-and-jam: multiple output streams per input pass ([`unroll`]).
+    UnrollJam,
 }
 
 impl KernelVariant {
-    /// All variants, in increasing order of optimization.
-    pub const ALL: [KernelVariant; 3] = [
+    /// All variants, baseline first.
+    pub const ALL: [KernelVariant; 5] = [
         KernelVariant::Basic,
         KernelVariant::Optimized,
         KernelVariant::Specialized,
+        KernelVariant::Batched,
+        KernelVariant::UnrollJam,
     ];
 
     /// Human-readable name used in bench/figure output.
@@ -86,6 +95,24 @@ impl KernelVariant {
             KernelVariant::Basic => "basic",
             KernelVariant::Optimized => "optimized",
             KernelVariant::Specialized => "specialized",
+            KernelVariant::Batched => "batched",
+            KernelVariant::UnrollJam => "unrolljam",
+        }
+    }
+
+    /// The variant whose code actually runs for order `n`.
+    ///
+    /// [`KernelVariant::Specialized`] has const-generic instantiations
+    /// only for `n in 2..=25`; outside that range its entry points fall
+    /// back to the optimized kernels. Every layer that *reports* a
+    /// variant (the PAPI model, the autotuner, bench tables) must resolve
+    /// first, or it attributes measurements to code that never ran.
+    pub fn resolve(self, n: usize) -> KernelVariant {
+        match self {
+            KernelVariant::Specialized if !specialized::is_specialized(n) => {
+                KernelVariant::Optimized
+            }
+            v => v,
         }
     }
 }
@@ -107,6 +134,10 @@ fn check_shapes(n: usize, nel: usize, d: &[f64], u: &[f64], out: &[f64]) {
 /// `out[e, i, j, k] = sum_m D[dir index][m] * u[e, ..m..]` — see the module
 /// docs for the exact contraction per direction.
 ///
+/// Returns the *effective* variant ([`KernelVariant::resolve`]) — the one
+/// whose code actually ran, which differs from the request when
+/// `Specialized` falls back for an unsupported `n`.
+///
 /// # Panics
 /// Panics on shape mismatches (wrong `D`, `u`, or `out` lengths).
 pub fn deriv(
@@ -117,9 +148,10 @@ pub fn deriv(
     d: &[f64],
     u: &[f64],
     out: &mut [f64],
-) {
+) -> KernelVariant {
     check_shapes(n, nel, d, u, out);
-    match (variant, dir) {
+    let effective = variant.resolve(n);
+    match (effective, dir) {
         (KernelVariant::Basic, DerivDir::R) => basic::deriv_r(n, nel, d, u, out),
         (KernelVariant::Basic, DerivDir::S) => basic::deriv_s(n, nel, d, u, out),
         (KernelVariant::Basic, DerivDir::T) => basic::deriv_t(n, nel, d, u, out),
@@ -129,7 +161,14 @@ pub fn deriv(
         (KernelVariant::Specialized, DerivDir::R) => specialized::deriv_r(n, nel, d, u, out),
         (KernelVariant::Specialized, DerivDir::S) => specialized::deriv_s(n, nel, d, u, out),
         (KernelVariant::Specialized, DerivDir::T) => specialized::deriv_t(n, nel, d, u, out),
+        (KernelVariant::Batched, DerivDir::R) => batched::deriv_r(n, nel, d, u, out),
+        (KernelVariant::Batched, DerivDir::S) => batched::deriv_s(n, nel, d, u, out),
+        (KernelVariant::Batched, DerivDir::T) => batched::deriv_t(n, nel, d, u, out),
+        (KernelVariant::UnrollJam, DerivDir::R) => unroll::deriv_r(n, nel, d, u, out),
+        (KernelVariant::UnrollJam, DerivDir::S) => unroll::deriv_s(n, nel, d, u, out),
+        (KernelVariant::UnrollJam, DerivDir::T) => unroll::deriv_t(n, nel, d, u, out),
     }
+    effective
 }
 
 /// Compute all three partial derivatives of a [`Field`] at once.
@@ -183,12 +222,32 @@ pub fn grad(
 /// `u` has `n^3` points per element, `out` has `m^3`. A scratch buffer of
 /// `max(m,n)^3` values is allocated internally per call.
 pub fn tensor3_apply(m: usize, n: usize, j_mat: &[f64], u: &[f64], out: &mut [f64], nel: usize) {
+    let big = m.max(n);
+    let mut t1 = vec![0.0; big * big * big];
+    let mut t2 = vec![0.0; big * big * big];
+    tensor3_apply_scratch(m, n, j_mat, u, out, nel, &mut t1, &mut t2);
+}
+
+/// [`tensor3_apply`] with caller-provided scratch (each at least
+/// `max(m,n)^3` values) — the allocation-free form the worker-pooled
+/// dealias path uses, where each chunk owns a preallocated scratch pair.
+#[allow(clippy::too_many_arguments)]
+pub fn tensor3_apply_scratch(
+    m: usize,
+    n: usize,
+    j_mat: &[f64],
+    u: &[f64],
+    out: &mut [f64],
+    nel: usize,
+    t1: &mut [f64],
+    t2: &mut [f64],
+) {
     assert_eq!(j_mat.len(), m * n, "J must be m x n");
     assert_eq!(u.len(), n * n * n * nel, "u length mismatch");
     assert_eq!(out.len(), m * m * m * nel, "out length mismatch");
     let big = m.max(n);
-    let mut t1 = vec![0.0; big * big * big];
-    let mut t2 = vec![0.0; big * big * big];
+    assert!(t1.len() >= big * big * big, "t1 scratch too small");
+    assert!(t2.len() >= big * big * big, "t2 scratch too small");
     for e in 0..nel {
         let ue = &u[e * n * n * n..(e + 1) * n * n * n];
         let oe = &mut out[e * m * m * m..(e + 1) * m * m * m];
@@ -282,7 +341,10 @@ mod tests {
 
     #[test]
     fn all_variants_match_reference_all_dirs() {
-        for &n in &[2, 3, 5, 8, 10, 13, 16, 25, 27] {
+        // The whole dispatch range 2..=25 plus 27 (the Specialized
+        // fallback), so every const instantiation, every jam remainder,
+        // and every tile split is pinned against the reference.
+        for n in (2..=25).chain([27]) {
             let nel = 3;
             let b = Basis::new(n);
             let u = pseudo_random(n * n * n * nel, 42 + n as u64);
@@ -416,6 +478,39 @@ mod tests {
         tensor3_apply(5, 8, &down, &fine, &mut back, 1);
         for (a, b) in back.iter().zip(&u) {
             assert!((a - b).abs() < 1e-10, "dealias roundtrip: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn deriv_reports_effective_variant() {
+        // Specialized has no const instantiation at n = 27: the call must
+        // report the Optimized fallback, not the requested variant.
+        let n = 27;
+        let b = Basis::new(n);
+        let u = pseudo_random(n * n * n, 9);
+        let mut out = vec![0.0; u.len()];
+        let eff = deriv(
+            KernelVariant::Specialized,
+            DerivDir::T,
+            n,
+            1,
+            &b.d,
+            &u,
+            &mut out,
+        );
+        assert_eq!(eff, KernelVariant::Optimized);
+        assert_eq!(
+            KernelVariant::Specialized.resolve(10),
+            KernelVariant::Specialized
+        );
+        assert_eq!(
+            KernelVariant::Specialized.resolve(26),
+            KernelVariant::Optimized
+        );
+        for v in KernelVariant::ALL {
+            if v != KernelVariant::Specialized {
+                assert_eq!(v.resolve(27), v, "only Specialized falls back");
+            }
         }
     }
 

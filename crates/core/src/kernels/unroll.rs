@@ -1,0 +1,191 @@
+//! Unroll-and-jam derivative kernels.
+//!
+//! Where [`crate::kernels::batched`] tiles for cache residence, these
+//! variants jam the *output* loop: several output rows (or slabs) are
+//! produced per pass over the input, so each loaded input value feeds
+//! multiple independent accumulator streams. That is the classic
+//! unroll-and-jam transformation Nek applies on top of fusion — it buys
+//! register-level reuse (fewer loads per flop) at the cost of more live
+//! accumulators:
+//!
+//! * `dudr`: 4 output rows per pass over a fused column — one load of
+//!   `ucol[m]` feeds 4 dot products.
+//! * `duds` / `dudt`: 2 output slabs (`j` / `k` values) per pass over the
+//!   input slabs — one load of each input point updates both streams.
+//!
+//! As with the batched kernels, every individual output is accumulated in
+//! exactly the order the [`crate::kernels::opt`] variant uses (ascending
+//! `m`, first term initializing), so results are bitwise identical to
+//! `opt` — jamming reorders the outputs' interleaving, never a sum.
+
+/// Unroll-and-jam `dudr`: 4 output rows share one pass over each column.
+pub fn deriv_r(n: usize, nel: usize, d: &[f64], u: &[f64], out: &mut [f64]) {
+    let ncols = n * n * nel;
+    let jam = n / 4 * 4;
+    for c in 0..ncols {
+        let ucol = &u[c * n..c * n + n];
+        let ocol = &mut out[c * n..c * n + n];
+        let mut i = 0;
+        while i < jam {
+            let d0 = &d[i * n..i * n + n];
+            let d1 = &d[(i + 1) * n..(i + 1) * n + n];
+            let d2 = &d[(i + 2) * n..(i + 2) * n + n];
+            let d3 = &d[(i + 3) * n..(i + 3) * n + n];
+            let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+            for (m, uv) in ucol.iter().enumerate() {
+                s0 += d0[m] * uv;
+                s1 += d1[m] * uv;
+                s2 += d2[m] * uv;
+                s3 += d3[m] * uv;
+            }
+            ocol[i] = s0;
+            ocol[i + 1] = s1;
+            ocol[i + 2] = s2;
+            ocol[i + 3] = s3;
+            i += 4;
+        }
+        for i in jam..n {
+            let drow = &d[i * n..i * n + n];
+            let mut s = 0.0;
+            for (dv, uv) in drow.iter().zip(ucol) {
+                s += dv * uv;
+            }
+            ocol[i] = s;
+        }
+    }
+}
+
+/// Unroll-and-jam `duds`: 2 output `j`-columns share one pass over the
+/// slab's input columns.
+pub fn deriv_s(n: usize, nel: usize, d: &[f64], u: &[f64], out: &mut [f64]) {
+    let n2 = n * n;
+    let nslabs = n * nel;
+    let jam = n / 2 * 2;
+    for sl in 0..nslabs {
+        let slab = &u[sl * n2..(sl + 1) * n2];
+        let oslab = &mut out[sl * n2..(sl + 1) * n2];
+        let mut j = 0;
+        while j < jam {
+            let da = &d[j * n..j * n + n];
+            let db = &d[(j + 1) * n..(j + 1) * n + n];
+            let (head, tail) = oslab[j * n..(j + 2) * n].split_at_mut(n);
+            let (da0, db0) = (da[0], db[0]);
+            for ((oa, ob), uv) in head.iter_mut().zip(tail.iter_mut()).zip(&slab[..n]) {
+                *oa = da0 * uv;
+                *ob = db0 * uv;
+            }
+            for m in 1..n {
+                let (dva, dvb) = (da[m], db[m]);
+                let ucol = &slab[m * n..m * n + n];
+                for ((oa, ob), uv) in head.iter_mut().zip(tail.iter_mut()).zip(ucol) {
+                    *oa += dva * uv;
+                    *ob += dvb * uv;
+                }
+            }
+            j += 2;
+        }
+        for j in jam..n {
+            let drow = &d[j * n..j * n + n];
+            let ocol = &mut oslab[j * n..j * n + n];
+            let d0 = drow[0];
+            for (o, uv) in ocol.iter_mut().zip(&slab[..n]) {
+                *o = d0 * uv;
+            }
+            for (m, &dv) in drow.iter().enumerate().skip(1) {
+                let ucol = &slab[m * n..m * n + n];
+                for (o, uv) in ocol.iter_mut().zip(ucol) {
+                    *o += dv * uv;
+                }
+            }
+        }
+    }
+}
+
+/// Unroll-and-jam `dudt`: 2 output `k`-slabs share one pass over the
+/// element's input slabs.
+pub fn deriv_t(n: usize, nel: usize, d: &[f64], u: &[f64], out: &mut [f64]) {
+    let n2 = n * n;
+    let n3 = n2 * n;
+    let jam = n / 2 * 2;
+    for e in 0..nel {
+        let ue = &u[e * n3..(e + 1) * n3];
+        let oe = &mut out[e * n3..(e + 1) * n3];
+        let mut k = 0;
+        while k < jam {
+            let da = &d[k * n..k * n + n];
+            let db = &d[(k + 1) * n..(k + 1) * n + n];
+            let (head, tail) = oe[k * n2..(k + 2) * n2].split_at_mut(n2);
+            let (da0, db0) = (da[0], db[0]);
+            for ((oa, ob), uv) in head.iter_mut().zip(tail.iter_mut()).zip(&ue[..n2]) {
+                *oa = da0 * uv;
+                *ob = db0 * uv;
+            }
+            for m in 1..n {
+                let (dva, dvb) = (da[m], db[m]);
+                let ucol = &ue[m * n2..(m + 1) * n2];
+                for ((oa, ob), uv) in head.iter_mut().zip(tail.iter_mut()).zip(ucol) {
+                    *oa += dva * uv;
+                    *ob += dvb * uv;
+                }
+            }
+            k += 2;
+        }
+        for k in jam..n {
+            let drow = &d[k * n..k * n + n];
+            let ocol = &mut oe[k * n2..(k + 1) * n2];
+            let d0 = drow[0];
+            for (o, uv) in ocol.iter_mut().zip(&ue[..n2]) {
+                *o = d0 * uv;
+            }
+            for (m, &dv) in drow.iter().enumerate().skip(1) {
+                let ucol = &ue[m * n2..(m + 1) * n2];
+                for (o, uv) in ocol.iter_mut().zip(ucol) {
+                    *o += dv * uv;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::opt;
+    use crate::poly::Basis;
+
+    fn pseudo_random(len: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state as f64 / u64::MAX as f64) * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bitwise_identical_to_opt() {
+        // Odd n exercises the jam remainders; exact equality is required
+        // because jamming must not change any output's summation order.
+        for &(n, nel) in &[(2, 3), (3, 2), (5, 4), (6, 2), (9, 2), (11, 1), (25, 1)] {
+            let b = Basis::new(n);
+            let u = pseudo_random(n * n * n * nel, n as u64 * 7 + nel as u64);
+            let mut a = vec![0.0; u.len()];
+            let mut c = vec![0.0; u.len()];
+            for (fo, fj) in [
+                (
+                    opt::deriv_r as fn(usize, usize, &[f64], &[f64], &mut [f64]),
+                    deriv_r as fn(usize, usize, &[f64], &[f64], &mut [f64]),
+                ),
+                (opt::deriv_s, deriv_s),
+                (opt::deriv_t, deriv_t),
+            ] {
+                fo(n, nel, &b.d, &u, &mut a);
+                fj(n, nel, &b.d, &u, &mut c);
+                assert_eq!(a, c, "n={n} nel={nel}");
+            }
+        }
+    }
+}

@@ -88,21 +88,51 @@ pub fn advect_volume_rhs(
         (scratch.n(), scratch.nel()),
         "scratch shape"
     );
+    advect_volume_rhs_slices(
+        variant,
+        basis,
+        geom,
+        vel,
+        u.n(),
+        u.nel(),
+        u.as_slice(),
+        rhs.as_mut_slice(),
+        scratch.as_mut_slice(),
+    );
+}
+
+/// Slice form of [`advect_volume_rhs`]: `u`, `rhs`, and `scratch` are
+/// `nel` contiguous elements in `Field` layout. This is the unit the
+/// hybrid worker pool chunks over — each chunk of elements is an
+/// independent call on subslices, and because the per-element arithmetic
+/// is identical for any chunking, the result is bitwise independent of
+/// the chunk grain and worker count.
+#[allow(clippy::too_many_arguments)]
+pub fn advect_volume_rhs_slices(
+    variant: KernelVariant,
+    basis: &Basis,
+    geom: &ElementGeom,
+    vel: [f64; 3],
+    n: usize,
+    nel: usize,
+    u: &[f64],
+    rhs: &mut [f64],
+    scratch: &mut [f64],
+) {
+    let n3 = n * n * n;
+    assert_eq!(u.len(), n3 * nel, "u length");
+    assert_eq!(rhs.len(), n3 * nel, "rhs length");
+    assert_eq!(scratch.len(), n3 * nel, "scratch length");
     rhs.fill(0.0);
     for (axis, dir) in [(0, DerivDir::R), (1, DerivDir::S), (2, DerivDir::T)] {
         if vel[axis] == 0.0 {
             continue;
         }
-        kernels::deriv(
-            variant,
-            dir,
-            u.n(),
-            u.nel(),
-            &basis.d,
-            u.as_slice(),
-            scratch.as_mut_slice(),
-        );
-        rhs.axpy(-vel[axis] * geom.dscale(axis), scratch);
+        kernels::deriv(variant, dir, n, nel, &basis.d, u, scratch);
+        let a = -vel[axis] * geom.dscale(axis);
+        for (r, &s) in rhs.iter_mut().zip(scratch.iter()) {
+            *r += a * s;
+        }
     }
 }
 

@@ -25,6 +25,7 @@
 use cmt_core::kernels::{deriv, DerivDir};
 use cmt_core::poly::Basis;
 use cmt_core::{Field, KernelVariant};
+use simmpi::{chunk_count, chunk_range, SharedSliceMut, WorkerPool};
 
 /// Precomputed operator data shared by all `ax` applications.
 #[derive(Debug, Clone)]
@@ -80,51 +81,102 @@ impl AxOperator {
         assert_eq!((w.n(), w.nel()), (n, nel), "w shape");
         assert_eq!((t1.n(), t1.nel()), (n, nel), "t1 shape");
         assert_eq!((t2.n(), t2.nel()), (n, nel), "t2 shape");
+        self.apply_slices(
+            nel,
+            u.as_slice(),
+            w.as_mut_slice(),
+            t1.as_mut_slice(),
+            t2.as_mut_slice(),
+        );
+    }
+
+    /// Slice form of [`AxOperator::apply`]: `nel` contiguous elements in
+    /// `Field` layout. The unit the hybrid worker pool chunks over — the
+    /// per-element arithmetic is identical for any chunking, so the
+    /// result is bitwise independent of the chunk grain.
+    pub fn apply_slices(
+        &self,
+        nel: usize,
+        u: &[f64],
+        w: &mut [f64],
+        t1: &mut [f64],
+        t2: &mut [f64],
+    ) {
+        let n = self.basis.n;
+        let n3 = n * n * n;
+        assert_eq!(u.len(), n3 * nel, "u length");
+        assert_eq!(w.len(), n3 * nel, "w length");
+        assert_eq!(t1.len(), n3 * nel, "t1 length");
+        assert_eq!(t2.len(), n3 * nel, "t2 length");
         let stiff_coef = self.h / 2.0;
         let mass_coef = self.lambda * (self.h / 2.0).powi(3);
         w.fill(0.0);
-        let n3 = n * n * n;
         for dir in DerivDir::ALL {
             // t1 = D_a u
-            deriv(
-                self.variant,
-                dir,
-                n,
-                nel,
-                &self.basis.d,
-                u.as_slice(),
-                t1.as_mut_slice(),
-            );
+            deriv(self.variant, dir, n, nel, &self.basis.d, u, t1);
             // t1 *= stiff_coef * W (per-element repeated weight pattern)
-            {
-                let t1s = t1.as_mut_slice();
-                for e in 0..nel {
-                    let block = &mut t1s[e * n3..(e + 1) * n3];
-                    for (v, &g) in block.iter_mut().zip(&self.gw) {
-                        *v *= stiff_coef * g;
-                    }
+            for e in 0..nel {
+                let block = &mut t1[e * n3..(e + 1) * n3];
+                for (v, &g) in block.iter_mut().zip(&self.gw) {
+                    *v *= stiff_coef * g;
                 }
             }
             // t2 = D_a^T t1 (adjoint contraction: use the transposed matrix)
-            deriv(
-                self.variant,
-                dir,
-                n,
-                nel,
-                &self.basis.dt,
-                t1.as_slice(),
-                t2.as_mut_slice(),
-            );
-            w.axpy(1.0, t2);
-        }
-        // mass term: w += lambda * (h/2)^3 * W .* u
-        let ws = w.as_mut_slice();
-        let us = u.as_slice();
-        for e in 0..nel {
-            for (p, &g) in self.gw.iter().enumerate() {
-                ws[e * n3 + p] += mass_coef * g * us[e * n3 + p];
+            deriv(self.variant, dir, n, nel, &self.basis.dt, t1, t2);
+            for (wv, &tv) in w.iter_mut().zip(t2.iter()) {
+                *wv += tv;
             }
         }
+        // mass term: w += lambda * (h/2)^3 * W .* u
+        for e in 0..nel {
+            for (p, &g) in self.gw.iter().enumerate() {
+                w[e * n3 + p] += mass_coef * g * u[e * n3 + p];
+            }
+        }
+    }
+
+    /// [`AxOperator::apply`] with the element loop shared across a
+    /// [`WorkerPool`]: elements are split into contiguous chunks, each
+    /// chunk applied to disjoint subslices of `w`/`t1`/`t2` by whichever
+    /// worker claims (or steals) it. Outputs are written disjointly and
+    /// never reduced across chunks, so the result is bitwise identical to
+    /// the serial [`AxOperator::apply`] for every worker count.
+    pub fn apply_pooled(
+        &self,
+        pool: &WorkerPool,
+        u: &Field,
+        w: &mut Field,
+        t1: &mut Field,
+        t2: &mut Field,
+    ) {
+        let n = u.n();
+        let nel = u.nel();
+        assert_eq!(n, self.basis.n, "order mismatch");
+        assert_eq!((w.n(), w.nel()), (n, nel), "w shape");
+        assert_eq!((t1.n(), t1.nel()), (n, nel), "t1 shape");
+        assert_eq!((t2.n(), t2.nel()), (n, nel), "t2 shape");
+        let n3 = n * n * n;
+        // ~4 chunks per participant: enough slack for stealing without
+        // drowning in scheduling overhead.
+        let grain = nel.div_ceil(pool.workers() * 4).max(1);
+        let n_chunks = chunk_count(nel, grain);
+        let us = u.as_slice();
+        let w_sh = SharedSliceMut::new(w.as_mut_slice());
+        let t1_sh = SharedSliceMut::new(t1.as_mut_slice());
+        let t2_sh = SharedSliceMut::new(t2.as_mut_slice());
+        pool.run(n_chunks, &|c| {
+            let (lo, hi) = chunk_range(nel, grain, c);
+            let (a, b) = (lo * n3, hi * n3);
+            // SAFETY: chunk ranges partition 0..nel, so every chunk
+            // touches a disjoint [a, b) range of each shared buffer.
+            self.apply_slices(
+                hi - lo,
+                &us[a..b],
+                unsafe { w_sh.range_mut(a, b) },
+                unsafe { t1_sh.range_mut(a, b) },
+                unsafe { t2_sh.range_mut(a, b) },
+            );
+        });
     }
 }
 
@@ -214,6 +266,28 @@ mod tests {
             for (a, b) in outs[0].as_slice().iter().zip(w.as_slice()) {
                 assert!((a - b).abs() < 1e-11 * (1.0 + a.abs()));
             }
+        }
+    }
+
+    #[test]
+    fn pooled_apply_bitwise_matches_serial_for_all_worker_counts() {
+        let n = 6;
+        let nel = 13;
+        let op = AxOperator::new(n, 1.3, 0.1, KernelVariant::Optimized);
+        let u = pseudo_random_field(n, nel, 5);
+        let mut w_ref = Field::zeros(n, nel);
+        let mut t1 = Field::zeros(n, nel);
+        let mut t2 = Field::zeros(n, nel);
+        op.apply(&u, &mut w_ref, &mut t1, &mut t2);
+        for workers in [1, 2, 4] {
+            let pool = WorkerPool::new(workers, None);
+            let mut w = Field::zeros(n, nel);
+            op.apply_pooled(&pool, &u, &mut w, &mut t1, &mut t2);
+            assert_eq!(
+                w.as_slice(),
+                w_ref.as_slice(),
+                "pooled apply diverged at {workers} workers"
+            );
         }
     }
 

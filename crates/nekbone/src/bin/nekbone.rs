@@ -13,7 +13,8 @@ use simmpi::FaultPlan;
 fn usage() -> ! {
     eprintln!(
         "usage: nekbone [--ranks P] [--elems NEL_PER_RANK] [--n N] [--iters K]\n\
-         \x20              [--tol T] [--variant basic|opt|spec]\n\
+         \x20              [--tol T] [--variant basic|opt|spec|batched|unroll]\n\
+         \x20              [--workers W]\n\
          \x20              [--method pairwise|crystal|allreduce] [--quiet]\n\
          \x20              [--checkpoint-every K] [--checkpoint-dir PATH]\n\
          \x20              [--restart PATH] [--fault-plan SPEC]\n\
@@ -21,6 +22,8 @@ fn usage() -> ! {
          \n\
          fault plan SPEC: semicolon-separated events, e.g.\n\
          \x20 'delay:prob=0.1,us=200;drop:prob=0.05;kill:rank=2,step=5;seed=7'\n\
+         --workers shares each rank's ax element loop across a work-stealing\n\
+         pool of W threads (1 = pure MPI); results are bitwise identical.\n\
          --verify runs the cmt-verify dynamic checker (deadlock, collective\n\
          matching, message leaks, races); exit status 1 on findings.\n\
          --chaos-sched overlays seeded message delays to perturb the schedule.\n\
@@ -54,9 +57,12 @@ fn main() {
                     Some("basic") => KernelVariant::Basic,
                     Some("opt") => KernelVariant::Optimized,
                     Some("spec") => KernelVariant::Specialized,
+                    Some("batched") => KernelVariant::Batched,
+                    Some("unroll") => KernelVariant::UnrollJam,
                     _ => usage(),
                 }
             }
+            "--workers" => cfg.workers = parse_usize(args.next()),
             "--method" => {
                 cfg.method = match args.next().as_deref() {
                     Some("pairwise") => Some(GsMethod::PairwiseExchange),
@@ -92,6 +98,10 @@ fn main() {
                 usage()
             }
         }
+    }
+    if let Err(e) = cfg.validate() {
+        eprintln!("invalid configuration: {e}");
+        std::process::exit(2);
     }
     let report = run(&cfg);
     if quiet {

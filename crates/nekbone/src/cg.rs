@@ -274,6 +274,30 @@ fn restore_cg_state(
     rank.set_fault_rng_state(ckpt.rng_state);
 }
 
+/// The local `ax` body of an apply: element loop shared across the rank's
+/// worker pool when one is configured (`--workers`), serial otherwise.
+/// Worker-side heap counters (if any) are charged to the open `ax_e`
+/// profiler region, keeping the per-region allocation attribution exact
+/// under hybrid runs.
+fn apply_ax(
+    rank: &Rank,
+    op: &AxOperator,
+    u: &Field,
+    w: &mut Field,
+    t1: &mut Field,
+    t2: &mut Field,
+    prof: &mut Profiler,
+) {
+    match rank.worker_pool() {
+        Some(pool) => {
+            op.apply_pooled(&pool, u, w, t1, t2);
+            let (allocs, bytes) = pool.drain_worker_allocs();
+            prof.charge_allocs(allocs, bytes);
+        }
+        None => op.apply(u, w, t1, t2),
+    }
+}
+
 /// Zero the masked (Dirichlet) degrees of freedom.
 pub fn apply_mask(v: &mut Field, mask: &[f64]) {
     for (x, &m) in v.as_mut_slice().iter_mut().zip(mask) {
@@ -307,7 +331,7 @@ fn apply_assembled_dot(
     prof: &mut Profiler,
 ) -> f64 {
     prof.enter("ax_e (local stiffness+mass)");
-    op.apply(u, w, t1, t2);
+    apply_ax(rank, op, u, w, t1, t2, prof);
     prof.exit();
 
     prof.enter("dssum (gs_op)");
@@ -378,7 +402,7 @@ fn apply_assembled(
     prof: &mut Profiler,
 ) {
     prof.enter("ax_e (local stiffness+mass)");
-    op.apply(u, w, t1, t2);
+    apply_ax(rank, op, u, w, t1, t2, prof);
     prof.exit();
     prof.enter("dssum (gs_op)");
     rank.set_context("dssum");

@@ -35,6 +35,10 @@ pub struct Config {
     pub lambda: f64,
     /// Kernel implementation.
     pub variant: KernelVariant,
+    /// Worker threads per rank for the hybrid MPI+X element loops (1 =
+    /// pure MPI; >1 shares the `ax` element loop across a work-stealing
+    /// pool while ranks stay the communication unit).
+    pub workers: usize,
     /// Periodic domain (`true`, the co-design default) or homogeneous
     /// Dirichlet boundaries enforced through the Nekbone-style 0/1 mask.
     pub periodic: bool,
@@ -75,6 +79,7 @@ impl Default for Config {
             tol: 0.0,
             lambda: 0.1,
             variant: KernelVariant::Optimized,
+            workers: 1,
             periodic: true,
             method: None,
             autotune: AutotuneOptions::default(),
@@ -290,27 +295,70 @@ fn rank_main(rank: &mut Rank, cfg: &Config, mesh_cfg: &MeshConfig) -> RankOutput
     }
 }
 
+impl Config {
+    /// Validate parameter sanity; returns a description of the first
+    /// problem found. The CLI-reachable failure modes (zero elements or
+    /// ranks, `n` outside the paper's supported range, zero workers, a
+    /// kill plan without checkpointing) all land here with a message
+    /// instead of panicking deep inside a kernel.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n < 2 {
+            return Err(format!("n must be >= 2, got {}", self.n));
+        }
+        if self.n > 25 {
+            return Err(format!(
+                "n must be <= 25 (the paper's range), got {}",
+                self.n
+            ));
+        }
+        if self.ranks == 0 {
+            return Err("ranks must be positive".into());
+        }
+        if self.elems_per_rank == 0 {
+            return Err("elems_per_rank must be positive".into());
+        }
+        if self.workers == 0 {
+            return Err("workers must be positive (1 = pure MPI)".into());
+        }
+        if !(self.lambda > 0.0) {
+            return Err(format!(
+                "lambda must be positive for an SPD operator, got {}",
+                self.lambda
+            ));
+        }
+        if let Some(dir) = &self.restart_from {
+            if !dir.is_dir() {
+                return Err(format!(
+                    "restart directory {} does not exist",
+                    dir.display()
+                ));
+            }
+        }
+        if let Some(plan) = &self.fault_plan {
+            plan.validate(self.ranks)?;
+            if !plan.kills.is_empty() && self.checkpoint_every == 0 {
+                return Err("fault plan schedules rank kills but checkpointing is off \
+                     (set checkpoint_every)"
+                    .into());
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Execute the Nekbone proxy and collect its measurement set.
 pub fn run(cfg: &Config) -> NekboneReport {
-    assert!(
-        cfg.n >= 2 && cfg.ranks > 0 && cfg.elems_per_rank > 0,
-        "invalid Nekbone configuration"
-    );
-    if let Some(plan) = &cfg.fault_plan {
-        plan.validate(cfg.ranks)
-            .unwrap_or_else(|e| panic!("invalid Nekbone configuration: {e}"));
-        assert!(
-            plan.kills.is_empty() || cfg.checkpoint_every > 0,
-            "invalid Nekbone configuration: fault plan schedules rank kills \
-             but checkpointing is off (set checkpoint_every)"
-        );
-    }
+    cfg.validate()
+        .unwrap_or_else(|e| panic!("invalid Nekbone configuration: {e}"));
     let mesh_cfg = MeshConfig::for_ranks(cfg.ranks, cfg.elems_per_rank, cfg.n, cfg.periodic);
     let mut world = match cfg.net {
         Some(net) => World::with_network(net),
         None => World::new(),
     };
-    world = world.with_pooling(cfg.pool);
+    world = world
+        .with_pooling(cfg.pool)
+        .with_workers(cfg.workers)
+        .with_worker_alloc_counters(cmt_perf::alloc::thread_counts);
     if let Some(plan) = &cfg.fault_plan {
         world = world.with_fault_plan(plan.clone());
     }
@@ -552,6 +600,33 @@ mod tests {
     fn kills_without_checkpointing_rejected() {
         let _ = run(&Config {
             fault_plan: Some(FaultPlan::parse("kill:rank=1,step=2").unwrap()),
+            ..small_cfg()
+        });
+    }
+
+    #[test]
+    fn hybrid_workers_produce_bitwise_identical_solves() {
+        let base = small_cfg();
+        let reference = run(&base);
+        for workers in [2, 4] {
+            let rep = run(&Config {
+                workers,
+                ..base.clone()
+            });
+            assert_eq!(
+                rep.state_hash, reference.state_hash,
+                "{workers}-worker solve diverged from the serial one"
+            );
+            assert_eq!(rep.checksum, reference.checksum);
+            assert_eq!(rep.cg.res_history, reference.cg.res_history);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid Nekbone configuration")]
+    fn zero_workers_rejected() {
+        let _ = run(&Config {
+            workers: 0,
             ..small_cfg()
         });
     }

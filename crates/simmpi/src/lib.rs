@@ -50,6 +50,7 @@ pub mod rank;
 pub mod rng;
 pub mod stats;
 pub mod verify;
+pub mod workers;
 pub mod world;
 
 pub use envelope::{Msg, INLINE_ELEMS};
@@ -59,6 +60,7 @@ pub use pool::{BufferPool, PooledVec};
 pub use rank::{DiscardList, Rank, RecvRequest, Tag};
 pub use stats::{CommStats, MpiOp, SiteKey, SiteStats};
 pub use verify::{CollFingerprint, CollKind, LeakInfo, VerifyHooks};
+pub use workers::{chunk_count, chunk_range, AllocCounterFn, SharedSliceMut, WorkerPool};
 pub use world::{World, WorldResult};
 
 /// Elementwise reduction operators for the typed collectives.

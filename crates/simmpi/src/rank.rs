@@ -49,6 +49,7 @@ pub struct Rank {
     pub(crate) discards: DiscardList,
     pub(crate) verify: Option<Arc<dyn VerifyHooks>>,
     pub(crate) finalized: bool,
+    pub(crate) workers: Option<Arc<crate::workers::WorkerPool>>,
 }
 
 /// A cancellation list for in-flight messages whose receiver abandoned
@@ -155,6 +156,20 @@ impl Rank {
     #[inline]
     pub fn size(&self) -> usize {
         self.size
+    }
+
+    /// This rank's worker pool, if the world was built
+    /// [`crate::World::with_workers`] `> 1`. Cheap to clone; drivers hold
+    /// the `Arc` across a pooled region so the borrow of `self` ends.
+    #[inline]
+    pub fn worker_pool(&self) -> Option<Arc<crate::workers::WorkerPool>> {
+        self.workers.clone()
+    }
+
+    /// Intra-rank worker count (1 when no pool is attached).
+    #[inline]
+    pub fn workers(&self) -> usize {
+        self.workers.as_ref().map_or(1, |p| p.workers())
     }
 
     /// Set the context label under which subsequent operations are

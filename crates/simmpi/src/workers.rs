@@ -1,0 +1,525 @@
+//! A hand-rolled work-stealing worker pool, owned by each rank — the
+//! intra-rank "X" of the MPI+X hybrid schedule.
+//!
+//! Ranks stay the communication unit; the pool's workers share a rank's
+//! *element loop*. Each [`WorkerPool`] owns `workers - 1` persistent OS
+//! threads (the calling rank thread itself is participant 0), dispatches
+//! one job at a time, and partitions the job's chunk index space evenly
+//! across participants. A participant that drains its own range *steals*
+//! from the back of a victim's range, so imbalanced chunks (boundary
+//! elements, cache effects) cannot idle half the pool.
+//!
+//! Design constraints, in order:
+//!
+//! * **Determinism.** The pool never reduces anything: a job writes
+//!   disjoint per-chunk outputs (slices of the rank's arrays, or a
+//!   per-chunk partials array the *caller* folds sequentially in chunk
+//!   order afterwards). Which worker executes a chunk is scheduling-
+//!   dependent; what the chunk computes is not — so results are bitwise
+//!   identical for every worker count, which the drivers' identity tests
+//!   assert.
+//! * **Zero steady-state allocations.** Jobs cross to the workers as a
+//!   raw wide pointer to a caller-stack closure (valid for the duration
+//!   of [`WorkerPool::run`], which does not return until every
+//!   participant is done); ranges live in preallocated atomics; dispatch
+//!   is a mutex/condvar epoch bump. After the pool's threads are up, a
+//!   `run` touches the heap zero times.
+//! * **Visible allocation accounting.** Heap counters are thread-local
+//!   (see `cmt-perf::alloc`), so anything a *worker* allocates would
+//!   vanish from the rank profiler's books. The pool therefore snapshots
+//!   a caller-supplied counter function around each worker's share of a
+//!   job and accumulates the deltas; drivers drain them with
+//!   [`WorkerPool::drain_worker_allocs`] and charge them to the open
+//!   profiler region.
+//!
+//! Stealing protocol: participant `p`'s remaining range is one packed
+//! `AtomicU64` (`lo` in the high half, `hi` in the low half). The owner
+//! pops from the front (`lo + 1`) and thieves pop from the back
+//! (`hi - 1`), both by compare-and-swap on the whole word, so every chunk
+//! index is claimed exactly once. A participant retires when its own
+//! range and every victim's range are empty.
+
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A function returning this thread's `(allocations, bytes)` counters —
+/// shaped to accept `cmt_perf::alloc::thread_counts` without `simmpi`
+/// depending on that crate.
+pub type AllocCounterFn = fn() -> (u64, u64);
+
+/// Number of grain-sized chunks covering `nel` elements.
+#[inline]
+pub fn chunk_count(nel: usize, grain: usize) -> usize {
+    let g = grain.max(1);
+    nel.div_ceil(g)
+}
+
+/// Element range `[lo, hi)` of chunk `c` at the given grain.
+#[inline]
+pub fn chunk_range(nel: usize, grain: usize, c: usize) -> (usize, usize) {
+    let g = grain.max(1);
+    let lo = c * g;
+    (lo, (lo + g).min(nel))
+}
+
+/// A mutable slice shareable across pool participants that write
+/// *disjoint* ranges — the element-chunked output arrays of the kernels.
+///
+/// The aliasing contract is the caller's: two concurrently-executing
+/// chunks must never receive overlapping ranges. The chunked element
+/// loops guarantee that structurally (chunk `c` owns elements
+/// `[c*grain, (c+1)*grain)` and nothing else).
+pub struct SharedSliceMut<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+unsafe impl<T: Send> Send for SharedSliceMut<'_, T> {}
+unsafe impl<T: Send> Sync for SharedSliceMut<'_, T> {}
+
+impl<'a, T> SharedSliceMut<'a, T> {
+    /// Wrap a slice for disjoint multi-participant writing.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        SharedSliceMut {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Length of the underlying slice.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the underlying slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Mutable access to `[lo, hi)`.
+    ///
+    /// # Safety
+    /// The caller must ensure no two live borrows overlap — i.e. calls
+    /// from concurrent chunks use disjoint ranges.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn range_mut(&self, lo: usize, hi: usize) -> &mut [T] {
+        assert!(lo <= hi && hi <= self.len, "range out of bounds");
+        std::slice::from_raw_parts_mut(self.ptr.add(lo), hi - lo)
+    }
+}
+
+/// Type-erased pointer to the caller-stack job closure. Only dereferenced
+/// while the owning [`WorkerPool::run`] frame is alive.
+#[derive(Clone, Copy)]
+struct JobPtr(*const (dyn Fn(usize) + Sync));
+unsafe impl Send for JobPtr {}
+
+struct JobState {
+    job: Option<JobPtr>,
+    /// Bumped once per dispatched job; workers key their wait on it.
+    epoch: u64,
+    /// Worker threads still executing the current job.
+    active: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<JobState>,
+    start: Condvar,
+    done: Condvar,
+    /// Per-participant packed `(lo << 32) | hi` chunk ranges.
+    ranges: Vec<AtomicU64>,
+    /// Set when a worker's job chunk panicked.
+    poisoned: AtomicBool,
+    /// Worker-side heap-allocation deltas awaiting attribution.
+    worker_allocs: AtomicU64,
+    worker_bytes: AtomicU64,
+    counters: Option<AllocCounterFn>,
+}
+
+#[inline]
+fn pack(lo: usize, hi: usize) -> u64 {
+    ((lo as u64) << 32) | hi as u64
+}
+
+#[inline]
+fn unpack(v: u64) -> (usize, usize) {
+    ((v >> 32) as usize, (v & 0xFFFF_FFFF) as usize)
+}
+
+impl Shared {
+    /// Claim-and-run loop for participant `idx`: drain own range from the
+    /// front, then steal from the back of every victim until all empty.
+    fn participate(&self, idx: usize, job: &(dyn Fn(usize) + Sync)) {
+        loop {
+            let cur = self.ranges[idx].load(Ordering::Acquire);
+            let (lo, hi) = unpack(cur);
+            if lo >= hi {
+                break;
+            }
+            if self.ranges[idx]
+                .compare_exchange_weak(cur, pack(lo + 1, hi), Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                job(lo);
+            }
+        }
+        loop {
+            let mut claimed_any = false;
+            for victim in 0..self.ranges.len() {
+                if victim == idx {
+                    continue;
+                }
+                loop {
+                    let cur = self.ranges[victim].load(Ordering::Acquire);
+                    let (lo, hi) = unpack(cur);
+                    if lo >= hi {
+                        break;
+                    }
+                    if self.ranges[victim]
+                        .compare_exchange_weak(
+                            cur,
+                            pack(lo, hi - 1),
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
+                        .is_ok()
+                    {
+                        job(hi - 1);
+                        claimed_any = true;
+                    }
+                }
+            }
+            if !claimed_any {
+                break;
+            }
+        }
+    }
+
+    fn guarded_participate(&self, idx: usize, job: &(dyn Fn(usize) + Sync)) {
+        if catch_unwind(AssertUnwindSafe(|| self.participate(idx, job))).is_err() {
+            self.poisoned.store(true, Ordering::Release);
+        }
+    }
+}
+
+fn worker_main(shared: Arc<Shared>, idx: usize) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen_epoch {
+                    break;
+                }
+                st = shared.start.wait(st).unwrap();
+            }
+            seen_epoch = st.epoch;
+            st.job.expect("job set for new epoch")
+        };
+        let before = shared.counters.map(|f| f());
+        // SAFETY: the dispatching `run` does not return until `active`
+        // reaches zero, so the pointee outlives this use.
+        shared.guarded_participate(idx, unsafe { &*job.0 });
+        if let (Some(f), Some((a0, b0))) = (shared.counters, before) {
+            let (a1, b1) = f();
+            shared.worker_allocs.fetch_add(a1 - a0, Ordering::Relaxed);
+            shared.worker_bytes.fetch_add(b1 - b0, Ordering::Relaxed);
+        }
+        let mut st = shared.state.lock().unwrap();
+        st.active -= 1;
+        if st.active == 0 {
+            shared.done.notify_one();
+        }
+    }
+}
+
+/// The per-rank worker pool. See the module docs for the protocol.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    participants: usize,
+}
+
+impl WorkerPool {
+    /// A pool of `workers` participants total — the calling rank thread
+    /// plus `workers - 1` spawned threads. `workers <= 1` spawns nothing
+    /// (jobs run inline on the caller). `counters` enables worker-side
+    /// heap-allocation accounting (pass `cmt_perf::alloc::thread_counts`).
+    pub fn new(workers: usize, counters: Option<AllocCounterFn>) -> Self {
+        let participants = workers.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(JobState {
+                job: None,
+                epoch: 0,
+                active: 0,
+                shutdown: false,
+            }),
+            start: Condvar::new(),
+            done: Condvar::new(),
+            ranges: (0..participants).map(|_| AtomicU64::new(0)).collect(),
+            poisoned: AtomicBool::new(false),
+            worker_allocs: AtomicU64::new(0),
+            worker_bytes: AtomicU64::new(0),
+            counters,
+        });
+        let handles = (1..participants)
+            .map(|idx| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("simmpi-worker-{idx}"))
+                    .spawn(move || worker_main(shared, idx))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            handles,
+            participants,
+        }
+    }
+
+    /// Total participant count (caller included).
+    pub fn workers(&self) -> usize {
+        self.participants
+    }
+
+    /// Execute `job(c)` for every chunk index `c in 0..n_chunks`, exactly
+    /// once each, across all participants; returns when every chunk has
+    /// completed. The caller participates (index 0), so a 1-participant
+    /// pool is simply a serial loop.
+    ///
+    /// # Panics
+    /// Panics if any chunk panicked (after all participants retired, so
+    /// no chunk is left half-running).
+    pub fn run(&self, n_chunks: usize, job: &(dyn Fn(usize) + Sync)) {
+        if n_chunks == 0 {
+            return;
+        }
+        if self.participants == 1 || n_chunks == 1 {
+            for c in 0..n_chunks {
+                job(c);
+            }
+            return;
+        }
+        let p = self.participants;
+        // Even partition: participant i owns [i*per + min(i, extra) ..).
+        let per = n_chunks / p;
+        let extra = n_chunks % p;
+        let mut lo = 0;
+        for (i, range) in self.shared.ranges.iter().enumerate() {
+            let hi = lo + per + usize::from(i < extra);
+            range.store(pack(lo, hi), Ordering::Release);
+            lo = hi;
+        }
+        debug_assert_eq!(lo, n_chunks);
+        // SAFETY: lifetime erasure only — the pointer is consumed strictly
+        // within this call (we wait for `active == 0` below and clear the
+        // slot before returning), so the non-'static pointee outlives
+        // every dereference.
+        let erased: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(job) };
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.job = Some(JobPtr(erased as *const _));
+            st.epoch += 1;
+            st.active = p - 1;
+            self.shared.start.notify_all();
+        }
+        self.shared.guarded_participate(0, job);
+        let mut st = self.shared.state.lock().unwrap();
+        while st.active > 0 {
+            st = self.shared.done.wait(st).unwrap();
+        }
+        st.job = None;
+        drop(st);
+        if self.shared.poisoned.swap(false, Ordering::AcqRel) {
+            panic!("worker-pool job panicked");
+        }
+    }
+
+    /// Drain the accumulated worker-side heap-allocation deltas
+    /// (`allocations, bytes`) since the last drain. The caller charges
+    /// them to whatever profiler region the pooled work ran under.
+    pub fn drain_worker_allocs(&self) -> (u64, u64) {
+        (
+            self.shared.worker_allocs.swap(0, Ordering::Relaxed),
+            self.shared.worker_bytes.swap(0, Ordering::Relaxed),
+        )
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+            self.shared.start.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn chunk_helpers_cover_everything() {
+        assert_eq!(chunk_count(10, 4), 3);
+        assert_eq!(chunk_range(10, 4, 0), (0, 4));
+        assert_eq!(chunk_range(10, 4, 2), (8, 10));
+        assert_eq!(chunk_count(0, 4), 0);
+        assert_eq!(chunk_count(5, 0), 5, "grain 0 clamps to 1");
+    }
+
+    #[test]
+    fn every_chunk_runs_exactly_once() {
+        for workers in [1usize, 2, 3, 4, 8] {
+            let pool = WorkerPool::new(workers, None);
+            for n_chunks in [1usize, 2, 5, 17, 64, 101] {
+                let hits: Vec<AtomicUsize> = (0..n_chunks).map(|_| AtomicUsize::new(0)).collect();
+                pool.run(n_chunks, &|c| {
+                    hits[c].fetch_add(1, Ordering::Relaxed);
+                });
+                for (c, h) in hits.iter().enumerate() {
+                    assert_eq!(
+                        h.load(Ordering::Relaxed),
+                        1,
+                        "chunk {c} of {n_chunks} with {workers} workers"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stealing_balances_imbalanced_chunks() {
+        // Front chunks are 100x slower; with stealing, a 4-way pool must
+        // still complete (and complete every chunk exactly once).
+        let pool = WorkerPool::new(4, None);
+        let n = 32;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(n, &|c| {
+            let spin = if c < 4 { 200_000 } else { 2_000 };
+            let mut acc = c as u64;
+            for i in 0..spin {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            std::hint::black_box(acc);
+            hits[c].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn disjoint_writes_are_bitwise_deterministic() {
+        // The pooled element loop must produce the identical buffer for
+        // every worker count: disjoint writes, no reductions.
+        let nel = 37;
+        let grain = 3;
+        let reference: Vec<f64> = (0..nel * 8).map(|i| (i as f64).sin()).collect();
+        let mut first: Option<Vec<f64>> = None;
+        for workers in [1usize, 2, 4] {
+            let pool = WorkerPool::new(workers, None);
+            let mut out = vec![0.0f64; nel * 8];
+            let shared = SharedSliceMut::new(&mut out);
+            let refd = &reference;
+            pool.run(chunk_count(nel, grain), &|c| {
+                let (lo, hi) = chunk_range(nel, grain, c);
+                // SAFETY: chunk ranges are disjoint by construction.
+                let dst = unsafe { shared.range_mut(lo * 8, hi * 8) };
+                dst.copy_from_slice(&refd[lo * 8..hi * 8]);
+            });
+            match &first {
+                None => first = Some(out),
+                Some(f) => assert_eq!(f, &out, "workers={workers}"),
+            }
+        }
+    }
+
+    #[test]
+    fn per_chunk_partials_fold_deterministically() {
+        // The deterministic-reduction pattern: workers fill a partials
+        // array, the caller folds it sequentially in chunk order.
+        let n_chunks = 23;
+        let serial: f64 = (0..n_chunks).map(|c| 1.0 / (c as f64 + 1.0)).sum();
+        for workers in [1usize, 3, 4] {
+            let pool = WorkerPool::new(workers, None);
+            let mut partials = vec![0.0f64; n_chunks];
+            let shared = SharedSliceMut::new(&mut partials);
+            pool.run(n_chunks, &|c| {
+                let dst = unsafe { shared.range_mut(c, c + 1) };
+                dst[0] = 1.0 / (c as f64 + 1.0);
+            });
+            let folded: f64 = partials.iter().sum();
+            assert_eq!(folded.to_bits(), serial.to_bits(), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn pool_is_reusable_across_many_jobs() {
+        let pool = WorkerPool::new(3, None);
+        let counter = AtomicUsize::new(0);
+        for _ in 0..50 {
+            pool.run(16, &|_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 800);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let pool = WorkerPool::new(2, None);
+        let res = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(8, &|c| {
+                if c == 5 {
+                    panic!("chunk 5 exploded");
+                }
+            });
+        }));
+        assert!(res.is_err(), "panic must propagate");
+        // pool must remain usable
+        let counter = AtomicUsize::new(0);
+        pool.run(4, &|_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn drain_worker_allocs_reports_and_resets() {
+        // A counter function the test controls: pretend each call sees a
+        // growing counter, so each worker job accrues a delta.
+        fn fake_counts() -> (u64, u64) {
+            use std::cell::Cell;
+            thread_local! {
+                static TICKS: Cell<u64> = const { Cell::new(0) };
+            }
+            TICKS.with(|t| {
+                let v = t.get();
+                t.set(v + 1);
+                (v, v * 10)
+            })
+        }
+        let pool = WorkerPool::new(2, Some(fake_counts));
+        pool.run(8, &|_| {});
+        let (a, b) = pool.drain_worker_allocs();
+        // each worker-side job ticks the fake counter once between the
+        // before/after snapshots -> delta 1 per dispatched job per worker
+        assert!(a >= 1, "worker delta recorded ({a})");
+        assert_eq!(b, a * 10);
+        assert_eq!(pool.drain_worker_allocs(), (0, 0), "drain resets");
+    }
+}

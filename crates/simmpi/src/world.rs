@@ -33,6 +33,8 @@ pub struct World {
     faults: Option<Arc<FaultPlan>>,
     verify: Option<Arc<dyn VerifyHooks>>,
     pooling: bool,
+    workers: usize,
+    worker_counters: Option<crate::workers::AllocCounterFn>,
 }
 
 impl Default for World {
@@ -42,6 +44,8 @@ impl Default for World {
             faults: None,
             verify: None,
             pooling: true,
+            workers: 1,
+            worker_counters: None,
         }
     }
 }
@@ -110,6 +114,24 @@ impl World {
         self
     }
 
+    /// Give every rank a [`crate::WorkerPool`] of `workers` participants
+    /// (the rank thread plus `workers - 1` spawned threads) for intra-rank
+    /// element-loop parallelism — the MPI+X hybrid mode. `workers <= 1`
+    /// (the default) creates no pool and spawns nothing.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Install a thread-local heap-counter function (shaped like
+    /// `cmt_perf::alloc::thread_counts`) that worker pools snapshot
+    /// around each job, so worker-thread allocations can be charged back
+    /// to the dispatching rank's profiler regions.
+    pub fn with_worker_alloc_counters(mut self, f: crate::workers::AllocCounterFn) -> Self {
+        self.worker_counters = Some(f);
+        self
+    }
+
     /// Enable or disable per-rank payload-buffer recycling (the
     /// [`BufferPool`]); on by default. With pooling off, every receive
     /// allocates and every returned buffer is freed — the `--no-pool`
@@ -155,6 +177,8 @@ impl World {
                 let poisoned = Arc::clone(&poisoned);
                 let net = self.net;
                 let pooling = self.pooling;
+                let workers = self.workers;
+                let worker_counters = self.worker_counters;
                 let verify = self.verify.clone();
                 let faults = self
                     .faults
@@ -190,6 +214,14 @@ impl World {
                         discards: DiscardList::default(),
                         verify: verify.clone(),
                         finalized: false,
+                        workers: if workers > 1 {
+                            Some(Arc::new(crate::workers::WorkerPool::new(
+                                workers,
+                                worker_counters,
+                            )))
+                        } else {
+                            None
+                        },
                     };
                     let start = Instant::now();
                     let out = f(&mut rank);
