@@ -13,7 +13,7 @@
 use cmt_bone::{run, Config, Pipeline};
 use cmt_core::KernelVariant;
 use cmt_gs::GsMethod;
-use simmpi::{FaultPlan, NetworkModel};
+use simmpi::{FaultPlan, NetworkModel, SocketConfig, TransportKind};
 
 fn usage() -> ! {
     eprintln!(
@@ -26,7 +26,12 @@ fn usage() -> ! {
          \x20                [--checkpoint-every K] [--checkpoint-dir PATH]\n\
          \x20                [--restart PATH] [--fault-plan SPEC]\n\
          \x20                [--verify] [--chaos-sched SEED] [--no-pool]\n\
+         \x20                [--transport inproc|socket] [--transport-addr ADDR]\n\
          \n\
+         --transport socket runs every rank as a child process over\n\
+         Unix-domain sockets (rank 0's process is the launcher/hub);\n\
+         --transport-addr overrides the endpoint, e.g. unix:/tmp/w.sock\n\
+         or tcp:127.0.0.1:0. Results are bitwise identical to inproc.\n\
          fault plan SPEC: semicolon-separated events, e.g.\n\
          \x20 'delay:prob=0.1,us=200;drop:prob=0.05;kill:rank=2,step=5;seed=7'\n\
          --variant auto autotunes the derivative kernel at startup (variant x\n\
@@ -144,6 +149,27 @@ fn main() {
             }
             "--verify" => cfg.verify = true,
             "--no-pool" => cfg.pool = false,
+            "--transport" => match args.next().as_deref() {
+                Some("inproc") => cfg.transport = TransportKind::Inproc,
+                Some("socket") => {
+                    if !matches!(cfg.transport, TransportKind::Socket(_)) {
+                        cfg.transport = TransportKind::Socket(SocketConfig::default());
+                    }
+                }
+                _ => usage(),
+            },
+            "--transport-addr" => {
+                let addr = Some(args.next().unwrap_or_else(|| usage()));
+                match &mut cfg.transport {
+                    TransportKind::Socket(c) => c.addr = addr,
+                    _ => {
+                        cfg.transport = TransportKind::Socket(SocketConfig {
+                            addr,
+                            ..Default::default()
+                        })
+                    }
+                }
+            }
             "--chaos-sched" => {
                 cfg.chaos_sched = args.next().and_then(|s| s.parse().ok()).or_else(|| usage())
             }

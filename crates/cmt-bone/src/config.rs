@@ -4,7 +4,7 @@ use std::path::PathBuf;
 
 use cmt_core::KernelVariant;
 use cmt_gs::{AutotuneOptions, GsMethod};
-use simmpi::{FaultPlan, NetworkModel};
+use simmpi::{FaultPlan, NetworkModel, TransportKind};
 
 /// How the RK stage schedules its face exchanges relative to compute.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -132,6 +132,11 @@ pub struct Config {
     /// (`--no-pool`) falls back to plain allocation per message — the
     /// escape hatch for A/B comparisons and for debugging buffer reuse.
     pub pool: bool,
+    /// Communication backend: in-process mailboxes (the default, every
+    /// rank a thread) or the multi-process socket transport (`--transport
+    /// socket`, every rank a spawned child over Unix-domain or TCP
+    /// sockets). Results are bitwise identical between backends.
+    pub transport: TransportKind,
 }
 
 impl Default for Config {
@@ -161,6 +166,7 @@ impl Default for Config {
             verify: false,
             chaos_sched: None,
             pool: true,
+            transport: TransportKind::default(),
         }
     }
 }

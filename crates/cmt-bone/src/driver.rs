@@ -17,7 +17,10 @@ use cmt_mesh::{MeshConfig, RankMesh};
 use cmt_perf::{MpipReport, Profiler};
 use cmt_resilience::{hash, load_checkpoint, Checkpoint, Resilience};
 use cmt_verify::Verifier;
-use simmpi::{chunk_count, chunk_range, Rank, ReduceOp, SharedSliceMut, World};
+use simmpi::{
+    chunk_count, chunk_range, Rank, ReduceOp, SharedSliceMut, WireCodec, WireError, WireReader,
+    World,
+};
 use std::sync::Arc;
 
 use crate::config::{Config, Pipeline};
@@ -77,6 +80,121 @@ struct RankOutput {
     wall_s: f64,
     modeled_s: f64,
     solution: Option<SolutionDump>,
+}
+
+// ---- wire codecs -----------------------------------------------------
+// The socket transport ships each rank's measurement set back to the
+// launcher as bytes, so everything in `RankOutput` needs a wire form.
+// `KernelVariant` and the kernel-autotune report live in `cmt-core`,
+// which does not depend on `simmpi` — the orphan rule keeps us from
+// implementing `WireCodec` for them there, so they are encoded
+// field-by-field with local helpers instead.
+
+fn encode_variant(v: cmt_core::KernelVariant, buf: &mut Vec<u8>) {
+    let idx = cmt_core::KernelVariant::ALL
+        .iter()
+        .position(|&m| m == v)
+        .expect("variant in ALL") as u8;
+    idx.encode(buf);
+}
+
+fn decode_variant(r: &mut WireReader<'_>) -> Result<cmt_core::KernelVariant, WireError> {
+    let idx = u8::decode(r)? as usize;
+    cmt_core::KernelVariant::ALL
+        .get(idx)
+        .copied()
+        .ok_or(WireError::Malformed("unknown kernel variant"))
+}
+
+fn encode_kernel_tune(t: &KernelAutotuneReport, buf: &mut Vec<u8>) {
+    encode_variant(t.chosen.variant, buf);
+    t.chosen.grain.encode(buf);
+    encode_variant(t.effective, buf);
+    t.timings.len().encode(buf);
+    for timing in &t.timings {
+        encode_variant(timing.candidate.variant, buf);
+        timing.candidate.grain.encode(buf);
+        timing.avg_s.encode(buf);
+    }
+}
+
+fn decode_kernel_tune(r: &mut WireReader<'_>) -> Result<KernelAutotuneReport, WireError> {
+    use cmt_core::kernels::autotune::{KernelCandidate, KernelTiming};
+    let chosen = KernelCandidate {
+        variant: decode_variant(r)?,
+        grain: usize::decode(r)?,
+    };
+    let effective = decode_variant(r)?;
+    let n = r.count(17)?;
+    let mut timings = Vec::with_capacity(n);
+    for _ in 0..n {
+        timings.push(KernelTiming {
+            candidate: KernelCandidate {
+                variant: decode_variant(r)?,
+                grain: usize::decode(r)?,
+            },
+            avg_s: f64::decode(r)?,
+        });
+    }
+    Ok(KernelAutotuneReport {
+        chosen,
+        effective,
+        timings,
+    })
+}
+
+impl WireCodec for SolutionDump {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.global_elem_ids.encode(buf);
+        self.fields.encode(buf);
+        self.time.encode(buf);
+        self.dt.encode(buf);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(SolutionDump {
+            global_elem_ids: Vec::decode(r)?,
+            fields: Vec::decode(r)?,
+            time: f64::decode(r)?,
+            dt: f64::decode(r)?,
+        })
+    }
+}
+
+impl WireCodec for RankOutput {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.profiler.encode(buf);
+        self.autotune.encode(buf);
+        match &self.kernel_autotune {
+            None => false.encode(buf),
+            Some(t) => {
+                true.encode(buf);
+                encode_kernel_tune(t, buf);
+            }
+        }
+        self.chosen.encode(buf);
+        self.checksum.encode(buf);
+        self.state_hash.encode(buf);
+        self.wall_s.encode(buf);
+        self.modeled_s.encode(buf);
+        self.solution.encode(buf);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(RankOutput {
+            profiler: Profiler::decode(r)?,
+            autotune: Option::decode(r)?,
+            kernel_autotune: if bool::decode(r)? {
+                Some(decode_kernel_tune(r)?)
+            } else {
+                None
+            },
+            chosen: GsMethod::decode(r)?,
+            checksum: f64::decode(r)?,
+            state_hash: u64::decode(r)?,
+            wall_s: f64::decode(r)?,
+            modeled_s: f64::decode(r)?,
+            solution: Option::decode(r)?,
+        })
+    }
 }
 
 /// Hash this rank's final fields, bitwise (used for the cross-run
@@ -847,7 +965,11 @@ fn run_inner(cfg: &Config, collect: bool) -> (RunReport, Vec<SolutionDump>) {
     if let Some(v) = &verifier {
         world = world.with_verifier(v.clone());
     }
-    let result = world.run(cfg.ranks, |rank| rank_main(rank, cfg, &mesh_cfg, collect));
+    world = world.with_transport(cfg.transport.clone());
+    // run_dist: inproc worlds run rank threads exactly as before; socket
+    // worlds spawn one child process per rank (or run this process's
+    // single rank and exit, when the launcher spawned us).
+    let result = world.run_dist(cfg.ranks, |rank| rank_main(rank, cfg, &mesh_cfg, collect));
 
     let mut merged = Profiler::new();
     let mut autotune_rep = None;

@@ -129,6 +129,11 @@ impl RunReport {
         out.push_str(&self.comm.render_top_sites(20));
         out.push_str("\nMessage sizes (Fig. 10):\n");
         out.push_str(&self.comm.render_msg_sizes(10));
+        let net = self.comm.render_net_fit();
+        if !net.is_empty() {
+            out.push_str("\nMeasured network (socket transport):\n");
+            out.push_str(&net);
+        }
         out
     }
 }

@@ -1,0 +1,77 @@
+//! Cross-backend identity: the socket transport must reproduce the
+//! in-process run bit for bit.
+//!
+//! These tests drive the installed `cmt-bone` binary (not the library)
+//! because the socket launcher re-execs the current executable to spawn
+//! rank children — the full process path only exists for real binaries.
+//! Each scenario runs the paper's Fig. 4 configuration once per backend
+//! and compares the `state` fingerprint printed by `--quiet`.
+
+use std::process::Command;
+
+const FIG4: &[&str] = &[
+    "--ranks", "4", "--n", "5", "--elems", "8", "--steps", "8", "--fields", "2", "--method",
+    "pairwise", "--quiet",
+];
+
+/// Run the cmt-bone binary with the Fig. 4 config plus `extra` args and
+/// return the `state {hex}` fingerprint from its quiet output.
+fn state_hash(extra: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_cmt-bone"))
+        .args(FIG4)
+        .args(extra)
+        .output()
+        .expect("spawn cmt-bone");
+    assert!(
+        out.status.success(),
+        "cmt-bone {extra:?} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf8 output");
+    let line = stdout
+        .lines()
+        .find(|l| l.contains("state "))
+        .unwrap_or_else(|| panic!("no state line in output:\n{stdout}"));
+    let hash = line
+        .split("state ")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap_or_else(|| panic!("malformed state line: {line}"));
+    assert_eq!(hash.len(), 16, "state hash should be 16 hex digits: {line}");
+    hash.to_string()
+}
+
+#[test]
+fn socket_matches_inproc() {
+    let inproc = state_hash(&[]);
+    let socket = state_hash(&["--transport", "socket"]);
+    assert_eq!(inproc, socket, "socket backend diverged from inproc");
+}
+
+#[test]
+fn socket_matches_inproc_under_verify() {
+    let inproc = state_hash(&["--verify"]);
+    let socket = state_hash(&["--transport", "socket", "--verify"]);
+    assert_eq!(inproc, socket, "verified socket run diverged from inproc");
+}
+
+#[test]
+fn socket_matches_inproc_through_kill_and_rollback() {
+    let fault = &[
+        "--checkpoint-every",
+        "2",
+        "--fault-plan",
+        "kill:rank=2,step=5",
+    ];
+    let inproc = state_hash(fault);
+    let socket = {
+        let mut args = vec!["--transport", "socket"];
+        args.extend_from_slice(fault);
+        state_hash(&args)
+    };
+    assert_eq!(
+        inproc, socket,
+        "socket kill+rollback recovery diverged from inproc"
+    );
+}

@@ -42,6 +42,7 @@
 mod autotune;
 mod handle;
 mod ops;
+mod wire;
 
 pub use autotune::{autotune, AutotuneOptions, AutotuneReport, MethodTiming};
 pub use handle::{GsHandle, HandleStats};

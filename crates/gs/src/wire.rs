@@ -1,0 +1,103 @@
+//! Wire-format codecs for the autotune report types, so socket-backend
+//! mini-app runs can ship their Fig. 7 tables back to the launcher.
+
+use simmpi::{WireCodec, WireError, WireReader};
+
+use crate::autotune::{AutotuneReport, MethodTiming};
+use crate::ops::GsMethod;
+
+impl WireCodec for GsMethod {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        let idx = GsMethod::ALL
+            .iter()
+            .position(|m| m == self)
+            .expect("method in ALL") as u8;
+        idx.encode(buf);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let idx = u8::decode(r)? as usize;
+        GsMethod::ALL
+            .get(idx)
+            .copied()
+            .ok_or(WireError::Malformed("unknown gs method"))
+    }
+}
+
+impl WireCodec for MethodTiming {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.method.encode(buf);
+        self.avg_s.encode(buf);
+        self.min_s.encode(buf);
+        self.max_s.encode(buf);
+        self.skipped.encode(buf);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(MethodTiming {
+            method: GsMethod::decode(r)?,
+            avg_s: f64::decode(r)?,
+            min_s: f64::decode(r)?,
+            max_s: f64::decode(r)?,
+            skipped: bool::decode(r)?,
+        })
+    }
+}
+
+impl WireCodec for AutotuneReport {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.chosen.encode(buf);
+        self.timings.encode(buf);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(AutotuneReport {
+            chosen: GsMethod::decode(r)?,
+            timings: Vec::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: WireCodec>(v: &T) -> T {
+        let mut buf = Vec::new();
+        v.encode(&mut buf);
+        let mut r = WireReader::new(&buf);
+        let out = T::decode(&mut r).expect("decode");
+        assert_eq!(r.remaining(), 0, "trailing bytes");
+        out
+    }
+
+    #[test]
+    fn gs_method_roundtrips() {
+        for m in GsMethod::ALL {
+            assert_eq!(roundtrip(&m), m);
+        }
+    }
+
+    #[test]
+    fn autotune_report_roundtrips() {
+        let rep = AutotuneReport {
+            chosen: GsMethod::CrystalRouter,
+            timings: vec![
+                MethodTiming {
+                    method: GsMethod::PairwiseExchange,
+                    avg_s: 1.5e-4,
+                    min_s: 1.0e-4,
+                    max_s: 2.0e-4,
+                    skipped: false,
+                },
+                MethodTiming {
+                    method: GsMethod::AllReduce,
+                    avg_s: f64::INFINITY,
+                    min_s: f64::INFINITY,
+                    max_s: f64::INFINITY,
+                    skipped: true,
+                },
+            ],
+        };
+        let back = roundtrip(&rep);
+        assert_eq!(back.chosen, rep.chosen);
+        assert_eq!(back.timings, rep.timings);
+    }
+}

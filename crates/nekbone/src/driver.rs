@@ -9,7 +9,9 @@ use cmt_mesh::{MeshConfig, RankMesh};
 use cmt_perf::{MpipReport, ProfileReport, Profiler};
 use cmt_resilience::{hash, load_checkpoint, Resilience};
 use cmt_verify::Verifier;
-use simmpi::{FaultPlan, NetworkModel, Rank, World};
+use simmpi::{
+    FaultPlan, NetworkModel, Rank, TransportKind, WireCodec, WireError, WireReader, World,
+};
 use std::sync::Arc;
 
 use crate::ax::AxOperator;
@@ -67,6 +69,10 @@ pub struct Config {
     /// Recycle message payload buffers through the per-rank
     /// [`simmpi::BufferPool`]; `false` (`--no-pool`) allocates per message.
     pub pool: bool,
+    /// Communication backend: in-process mailboxes (default) or the
+    /// multi-process socket transport (`--transport socket`). Results are
+    /// bitwise identical between backends.
+    pub transport: TransportKind,
 }
 
 impl Default for Config {
@@ -91,6 +97,7 @@ impl Default for Config {
             verify: false,
             chaos_sched: None,
             pool: true,
+            transport: TransportKind::default(),
         }
     }
 }
@@ -154,6 +161,11 @@ impl NekboneReport {
         out.push_str(&self.profile.render_flat());
         out.push_str("\nTop MPI call sites:\n");
         out.push_str(&self.comm.render_top_sites(20));
+        let net = self.comm.render_net_fit();
+        if !net.is_empty() {
+            out.push_str("\nMeasured network (socket transport):\n");
+            out.push_str(&net);
+        }
         out
     }
 }
@@ -166,6 +178,46 @@ struct RankOutput {
     checksum: f64,
     state_hash: u64,
     wall_s: f64,
+}
+
+// Wire codecs so the socket transport can ship each rank's measurement
+// set back to the launcher (the `Profiler`, `AutotuneReport` and
+// `GsMethod` codecs live with their own crates).
+
+impl WireCodec for CgStats {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.iterations.encode(buf);
+        self.res_history.encode(buf);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(CgStats {
+            iterations: usize::decode(r)?,
+            res_history: Vec::decode(r)?,
+        })
+    }
+}
+
+impl WireCodec for RankOutput {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.profiler.encode(buf);
+        self.autotune.encode(buf);
+        self.chosen.encode(buf);
+        self.cg.encode(buf);
+        self.checksum.encode(buf);
+        self.state_hash.encode(buf);
+        self.wall_s.encode(buf);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(RankOutput {
+            profiler: Profiler::decode(r)?,
+            autotune: Option::decode(r)?,
+            chosen: GsMethod::decode(r)?,
+            cg: CgStats::decode(r)?,
+            checksum: f64::decode(r)?,
+            state_hash: u64::decode(r)?,
+            wall_s: f64::decode(r)?,
+        })
+    }
 }
 
 fn rank_main(rank: &mut Rank, cfg: &Config, mesh_cfg: &MeshConfig) -> RankOutput {
@@ -369,7 +421,8 @@ pub fn run(cfg: &Config) -> NekboneReport {
     if let Some(v) = &verifier {
         world = world.with_verifier(v.clone());
     }
-    let result = world.run(cfg.ranks, |rank| rank_main(rank, cfg, &mesh_cfg));
+    world = world.with_transport(cfg.transport.clone());
+    let result = world.run_dist(cfg.ranks, |rank| rank_main(rank, cfg, &mesh_cfg));
 
     let mut merged = Profiler::new();
     let mut autotune_rep = None;

@@ -1,0 +1,53 @@
+//! Cross-backend identity for the Nekbone driver: socket and in-process
+//! transports must produce bitwise-identical CG results.
+//!
+//! Drives the installed `nekbone` binary because the socket launcher
+//! re-execs the current executable to spawn rank children.
+
+use std::process::Command;
+
+const BASE: &[&str] = &[
+    "--ranks", "4", "--n", "5", "--elems", "8", "--iters", "10", "--method", "pairwise", "--quiet",
+];
+
+/// Run the nekbone binary with the base config plus `extra` args and
+/// return the `state {hex}` fingerprint from its quiet output.
+fn state_hash(extra: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_nekbone"))
+        .args(BASE)
+        .args(extra)
+        .output()
+        .expect("spawn nekbone");
+    assert!(
+        out.status.success(),
+        "nekbone {extra:?} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf8 output");
+    let line = stdout
+        .lines()
+        .find(|l| l.contains("state "))
+        .unwrap_or_else(|| panic!("no state line in output:\n{stdout}"));
+    let hash = line
+        .split("state ")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap_or_else(|| panic!("malformed state line: {line}"));
+    assert_eq!(hash.len(), 16, "state hash should be 16 hex digits: {line}");
+    hash.to_string()
+}
+
+#[test]
+fn socket_matches_inproc() {
+    let inproc = state_hash(&[]);
+    let socket = state_hash(&["--transport", "socket"]);
+    assert_eq!(inproc, socket, "socket backend diverged from inproc");
+}
+
+#[test]
+fn socket_matches_inproc_under_verify() {
+    let inproc = state_hash(&["--verify"]);
+    let socket = state_hash(&["--transport", "socket", "--verify"]);
+    assert_eq!(inproc, socket, "verified socket run diverged from inproc");
+}

@@ -334,6 +334,76 @@ impl ProfileReport {
     }
 }
 
+/// Wire-format codec so socket-backend mini-app ranks can ship their
+/// profiles back to the launcher for the cross-rank merge. Only fully
+/// exited profilers travel (the stack and the spare-string pool are
+/// transient bookkeeping and are not encoded); entries are sorted by name
+/// so the encoding is byte-stable across `HashMap` iteration orders.
+impl simmpi::WireCodec for Profiler {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        assert!(
+            self.stack.is_empty(),
+            "cannot serialize a profiler with open regions"
+        );
+        let mut regions: Vec<(&String, &RegionStats)> = self.regions.iter().collect();
+        regions.sort_by_key(|(name, _)| name.as_str());
+        (regions.len()).encode(buf);
+        for (name, s) in regions {
+            name.encode(buf);
+            s.calls.encode(buf);
+            s.inclusive_s.encode(buf);
+            s.child_s.encode(buf);
+            s.allocs.encode(buf);
+            s.child_allocs.encode(buf);
+            s.alloc_bytes.encode(buf);
+            s.child_alloc_bytes.encode(buf);
+        }
+        let mut edges: Vec<(&String, &String, u64, f64)> = self
+            .edges
+            .iter()
+            .flat_map(|(p, by_child)| by_child.iter().map(move |(c, &(n, t))| (p, c, n, t)))
+            .collect();
+        edges.sort_by_key(|(p, c, _, _)| (p.as_str(), c.as_str()));
+        edges.len().encode(buf);
+        for (p, c, n, t) in edges {
+            p.encode(buf);
+            c.encode(buf);
+            n.encode(buf);
+            t.encode(buf);
+        }
+    }
+
+    fn decode(r: &mut simmpi::WireReader<'_>) -> Result<Self, simmpi::WireError> {
+        let mut prof = Profiler::new();
+        let nregions = r.count(9)?;
+        for _ in 0..nregions {
+            let name = String::decode(r)?;
+            let stats = RegionStats {
+                calls: r.u64()?,
+                inclusive_s: r.f64()?,
+                child_s: r.f64()?,
+                allocs: r.u64()?,
+                child_allocs: r.u64()?,
+                alloc_bytes: r.u64()?,
+                child_alloc_bytes: r.u64()?,
+            };
+            prof.regions.insert(name, stats);
+        }
+        let nedges = r.count(18)?;
+        for _ in 0..nedges {
+            let parent = String::decode(r)?;
+            let child = String::decode(r)?;
+            let calls = r.u64()?;
+            let time = r.f64()?;
+            prof.edges
+                .entry(parent)
+                .or_default()
+                .insert(child, (calls, time));
+        }
+        Ok(prof)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -423,6 +493,48 @@ mod tests {
         p.scope("kernel", || spin(Duration::from_millis(1)));
         let r = p.report();
         assert!(r.render_flat().contains("kernel"));
+    }
+
+    #[test]
+    fn wire_roundtrip_preserves_regions_and_edges() {
+        use simmpi::WireCodec;
+        let mut p = Profiler::new();
+        for _ in 0..3 {
+            p.enter("step");
+            p.enter("deriv");
+            p.exit();
+            p.exit();
+        }
+        p.scope("quiet", || {});
+        let mut buf = Vec::new();
+        p.encode(&mut buf);
+        let mut r = simmpi::WireReader::new(&buf);
+        let back = Profiler::decode(&mut r).expect("decode");
+        assert_eq!(r.remaining(), 0, "trailing bytes");
+        let by_name = |rep: &ProfileReport| {
+            let mut flat = rep.flat.clone();
+            flat.sort_by(|a, b| a.0.cmp(&b.0));
+            let mut edges = rep.edges.clone();
+            edges.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
+            (flat, edges)
+        };
+        let (af, ae) = by_name(&p.report());
+        let (bf, be) = by_name(&back.report());
+        assert_eq!(af, bf);
+        assert_eq!(ae, be);
+        // the restored profiler merges like a live one
+        let mut merged = Profiler::new();
+        merged.merge(&back);
+        assert_eq!(by_name(&merged.report()).0, af);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wire_encode_with_open_region_panics() {
+        use simmpi::WireCodec;
+        let mut p = Profiler::new();
+        p.enter("open");
+        p.encode(&mut Vec::new());
     }
 
     #[test]

@@ -48,8 +48,11 @@ pub mod netmodel;
 pub mod pool;
 pub mod rank;
 pub mod rng;
+pub(crate) mod socket;
 pub mod stats;
+pub mod transport;
 pub mod verify;
+pub mod wire;
 pub mod workers;
 pub mod world;
 
@@ -59,7 +62,9 @@ pub use netmodel::NetworkModel;
 pub use pool::{BufferPool, PooledVec};
 pub use rank::{DiscardList, Rank, RecvRequest, Tag};
 pub use stats::{CommStats, MpiOp, SiteKey, SiteStats};
+pub use transport::{SocketConfig, TransportKind};
 pub use verify::{CollFingerprint, CollKind, LeakInfo, VerifyHooks};
+pub use wire::{WireCodec, WireError, WireReader};
 pub use workers::{chunk_count, chunk_range, AllocCounterFn, SharedSliceMut, WorkerPool};
 pub use world::{World, WorldResult};
 

@@ -45,6 +45,49 @@ impl NetworkModel {
         }
     }
 
+    /// Fit latency/bandwidth from measured `(bytes, seconds)` message
+    /// samples by least squares on the affine cost model
+    /// `t = latency + bytes / bandwidth`.
+    ///
+    /// Returns `None` when the samples cannot identify both parameters:
+    /// fewer than two samples, or all samples the same size (the slope —
+    /// hence the bandwidth — is then unconstrained). A non-positive
+    /// fitted slope (noise dominating: big messages measured no slower
+    /// than small ones) yields infinite bandwidth, i.e. a pure-latency
+    /// model; a negative fitted intercept clamps to zero latency.
+    pub fn fit(samples: &[(u64, f64)]) -> Option<NetworkModel> {
+        if samples.len() < 2 {
+            return None;
+        }
+        let first = samples[0].0;
+        if samples.iter().all(|&(b, _)| b == first) {
+            return None;
+        }
+        let n = samples.len() as f64;
+        let (mut sx, mut sy, mut sxx, mut sxy) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+        for &(b, t) in samples {
+            let x = b as f64;
+            sx += x;
+            sy += t;
+            sxx += x * x;
+            sxy += x * t;
+        }
+        let denom = sxx - sx * sx / n;
+        if !(denom > 0.0) {
+            return None;
+        }
+        let slope = (sxy - sx * sy / n) / denom;
+        let intercept = (sy - slope * sx) / n;
+        Some(NetworkModel {
+            latency_s: intercept.max(0.0),
+            bandwidth_bps: if slope > 0.0 {
+                1.0 / slope
+            } else {
+                f64::INFINITY
+            },
+        })
+    }
+
     /// Modelled one-way transfer time of a message of `bytes` bytes.
     #[inline]
     pub fn message_time(&self, bytes: u64) -> f64 {
@@ -86,6 +129,38 @@ mod tests {
         // At n_1/2 the two cost terms are equal.
         let t = m.message_time(1000);
         assert!((t - 2.0 * m.latency_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_recovers_known_model() {
+        let truth = NetworkModel {
+            latency_s: 20e-6,
+            bandwidth_bps: 1e8,
+        };
+        let samples: Vec<(u64, f64)> = [64u64, 512, 4096, 65536, 1 << 20]
+            .iter()
+            .map(|&b| (b, truth.message_time(b)))
+            .collect();
+        let fitted = NetworkModel::fit(&samples).expect("identifiable");
+        assert!((fitted.latency_s - truth.latency_s).abs() < 1e-9);
+        assert!((fitted.bandwidth_bps - truth.bandwidth_bps).abs() / truth.bandwidth_bps < 1e-6);
+    }
+
+    #[test]
+    fn fit_rejects_degenerate_samples() {
+        assert!(NetworkModel::fit(&[]).is_none());
+        assert!(NetworkModel::fit(&[(100, 1e-6)]).is_none());
+        // same size everywhere: slope unconstrained
+        assert!(NetworkModel::fit(&[(100, 1e-6), (100, 2e-6), (100, 3e-6)]).is_none());
+    }
+
+    #[test]
+    fn fit_clamps_noise_to_physical_values() {
+        // Bigger message measured *faster*: slope <= 0 => infinite bandwidth.
+        let m = NetworkModel::fit(&[(100, 2e-6), (10_000, 1e-6)]).unwrap();
+        assert!(m.bandwidth_bps.is_infinite());
+        assert!(m.latency_s >= 0.0);
+        assert!(m.message_time(1 << 20).is_finite());
     }
 
     #[test]

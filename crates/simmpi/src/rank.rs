@@ -7,10 +7,10 @@ use std::time::{Duration, Instant};
 
 use crate::envelope::{Envelope, Msg};
 use crate::faults::{FaultPlan, FaultState};
-use crate::mailbox::Mailbox;
 use crate::netmodel::NetworkModel;
 use crate::pool::{BufferPool, PooledVec};
 use crate::stats::{CommRecorder, MpiOp};
+use crate::transport::Transport;
 use crate::verify::{CollFingerprint, CollKind, LeakInfo, VerifyHooks};
 
 /// Message tag. User tags must be below [`USER_TAG_LIMIT`]; the space above
@@ -35,7 +35,7 @@ pub struct Rank {
     pub(crate) rank: usize,
     pub(crate) size: usize,
     pub(crate) pending: VecDeque<Envelope>,
-    pub(crate) mailboxes: Arc<Vec<Mailbox>>,
+    pub(crate) transport: Box<dyn Transport>,
     pub(crate) pool: BufferPool,
     pub(crate) ctx_spares: Vec<String>,
     pub(crate) poisoned: Arc<AtomicBool>,
@@ -302,7 +302,9 @@ impl Rank {
     // raw transport (shared with collectives and the crystal router)
     // ---------------------------------------------------------------
 
-    pub(crate) fn raw_send(&self, dest: usize, mut env: Envelope) {
+    /// Returns the nanoseconds the transport spent serializing (0 on the
+    /// in-process backend); callers book it via [`Rank::note_ser`].
+    pub(crate) fn raw_send(&self, dest: usize, mut env: Envelope) -> u64 {
         assert!(dest < self.size, "send to rank {dest} of {}", self.size);
         if let Some(v) = &self.verify {
             env.clock = v
@@ -310,10 +312,30 @@ impl Rank {
                 .map(Vec::into_boxed_slice);
             env.sender_ctx = Some(self.context.as_str().into());
         }
-        // Mailboxes are unbounded: a send never blocks, matching MPI's
-        // buffered/eager regime for the small-to-medium messages the
-        // mini-apps exchange.
-        self.mailboxes[dest].push(env);
+        // Incoming queues are unbounded: a send never blocks, matching
+        // MPI's buffered/eager regime for the small-to-medium messages
+        // the mini-apps exchange.
+        self.transport.send(dest, env)
+    }
+
+    /// Book wire-serialization time under its own `transport_ser` row, so
+    /// it never folds into the regular `MPI_Send`/`MPI_Wait` books. Zero
+    /// nanoseconds (the in-process backend, socket self-sends) records
+    /// nothing at all, keeping inproc profiles identical to a runtime
+    /// without the transport seam.
+    fn note_ser(&mut self, bytes: u64, nanos: u64) {
+        if nanos == 0 {
+            return;
+        }
+        let ctx = std::mem::take(&mut self.context);
+        self.recorder.record(
+            MpiOp::TransportSer,
+            &ctx,
+            Duration::from_nanos(nanos),
+            bytes,
+            0.0,
+        );
+        self.context = ctx;
     }
 
     /// Tell the verifier (if any) that a receive matched `env`.
@@ -378,7 +400,7 @@ impl Rank {
         // touches the checker.
         let mut block_id: Option<u64> = None;
         loop {
-            match self.mailboxes[self.rank].pop_timeout(POLL) {
+            match self.transport.pop_timeout(POLL) {
                 Some(env) => {
                     if self.discards.consume(env.src, env.tag) {
                         self.note_discarded(&env);
@@ -448,12 +470,14 @@ impl Rank {
         self.inject_send_faults(env.bytes as u64);
         let start = Instant::now();
         let bytes = env.bytes as u64;
-        self.raw_send(dest, env);
+        let ser = self.raw_send(dest, env);
         let modeled = self.model_message(bytes);
+        // Serialization cost is booked under transport_ser, not the op.
+        let elapsed = start.elapsed().saturating_sub(Duration::from_nanos(ser));
         let ctx = std::mem::take(&mut self.context);
-        self.recorder
-            .record(op, &ctx, start.elapsed(), bytes, modeled);
+        self.recorder.record(op, &ctx, elapsed, bytes, modeled);
         self.context = ctx;
+        self.note_ser(bytes, ser);
     }
 
     /// Blocking send of a typed slice (internally buffered; completes
@@ -579,8 +603,8 @@ impl Rank {
     /// Probe (non-blocking) whether a matching message has arrived.
     pub fn iprobe(&mut self, src: usize, tag: Tag) -> bool {
         Self::assert_user_tag(tag);
-        // Drain the mailbox into the pending queue, then search it.
-        while let Some(env) = self.mailboxes[self.rank].try_pop() {
+        // Drain arrived messages into the pending queue, then search it.
+        while let Some(env) = self.transport.try_pop() {
             self.pending.push_back(env);
         }
         self.purge_discarded();
@@ -623,7 +647,8 @@ impl Rank {
         let env = Envelope::new(self.rank, tag, data);
         let bytes = env.bytes as u64;
         self.inject_send_faults(bytes);
-        self.raw_send(dest, env);
+        let ser = self.raw_send(dest, env);
+        self.note_ser(bytes, ser);
         bytes
     }
 
@@ -633,7 +658,8 @@ impl Rank {
         if let Some(env) = Envelope::inline_from(self.rank, tag, data) {
             let bytes = env.bytes as u64;
             self.inject_send_faults(bytes);
-            self.raw_send(dest, env);
+            let ser = self.raw_send(dest, env);
+            self.note_ser(bytes, ser);
             return bytes;
         }
         let mut buf = self.pool.take::<T>();
@@ -653,7 +679,8 @@ impl Rank {
         let env = Envelope::from_box(self.rank, tag, data);
         let bytes = env.bytes as u64;
         self.inject_send_faults(bytes);
-        self.raw_send(dest, env);
+        let ser = self.raw_send(dest, env);
+        self.note_ser(bytes, ser);
         bytes
     }
 
@@ -669,7 +696,8 @@ impl Rank {
         let env = Envelope::from_shared(self.rank, tag, data);
         let bytes = env.bytes as u64;
         self.inject_send_faults(bytes);
-        self.raw_send(dest, env);
+        let ser = self.raw_send(dest, env);
+        self.note_ser(bytes, ser);
         bytes
     }
 
@@ -776,7 +804,7 @@ impl Rank {
         let saved = self.push_context("verify:finalize", false);
         self.barrier();
         self.pop_context(saved);
-        while let Some(env) = self.mailboxes[self.rank].try_pop() {
+        while let Some(env) = self.transport.try_pop() {
             self.pending.push_back(env);
         }
         self.purge_discarded(); // reports cancelled arrivals via on_discarded

@@ -47,6 +47,10 @@ pub enum MpiOp {
     /// Injected drop + retransmit (fault injection; time is the
     /// timeout/backoff served before the retransmission got through).
     FaultRetransmit,
+    /// Wire serialization/deserialization performed by a non-in-process
+    /// transport (the socket backend). Recorded as its own row so wire
+    /// overhead never silently folds into `MPI_Send`/`MPI_Wait`.
+    TransportSer,
 }
 
 impl MpiOp {
@@ -68,6 +72,7 @@ impl MpiOp {
             MpiOp::CrystalRouter => "crystal_router",
             MpiOp::FaultDelay => "fault_delay",
             MpiOp::FaultRetransmit => "fault_retransmit",
+            MpiOp::TransportSer => "transport_ser",
         }
     }
 
@@ -134,6 +139,25 @@ impl CommRecorder {
         entry.modeled_s += modeled_s;
     }
 
+    /// Record many completed operations in one shot — the drain path for
+    /// work performed off the rank thread (a socket transport's rx
+    /// deserialization, say), where per-event timing was accumulated
+    /// elsewhere and only the totals reach the recorder.
+    pub fn record_bulk(&mut self, op: MpiOp, context: &str, calls: u64, time_s: f64, bytes: u64) {
+        if calls == 0 {
+            return;
+        }
+        let by_ctx = self.sites.entry(op).or_default();
+        let entry = match by_ctx.get_mut(context) {
+            Some(e) => e,
+            None => by_ctx.entry(context.to_owned()).or_default(),
+        };
+        entry.calls += calls;
+        entry.time_s += time_s;
+        entry.bytes += bytes;
+        entry.max_bytes = entry.max_bytes.max(bytes / calls.max(1));
+    }
+
     /// Finish recording, producing the immutable per-rank stats.
     pub fn finish(self, rank: usize, app_time_s: f64) -> CommStats {
         let mut sites: Vec<(SiteKey, SiteStats)> = self
@@ -150,6 +174,7 @@ impl CommRecorder {
             rank,
             app_time_s,
             sites,
+            net_samples: Vec::new(),
         }
     }
 }
@@ -164,6 +189,12 @@ pub struct CommStats {
     pub app_time_s: f64,
     /// Per-call-site statistics, sorted by key for determinism.
     pub sites: Vec<(SiteKey, SiteStats)>,
+    /// Measured per-message `(wire_bytes, transfer_seconds)` samples
+    /// collected by a real transport (the socket backend's rx path);
+    /// empty for the in-process backend. Feed to
+    /// [`crate::NetworkModel::fit`] to replace the synthetic
+    /// latency/bandwidth parameters with measured ones.
+    pub net_samples: Vec<(u64, f64)>,
 }
 
 impl CommStats {

@@ -1,0 +1,1136 @@
+//! Versioned wire format for non-in-process transports.
+//!
+//! The in-process backend moves `Vec`s between threads and never touches
+//! this module. The socket backend serializes every [`Envelope`] into a
+//! length-prefixed, checksummed frame:
+//!
+//! ```text
+//! [u32 body_len] [body]
+//! body = magic "SMPW" (u32) | version (u16) | kind (u8) | payload ... | fnv1a64 checksum (u64)
+//! ```
+//!
+//! All integers are little-endian. The checksum covers everything before
+//! it (magic included), so a torn or corrupted frame is rejected rather
+//! than mis-decoded; decoding returns [`WireError`], never panics, and
+//! refuses trailing bytes so a frame cannot smuggle data past the codec.
+//!
+//! **Data frames** carry one envelope: source, destination, tag, the
+//! wire-equivalent byte count (kept verbatim so mpiP books and the
+//! network model agree bitwise with the in-process backend), a send
+//! timestamp (feeding measured latency/bandwidth samples to
+//! [`crate::NetworkModel::fit`]), the payload element type as a small
+//! registry id, the elements, and — when a verifier is installed — the
+//! piggybacked vector clock and sender context.
+//!
+//! **Payload registry.** Payloads are typed `Vec<T>`s behind `dyn Any`;
+//! the wire cannot ship a `TypeId`, so every element type that may cross
+//! a process boundary has a stable numeric id here: the primitive types
+//! the mini-apps exchange (`f64`/`u64`/`u8`/`u32`/`usize`) and the
+//! crystal router's [`RoutedMsg`] bundles. Sending an unregistered type
+//! over a socket transport panics with instructions; receiving an
+//! unknown id is a [`WireError::UnknownPayloadType`].
+//!
+//! Decoded primitive payloads stage through the receiving rank's
+//! [`BufferPool`] (the box shell and capacity recycle exactly as on the
+//! in-process path), so the zero-allocation steady state survives the
+//! serialization boundary. Inline (eager) payloads are re-materialized
+//! as inline on the receiver, preserving the sender's representation.
+//!
+//! The [`WireCodec`] trait is the public composition layer: driver
+//! crates implement it for their per-rank result structs so
+//! [`crate::World::run_dist`] can ship results from rank processes back
+//! to the launcher.
+
+use std::any::Any;
+use std::time::SystemTime;
+
+use crate::crystal::RoutedMsg;
+use crate::envelope::{Envelope, Msg, Payload, INLINE_ELEMS};
+use crate::pool::BufferPool;
+use crate::stats::{CommStats, MpiOp, SiteKey, SiteStats};
+use crate::verify::LeakInfo;
+
+/// Frame magic: `"SMPW"` (simmpi wire).
+pub(crate) const MAGIC: u32 = 0x534D_5057;
+/// Wire-format version; bumped on any incompatible layout change.
+pub(crate) const VERSION: u16 = 1;
+/// Upper bound on one frame body, to reject absurd lengths from a
+/// corrupt or hostile peer before allocating.
+pub(crate) const MAX_FRAME: usize = 1 << 30;
+
+pub(crate) const FLAG_INLINE: u8 = 1;
+pub(crate) const FLAG_CLOCK: u8 = 2;
+pub(crate) const FLAG_CTX: u8 = 4;
+
+/// Frame kinds exchanged between rank processes and the launcher hub.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FrameKind {
+    /// Child -> hub: `rank`, `size` — identifies the connection.
+    Hello = 1,
+    /// Hub -> child: all ranks connected, start the program.
+    Go = 2,
+    /// An envelope in flight (child -> hub -> destination child).
+    Data = 3,
+    /// Child -> hub: a verifier hook invocation.
+    VerifyReq = 4,
+    /// Hub -> child: the hook's return value.
+    VerifyRep = 5,
+    /// Child -> hub: the rank's encoded return value and CommStats.
+    Result = 6,
+    /// Hub -> children: a peer failed; abort instead of deadlocking.
+    Poison = 7,
+}
+
+impl FrameKind {
+    fn from_u8(v: u8) -> Option<FrameKind> {
+        Some(match v {
+            1 => FrameKind::Hello,
+            2 => FrameKind::Go,
+            3 => FrameKind::Data,
+            4 => FrameKind::VerifyReq,
+            5 => FrameKind::VerifyRep,
+            6 => FrameKind::Result,
+            7 => FrameKind::Poison,
+            _ => return None,
+        })
+    }
+}
+
+/// Why a frame or value failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the value did.
+    Truncated,
+    /// Frame does not start with the `SMPW` magic.
+    BadMagic(u32),
+    /// Peer speaks a different wire-format version.
+    BadVersion(u16),
+    /// Unknown frame kind byte.
+    BadKind(u8),
+    /// Payload element type id not in the registry.
+    UnknownPayloadType(u16),
+    /// FNV-1a checksum mismatch: the frame was corrupted in flight.
+    ChecksumMismatch,
+    /// Bytes left over after the value was fully decoded.
+    TrailingBytes(usize),
+    /// A length-prefixed string was not valid UTF-8.
+    BadUtf8,
+    /// A declared length exceeds the bytes actually present.
+    Oversized(u64),
+    /// Structurally invalid value (context in the message).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame truncated"),
+            WireError::BadMagic(m) => write!(f, "bad frame magic {m:#010x}"),
+            WireError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::BadKind(k) => write!(f, "unknown frame kind {k}"),
+            WireError::UnknownPayloadType(t) => write!(f, "unknown payload type id {t}"),
+            WireError::ChecksumMismatch => write!(f, "frame checksum mismatch"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
+            WireError::BadUtf8 => write!(f, "string is not valid UTF-8"),
+            WireError::Oversized(n) => write!(f, "declared length {n} exceeds frame"),
+            WireError::Malformed(what) => write!(f, "malformed {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// FNV-1a over `bytes` (the frame checksum).
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------
+// primitive put/get helpers
+// ---------------------------------------------------------------------
+
+/// Append a `u8`.
+pub fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+/// Append a little-endian `u16`.
+pub fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a little-endian `u32`.
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a little-endian `u64`.
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a little-endian `f64` (IEEE-754 bits — bitwise exact).
+pub fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+/// Append a length-prefixed UTF-8 string.
+pub fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Cursor over a received frame body; every read is bounds-checked.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Read from `buf`, starting at the beginning.
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Consume `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Consume everything left.
+    pub fn rest(&mut self) -> &'a [u8] {
+        let out = &self.buf[self.pos..];
+        self.pos = self.buf.len();
+        out
+    }
+
+    /// Read a `u8`.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    /// Read a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.bytes(2)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `f64` (bitwise exact).
+    pub fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<&'a str, WireError> {
+        let n = self.u32()? as usize;
+        std::str::from_utf8(self.bytes(n)?).map_err(|_| WireError::BadUtf8)
+    }
+
+    /// Read a declared element count, rejecting counts that cannot fit in
+    /// the remaining bytes at `min_elem_bytes` per element (corruption
+    /// guard: never reserve memory a torn frame merely claims to carry).
+    pub fn count(&mut self, min_elem_bytes: usize) -> Result<usize, WireError> {
+        let n = self.u64()?;
+        if (n as usize).saturating_mul(min_elem_bytes.max(1)) > self.remaining() {
+            return Err(WireError::Oversized(n));
+        }
+        Ok(n as usize)
+    }
+}
+
+// ---------------------------------------------------------------------
+// frame envelope
+// ---------------------------------------------------------------------
+
+/// Start a frame body in `buf` (clears it first).
+pub(crate) fn begin_frame(buf: &mut Vec<u8>, kind: FrameKind) {
+    buf.clear();
+    put_u32(buf, MAGIC);
+    put_u16(buf, VERSION);
+    put_u8(buf, kind as u8);
+}
+
+/// Finish a frame body: append the checksum over everything so far.
+pub(crate) fn end_frame(buf: &mut Vec<u8>) {
+    let sum = fnv1a(buf);
+    put_u64(buf, sum);
+}
+
+/// Validate a frame body (magic, version, kind, checksum) and return its
+/// kind plus a reader positioned after the header, covering everything
+/// up to (not including) the checksum.
+pub(crate) fn open_frame(body: &[u8]) -> Result<(FrameKind, WireReader<'_>), WireError> {
+    const HEADER: usize = 4 + 2 + 1;
+    if body.len() < HEADER + 8 {
+        return Err(WireError::Truncated);
+    }
+    let (head, sum_bytes) = body.split_at(body.len() - 8);
+    let sum = u64::from_le_bytes(sum_bytes.try_into().unwrap());
+    if fnv1a(head) != sum {
+        return Err(WireError::ChecksumMismatch);
+    }
+    let mut r = WireReader::new(head);
+    let magic = r.u32()?;
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let version = r.u16()?;
+    if version != VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let kind_byte = r.u8()?;
+    let kind = FrameKind::from_u8(kind_byte).ok_or(WireError::BadKind(kind_byte))?;
+    Ok((kind, r))
+}
+
+/// Destination rank of a data frame, read without decoding the payload —
+/// the hub's routing peek. `None` if the body is too short or not Data.
+pub(crate) fn peek_data_dest(body: &[u8]) -> Option<usize> {
+    // magic(4) version(2) kind(1) src(4) dest(4)
+    if body.len() < 15 || body[6] != FrameKind::Data as u8 {
+        return None;
+    }
+    Some(u32::from_le_bytes(body[11..15].try_into().unwrap()) as usize)
+}
+
+/// Nanoseconds since the UNIX epoch (the data-frame send timestamp).
+pub(crate) fn now_nanos() -> u64 {
+    SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0)
+}
+
+// ---------------------------------------------------------------------
+// envelope (data frame) codec
+// ---------------------------------------------------------------------
+
+/// Serialize `env` (headed for `dest`) as a complete data frame in `buf`.
+pub(crate) fn encode_data(buf: &mut Vec<u8>, dest: usize, env: &Envelope) {
+    begin_frame(buf, FrameKind::Data);
+    put_u32(buf, env.src as u32);
+    put_u32(buf, dest as u32);
+    put_u64(buf, env.tag);
+    put_u64(buf, env.bytes as u64);
+    put_u64(buf, now_nanos());
+    let flags_at = buf.len();
+    put_u8(buf, 0);
+    let inline = encode_payload(&env.payload, buf);
+    let mut flags = 0u8;
+    if inline {
+        flags |= FLAG_INLINE;
+    }
+    if let Some(clock) = &env.clock {
+        flags |= FLAG_CLOCK;
+        put_u32(buf, clock.len() as u32);
+        for &c in clock.iter() {
+            put_u64(buf, c);
+        }
+    }
+    if let Some(ctx) = &env.sender_ctx {
+        flags |= FLAG_CTX;
+        put_str(buf, ctx);
+    }
+    buf[flags_at] = flags;
+    end_frame(buf);
+}
+
+/// A decoded data frame: the reconstructed envelope plus the send
+/// timestamp and on-wire size used for latency/bandwidth sampling.
+pub(crate) struct DecodedData {
+    pub env: Envelope,
+    pub stamp_nanos: u64,
+    pub wire_bytes: u64,
+}
+
+/// Decode a data frame body (reader positioned after the frame header).
+/// Primitive payloads stage through `pool`.
+pub(crate) fn decode_data(
+    r: &mut WireReader<'_>,
+    pool: &BufferPool,
+) -> Result<DecodedData, WireError> {
+    let wire_bytes = (r.remaining() + 7 + 8) as u64; // header + checksum included
+    let src = r.u32()? as usize;
+    let _dest = r.u32()?;
+    let tag = r.u64()?;
+    let bytes = r.u64()? as usize;
+    let stamp_nanos = r.u64()?;
+    let flags = r.u8()?;
+    let payload = decode_payload(r, flags & FLAG_INLINE != 0, pool)?;
+    let clock = if flags & FLAG_CLOCK != 0 {
+        let n = r.u32()? as usize;
+        if n.saturating_mul(8) > r.remaining() {
+            return Err(WireError::Oversized(n as u64));
+        }
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(r.u64()?);
+        }
+        Some(v.into_boxed_slice())
+    } else {
+        None
+    };
+    let sender_ctx = if flags & FLAG_CTX != 0 {
+        Some(r.str()?.into())
+    } else {
+        None
+    };
+    if r.remaining() != 0 {
+        return Err(WireError::TrailingBytes(r.remaining()));
+    }
+    Ok(DecodedData {
+        env: Envelope {
+            src,
+            tag,
+            payload,
+            bytes,
+            clock,
+            sender_ctx,
+        },
+        stamp_nanos,
+        wire_bytes,
+    })
+}
+
+// ---------------------------------------------------------------------
+// payload registry
+// ---------------------------------------------------------------------
+
+const WIRE_F64: u16 = 1;
+const WIRE_U64: u16 = 2;
+const WIRE_U8: u16 = 3;
+const WIRE_U32: u16 = 4;
+const WIRE_USIZE: u16 = 5;
+const WIRE_ROUTED_F64: u16 = 6;
+const WIRE_ROUTED_U64: u16 = 7;
+const WIRE_ROUTED_U8: u16 = 8;
+const WIRE_ROUTED_USIZE: u16 = 9;
+
+/// Borrow a boxed/shared payload as a typed slice, if it holds `Vec<T>`.
+fn payload_slice<T: Msg>(p: &Payload) -> Option<&[T]> {
+    match p {
+        Payload::Boxed(b) => (&**b as &dyn Any).downcast_ref::<Vec<T>>(),
+        Payload::Shared(a) => (&**a as &dyn Any).downcast_ref::<Vec<T>>(),
+        _ => None,
+    }
+    .map(Vec::as_slice)
+}
+
+fn put_routed<T: Msg>(buf: &mut Vec<u8>, msgs: &[RoutedMsg<T>], put: fn(&mut Vec<u8>, &T)) {
+    put_u64(buf, msgs.len() as u64);
+    for m in msgs {
+        put_u64(buf, m.src as u64);
+        put_u64(buf, m.dest as u64);
+        put_u64(buf, m.data.len() as u64);
+        for v in &m.data {
+            put(buf, v);
+        }
+    }
+}
+
+/// Serialize the payload section: registry id (u16), element count
+/// (u64), elements. Returns whether the payload was inline (eager).
+///
+/// # Panics
+/// Panics when the element type is not in the registry — sending it over
+/// a socket transport is a programming error the in-process backend
+/// cannot catch for us.
+fn encode_payload(p: &Payload, buf: &mut Vec<u8>) -> bool {
+    match p {
+        Payload::InlineF64(n, arr) => {
+            put_u16(buf, WIRE_F64);
+            put_u64(buf, *n as u64);
+            for v in &arr[..*n as usize] {
+                put_f64(buf, *v);
+            }
+            return true;
+        }
+        Payload::InlineU64(n, arr) => {
+            put_u16(buf, WIRE_U64);
+            put_u64(buf, *n as u64);
+            for v in &arr[..*n as usize] {
+                put_u64(buf, *v);
+            }
+            return true;
+        }
+        Payload::InlineU8(n, arr) => {
+            put_u16(buf, WIRE_U8);
+            put_u64(buf, *n as u64);
+            buf.extend_from_slice(&arr[..*n as usize]);
+            return true;
+        }
+        _ => {}
+    }
+    if let Some(v) = payload_slice::<f64>(p) {
+        put_u16(buf, WIRE_F64);
+        put_u64(buf, v.len() as u64);
+        for &x in v {
+            put_f64(buf, x);
+        }
+    } else if let Some(v) = payload_slice::<u64>(p) {
+        put_u16(buf, WIRE_U64);
+        put_u64(buf, v.len() as u64);
+        for &x in v {
+            put_u64(buf, x);
+        }
+    } else if let Some(v) = payload_slice::<u8>(p) {
+        put_u16(buf, WIRE_U8);
+        put_u64(buf, v.len() as u64);
+        buf.extend_from_slice(v);
+    } else if let Some(v) = payload_slice::<u32>(p) {
+        put_u16(buf, WIRE_U32);
+        put_u64(buf, v.len() as u64);
+        for &x in v {
+            put_u32(buf, x);
+        }
+    } else if let Some(v) = payload_slice::<usize>(p) {
+        put_u16(buf, WIRE_USIZE);
+        put_u64(buf, v.len() as u64);
+        for &x in v {
+            put_u64(buf, x as u64);
+        }
+    } else if let Some(v) = payload_slice::<RoutedMsg<f64>>(p) {
+        put_u16(buf, WIRE_ROUTED_F64);
+        put_routed(buf, v, |b, x| put_f64(b, *x));
+    } else if let Some(v) = payload_slice::<RoutedMsg<u64>>(p) {
+        put_u16(buf, WIRE_ROUTED_U64);
+        put_routed(buf, v, |b, x| put_u64(b, *x));
+    } else if let Some(v) = payload_slice::<RoutedMsg<u8>>(p) {
+        put_u16(buf, WIRE_ROUTED_U8);
+        put_routed(buf, v, |b, x| put_u8(b, *x));
+    } else if let Some(v) = payload_slice::<RoutedMsg<usize>>(p) {
+        put_u16(buf, WIRE_ROUTED_USIZE);
+        put_routed(buf, v, |b, x| put_u64(b, *x as u64));
+    } else {
+        panic!(
+            "socket transport cannot serialize this payload element type; \
+             register it in simmpi::wire's payload registry"
+        );
+    }
+    false
+}
+
+/// Decode a flat primitive payload into a pool-staged `Box<Vec<T>>`.
+fn decode_flat<T: Msg>(
+    r: &mut WireReader<'_>,
+    pool: &BufferPool,
+    elem_bytes: usize,
+    get: impl Fn(&mut WireReader<'_>) -> Result<T, WireError>,
+) -> Result<Payload, WireError> {
+    let n = r.count(elem_bytes)?;
+    let mut v = pool.take::<T>().detach();
+    v.reserve(n);
+    for _ in 0..n {
+        v.push(get(r)?);
+    }
+    Ok(Payload::Boxed(v))
+}
+
+fn decode_routed<T: Msg>(
+    r: &mut WireReader<'_>,
+    pool: &BufferPool,
+    elem_bytes: usize,
+    get: impl Fn(&mut WireReader<'_>) -> Result<T, WireError>,
+) -> Result<Payload, WireError> {
+    let n = r.count(24)?;
+    let mut msgs = pool.take::<RoutedMsg<T>>().detach();
+    msgs.reserve(n);
+    for _ in 0..n {
+        let src = r.u64()? as usize;
+        let dest = r.u64()? as usize;
+        let len = r.count(elem_bytes)?;
+        let mut data = Vec::with_capacity(len);
+        for _ in 0..len {
+            data.push(get(r)?);
+        }
+        msgs.push(RoutedMsg { src, dest, data });
+    }
+    Ok(Payload::Boxed(msgs))
+}
+
+/// Decode the payload section written by [`encode_payload`]. An inline
+/// payload is rebuilt inline, preserving the sender's representation.
+fn decode_payload(
+    r: &mut WireReader<'_>,
+    inline: bool,
+    pool: &BufferPool,
+) -> Result<Payload, WireError> {
+    let wire_id = r.u16()?;
+    if inline {
+        let n = r.count(1)?;
+        if n > INLINE_ELEMS {
+            return Err(WireError::Malformed("inline payload too long"));
+        }
+        return Ok(match wire_id {
+            WIRE_F64 => {
+                let mut arr = [0.0f64; INLINE_ELEMS];
+                for slot in arr.iter_mut().take(n) {
+                    *slot = r.f64()?;
+                }
+                Payload::InlineF64(n as u8, arr)
+            }
+            WIRE_U64 => {
+                let mut arr = [0u64; INLINE_ELEMS];
+                for slot in arr.iter_mut().take(n) {
+                    *slot = r.u64()?;
+                }
+                Payload::InlineU64(n as u8, arr)
+            }
+            WIRE_U8 => {
+                let mut arr = [0u8; INLINE_ELEMS];
+                arr[..n].copy_from_slice(r.bytes(n)?);
+                Payload::InlineU8(n as u8, arr)
+            }
+            _ => return Err(WireError::Malformed("inline flag on non-inline type")),
+        });
+    }
+    match wire_id {
+        WIRE_F64 => decode_flat(r, pool, 8, |r| r.f64()),
+        WIRE_U64 => decode_flat(r, pool, 8, |r| r.u64()),
+        WIRE_U8 => decode_flat(r, pool, 1, |r| r.u8()),
+        WIRE_U32 => decode_flat(r, pool, 4, |r| r.u32()),
+        WIRE_USIZE => decode_flat(r, pool, 8, |r| r.u64().map(|v| v as usize)),
+        WIRE_ROUTED_F64 => decode_routed(r, pool, 8, |r| r.f64()),
+        WIRE_ROUTED_U64 => decode_routed(r, pool, 8, |r| r.u64()),
+        WIRE_ROUTED_U8 => decode_routed(r, pool, 1, |r| r.u8()),
+        WIRE_ROUTED_USIZE => decode_routed(r, pool, 8, |r| r.u64().map(|v| v as usize)),
+        other => Err(WireError::UnknownPayloadType(other)),
+    }
+}
+
+// ---------------------------------------------------------------------
+// WireCodec: the public composition layer
+// ---------------------------------------------------------------------
+
+/// Bidirectional byte codec for values that cross a process boundary —
+/// per-rank results shipped from rank processes back to the
+/// [`crate::World::run_dist`] launcher.
+///
+/// Driver crates implement this for their per-rank output structs,
+/// composing the blanket impls for primitives, `String`, `Option`,
+/// `Vec`, and small tuples with the [`put_u64`]-family helpers.
+/// Encoding must be deterministic; decoding must consume exactly what
+/// encoding produced.
+pub trait WireCodec: Sized {
+    /// Append this value's encoding to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+    /// Decode one value, advancing the reader past it.
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError>;
+}
+
+macro_rules! codec_prim {
+    ($t:ty, $put:ident, $get:ident) => {
+        impl WireCodec for $t {
+            fn encode(&self, buf: &mut Vec<u8>) {
+                $put(buf, *self);
+            }
+            fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+                r.$get()
+            }
+        }
+    };
+}
+
+codec_prim!(u8, put_u8, u8);
+codec_prim!(u32, put_u32, u32);
+codec_prim!(u64, put_u64, u64);
+codec_prim!(f64, put_f64, f64);
+
+impl WireCodec for usize {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_u64(buf, *self as u64);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(r.u64()? as usize)
+    }
+}
+
+impl WireCodec for bool {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_u8(buf, *self as u8);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::Malformed("bool")),
+        }
+    }
+}
+
+impl WireCodec for String {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_str(buf, self);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(r.str()?.to_owned())
+    }
+}
+
+impl<T: WireCodec> WireCodec for Option<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            None => put_u8(buf, 0),
+            Some(v) => {
+                put_u8(buf, 1);
+                v.encode(buf);
+            }
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            _ => Err(WireError::Malformed("option tag")),
+        }
+    }
+}
+
+impl<T: WireCodec> WireCodec for Vec<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_u64(buf, self.len() as u64);
+        for v in self {
+            v.encode(buf);
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let n = r.count(1)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<A: WireCodec, B: WireCodec> WireCodec for (A, B) {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+impl<A: WireCodec, B: WireCodec, C: WireCodec> WireCodec for (A, B, C) {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+        self.2.encode(buf);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok((A::decode(r)?, B::decode(r)?, C::decode(r)?))
+    }
+}
+
+impl WireCodec for MpiOp {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        let code: u8 = match self {
+            MpiOp::Send => 0,
+            MpiOp::Isend => 1,
+            MpiOp::Recv => 2,
+            MpiOp::Irecv => 3,
+            MpiOp::Wait => 4,
+            MpiOp::Barrier => 5,
+            MpiOp::Bcast => 6,
+            MpiOp::Reduce => 7,
+            MpiOp::Allreduce => 8,
+            MpiOp::Gather => 9,
+            MpiOp::Scan => 10,
+            MpiOp::Alltoallv => 11,
+            MpiOp::CrystalRouter => 12,
+            MpiOp::FaultDelay => 13,
+            MpiOp::FaultRetransmit => 14,
+            MpiOp::TransportSer => 15,
+        };
+        put_u8(buf, code);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(match r.u8()? {
+            0 => MpiOp::Send,
+            1 => MpiOp::Isend,
+            2 => MpiOp::Recv,
+            3 => MpiOp::Irecv,
+            4 => MpiOp::Wait,
+            5 => MpiOp::Barrier,
+            6 => MpiOp::Bcast,
+            7 => MpiOp::Reduce,
+            8 => MpiOp::Allreduce,
+            9 => MpiOp::Gather,
+            10 => MpiOp::Scan,
+            11 => MpiOp::Alltoallv,
+            12 => MpiOp::CrystalRouter,
+            13 => MpiOp::FaultDelay,
+            14 => MpiOp::FaultRetransmit,
+            15 => MpiOp::TransportSer,
+            _ => return Err(WireError::Malformed("mpi op")),
+        })
+    }
+}
+
+impl WireCodec for SiteStats {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_u64(buf, self.calls);
+        put_f64(buf, self.time_s);
+        put_u64(buf, self.bytes);
+        put_u64(buf, self.max_bytes);
+        put_f64(buf, self.modeled_s);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(SiteStats {
+            calls: r.u64()?,
+            time_s: r.f64()?,
+            bytes: r.u64()?,
+            max_bytes: r.u64()?,
+            modeled_s: r.f64()?,
+        })
+    }
+}
+
+impl WireCodec for SiteKey {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.op.encode(buf);
+        put_str(buf, &self.context);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(SiteKey {
+            op: MpiOp::decode(r)?,
+            context: r.str()?.to_owned(),
+        })
+    }
+}
+
+impl WireCodec for CommStats {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_u64(buf, self.rank as u64);
+        put_f64(buf, self.app_time_s);
+        self.sites.encode(buf);
+        self.net_samples.encode(buf);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(CommStats {
+            rank: r.u64()? as usize,
+            app_time_s: r.f64()?,
+            sites: Vec::decode(r)?,
+            net_samples: Vec::decode(r)?,
+        })
+    }
+}
+
+impl WireCodec for LeakInfo {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_u64(buf, self.src as u64);
+        put_u64(buf, self.tag);
+        put_u64(buf, self.bytes);
+        self.sender_context.encode(buf);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(LeakInfo {
+            src: r.u64()? as usize,
+            tag: r.u64()?,
+            bytes: r.u64()?,
+            sender_context: Option::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn round_trip(env: Envelope) -> (DecodedData, BufferPool) {
+        let pool = BufferPool::new(true);
+        let mut buf = Vec::new();
+        encode_data(&mut buf, 1, &env);
+        let (kind, mut r) = open_frame(&buf).expect("frame opens");
+        assert_eq!(kind, FrameKind::Data);
+        let d = decode_data(&mut r, &pool).expect("decodes");
+        (d, pool)
+    }
+
+    #[test]
+    fn data_round_trip_f64_boxed() {
+        let data: Vec<f64> = (0..100).map(|i| i as f64 * 0.25 - 3.0).collect();
+        let env = Envelope::new(2, 0x77, data.clone());
+        let (d, _) = round_trip(env);
+        assert_eq!(d.env.src, 2);
+        assert_eq!(d.env.tag, 0x77);
+        assert_eq!(d.env.bytes, 800);
+        assert_eq!(d.env.open::<f64>(), data);
+    }
+
+    #[test]
+    fn data_round_trip_every_flat_type() {
+        let e = Envelope::new(0, 1, vec![1u64, u64::MAX, 42]);
+        assert_eq!(round_trip(e).0.env.open::<u64>(), vec![1, u64::MAX, 42]);
+        let e = Envelope::new(0, 1, (0u8..=255).collect::<Vec<u8>>());
+        assert_eq!(
+            round_trip(e).0.env.open::<u8>(),
+            (0u8..=255).collect::<Vec<u8>>()
+        );
+        let e = Envelope::new(0, 1, vec![7u32, u32::MAX]);
+        assert_eq!(round_trip(e).0.env.open::<u32>(), vec![7, u32::MAX]);
+        let e = Envelope::new(0, 1, vec![3usize, usize::MAX]);
+        assert_eq!(round_trip(e).0.env.open::<usize>(), vec![3, usize::MAX]);
+    }
+
+    #[test]
+    fn data_round_trip_preserves_nan_and_negzero_bits() {
+        let vals = vec![f64::NAN, -0.0, f64::INFINITY, f64::MIN_POSITIVE];
+        let env = Envelope::new(0, 1, vals.clone());
+        let got = round_trip(env).0.env.open::<f64>();
+        for (a, b) in got.iter().zip(&vals) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn inline_payloads_stay_inline_across_the_wire() {
+        for n in 0..=INLINE_ELEMS {
+            let vals: Vec<f64> = (0..n).map(|i| i as f64).collect();
+            let env = Envelope::inline_from(0, 5, &vals).unwrap();
+            let (d, _) = round_trip(env);
+            assert!(matches!(d.env.payload, Payload::InlineF64(k, _) if k as usize == n));
+            assert_eq!(d.env.open::<f64>(), vals);
+        }
+        let env = Envelope::inline_from(0, 5, &[9u64, 8]).unwrap();
+        let (d, _) = round_trip(env);
+        assert!(matches!(d.env.payload, Payload::InlineU64(2, _)));
+        let env = Envelope::inline_from(0, 5, &[1u8]).unwrap();
+        let (d, _) = round_trip(env);
+        assert!(matches!(d.env.payload, Payload::InlineU8(1, _)));
+    }
+
+    #[test]
+    fn shared_payload_crosses_as_boxed() {
+        let arc = Arc::new(vec![5.0f64, 6.0]);
+        let env = Envelope::from_shared(3, 9, arc);
+        let (d, _) = round_trip(env);
+        assert!(matches!(d.env.payload, Payload::Boxed(_)));
+        assert_eq!(d.env.open::<f64>(), vec![5.0, 6.0]);
+    }
+
+    #[test]
+    fn routed_msg_round_trip() {
+        let msgs = vec![
+            RoutedMsg {
+                src: 0,
+                dest: 3,
+                data: vec![1.5f64, 2.5],
+            },
+            RoutedMsg {
+                src: 2,
+                dest: 1,
+                data: Vec::new(),
+            },
+        ];
+        let env = Envelope::new(0, 2, msgs.clone());
+        assert_eq!(round_trip(env).0.env.open::<RoutedMsg<f64>>(), msgs);
+        let msgs = vec![RoutedMsg {
+            src: 7,
+            dest: 0,
+            data: vec![u64::MAX],
+        }];
+        let env = Envelope::new(7, 2, msgs.clone());
+        assert_eq!(round_trip(env).0.env.open::<RoutedMsg<u64>>(), msgs);
+        let msgs = vec![RoutedMsg {
+            src: 1,
+            dest: 2,
+            data: vec![0u8, 255],
+        }];
+        let env = Envelope::new(1, 2, msgs.clone());
+        assert_eq!(round_trip(env).0.env.open::<RoutedMsg<u8>>(), msgs);
+    }
+
+    #[test]
+    fn pooled_decode_recycles_buffers() {
+        let pool = BufferPool::new(true);
+        let mut buf = Vec::new();
+        encode_data(&mut buf, 1, &Envelope::new(0, 1, vec![1.0f64; 64]));
+        for _ in 0..3 {
+            let (_, mut r) = open_frame(&buf).unwrap();
+            let d = decode_data(&mut r, &pool).unwrap();
+            drop(d.env.open_pooled::<f64>(&pool)); // parks the buffer
+        }
+        let (hits, misses) = pool.counters();
+        assert!(
+            hits >= 2,
+            "decode did not recycle: {hits} hits {misses} misses"
+        );
+    }
+
+    #[test]
+    fn clock_and_ctx_piggyback_round_trip() {
+        let mut env = Envelope::new(4, 8, vec![1u64]);
+        env.clock = Some(vec![1, 2, 3].into_boxed_slice());
+        env.sender_ctx = Some("faces/gs:pairwise".into());
+        let (d, _) = round_trip(env);
+        assert_eq!(d.env.clock.as_deref(), Some(&[1u64, 2, 3][..]));
+        assert_eq!(d.env.sender_ctx.as_deref(), Some("faces/gs:pairwise"));
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected_at_every_length() {
+        let mut buf = Vec::new();
+        encode_data(&mut buf, 1, &Envelope::new(0, 1, vec![1.0f64, 2.0]));
+        let pool = BufferPool::new(true);
+        for cut in 0..buf.len() {
+            let body = &buf[..cut];
+            let ok = open_frame(body).and_then(|(_, mut r)| decode_data(&mut r, &pool));
+            assert!(ok.is_err(), "truncation to {cut} bytes was accepted");
+        }
+    }
+
+    #[test]
+    fn corrupt_frames_are_rejected() {
+        let mut buf = Vec::new();
+        encode_data(&mut buf, 1, &Envelope::new(0, 1, vec![42u64; 4]));
+        // flip one bit anywhere: the checksum must catch it
+        for i in [0usize, 5, 8, 20, buf.len() - 1] {
+            let mut bad = buf.clone();
+            bad[i] ^= 0x40;
+            assert!(open_frame(&bad).is_err(), "bit flip at {i} accepted");
+        }
+        // bad magic specifically
+        let mut bad = buf.clone();
+        bad[0] ^= 0xff;
+        let head_len = bad.len() - 8;
+        let sum = fnv1a(&bad[..head_len]);
+        bad[head_len..].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(open_frame(&bad), Err(WireError::BadMagic(_))));
+        // future version
+        let mut bad = buf.clone();
+        bad[4] = 0xee;
+        let sum = fnv1a(&bad[..head_len]);
+        bad[head_len..].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(open_frame(&bad), Err(WireError::BadVersion(_))));
+    }
+
+    #[test]
+    fn unknown_payload_type_is_rejected() {
+        let mut buf = Vec::new();
+        encode_data(&mut buf, 1, &Envelope::new(0, 1, vec![1u64]));
+        // the wire id sits right after src/dest/tag/bytes/stamp/flags
+        let id_at = 7 + 4 + 4 + 8 + 8 + 8 + 1;
+        let mut bad = buf.clone();
+        bad[id_at] = 0x99;
+        let head_len = bad.len() - 8;
+        let sum = fnv1a(&bad[..head_len]);
+        bad[head_len..].copy_from_slice(&sum.to_le_bytes());
+        let pool = BufferPool::new(true);
+        let (_, mut r) = open_frame(&bad).unwrap();
+        assert!(matches!(
+            decode_data(&mut r, &pool),
+            Err(WireError::UnknownPayloadType(0x99))
+        ));
+    }
+
+    #[test]
+    fn oversized_count_is_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        encode_data(&mut buf, 1, &Envelope::new(0, 1, vec![1.0f64]));
+        // corrupt the element count to something enormous
+        let count_at = 7 + 4 + 4 + 8 + 8 + 8 + 1 + 2;
+        let mut bad = buf.clone();
+        bad[count_at..count_at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        let head_len = bad.len() - 8;
+        let sum = fnv1a(&bad[..head_len]);
+        bad[head_len..].copy_from_slice(&sum.to_le_bytes());
+        let pool = BufferPool::new(true);
+        let (_, mut r) = open_frame(&bad).unwrap();
+        assert!(matches!(
+            decode_data(&mut r, &pool),
+            Err(WireError::Oversized(_))
+        ));
+    }
+
+    #[test]
+    fn peek_dest_matches_encoded_dest() {
+        let mut buf = Vec::new();
+        encode_data(&mut buf, 13, &Envelope::new(0, 1, vec![1u8]));
+        assert_eq!(peek_data_dest(&buf), Some(13));
+        assert_eq!(peek_data_dest(&buf[..10]), None);
+    }
+
+    #[test]
+    fn wire_codec_composes() {
+        #[derive(Debug, PartialEq)]
+        struct Sample {
+            name: String,
+            vals: Vec<f64>,
+            flag: Option<u64>,
+        }
+        impl WireCodec for Sample {
+            fn encode(&self, buf: &mut Vec<u8>) {
+                self.name.encode(buf);
+                self.vals.encode(buf);
+                self.flag.encode(buf);
+            }
+            fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+                Ok(Sample {
+                    name: String::decode(r)?,
+                    vals: Vec::decode(r)?,
+                    flag: Option::decode(r)?,
+                })
+            }
+        }
+        let s = Sample {
+            name: "hi".into(),
+            vals: vec![1.0, -2.0],
+            flag: Some(9),
+        };
+        let mut buf = Vec::new();
+        s.encode(&mut buf);
+        let mut r = WireReader::new(&buf);
+        assert_eq!(Sample::decode(&mut r).unwrap(), s);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn comm_stats_codec_round_trip() {
+        let mut rec = crate::stats::CommRecorder::default();
+        rec.record(
+            MpiOp::Send,
+            "gs:pairwise",
+            std::time::Duration::from_millis(3),
+            128,
+            1e-6,
+        );
+        rec.record_bulk(MpiOp::TransportSer, "transport:rx", 10, 0.5e-3, 4096);
+        let mut stats = rec.finish(3, 1.25);
+        stats.net_samples = vec![(128, 1e-5), (4096, 4e-5)];
+        let mut buf = Vec::new();
+        stats.encode(&mut buf);
+        let mut r = WireReader::new(&buf);
+        let back = CommStats::decode(&mut r).unwrap();
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(back, stats);
+    }
+}

@@ -10,8 +10,10 @@ use crate::mailbox::Mailbox;
 use crate::netmodel::NetworkModel;
 use crate::pool::BufferPool;
 use crate::rank::{DiscardList, Rank};
-use crate::stats::{CommRecorder, CommStats};
+use crate::stats::{CommRecorder, CommStats, MpiOp};
+use crate::transport::{InprocTransport, Transport, TransportKind};
 use crate::verify::VerifyHooks;
+use crate::wire::WireCodec;
 
 /// A world of `P` simulated MPI ranks. Construct once, then [`World::run`]
 /// an SPMD closure on it.
@@ -29,12 +31,13 @@ use crate::verify::VerifyHooks;
 /// ```
 #[derive(Debug, Clone)]
 pub struct World {
-    net: Option<NetworkModel>,
-    faults: Option<Arc<FaultPlan>>,
-    verify: Option<Arc<dyn VerifyHooks>>,
-    pooling: bool,
-    workers: usize,
-    worker_counters: Option<crate::workers::AllocCounterFn>,
+    pub(crate) net: Option<NetworkModel>,
+    pub(crate) faults: Option<Arc<FaultPlan>>,
+    pub(crate) verify: Option<Arc<dyn VerifyHooks>>,
+    pub(crate) pooling: bool,
+    pub(crate) workers: usize,
+    pub(crate) worker_counters: Option<crate::workers::AllocCounterFn>,
+    pub(crate) transport: TransportKind,
 }
 
 impl Default for World {
@@ -46,6 +49,7 @@ impl Default for World {
             pooling: true,
             workers: 1,
             worker_counters: None,
+            transport: TransportKind::Inproc,
         }
     }
 }
@@ -141,6 +145,17 @@ impl World {
         self
     }
 
+    /// Select the transport backend for [`World::run_dist`]:
+    /// [`TransportKind::Inproc`] (the default — ranks as threads of this
+    /// process) or [`TransportKind::Socket`] (ranks as child processes
+    /// over Unix-domain/TCP sockets). [`World::run`] always uses the
+    /// in-process backend regardless of this setting, because it cannot
+    /// ship arbitrary `T` results across a process boundary.
+    pub fn with_transport(mut self, kind: TransportKind) -> Self {
+        self.transport = kind;
+        self
+    }
+
     /// Run `f` as an SPMD program on `p` ranks (one OS thread each) and
     /// wait for completion.
     ///
@@ -164,6 +179,7 @@ impl World {
             v.on_start(p);
         }
         let f = &f;
+        let world = self;
 
         let mut slots: Vec<Option<(T, CommStats)>> = Vec::with_capacity(p);
         for _ in 0..p {
@@ -175,62 +191,11 @@ impl World {
             for r in 0..p {
                 let mailboxes = Arc::clone(&mailboxes);
                 let poisoned = Arc::clone(&poisoned);
-                let net = self.net;
-                let pooling = self.pooling;
-                let workers = self.workers;
-                let worker_counters = self.worker_counters;
                 let verify = self.verify.clone();
-                let faults = self
-                    .faults
-                    .as_ref()
-                    .map(|plan| FaultState::for_rank(Arc::clone(plan), r));
                 handles.push(scope.spawn(move || {
-                    // Poison the world if this rank unwinds, so blocked
-                    // peers abort promptly instead of deadlocking.
-                    struct PoisonOnPanic(Arc<AtomicBool>);
-                    impl Drop for PoisonOnPanic {
-                        fn drop(&mut self) {
-                            if std::thread::panicking() {
-                                self.0.store(true, Ordering::Relaxed);
-                            }
-                        }
-                    }
-                    let _guard = PoisonOnPanic(Arc::clone(&poisoned));
-                    let mut rank = Rank {
-                        rank: r,
-                        size: p,
-                        pending: VecDeque::with_capacity(128),
-                        mailboxes,
-                        pool: BufferPool::new(pooling),
-                        ctx_spares: Vec::with_capacity(8),
-                        poisoned,
-                        recorder: CommRecorder::default(),
-                        context: String::from("main"),
-                        net,
-                        modeled_time_s: 0.0,
-                        coll_seq: 0,
-                        user_seq: 0,
-                        faults,
-                        discards: DiscardList::default(),
-                        verify: verify.clone(),
-                        finalized: false,
-                        workers: if workers > 1 {
-                            Some(Arc::new(crate::workers::WorkerPool::new(
-                                workers,
-                                worker_counters,
-                            )))
-                        } else {
-                            None
-                        },
-                    };
-                    let start = Instant::now();
-                    let out = f(&mut rank);
-                    // Finalize-time leak check (idempotent; drivers may
-                    // have run it already under a profiler region).
-                    rank.verify_finalize();
-                    let app_time = start.elapsed().as_secs_f64();
-                    let stats = rank.recorder.finish(r, app_time);
-                    (out, stats)
+                    let transport = Box::new(InprocTransport::new(mailboxes, r));
+                    let pool = BufferPool::new(world.pooling);
+                    execute_rank(world, r, p, transport, pool, poisoned, verify, f)
                 }));
             }
             for (r, h) in handles.into_iter().enumerate() {
@@ -250,6 +215,128 @@ impl World {
         }
         WorldResult { results, stats }
     }
+
+    /// Run `f` as an SPMD program on `p` ranks over the configured
+    /// transport backend ([`World::with_transport`]).
+    ///
+    /// On [`TransportKind::Inproc`] this is exactly [`World::run`]. On
+    /// [`TransportKind::Socket`] this process becomes the launcher hub:
+    /// it spawns `p` copies of the current executable (one per rank,
+    /// re-invoked with the same arguments), routes their wire-format
+    /// frames, and decodes their [`WireCodec`]-encoded results — which is
+    /// why `T` needs the extra bound. When the current process *is* one
+    /// of those spawned children (detected from the environment the
+    /// launcher set), this call runs that single rank against the hub
+    /// and exits the process without returning; driver code after
+    /// `run_dist` therefore executes on the launcher only.
+    ///
+    /// # Panics
+    /// Panics if `p == 0`, the fault plan is invalid, any rank fails, or
+    /// the socket handshake cannot be established.
+    pub fn run_dist<T, F>(&self, p: usize, f: F) -> WorldResult<T>
+    where
+        T: Send + WireCodec,
+        F: Fn(&mut Rank) -> T + Send + Sync,
+    {
+        match &self.transport {
+            TransportKind::Inproc => self.run(p, f),
+            TransportKind::Socket(cfg) => {
+                if let Some((rank, size, addr)) = crate::socket::child_env() {
+                    crate::socket::run_child_process(self, rank, size, &addr, &f)
+                } else {
+                    assert!(p > 0, "world needs at least one rank");
+                    if let Some(plan) = &self.faults {
+                        if let Err(e) = plan.validate(p) {
+                            panic!("invalid fault plan: {e}");
+                        }
+                    }
+                    crate::socket::run_launcher(self, p, cfg, &f)
+                }
+            }
+        }
+    }
+}
+
+/// Run one rank to completion over `transport`: build the [`Rank`],
+/// execute the SPMD closure, run the finalize-time leak check, drain the
+/// transport's receive-side accounting into the mpiP books, and finish
+/// the statistics. Shared by the in-process backend (one call per rank
+/// thread) and the socket backend (one call per rank process).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn execute_rank<T, F>(
+    world: &World,
+    r: usize,
+    p: usize,
+    transport: Box<dyn Transport>,
+    pool: BufferPool,
+    poisoned: Arc<AtomicBool>,
+    verify: Option<Arc<dyn VerifyHooks>>,
+    f: &F,
+) -> (T, CommStats)
+where
+    F: Fn(&mut Rank) -> T,
+{
+    // Poison the world if this rank unwinds, so blocked peers abort
+    // promptly instead of deadlocking.
+    struct PoisonOnPanic(Arc<AtomicBool>);
+    impl Drop for PoisonOnPanic {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                self.0.store(true, Ordering::Relaxed);
+            }
+        }
+    }
+    let _guard = PoisonOnPanic(Arc::clone(&poisoned));
+    let faults = world
+        .faults
+        .as_ref()
+        .map(|plan| FaultState::for_rank(Arc::clone(plan), r));
+    let mut rank = Rank {
+        rank: r,
+        size: p,
+        pending: VecDeque::with_capacity(128),
+        transport,
+        pool,
+        ctx_spares: Vec::with_capacity(8),
+        poisoned,
+        recorder: CommRecorder::default(),
+        context: String::from("main"),
+        net: world.net,
+        modeled_time_s: 0.0,
+        coll_seq: 0,
+        user_seq: 0,
+        faults,
+        discards: DiscardList::default(),
+        verify,
+        finalized: false,
+        workers: if world.workers > 1 {
+            Some(Arc::new(crate::workers::WorkerPool::new(
+                world.workers,
+                world.worker_counters,
+            )))
+        } else {
+            None
+        },
+    };
+    let start = Instant::now();
+    let out = f(&mut rank);
+    // Finalize-time leak check (idempotent; drivers may have run it
+    // already under a profiler region).
+    rank.verify_finalize();
+    let app_time = start.elapsed().as_secs_f64();
+    let drain = rank.transport.rx_drain();
+    if drain.frames > 0 {
+        rank.recorder.record_bulk(
+            MpiOp::TransportSer,
+            "transport:rx",
+            drain.frames,
+            drain.deser_s,
+            drain.bytes,
+        );
+    }
+    let mut stats = rank.recorder.finish(r, app_time);
+    stats.net_samples = drain.samples;
+    (out, stats)
 }
 
 #[cfg(test)]
