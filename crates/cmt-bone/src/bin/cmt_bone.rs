@@ -27,6 +27,8 @@ fn usage() -> ! {
          \x20                [--restart PATH] [--fault-plan SPEC]\n\
          \x20                [--verify] [--chaos-sched SEED] [--no-pool]\n\
          \x20                [--transport inproc|socket] [--transport-addr ADDR]\n\
+         \x20                [--particles-per-elem Q] [--particle-cluster FRAC]\n\
+         \x20                [--lb-every K] [--lb-threshold T]\n\
          \n\
          --transport socket runs every rank as a child process over\n\
          Unix-domain sockets (rank 0's process is the launcher/hub);\n\
@@ -42,7 +44,13 @@ fn usage() -> ! {
          --verify runs the cmt-verify dynamic checker (deadlock, collective\n\
          matching, message leaks, races); exit status 1 on findings.\n\
          --chaos-sched overlays seeded message delays to perturb the schedule.\n\
-         --no-pool disables message-buffer recycling (allocate per message)."
+         --no-pool disables message-buffer recycling (allocate per message).\n\
+         --particles-per-elem seeds Q passive tracers per element (0 = off);\n\
+         --particle-cluster FRAC crowds them into the first FRAC of the x\n\
+         extent (the imbalanced cloud). --lb-every K evaluates the dynamic\n\
+         load balancer every K steps; --lb-threshold T (max/mean load, > 1)\n\
+         sets the rebalance trigger. Balancing never changes the physics:\n\
+         state hashes are bitwise identical with LB on or off."
     );
     std::process::exit(2);
 }
@@ -64,7 +72,11 @@ fn run_euler_mode(cfg: &Config, quiet: bool) {
         method: cfg.method.unwrap_or(cmt_gs::GsMethod::PairwiseExchange),
         cfl: cfg.cfl,
         cfl_interval: cfg.cfl_interval,
-        particles_per_elem: 2,
+        particles_per_elem: if cfg.particles_per_elem > 0 {
+            cfg.particles_per_elem
+        } else {
+            2
+        },
         ..Default::default()
     };
     let mesh = cmt_mesh::MeshConfig::for_ranks(ecfg.ranks, ecfg.elems_per_rank, ecfg.n, true);
@@ -169,6 +181,21 @@ fn main() {
                         })
                     }
                 }
+            }
+            "--particles-per-elem" => cfg.particles_per_elem = parse_usize(args.next()),
+            "--particle-cluster" => {
+                cfg.particle_cluster = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--lb-every" => cfg.lb_every = parse_usize(args.next()),
+            "--lb-threshold" => {
+                cfg.lb_threshold = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
             "--chaos-sched" => {
                 cfg.chaos_sched = args.next().and_then(|s| s.parse().ok()).or_else(|| usage())

@@ -137,6 +137,22 @@ pub struct Config {
     /// socket`, every rank a spawned child over Unix-domain or TCP
     /// sockets). Results are bitwise identical between backends.
     pub transport: TransportKind,
+    /// Passive tracer particles per element seeded at startup (0
+    /// disables the particle phase).
+    pub particles_per_elem: usize,
+    /// Cluster the seeded particles into the leading `frac` of the
+    /// domain's x extent instead of spreading them uniformly — the
+    /// imbalanced cloud the load balancer exists for. Requires
+    /// `particles_per_elem > 0`; `frac` in `(0, 1]`.
+    pub particle_cluster: Option<f64>,
+    /// Evaluate the dynamic load balancer every this many steps (0
+    /// disables). Requires the particle phase — particle drift is what
+    /// creates the imbalance the balancer redistributes.
+    pub lb_every: usize,
+    /// Rebalance trigger: repartition when max-over-mean effective rank
+    /// load exceeds this (1.0 = perfectly balanced; must be > 1.0 so
+    /// the balanced state is a fixed point).
+    pub lb_threshold: f64,
 }
 
 impl Default for Config {
@@ -167,6 +183,10 @@ impl Default for Config {
             chaos_sched: None,
             pool: true,
             transport: TransportKind::default(),
+            particles_per_elem: 0,
+            particle_cluster: None,
+            lb_every: 0,
+            lb_threshold: 1.25,
         }
     }
 }
@@ -244,6 +264,27 @@ impl Config {
                 ));
             }
         }
+        if let Some(frac) = self.particle_cluster {
+            if self.particles_per_elem == 0 {
+                return Err("particle_cluster requires particles_per_elem > 0".into());
+            }
+            if !(frac > 0.0) || frac > 1.0 {
+                return Err(format!("particle_cluster must be in (0, 1], got {frac}"));
+            }
+        }
+        if self.lb_every > 0 {
+            if self.particles_per_elem == 0 {
+                return Err("load balancing (lb_every) requires particles_per_elem > 0 \
+                     — particle drift is the imbalance source"
+                    .into());
+            }
+            if !(self.lb_threshold > 1.0) {
+                return Err(format!(
+                    "lb_threshold must be > 1.0 (max/mean load trigger), got {}",
+                    self.lb_threshold
+                ));
+            }
+        }
         if let Some(plan) = &self.fault_plan {
             plan.validate(self.ranks)?;
             if !plan.kills.is_empty() && self.checkpoint_every == 0 {
@@ -286,6 +327,29 @@ mod tests {
             &|c| c.fields = 0,
             &|c| c.cfl_interval = 0,
             &|c| c.cfl = 0.0,
+            // LB without particles: nothing to balance
+            &|c| c.lb_every = 4,
+            // non-triggering threshold
+            &|c| {
+                c.particles_per_elem = 2;
+                c.lb_every = 4;
+                c.lb_threshold = 1.0;
+            },
+            &|c| {
+                c.particles_per_elem = 2;
+                c.lb_every = 4;
+                c.lb_threshold = -2.0;
+            },
+            // clustering without particles, or with a bad fraction
+            &|c| c.particle_cluster = Some(0.25),
+            &|c| {
+                c.particles_per_elem = 2;
+                c.particle_cluster = Some(0.0);
+            },
+            &|c| {
+                c.particles_per_elem = 2;
+                c.particle_cluster = Some(1.5);
+            },
         ] {
             let mut c = Config::default();
             breaker(&mut c);

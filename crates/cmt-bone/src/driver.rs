@@ -13,7 +13,9 @@ use cmt_core::ops::{
 use cmt_core::poly::Basis;
 use cmt_core::{rk, Field};
 use cmt_gs::{autotune, AutotuneReport, GsHandle, GsMethod, GsOp};
-use cmt_mesh::{MeshConfig, RankMesh};
+use cmt_lb::{decide, gather_costs, migrate_blocks, CostModel};
+use cmt_mesh::{face_exchange_gids_for, ElemPartition, MeshConfig, RankMesh};
+use cmt_particles::{Particle, ParticleSet};
 use cmt_perf::{MpipReport, Profiler};
 use cmt_resilience::{hash, load_checkpoint, Checkpoint, Resilience};
 use cmt_verify::Verifier;
@@ -24,7 +26,7 @@ use simmpi::{
 use std::sync::Arc;
 
 use crate::config::{Config, Pipeline};
-use crate::report::RunReport;
+use crate::report::{LbSummary, RunReport};
 
 /// Profiler region names used by the driver, mirroring the routines of
 /// the paper's Fig. 4 call graph.
@@ -76,7 +78,12 @@ struct RankOutput {
     kernel_autotune: Option<KernelAutotuneReport>,
     chosen: GsMethod,
     checksum: f64,
-    state_hash: u64,
+    /// Global ids of the elements this rank finished owning, with their
+    /// per-element state hashes — merged host-side in ascending-gid
+    /// order so the run fingerprint is independent of the partition.
+    elem_gids: Vec<u64>,
+    elem_hashes: Vec<u64>,
+    lb: Option<LbSummary>,
     wall_s: f64,
     modeled_s: f64,
     solution: Option<SolutionDump>,
@@ -160,6 +167,23 @@ impl WireCodec for SolutionDump {
     }
 }
 
+impl WireCodec for LbSummary {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.rebalances.encode(buf);
+        self.elems_moved.encode(buf);
+        self.particles_moved.encode(buf);
+        self.peak_imbalance.encode(buf);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(LbSummary {
+            rebalances: u64::decode(r)?,
+            elems_moved: u64::decode(r)?,
+            particles_moved: u64::decode(r)?,
+            peak_imbalance: f64::decode(r)?,
+        })
+    }
+}
+
 impl WireCodec for RankOutput {
     fn encode(&self, buf: &mut Vec<u8>) {
         self.profiler.encode(buf);
@@ -173,7 +197,9 @@ impl WireCodec for RankOutput {
         }
         self.chosen.encode(buf);
         self.checksum.encode(buf);
-        self.state_hash.encode(buf);
+        self.elem_gids.encode(buf);
+        self.elem_hashes.encode(buf);
+        self.lb.encode(buf);
         self.wall_s.encode(buf);
         self.modeled_s.encode(buf);
         self.solution.encode(buf);
@@ -189,7 +215,9 @@ impl WireCodec for RankOutput {
             },
             chosen: GsMethod::decode(r)?,
             checksum: f64::decode(r)?,
-            state_hash: u64::decode(r)?,
+            elem_gids: Vec::decode(r)?,
+            elem_hashes: Vec::decode(r)?,
+            lb: Option::decode(r)?,
             wall_s: f64::decode(r)?,
             modeled_s: f64::decode(r)?,
             solution: Option::decode(r)?,
@@ -197,40 +225,111 @@ impl WireCodec for RankOutput {
     }
 }
 
-/// Hash this rank's final fields, bitwise (used for the cross-run
-/// final-state identity checks of the resilience tests and CI).
-fn hash_fields(u: &[Field]) -> u64 {
-    let mut h = hash::FNV_OFFSET;
-    for f in u {
-        hash::fnv1a_f64s(&mut h, f.as_slice());
+/// Hash one rank's final state element by element: each owned element's
+/// bytes across every field, then its resident particles (ascending by
+/// id). Per-element hashes are merged host-side in ascending global-id
+/// order, so the combined fingerprint does not depend on which rank
+/// ended up owning which element — the property the load-balancer
+/// identity tests rely on.
+fn hash_elements(
+    u: &[Field],
+    n3: usize,
+    owned: &[usize],
+    mut pset: Option<&mut ParticleSet>,
+) -> (Vec<u64>, Vec<u64>) {
+    let mut gids = Vec::with_capacity(owned.len());
+    let mut hashes = Vec::with_capacity(owned.len());
+    for (slot, &gid) in owned.iter().enumerate() {
+        let mut h = hash::FNV_OFFSET;
+        for f in u {
+            hash::fnv1a_f64s(&mut h, &f.as_slice()[slot * n3..(slot + 1) * n3]);
+        }
+        if let Some(ps) = pset.as_mut() {
+            let mut residents: Vec<Particle> = ps.residents_of(slot).to_vec();
+            residents.sort_by_key(|p| p.id);
+            for p in &residents {
+                hash::fnv1a(&mut h, &p.id.to_le_bytes());
+                hash::fnv1a_f64s(&mut h, &p.pos);
+            }
+        }
+        gids.push(gid as u64);
+        hashes.push(h);
     }
-    h
+    (gids, hashes)
 }
 
-/// Capture this rank's loop state at the top of `step` (stage 0).
-fn capture_checkpoint(rank: &Rank, step: u64, time: f64, u: &[Field]) -> Checkpoint {
+/// Flatten particles to checkpoint records (`[id, x, y, z]` per
+/// particle).
+fn particle_records(ps: &ParticleSet) -> Vec<f64> {
+    let mut rec = Vec::with_capacity(ps.len() * 4);
+    for p in ps.particles() {
+        rec.push(p.id as f64);
+        rec.extend_from_slice(&p.pos);
+    }
+    rec
+}
+
+/// Inverse of [`particle_records`].
+fn particles_from_records(rec: &[f64]) -> Vec<Particle> {
+    assert_eq!(rec.len() % 4, 0, "corrupt particle checkpoint record");
+    rec.chunks_exact(4)
+        .map(|c| Particle {
+            id: c[0] as u64,
+            pos: [c[1], c[2], c[3]],
+        })
+        .collect()
+}
+
+/// Capture this rank's loop state at the top of `step` (stage 0). With
+/// the load balancer on, the scalars record the full element-owner
+/// vector active at capture time (identical on every rank), so a
+/// rollback — or a cross-run restart — can rebuild the partition the
+/// fields were captured under. With particles on, their records ride
+/// along as one extra field entry.
+fn capture_checkpoint(
+    rank: &Rank,
+    step: u64,
+    time: f64,
+    u: &[Field],
+    part: Option<&ElemPartition>,
+    pset: Option<&ParticleSet>,
+) -> Checkpoint {
+    let mut scalars = Vec::new();
+    if let Some(p) = part {
+        scalars.reserve(p.total_elems());
+        scalars.extend(p.owner_vec().iter().map(|&r| r as f64));
+    }
+    let mut fields: Vec<Vec<f64>> = u.iter().map(|f| f.as_slice().to_vec()).collect();
+    if let Some(ps) = pset {
+        fields.push(particle_records(ps));
+    }
     Checkpoint {
         rank: rank.rank() as u64,
         step,
         stage: 0,
         time,
         rng_state: rank.fault_rng_state().unwrap_or(0),
-        scalars: Vec::new(),
-        fields: u.iter().map(|f| f.as_slice().to_vec()).collect(),
+        scalars,
+        fields,
     }
 }
 
-/// Restore the loop state captured by [`capture_checkpoint`].
-fn restore_checkpoint(
-    rank: &mut Rank,
-    ckpt: &Checkpoint,
-    u: &mut [Field],
-    time: &mut f64,
-    step: &mut u64,
-) {
-    assert_eq!(
-        ckpt.fields.len(),
-        u.len(),
+/// The element partition a checkpoint was captured under, when one was
+/// recorded (load balancer on).
+fn checkpoint_partition(ckpt: &Checkpoint, ranks: usize) -> Option<ElemPartition> {
+    if ckpt.scalars.is_empty() {
+        return None;
+    }
+    let owner: Vec<u32> = ckpt.scalars.iter().map(|&r| r as u32).collect();
+    Some(ElemPartition::from_owner(ranks, owner))
+}
+
+/// Restore the field state captured by [`capture_checkpoint`] (the
+/// checkpoint may carry one trailing particle record beyond the field
+/// set).
+fn restore_fields(ckpt: &Checkpoint, u: &mut [Field]) {
+    assert!(
+        ckpt.fields.len() == u.len() || ckpt.fields.len() == u.len() + 1,
         "checkpoint holds {} fields, run has {}",
         ckpt.fields.len(),
         u.len()
@@ -243,6 +342,11 @@ fn restore_checkpoint(
         );
         uf.as_mut_slice().copy_from_slice(cf);
     }
+}
+
+/// Restore the clock and fault-RNG state captured by
+/// [`capture_checkpoint`].
+fn restore_clock(rank: &mut Rank, ckpt: &Checkpoint, time: &mut f64, step: &mut u64) {
     *time = ckpt.time;
     *step = ckpt.step;
     rank.set_fault_rng_state(ckpt.rng_state);
@@ -475,6 +579,96 @@ fn viscous_pass(
     prof.exit();
 }
 
+/// Everything on a rank that is sized by (and bound to) its current
+/// element set: the solution fields, every scratch buffer, the
+/// gather-scatter plan, and the hybrid-pool chunk geometry. A load
+/// balancer migration replaces the whole block — the timestep loop only
+/// ever sees a consistent one.
+struct Block {
+    /// Global ids of the owned elements, ascending — the local element
+    /// order of every buffer below.
+    owned: Vec<usize>,
+    nel: usize,
+    handle: GsHandle,
+    u: Vec<Field>,
+    u0: Vec<Field>,
+    rhs_all: Vec<Field>,
+    scratch: Field,
+    faces_all: Vec<Vec<f64>>,
+    faces_own_all: Vec<Vec<f64>>,
+    /// Fine-mesh dealias buffer (empty when dealiasing is off); the
+    /// interpolation matrices are partition-independent and live
+    /// outside.
+    dealias_fine: Vec<f64>,
+    viscous: Option<ViscousWs>,
+    pool_scratch: Vec<f64>,
+    dealias_pool_scratch: Vec<f64>,
+    grain: usize,
+    n_chunks: usize,
+}
+
+/// Build the per-partition state block for an owned-element set. Fields
+/// start zeroed — the caller fills them (initial condition, checkpoint
+/// restore, or migration merge). The gather-scatter `handle` must have
+/// been set up (collectively) for exactly this element set.
+fn build_block(
+    cfg: &Config,
+    owned: Vec<usize>,
+    handle: GsHandle,
+    grain: usize,
+    pool_on: bool,
+) -> Block {
+    let n = cfg.n;
+    let nel = owned.len();
+    let n3 = n * n * n;
+    let fpe = face::face_values_per_element(n);
+    let n_chunks = chunk_count(nel, grain);
+    Block {
+        owned,
+        nel,
+        handle,
+        u: (0..cfg.fields).map(|_| Field::zeros(n, nel)).collect(),
+        u0: (0..cfg.fields).map(|_| Field::zeros(n, nel)).collect(),
+        rhs_all: (0..cfg.fields).map(|_| Field::zeros(n, nel)).collect(),
+        scratch: Field::zeros(n, nel),
+        faces_all: (0..cfg.fields).map(|_| vec![0.0; fpe * nel]).collect(),
+        faces_own_all: (0..cfg.fields).map(|_| vec![0.0; fpe * nel]).collect(),
+        dealias_fine: match cfg.dealias_m {
+            Some(m) => vec![0.0; m * m * m * nel],
+            None => Vec::new(),
+        },
+        viscous: cfg.viscosity.map(|nu| ViscousWs {
+            nu,
+            q: [
+                Field::zeros(n, nel),
+                Field::zeros(n, nel),
+                Field::zeros(n, nel),
+            ],
+            qown: [
+                vec![0.0; fpe * nel],
+                vec![0.0; fpe * nel],
+                vec![0.0; fpe * nel],
+            ],
+            qnbr: [
+                vec![0.0; fpe * nel],
+                vec![0.0; fpe * nel],
+                vec![0.0; fpe * nel],
+            ],
+        }),
+        pool_scratch: if pool_on {
+            vec![0.0; n_chunks * grain * n3]
+        } else {
+            Vec::new()
+        },
+        dealias_pool_scratch: match (pool_on, cfg.dealias_m) {
+            (true, Some(m)) => vec![0.0; n_chunks * 2 * m.max(n).pow(3)],
+            _ => Vec::new(),
+        },
+        grain,
+        n_chunks,
+    }
+}
+
 fn rank_main(rank: &mut Rank, cfg: &Config, mesh_cfg: &MeshConfig, collect: bool) -> RankOutput {
     let start = Instant::now();
     let mut prof = Profiler::new();
@@ -486,10 +680,24 @@ fn rank_main(rank: &mut Rank, cfg: &Config, mesh_cfg: &MeshConfig, collect: bool
         [ge[0] as f64, ge[1] as f64, ge[2] as f64]
     };
 
-    // ---- setup: mesh, gs discovery, autotune -------------------------
+    // ---- restart checkpoint loads first ------------------------------
+    // With the load balancer on, a checkpoint records the partition its
+    // fields were captured under; the collective gather-scatter setup
+    // below must run on that partition, so the load happens before any
+    // plan is built.
+    let restart_ckpt = cfg.restart_from.as_ref().map(|dir| {
+        load_checkpoint(dir, rank.rank())
+            .unwrap_or_else(|e| panic!("rank {}: restart: {e}", rank.rank()))
+    });
+    let mut part = restart_ckpt
+        .as_ref()
+        .and_then(|c| checkpoint_partition(c, rank.size()))
+        .unwrap_or_else(|| ElemPartition::initial(mesh_cfg));
+
+    // ---- setup: partition, gs discovery, autotune ---------------------
     prof.enter(regions::SETUP);
-    let mesh = RankMesh::new(mesh_cfg.clone(), rank.rank());
-    let gids = mesh.face_exchange_gids();
+    let owned0 = part.owned_by(rank.rank());
+    let gids = face_exchange_gids_for(mesh_cfg, &owned0);
     let handle = GsHandle::setup(rank, &gids);
     let (chosen, tune_report) = match cfg.method {
         Some(m) => (m, None),
@@ -503,7 +711,7 @@ fn rank_main(rank: &mut Rank, cfg: &Config, mesh_cfg: &MeshConfig, collect: bool
     // protocol), and let every rank pick the same winner.
     let kernel_tune = cfg.kernel_autotune.then(|| {
         let (cands, local) =
-            time_candidates(n, mesh.nel(), &basis.d, KernelAutotuneOptions::default());
+            time_candidates(n, owned0.len(), &basis.d, KernelAutotuneOptions::default());
         rank.set_context("kernel_autotune");
         let avg: Vec<f64> = local
             .iter()
@@ -522,107 +730,74 @@ fn rank_main(rank: &mut Rank, cfg: &Config, mesh_cfg: &MeshConfig, collect: bool
     }
     let cfg = &cfg_eff;
 
-    // ---- fields -------------------------------------------------------
-    let nel = mesh.nel();
-    let n3 = n * n * n;
-
-    // ---- hybrid worker pool: chunk geometry + per-chunk scratch --------
+    // ---- per-partition state block ------------------------------------
     // The pooled element loops call the same kernels on disjoint
     // contiguous element ranges, so results are bitwise identical for
-    // every worker count; all scratch is sized here, once, keeping the
-    // steady state allocation-free.
+    // every worker count; all scratch lives in the block, sized once per
+    // partition, keeping the steady state allocation-free.
+    let n3 = n * n * n;
     let pool = rank.worker_pool();
-    let grain = kernel_tune
-        .as_ref()
-        .map(|t| t.chosen.grain)
-        .unwrap_or_else(|| nel.div_ceil(rank.workers() * 4).max(1));
-    let n_chunks = chunk_count(nel, grain);
-    let mut pool_scratch = if pool.is_some() {
-        vec![0.0; n_chunks * grain * n3]
-    } else {
-        Vec::new()
-    };
-    let mut dealias_pool_scratch = match (&pool, cfg.dealias_m) {
-        (Some(_), Some(m)) => vec![0.0; n_chunks * 2 * m.max(n).pow(3)],
-        _ => Vec::new(),
-    };
-    let coords = |e: usize, i: usize, j: usize, k: usize| {
-        let gc = mesh.global_elem_coords(e);
-        [
-            gc[0] as f64 + (basis.nodes[i] + 1.0) / 2.0,
-            gc[1] as f64 + (basis.nodes[j] + 1.0) / 2.0,
-            gc[2] as f64 + (basis.nodes[k] + 1.0) / 2.0,
-        ]
-    };
-    let mut u: Vec<Field> = (0..cfg.fields)
-        .map(|f| {
-            Field::from_fn(n, nel, |e, i, j, k| {
-                let [x, y, z] = coords(e, i, j, k);
-                initial_profile(f, x, y, z, lengths)
-            })
-        })
-        .collect();
-    let mut u0: Vec<Field> = u.clone();
-    // Per-field RHS and face-trace buffers. The overlapped pipeline keeps
-    // every field's surface data alive across the whole stage (all fields
-    // are extracted before any volume work runs), so each field owns its
-    // buffers; the blocking pipeline uses them one at a time.
-    let mut rhs_all: Vec<Field> = (0..cfg.fields).map(|_| Field::zeros(n, nel)).collect();
-    let mut scratch = Field::zeros(n, nel);
-    let fpe = face::face_values_per_element(n);
-    let mut faces_all: Vec<Vec<f64>> = (0..cfg.fields).map(|_| vec![0.0; fpe * nel]).collect();
-    let mut faces_own_all: Vec<Vec<f64>> = (0..cfg.fields).map(|_| vec![0.0; fpe * nel]).collect();
+    let pool_on = pool.is_some();
+    let workers = rank.workers();
+    let fixed_grain = kernel_tune.as_ref().map(|t| t.chosen.grain);
+    let grain_for = |nel: usize| fixed_grain.unwrap_or_else(|| nel.div_ceil(workers * 4).max(1));
+    let grain0 = grain_for(owned0.len());
+    let mut blk = build_block(cfg, owned0, handle, grain0, pool_on);
+    for f in 0..cfg.fields {
+        let owned = &blk.owned;
+        let vals = Field::from_fn(n, blk.nel, |e, i, j, k| {
+            let gc = mesh_cfg.elem_coords(owned[e]);
+            let x = gc[0] as f64 + (basis.nodes[i] + 1.0) / 2.0;
+            let y = gc[1] as f64 + (basis.nodes[j] + 1.0) / 2.0;
+            let z = gc[2] as f64 + (basis.nodes[k] + 1.0) / 2.0;
+            initial_profile(f, x, y, z, lengths)
+        });
+        blk.u[f] = vals;
+    }
     let dt = stable_dt(cfg, &geom);
 
     // Dealiasing operators: interpolation to the m-point fine mesh and
     // back (paper §V: "an element is first mapped to a finer mesh and
-    // later mapped back").
-    let dealias = cfg.dealias_m.map(|m| {
-        (
-            m,
-            basis.dealias_to(m),
-            basis.dealias_from(m),
-            vec![0.0; m * m * m * nel],
-        )
-    });
-    let mut dealias = dealias;
+    // later mapped back"). Partition-independent, so they outlive any
+    // migration.
+    let dealias_ops = cfg
+        .dealias_m
+        .map(|m| (m, basis.dealias_to(m), basis.dealias_from(m)));
 
-    // BR1 viscous workspace (gradient fields + per-axis q-trace buffers).
-    let mut viscous = cfg.viscosity.map(|nu| ViscousWs {
-        nu,
-        q: [
-            Field::zeros(n, nel),
-            Field::zeros(n, nel),
-            Field::zeros(n, nel),
-        ],
-        qown: [
-            vec![0.0; fpe * nel],
-            vec![0.0; fpe * nel],
-            vec![0.0; fpe * nel],
-        ],
-        qnbr: [
-            vec![0.0; fpe * nel],
-            vec![0.0; fpe * nel],
-            vec![0.0; fpe * nel],
-        ],
+    // ---- particles -----------------------------------------------------
+    let mut pset = (cfg.particles_per_elem > 0).then(|| {
+        let pmesh = RankMesh::new(mesh_cfg.clone(), rank.rank());
+        let mut ps = ParticleSet::new(pmesh, &basis);
+        ps.set_partition(part.clone());
+        match cfg.particle_cluster {
+            Some(frac) => ps.seed_clustered(cfg.particles_per_elem, frac),
+            None => ps.seed_uniform(cfg.particles_per_elem),
+        }
+        ps
     });
-    let env = StageEnv {
-        cfg,
-        basis: &basis,
-        geom: &geom,
-        handle: &handle,
-        chosen,
-        nel,
-    };
+
+    // ---- load balancer: cost model + activity counters -----------------
+    let model = CostModel::for_shape(n, cfg.fields);
+    let mut lb_rebalances: u64 = 0;
+    let mut lb_elems_moved: u64 = 0;
+    let mut lb_particles_moved: u64 = 0;
+    let mut lb_peak_imbalance: f64 = 0.0;
 
     // ---- resilience: restart, then checkpoint/recover in the loop -----
     let mut rz = Resilience::new(cfg.checkpoint_every as u64, cfg.checkpoint_dir.clone());
     let mut time = 0.0;
     let mut step: u64 = 0;
-    if let Some(dir) = &cfg.restart_from {
-        let ckpt = load_checkpoint(dir, rank.rank())
-            .unwrap_or_else(|e| panic!("rank {}: restart: {e}", rank.rank()));
-        restore_checkpoint(rank, &ckpt, &mut u, &mut time, &mut step);
+    if let Some(ck) = &restart_ckpt {
+        restore_fields(ck, &mut blk.u);
+        if let Some(ps) = pset.as_mut() {
+            assert_eq!(
+                ck.fields.len(),
+                cfg.fields + 1,
+                "restart checkpoint has no particle record"
+            );
+            ps.set_particles(particles_from_records(&ck.fields[cfg.fields]));
+        }
+        restore_clock(rank, ck, &mut time, &mut step);
     }
 
     // ---- timestep loop --------------------------------------------------
@@ -634,7 +809,17 @@ fn rank_main(rank: &mut Rank, cfg: &Config, mesh_cfg: &MeshConfig, collect: bool
         // taken at (or before) s.
         if rz.checkpoint_due(step) {
             prof.enter(cmt_perf::regions::CHECKPOINT);
-            rz.save(rank, &capture_checkpoint(rank, step, time, &u));
+            rz.save(
+                rank,
+                &capture_checkpoint(
+                    rank,
+                    step,
+                    time,
+                    &blk.u,
+                    (cfg.lb_every > 0).then_some(&part),
+                    pset.as_ref(),
+                ),
+            );
             prof.exit();
         }
         // Scheduled rank kills: SPMD-known, so every rank detects them
@@ -643,276 +828,465 @@ fn rank_main(rank: &mut Rank, cfg: &Config, mesh_cfg: &MeshConfig, collect: bool
         if !killed.is_empty() {
             prof.enter(cmt_perf::regions::RECOVERY);
             let back = rz.recover(rank, &killed);
-            restore_checkpoint(rank, &back, &mut u, &mut time, &mut step);
+            if let Some(ck_part) = checkpoint_partition(&back, rank.size()) {
+                if ck_part.owner_vec() != part.owner_vec() {
+                    // The rollback target predates a rebalance: rebuild
+                    // this rank's block on the checkpoint's partition.
+                    // The owner vector is identical on every rank
+                    // (captured from SPMD-uniform state), so the
+                    // collective gather-scatter setup is safe here.
+                    let owned = ck_part.owned_by(rank.rank());
+                    let gids = face_exchange_gids_for(mesh_cfg, &owned);
+                    let new_handle = GsHandle::setup(rank, &gids);
+                    let grain = grain_for(owned.len());
+                    blk = build_block(cfg, owned, new_handle, grain, pool_on);
+                    if let Some(ps) = pset.as_mut() {
+                        ps.set_partition(ck_part.clone());
+                    }
+                    part = ck_part;
+                }
+            }
+            restore_fields(&back, &mut blk.u);
+            if let Some(ps) = pset.as_mut() {
+                ps.set_particles(particles_from_records(&back.fields[cfg.fields]));
+            }
+            restore_clock(rank, &back, &mut time, &mut step);
             prof.exit();
             continue;
         }
-        for (uf, u0f) in u.iter().zip(u0.iter_mut()) {
-            u0f.as_mut_slice().copy_from_slice(uf.as_slice());
-        }
-        for stage in 0..rk::STAGES {
-            match cfg.pipeline {
-                // ---- legacy schedule: one blocking exchange per field ----
-                Pipeline::Blocking => {
-                    for f in 0..cfg.fields {
-                        let rhs = &mut rhs_all[f];
-                        let faces = &mut faces_all[f];
-                        let faces_own = &mut faces_own_all[f];
+        {
+            let Block {
+                nel,
+                handle,
+                u,
+                u0,
+                rhs_all,
+                scratch,
+                faces_all,
+                faces_own_all,
+                dealias_fine,
+                viscous,
+                pool_scratch,
+                dealias_pool_scratch,
+                grain,
+                n_chunks,
+                ..
+            } = &mut blk;
+            let (nel, grain, n_chunks) = (*nel, *grain, *n_chunks);
+            let handle: &GsHandle = handle;
+            let env = StageEnv {
+                cfg,
+                basis: &basis,
+                geom: &geom,
+                handle,
+                chosen,
+                nel,
+            };
+            for (uf, u0f) in u.iter().zip(u0.iter_mut()) {
+                u0f.as_mut_slice().copy_from_slice(uf.as_slice());
+            }
+            for stage in 0..rk::STAGES {
+                match cfg.pipeline {
+                    // ---- legacy schedule: one blocking exchange per field ----
+                    Pipeline::Blocking => {
+                        for f in 0..cfg.fields {
+                            let rhs = &mut rhs_all[f];
+                            let faces = &mut faces_all[f];
+                            let faces_own = &mut faces_own_all[f];
 
-                        // (1) flux divergence: the small-matrix-multiply kernel
-                        prof.enter(regions::DERIV);
-                        advect_volume_rhs(
-                            cfg.variant,
-                            &basis,
-                            &geom,
-                            cfg.velocity,
-                            &u[f],
-                            rhs,
-                            &mut scratch,
-                        );
-                        prof.exit();
-
-                        // (1b) dealiasing round-trip on the RHS (identity on
-                        // the resolved polynomial content; pure kernel
-                        // workload)
-                        if let Some((m, up, down, fine)) = dealias.as_mut() {
-                            prof.enter(regions::DEALIAS);
-                            kernels::tensor3_apply(*m, n, up, rhs.as_slice(), fine, nel);
-                            kernels::tensor3_apply(n, *m, down, fine, rhs.as_mut_slice(), nel);
-                            prof.exit();
-                        }
-
-                        // (2) surface extraction
-                        prof.enter(regions::FULL2FACE);
-                        face::full2face(n, nel, u[f].as_slice(), faces);
-                        faces_own.copy_from_slice(faces);
-                        prof.exit();
-
-                        // (3) numerical flux: nearest-neighbor exchange. The
-                        // face-exchange ids pair each face point with exactly
-                        // its across-face twin, so Add recovers own + neighbor.
-                        prof.enter(regions::GS_OP);
-                        rank.set_context("faces");
-                        handle.gs_op(rank, faces, GsOp::Add, chosen);
-                        rank.set_context("main");
-                        prof.exit();
-
-                        // (4) upwind lifting: neighbor trace = sum - own
-                        prof.enter(regions::FLUX_LIFT);
-                        for (s, o) in faces.iter_mut().zip(faces_own.iter()) {
-                            *s -= o;
-                        }
-                        upwind_face_correction(&basis, &geom, cfg.velocity, faces_own, faces, rhs);
-                        prof.exit();
-
-                        // (4v) viscous BR1 passes
-                        if let Some(ws) = viscous.as_mut() {
-                            viscous_pass(
-                                &env,
-                                rank,
-                                &mut prof,
-                                ws,
-                                &u[f],
-                                &faces_all[f],
-                                &faces_own_all[f],
-                                &mut rhs_all[f],
-                                &mut scratch,
-                            );
-                        }
-
-                        // (5) RK stage update
-                        prof.enter(regions::RK);
-                        rk::stage_update(stage, &mut u[f], &u0[f], &rhs_all[f], dt);
-                        prof.exit();
-                    }
-                }
-
-                // ---- split-phase schedule: batch, start, overlap, finish ----
-                Pipeline::Overlapped => {
-                    // (1) surface extraction for every field up front
-                    prof.enter(regions::FULL2FACE);
-                    for f in 0..cfg.fields {
-                        face::full2face(n, nel, u[f].as_slice(), &mut faces_all[f]);
-                        faces_own_all[f].copy_from_slice(&faces_all[f]);
-                    }
-                    prof.exit();
-
-                    // (2) start ONE exchange carrying all fields (a k-field
-                    // payload per neighbor: `fields`x fewer messages than the
-                    // blocking schedule). The slice-view list is assembled
-                    // before the region opens so its allocation never counts
-                    // against the exchange.
-                    let views: Vec<&[f64]> = faces_all.iter().map(|v| v.as_slice()).collect();
-                    prof.enter(regions::GS_OP);
-                    prof.enter(regions::GS_START);
-                    rank.set_context("faces");
-                    let pending = handle.gs_op_start(rank, &views, GsOp::Add, chosen);
-                    rank.set_context("main");
-                    prof.exit();
-                    prof.exit();
-
-                    // (3) overlap window: every field's volume work (flux
-                    // divergence + dealias) runs while the face messages are
-                    // in flight. With `--workers`, the element loop of each
-                    // kernel is shared across the rank's work-stealing pool —
-                    // compute fills the same in-flight window, just on more
-                    // cores. Chunks write disjoint element ranges and nothing
-                    // is reduced across chunks, so the result is bitwise
-                    // identical to the serial path.
-                    for f in 0..cfg.fields {
-                        prof.enter(regions::DERIV);
-                        if let Some(pool) = &pool {
-                            let us = u[f].as_slice();
-                            let rhs_sh = SharedSliceMut::new(rhs_all[f].as_mut_slice());
-                            let scr_sh = SharedSliceMut::new(&mut pool_scratch[..]);
-                            pool.run(n_chunks, &|c| {
-                                let (lo, hi) = chunk_range(nel, grain, c);
-                                // SAFETY: chunk ranges partition 0..nel and
-                                // each chunk owns slab c of the scratch, so
-                                // every range below is touched by one chunk.
-                                let rhs_c = unsafe { rhs_sh.range_mut(lo * n3, hi * n3) };
-                                let scr_c = unsafe {
-                                    scr_sh.range_mut(c * grain * n3, (c * grain + (hi - lo)) * n3)
-                                };
-                                advect_volume_rhs_slices(
-                                    cfg.variant,
-                                    &basis,
-                                    &geom,
-                                    cfg.velocity,
-                                    n,
-                                    hi - lo,
-                                    &us[lo * n3..hi * n3],
-                                    rhs_c,
-                                    scr_c,
-                                );
-                            });
-                            let (wa, wb) = pool.drain_worker_allocs();
-                            prof.charge_allocs(wa, wb);
-                        } else {
+                            // (1) flux divergence: the small-matrix-multiply kernel
+                            prof.enter(regions::DERIV);
                             advect_volume_rhs(
                                 cfg.variant,
                                 &basis,
                                 &geom,
                                 cfg.velocity,
                                 &u[f],
-                                &mut rhs_all[f],
-                                &mut scratch,
+                                rhs,
+                                scratch,
                             );
+                            prof.exit();
+
+                            // (1b) dealiasing round-trip on the RHS (identity on
+                            // the resolved polynomial content; pure kernel
+                            // workload)
+                            if let Some((m, up, down)) = dealias_ops.as_ref() {
+                                prof.enter(regions::DEALIAS);
+                                kernels::tensor3_apply(
+                                    *m,
+                                    n,
+                                    up,
+                                    rhs.as_slice(),
+                                    dealias_fine,
+                                    nel,
+                                );
+                                kernels::tensor3_apply(
+                                    n,
+                                    *m,
+                                    down,
+                                    dealias_fine,
+                                    rhs.as_mut_slice(),
+                                    nel,
+                                );
+                                prof.exit();
+                            }
+
+                            // (2) surface extraction
+                            prof.enter(regions::FULL2FACE);
+                            face::full2face(n, nel, u[f].as_slice(), faces);
+                            faces_own.copy_from_slice(faces);
+                            prof.exit();
+
+                            // (3) numerical flux: nearest-neighbor exchange. The
+                            // face-exchange ids pair each face point with exactly
+                            // its across-face twin, so Add recovers own + neighbor.
+                            prof.enter(regions::GS_OP);
+                            rank.set_context("faces");
+                            handle.gs_op(rank, faces, GsOp::Add, chosen);
+                            rank.set_context("main");
+                            prof.exit();
+
+                            // (4) upwind lifting: neighbor trace = sum - own
+                            prof.enter(regions::FLUX_LIFT);
+                            for (s, o) in faces.iter_mut().zip(faces_own.iter()) {
+                                *s -= o;
+                            }
+                            upwind_face_correction(
+                                &basis,
+                                &geom,
+                                cfg.velocity,
+                                faces_own,
+                                faces,
+                                rhs,
+                            );
+                            prof.exit();
+
+                            // (4v) viscous BR1 passes
+                            if let Some(ws) = viscous.as_mut() {
+                                viscous_pass(
+                                    &env,
+                                    rank,
+                                    &mut prof,
+                                    ws,
+                                    &u[f],
+                                    &faces_all[f],
+                                    &faces_own_all[f],
+                                    &mut rhs_all[f],
+                                    scratch,
+                                );
+                            }
+
+                            // (5) RK stage update
+                            prof.enter(regions::RK);
+                            rk::stage_update(stage, &mut u[f], &u0[f], &rhs_all[f], dt);
+                            prof.exit();
+                        }
+                    }
+
+                    // ---- split-phase schedule: batch, start, overlap, finish ----
+                    Pipeline::Overlapped => {
+                        // (1) surface extraction for every field up front
+                        prof.enter(regions::FULL2FACE);
+                        for f in 0..cfg.fields {
+                            face::full2face(n, nel, u[f].as_slice(), &mut faces_all[f]);
+                            faces_own_all[f].copy_from_slice(&faces_all[f]);
                         }
                         prof.exit();
-                        if let Some((m, up, down, fine)) = dealias.as_mut() {
-                            prof.enter(regions::DEALIAS);
+
+                        // (2) start ONE exchange carrying all fields (a k-field
+                        // payload per neighbor: `fields`x fewer messages than the
+                        // blocking schedule). The slice-view list is assembled
+                        // before the region opens so its allocation never counts
+                        // against the exchange.
+                        let views: Vec<&[f64]> = faces_all.iter().map(|v| v.as_slice()).collect();
+                        prof.enter(regions::GS_OP);
+                        prof.enter(regions::GS_START);
+                        rank.set_context("faces");
+                        let pending = handle.gs_op_start(rank, &views, GsOp::Add, chosen);
+                        rank.set_context("main");
+                        prof.exit();
+                        prof.exit();
+
+                        // (3) overlap window: every field's volume work (flux
+                        // divergence + dealias) runs while the face messages are
+                        // in flight. With `--workers`, the element loop of each
+                        // kernel is shared across the rank's work-stealing pool —
+                        // compute fills the same in-flight window, just on more
+                        // cores. Chunks write disjoint element ranges and nothing
+                        // is reduced across chunks, so the result is bitwise
+                        // identical to the serial path.
+                        for f in 0..cfg.fields {
+                            prof.enter(regions::DERIV);
                             if let Some(pool) = &pool {
-                                let (m, up, down): (usize, &[f64], &[f64]) = (*m, up, down);
-                                let m3 = m * m * m;
-                                let big3 = m.max(n).pow(3);
+                                let us = u[f].as_slice();
                                 let rhs_sh = SharedSliceMut::new(rhs_all[f].as_mut_slice());
-                                let fine_sh = SharedSliceMut::new(&mut fine[..]);
-                                let t_sh = SharedSliceMut::new(&mut dealias_pool_scratch[..]);
+                                let scr_sh = SharedSliceMut::new(&mut pool_scratch[..]);
                                 pool.run(n_chunks, &|c| {
                                     let (lo, hi) = chunk_range(nel, grain, c);
-                                    let nel_c = hi - lo;
-                                    // SAFETY: disjoint element ranges per
-                                    // chunk; slab c of the scratch is private.
+                                    // SAFETY: chunk ranges partition 0..nel and
+                                    // each chunk owns slab c of the scratch, so
+                                    // every range below is touched by one chunk.
                                     let rhs_c = unsafe { rhs_sh.range_mut(lo * n3, hi * n3) };
-                                    let fine_c = unsafe { fine_sh.range_mut(lo * m3, hi * m3) };
-                                    let ts =
-                                        unsafe { t_sh.range_mut(2 * c * big3, 2 * (c + 1) * big3) };
-                                    let (t1, t2) = ts.split_at_mut(big3);
-                                    kernels::tensor3_apply_scratch(
-                                        m, n, up, rhs_c, fine_c, nel_c, t1, t2,
-                                    );
-                                    kernels::tensor3_apply_scratch(
-                                        n, m, down, fine_c, rhs_c, nel_c, t1, t2,
+                                    let scr_c = unsafe {
+                                        scr_sh
+                                            .range_mut(c * grain * n3, (c * grain + (hi - lo)) * n3)
+                                    };
+                                    advect_volume_rhs_slices(
+                                        cfg.variant,
+                                        &basis,
+                                        &geom,
+                                        cfg.velocity,
+                                        n,
+                                        hi - lo,
+                                        &us[lo * n3..hi * n3],
+                                        rhs_c,
+                                        scr_c,
                                     );
                                 });
                                 let (wa, wb) = pool.drain_worker_allocs();
                                 prof.charge_allocs(wa, wb);
                             } else {
-                                kernels::tensor3_apply(*m, n, up, rhs_all[f].as_slice(), fine, nel);
-                                kernels::tensor3_apply(
-                                    n,
-                                    *m,
-                                    down,
-                                    fine,
-                                    rhs_all[f].as_mut_slice(),
-                                    nel,
+                                advect_volume_rhs(
+                                    cfg.variant,
+                                    &basis,
+                                    &geom,
+                                    cfg.velocity,
+                                    &u[f],
+                                    &mut rhs_all[f],
+                                    scratch,
                                 );
                             }
                             prof.exit();
+                            if let Some((m, up, down)) = dealias_ops.as_ref() {
+                                let fine = &mut *dealias_fine;
+                                prof.enter(regions::DEALIAS);
+                                if let Some(pool) = &pool {
+                                    let (m, up, down): (usize, &[f64], &[f64]) = (*m, up, down);
+                                    let m3 = m * m * m;
+                                    let big3 = m.max(n).pow(3);
+                                    let rhs_sh = SharedSliceMut::new(rhs_all[f].as_mut_slice());
+                                    let fine_sh = SharedSliceMut::new(&mut fine[..]);
+                                    let t_sh = SharedSliceMut::new(&mut dealias_pool_scratch[..]);
+                                    pool.run(n_chunks, &|c| {
+                                        let (lo, hi) = chunk_range(nel, grain, c);
+                                        let nel_c = hi - lo;
+                                        // SAFETY: disjoint element ranges per
+                                        // chunk; slab c of the scratch is private.
+                                        let rhs_c = unsafe { rhs_sh.range_mut(lo * n3, hi * n3) };
+                                        let fine_c = unsafe { fine_sh.range_mut(lo * m3, hi * m3) };
+                                        let ts = unsafe {
+                                            t_sh.range_mut(2 * c * big3, 2 * (c + 1) * big3)
+                                        };
+                                        let (t1, t2) = ts.split_at_mut(big3);
+                                        kernels::tensor3_apply_scratch(
+                                            m, n, up, rhs_c, fine_c, nel_c, t1, t2,
+                                        );
+                                        kernels::tensor3_apply_scratch(
+                                            n, m, down, fine_c, rhs_c, nel_c, t1, t2,
+                                        );
+                                    });
+                                    let (wa, wb) = pool.drain_worker_allocs();
+                                    prof.charge_allocs(wa, wb);
+                                } else {
+                                    kernels::tensor3_apply(
+                                        *m,
+                                        n,
+                                        up,
+                                        rhs_all[f].as_slice(),
+                                        fine,
+                                        nel,
+                                    );
+                                    kernels::tensor3_apply(
+                                        n,
+                                        *m,
+                                        down,
+                                        fine,
+                                        rhs_all[f].as_mut_slice(),
+                                        nel,
+                                    );
+                                }
+                                prof.exit();
+                            }
                         }
-                    }
 
-                    // (4) finish: wait, fold remote contributions, scatter
-                    // (view list built outside the region, as at start)
-                    let mut outs: Vec<&mut [f64]> =
-                        faces_all.iter_mut().map(|v| v.as_mut_slice()).collect();
-                    prof.enter(regions::GS_OP);
-                    prof.enter(regions::GS_FINISH);
-                    rank.set_context("faces");
-                    handle.gs_op_finish(rank, pending, &mut outs);
-                    rank.set_context("main");
-                    prof.exit();
-                    prof.exit();
-
-                    // (5) per-field lift + viscous + RK
-                    for f in 0..cfg.fields {
-                        prof.enter(regions::FLUX_LIFT);
-                        let faces = &mut faces_all[f];
-                        let faces_own = &faces_own_all[f];
-                        for (s, o) in faces.iter_mut().zip(faces_own.iter()) {
-                            *s -= o;
-                        }
-                        upwind_face_correction(
-                            &basis,
-                            &geom,
-                            cfg.velocity,
-                            faces_own,
-                            faces,
-                            &mut rhs_all[f],
-                        );
+                        // (4) finish: wait, fold remote contributions, scatter
+                        // (view list built outside the region, as at start)
+                        let mut outs: Vec<&mut [f64]> =
+                            faces_all.iter_mut().map(|v| v.as_mut_slice()).collect();
+                        prof.enter(regions::GS_OP);
+                        prof.enter(regions::GS_FINISH);
+                        rank.set_context("faces");
+                        handle.gs_op_finish(rank, pending, &mut outs);
+                        rank.set_context("main");
+                        prof.exit();
                         prof.exit();
 
-                        if let Some(ws) = viscous.as_mut() {
-                            viscous_pass(
-                                &env,
-                                rank,
-                                &mut prof,
-                                ws,
-                                &u[f],
-                                &faces_all[f],
-                                &faces_own_all[f],
+                        // (5) per-field lift + viscous + RK
+                        for f in 0..cfg.fields {
+                            prof.enter(regions::FLUX_LIFT);
+                            let faces = &mut faces_all[f];
+                            let faces_own = &faces_own_all[f];
+                            for (s, o) in faces.iter_mut().zip(faces_own.iter()) {
+                                *s -= o;
+                            }
+                            upwind_face_correction(
+                                &basis,
+                                &geom,
+                                cfg.velocity,
+                                faces_own,
+                                faces,
                                 &mut rhs_all[f],
-                                &mut scratch,
                             );
-                        }
+                            prof.exit();
 
-                        prof.enter(regions::RK);
-                        rk::stage_update(stage, &mut u[f], &u0[f], &rhs_all[f], dt);
-                        prof.exit();
+                            if let Some(ws) = viscous.as_mut() {
+                                viscous_pass(
+                                    &env,
+                                    rank,
+                                    &mut prof,
+                                    ws,
+                                    &u[f],
+                                    &faces_all[f],
+                                    &faces_own_all[f],
+                                    &mut rhs_all[f],
+                                    scratch,
+                                );
+                            }
+
+                            prof.enter(regions::RK);
+                            rk::stage_update(stage, &mut u[f], &u0[f], &rhs_all[f], dt);
+                            prof.exit();
+                        }
                     }
                 }
             }
-        }
-        time += dt;
-        // (6) vector reduction: timestep control
-        if (step + 1) % cfg.cfl_interval as u64 == 0 {
-            prof.enter(regions::CFL);
-            rank.set_context("cfl");
-            let local_max = u.iter().fold(0.0f64, |m, f| m.max(f.norm_inf()));
-            let _global_max = rank.allreduce_scalar(local_max, ReduceOp::Max);
-            rank.set_context("main");
-            prof.exit();
+            time += dt;
+
+            // ---- particle phase: advect in the end-of-step field, migrate --
+            // Interpolation is per-element with identical arithmetic on every
+            // partition, and the migrated set is sorted by particle id — the
+            // phase is bitwise partition-independent, like the field physics.
+            if let Some(ps) = pset.as_mut() {
+                prof.enter(cmt_perf::regions::PARTICLE_ADVECT);
+                ps.advect_field(dt, [&u[0], &u[1 % cfg.fields], &u[2 % cfg.fields]]);
+                prof.exit();
+                prof.enter(cmt_perf::regions::PARTICLE_MIGRATE);
+                let moved = ps.migrate(rank);
+                lb_particles_moved += moved.sent as u64;
+                prof.exit();
+            }
+
+            // (6) vector reduction: timestep control
+            if (step + 1) % cfg.cfl_interval as u64 == 0 {
+                prof.enter(regions::CFL);
+                rank.set_context("cfl");
+                let local_max = u.iter().fold(0.0f64, |m, f| m.max(f.norm_inf()));
+                let _global_max = rank.allreduce_scalar(local_max, ReduceOp::Max);
+                rank.set_context("main");
+                prof.exit();
+            }
         }
         step += 1;
+
+        // ---- load balancer: monitor (and maybe migrate) ----------------
+        // Runs between steps on SPMD-uniform inputs (one allgather), so
+        // every rank reaches the identical decision with no extra
+        // synchronization. Skipped after the last step: there is no work
+        // left to balance.
+        if cfg.lb_every > 0 && step % cfg.lb_every as u64 == 0 && step < steps {
+            prof.enter(cmt_perf::regions::LB_MONITOR);
+            let ps = pset.as_mut().expect("validate(): lb requires particles");
+            let counts = ps.counts_per_owned();
+            let delay_us = rank.injected_delay_us();
+            let global = gather_costs(rank, &part, &counts, delay_us);
+            let decision = decide(&model, &part, &global, cfg.lb_threshold);
+            lb_peak_imbalance = lb_peak_imbalance.max(decision.imbalance);
+            prof.exit();
+            if let Some(owners) = decision.owners {
+                prof.enter(cmt_perf::regions::LB_MIGRATE);
+                let new_part = ElemPartition::from_owner(rank.size(), owners);
+                let me = rank.rank();
+                // Drain departing residents first, keyed by gid, so the
+                // element pack below can ship them with their element.
+                let dep: std::collections::HashMap<usize, Vec<Particle>> = ps
+                    .split_off_elems(|gid| new_part.owner_of(gid) != me)
+                    .into_iter()
+                    .collect();
+                let shipped: usize = dep.values().map(|v| v.len()).sum();
+                let u_old = &blk.u;
+                let (arrivals, mstats) = migrate_blocks(rank, &part, &new_part, |gid| {
+                    let (_, slot) = part.slot_of(gid);
+                    let res = dep.get(&gid).map(|v| v.as_slice()).unwrap_or(&[]);
+                    let mut vals = Vec::with_capacity(cfg.fields * n3 + 1 + res.len() * 4);
+                    for uf in u_old {
+                        vals.extend_from_slice(&uf.as_slice()[slot * n3..(slot + 1) * n3]);
+                    }
+                    vals.push(res.len() as f64);
+                    for p in res {
+                        vals.push(p.id as f64);
+                        vals.extend_from_slice(&p.pos);
+                    }
+                    vals
+                });
+                // Rebuild the block on the new partition (collective gs
+                // setup — every rank is here, by the SPMD argument above).
+                let owned = new_part.owned_by(me);
+                let gids = face_exchange_gids_for(mesh_cfg, &owned);
+                let new_handle = GsHandle::setup(rank, &gids);
+                let grain = grain_for(owned.len());
+                let mut nb = build_block(cfg, owned, new_handle, grain, pool_on);
+                // Merge: kept elements copy over; gained elements consume
+                // the arrivals (both sides ascending by gid, so a single
+                // in-order walk pairs them up).
+                let mut arrivals = arrivals.into_iter();
+                for (slot, &gid) in nb.owned.iter().enumerate() {
+                    if part.owner_of(gid) == me {
+                        let (_, old_slot) = part.slot_of(gid);
+                        for (nf, of) in nb.u.iter_mut().zip(blk.u.iter()) {
+                            nf.as_mut_slice()[slot * n3..(slot + 1) * n3].copy_from_slice(
+                                &of.as_slice()[old_slot * n3..(old_slot + 1) * n3],
+                            );
+                        }
+                    } else {
+                        let (agid, data) = arrivals.next().expect("arrival for gained element");
+                        assert_eq!(agid, gid, "migration routing mismatch");
+                        for (f, nf) in nb.u.iter_mut().enumerate() {
+                            nf.as_mut_slice()[slot * n3..(slot + 1) * n3]
+                                .copy_from_slice(&data[f * n3..(f + 1) * n3]);
+                        }
+                        let npart = data[cfg.fields * n3] as usize;
+                        let rec = &data[cfg.fields * n3 + 1..];
+                        assert_eq!(rec.len(), npart * 4, "corrupt migrated particle record");
+                        for c in rec.chunks_exact(4) {
+                            ps.insert(Particle {
+                                id: c[0] as u64,
+                                pos: [c[1], c[2], c[3]],
+                            });
+                        }
+                    }
+                }
+                assert!(arrivals.next().is_none(), "unconsumed migration arrivals");
+                ps.set_partition(new_part.clone());
+                blk = nb;
+                part = new_part;
+                lb_rebalances += 1;
+                lb_elems_moved += mstats.elems_sent as u64;
+                lb_particles_moved += shipped as u64;
+                prof.exit();
+            }
+        }
     }
     prof.exit();
 
-    // Determinism checksum: global sum over all fields.
-    let local_sum: f64 = u.iter().map(|f| f.sum()).sum();
+    // Determinism checksum: global sum over all fields. (Unlike the
+    // state hash this groups the sum by rank, so it is *not* bitwise
+    // partition-independent — the LB identity tests compare hashes.)
+    let local_sum: f64 = blk.u.iter().map(|f| f.sum()).sum();
     rank.set_context("checksum");
     let checksum = rank.allreduce_scalar(local_sum, ReduceOp::Sum);
     rank.set_context("main");
+
+    let (elem_gids, elem_hashes) = hash_elements(&blk.u, n3, &blk.owned, pset.as_mut());
 
     // Finalize-time verification sweep (leaked messages, abandoned
     // exchanges), timed as its own region so overhead comparisons can
@@ -925,10 +1299,17 @@ fn rank_main(rank: &mut Rank, cfg: &Config, mesh_cfg: &MeshConfig, collect: bool
     }
 
     let solution = collect.then(|| SolutionDump {
-        global_elem_ids: (0..nel).map(|le| mesh.global_elem_id(le)).collect(),
-        fields: u.iter().map(|f| f.as_slice().to_vec()).collect(),
+        global_elem_ids: blk.owned.clone(),
+        fields: blk.u.iter().map(|f| f.as_slice().to_vec()).collect(),
         time,
         dt,
+    });
+
+    let lb = (cfg.lb_every > 0).then_some(LbSummary {
+        rebalances: lb_rebalances,
+        elems_moved: lb_elems_moved,
+        particles_moved: lb_particles_moved,
+        peak_imbalance: lb_peak_imbalance,
     });
 
     RankOutput {
@@ -937,7 +1318,9 @@ fn rank_main(rank: &mut Rank, cfg: &Config, mesh_cfg: &MeshConfig, collect: bool
         kernel_autotune: kernel_tune,
         chosen,
         checksum,
-        state_hash: hash_fields(&u),
+        elem_gids,
+        elem_hashes,
+        lb,
         wall_s: start.elapsed().as_secs_f64(),
         modeled_s: rank.modeled_time_s(),
         solution,
@@ -976,11 +1359,33 @@ fn run_inner(cfg: &Config, collect: bool) -> (RunReport, Vec<SolutionDump>) {
     let mut kernel_autotune_rep = None;
     let mut chosen = None;
     let mut checksum = f64::NAN;
-    let mut state_hash = hash::FNV_OFFSET;
+    let mut elem_pairs: Vec<(u64, u64)> = Vec::new();
+    let mut lb_total: Option<LbSummary> = None;
     let mut rank_wall = Vec::with_capacity(cfg.ranks);
+    let mut rank_compute = Vec::with_capacity(cfg.ranks);
     let mut modeled = Vec::with_capacity(cfg.ranks);
     let mut dumps = Vec::new();
+    // The physics regions the load balancer redistributes; their summed
+    // self time per rank is the compute side of the critical path.
+    const COMPUTE_REGIONS: &[&str] = &[
+        regions::DERIV,
+        regions::FULL2FACE,
+        regions::FLUX_LIFT,
+        regions::RK,
+        regions::DEALIAS,
+        regions::VISCOUS,
+        cmt_perf::regions::PARTICLE_ADVECT,
+    ];
     for out in result.results {
+        let rank_report = out.profiler.report();
+        rank_compute.push(
+            rank_report
+                .flat
+                .iter()
+                .filter(|(name, _)| COMPUTE_REGIONS.contains(&name.as_str()))
+                .map(|(_, s)| s.self_s())
+                .sum::<f64>(),
+        );
         merged.merge(&out.profiler);
         if out.autotune.is_some() && autotune_rep.is_none() {
             autotune_rep = out.autotune;
@@ -990,13 +1395,35 @@ fn run_inner(cfg: &Config, collect: bool) -> (RunReport, Vec<SolutionDump>) {
         }
         chosen.get_or_insert(out.chosen);
         checksum = out.checksum; // identical on every rank
-                                 // combine per-rank hashes host-side, in rank order
-        hash::fnv1a(&mut state_hash, &out.state_hash.to_le_bytes());
+        elem_pairs.extend(
+            out.elem_gids
+                .iter()
+                .copied()
+                .zip(out.elem_hashes.iter().copied()),
+        );
+        if let Some(l) = out.lb {
+            let t = lb_total.get_or_insert_with(LbSummary::default);
+            // rebalances and the peak are SPMD-identical across ranks;
+            // the traffic counters are per-rank and sum
+            t.rebalances = t.rebalances.max(l.rebalances);
+            t.peak_imbalance = t.peak_imbalance.max(l.peak_imbalance);
+            t.elems_moved += l.elems_moved;
+            t.particles_moved += l.particles_moved;
+        }
         rank_wall.push(out.wall_s);
         modeled.push(out.modeled_s);
         if let Some(d) = out.solution {
             dumps.push(d);
         }
+    }
+    // Combine the per-element hashes host-side in ascending global-id
+    // order: the fingerprint is then independent of which rank owned
+    // which element at the end of the run.
+    elem_pairs.sort_unstable_by_key(|&(gid, _)| gid);
+    let mut state_hash = hash::FNV_OFFSET;
+    for (gid, h) in &elem_pairs {
+        hash::fnv1a(&mut state_hash, &gid.to_le_bytes());
+        hash::fnv1a(&mut state_hash, &h.to_le_bytes());
     }
     let report = RunReport {
         mesh_summary: mesh_cfg.summary(),
@@ -1007,9 +1434,11 @@ fn run_inner(cfg: &Config, collect: bool) -> (RunReport, Vec<SolutionDump>) {
         profile: merged.report(),
         comm: MpipReport::from_stats(&result.stats),
         rank_wall_s: rank_wall,
+        rank_compute_s: rank_compute,
         modeled_comm_s: modeled,
         checksum,
         state_hash,
+        lb: lb_total,
         steps: cfg.steps,
         fields: cfg.fields,
         verify: verifier.map(|v| v.findings()),
@@ -1559,5 +1988,160 @@ mod tests {
             fault_plan: Some(simmpi::FaultPlan::parse("kill:rank=1,step=2").unwrap()),
             ..small_cfg()
         });
+    }
+
+    /// A clustered-particle config that leaves most particles on a few
+    /// ranks: the canonical load-balancer workload.
+    fn lb_cfg() -> Config {
+        Config {
+            steps: 8,
+            particles_per_elem: 6,
+            particle_cluster: Some(0.25),
+            method: Some(GsMethod::PairwiseExchange),
+            ..small_cfg()
+        }
+    }
+
+    /// The load balancer's first law: migrating elements must not change
+    /// the physics. The per-element state hash (fields + resident
+    /// particles, merged in global-id order) must be bitwise identical
+    /// with the balancer off and on — including the particle cloud.
+    #[test]
+    fn rebalanced_run_is_bitwise_identical_to_static_run() {
+        let off = run(&lb_cfg());
+        let on = run(&Config {
+            lb_every: 2,
+            lb_threshold: 1.05,
+            ..lb_cfg()
+        });
+        let lb = on.lb.expect("lb summary present when enabled");
+        assert!(
+            lb.rebalances >= 1,
+            "clustered particles at threshold 1.05 should trigger: {lb:?}"
+        );
+        assert!(lb.peak_imbalance > 1.05);
+        assert_eq!(
+            off.state_hash, on.state_hash,
+            "rebalancing changed the physics"
+        );
+        assert!(off.lb.is_none());
+        // the balancer's traffic is first-class in the mpiP report:
+        // monitor gathers and element migration under the "lb" context
+        use simmpi::MpiOp;
+        for (op, ctx) in [(MpiOp::LbGather, "lb"), (MpiOp::LbMigrate, "lb")] {
+            assert!(
+                on.comm
+                    .sites
+                    .iter()
+                    .any(|s| s.site.op == op && s.site.context == ctx),
+                "missing {op:?} under context {ctx:?}"
+            );
+        }
+        // particle drift between ranks is badged too
+        assert!(on
+            .comm
+            .sites
+            .iter()
+            .any(|s| s.site.op == MpiOp::LbMigrate && s.site.context == "particle_migration"));
+        // and the monitor/migration phases appear in the Fig. 4 profile
+        for name in [cmt_perf::regions::LB_MONITOR, cmt_perf::regions::LB_MIGRATE] {
+            assert!(
+                on.profile.flat.iter().any(|(n, _)| n == name),
+                "missing region {name}"
+            );
+        }
+        assert!(on.render().contains("load balancing:"));
+    }
+
+    /// Deterministic straggler: a seeded per-rank delay hazard feeds the
+    /// monitor's injected-delay signal, the policy sheds elements from
+    /// the slow rank, and the run still reproduces the clean run exactly
+    /// (delays and migrations are both physics-neutral).
+    #[test]
+    fn straggler_delay_triggers_rebalance_and_preserves_state() {
+        let base = Config {
+            particles_per_elem: 4,
+            method: Some(GsMethod::PairwiseExchange),
+            ..small_cfg()
+        };
+        let clean = run(&base);
+        let balanced = run(&Config {
+            lb_every: 2,
+            lb_threshold: 1.1,
+            fault_plan: Some(
+                simmpi::FaultPlan::parse("delay:prob=1.0,us=500,rank=1;seed=9").unwrap(),
+            ),
+            ..base.clone()
+        });
+        let lb = balanced.lb.expect("lb summary");
+        assert!(
+            lb.rebalances >= 1,
+            "persistent straggler should trigger a rebalance: {lb:?}"
+        );
+        assert!(lb.elems_moved > 0);
+        assert_eq!(
+            clean.state_hash, balanced.state_hash,
+            "straggler-driven rebalance changed the physics"
+        );
+    }
+
+    /// Converged steady state: once the policy has evened out the load,
+    /// re-evaluations must not keep shuffling elements. With a static
+    /// imbalance source the rebalance count stays far below the number
+    /// of monitor evaluations.
+    #[test]
+    fn rebalance_converges_instead_of_thrashing() {
+        let rep = run(&Config {
+            steps: 16,
+            lb_every: 2,
+            lb_threshold: 1.05,
+            ..lb_cfg()
+        });
+        let lb = rep.lb.expect("lb summary");
+        // 7 in-run evaluations (steps 2..14): the cloud barely moves, so
+        // after the first correction the greedy plan is stable
+        assert!(
+            (1..=3).contains(&lb.rebalances),
+            "expected 1-3 rebalances over 16 steps, got {lb:?}"
+        );
+    }
+
+    /// Load balancing composes with checkpoint/rollback: a kill after a
+    /// rebalance rolls back to a checkpoint that may predate it; the
+    /// restored owner vector rebuilds that partition and the run still
+    /// finishes bitwise identical to the clean static run.
+    #[test]
+    fn lb_with_kill_and_rollback_stays_identical() {
+        let off = run(&lb_cfg());
+        let on = run(&Config {
+            lb_every: 2,
+            lb_threshold: 1.05,
+            checkpoint_every: 2,
+            fault_plan: Some(simmpi::FaultPlan::parse("kill:rank=2,step=5").unwrap()),
+            ..lb_cfg()
+        });
+        assert!(on.lb.expect("lb summary").rebalances >= 1);
+        assert_eq!(
+            off.state_hash, on.state_hash,
+            "kill+rollback under load balancing diverged"
+        );
+    }
+
+    /// The message-level verifier stays clean across migrations: every
+    /// shipped element and particle is received exactly once.
+    #[test]
+    fn lb_run_passes_verification() {
+        let rep = run(&Config {
+            lb_every: 2,
+            lb_threshold: 1.05,
+            verify: true,
+            ..lb_cfg()
+        });
+        assert!(rep.lb.expect("lb summary").rebalances >= 1);
+        let findings = rep.verify.expect("verification ran");
+        assert!(
+            findings.is_empty(),
+            "verifier found protocol violations in a balanced run: {findings:?}"
+        );
     }
 }

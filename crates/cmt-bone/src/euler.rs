@@ -435,7 +435,7 @@ fn rank_main(
         // One particle step per fluid step: interpolate the fluid
         // velocity (u_i = momentum_i / density), advect, migrate.
         if let (Some(set), Some(vf)) = (pset.as_mut(), vel_fields.as_mut()) {
-            prof.enter("particle_advect");
+            prof.enter(cmt_perf::regions::PARTICLE_ADVECT);
             for axis in 0..3 {
                 let vfs = vf[axis].as_mut_slice();
                 let rho = u[0].as_slice();
@@ -446,7 +446,7 @@ fn rank_main(
             }
             set.advect_field(dt, [&vf[0], &vf[1], &vf[2]]);
             prof.exit();
-            prof.enter("particle_migrate (crystal router)");
+            prof.enter(cmt_perf::regions::PARTICLE_MIGRATE);
             let stats = set.migrate(rank);
             particles_migrated += stats.sent as u64;
             prof.exit();

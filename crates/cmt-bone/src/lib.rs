@@ -42,4 +42,4 @@ mod report;
 pub use config::{Config, Pipeline};
 pub use driver::{run, run_collecting_solution, SolutionDump};
 pub use euler::{run_euler, EulerRunConfig, EulerRunReport};
-pub use report::RunReport;
+pub use report::{LbSummary, RunReport};

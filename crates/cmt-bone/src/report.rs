@@ -5,6 +5,22 @@ use cmt_gs::{AutotuneReport, GsMethod};
 use cmt_mesh::MeshConfig;
 use cmt_perf::{MpipReport, ProfileReport};
 
+/// Aggregate load-balancer activity over one run (all ranks), present
+/// when `Config::lb_every` enabled the balancer.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LbSummary {
+    /// Times the rebalance trigger fired and a new partition was adopted.
+    pub rebalances: u64,
+    /// Elements shipped between ranks by rebalances (sum over ranks).
+    pub elems_moved: u64,
+    /// Particle ownership moves (advective drift + rebalances, sum over
+    /// ranks).
+    pub particles_moved: u64,
+    /// Largest max-over-mean effective load the monitor observed at any
+    /// evaluation point.
+    pub peak_imbalance: f64,
+}
+
 /// The full measurement set of one CMT-bone (or Nekbone) run.
 #[derive(Debug)]
 pub struct RunReport {
@@ -26,16 +42,30 @@ pub struct RunReport {
     pub comm: MpipReport,
     /// Per-rank wall time of the whole rank program, seconds.
     pub rank_wall_s: Vec<f64>,
+    /// Per-rank *compute* self time, seconds: the physics regions only
+    /// (derivatives, surface ops, RK, dealias, viscous, particle
+    /// advection), excluding exchanges and waits. This is the quantity
+    /// the load balancer redistributes, and its max over ranks is the
+    /// step-loop critical path a parallel host's wall time follows. (On
+    /// a host with fewer cores than ranks the *process* wall is the SUM
+    /// of rank computes — partition-independent — so balancing effects
+    /// are only visible here.)
+    pub rank_compute_s: Vec<f64>,
     /// Per-rank modelled network time, seconds (zeros without a network
     /// model).
     pub modeled_comm_s: Vec<f64>,
     /// Deterministic global checksum of the final fields.
     pub checksum: f64,
-    /// FNV-1a hash over every rank's final field bytes, combined in rank
-    /// order — a bitwise fingerprint of the final state, used by the
-    /// resilience tests and the CI fault-injection smoke job to compare
-    /// recovered runs against uninterrupted ones.
+    /// FNV-1a hash over every element's final state (field bytes plus
+    /// resident particles), combined in ascending global-element-id
+    /// order — a bitwise, *partition-independent* fingerprint of the
+    /// final state. Used by the resilience tests and the CI
+    /// fault-injection smoke job to compare recovered runs against
+    /// uninterrupted ones, and by the load-balancer tests to prove a
+    /// rebalanced run reproduces the static run exactly.
     pub state_hash: u64,
+    /// Load-balancer activity, when `Config::lb_every` enabled it.
+    pub lb: Option<LbSummary>,
     /// Timesteps executed.
     pub steps: usize,
     /// Conserved-variable fields stepped.
@@ -73,6 +103,22 @@ impl RunReport {
         self.rank_wall_s.iter().fold(0.0f64, |m, &v| m.max(v))
     }
 
+    /// Slowest rank's compute self time — the step-loop critical path on
+    /// a parallel host (see [`RunReport::rank_compute_s`]).
+    pub fn compute_critical_path_s(&self) -> f64 {
+        self.rank_compute_s.iter().fold(0.0f64, |m, &v| m.max(v))
+    }
+
+    /// Straggler signature: slowest rank's compute over the mean rank
+    /// compute (1.0 = perfectly balanced).
+    pub fn compute_spread(&self) -> f64 {
+        if self.rank_compute_s.is_empty() {
+            return 1.0;
+        }
+        let avg = self.rank_compute_s.iter().sum::<f64>() / self.rank_compute_s.len() as f64;
+        self.compute_critical_path_s() / avg.max(1e-12)
+    }
+
     /// Mean rank wall time.
     pub fn avg_wall_s(&self) -> f64 {
         if self.rank_wall_s.is_empty() {
@@ -105,6 +151,13 @@ impl RunReport {
             "chosen gs method: {}\n",
             self.chosen_method.name()
         ));
+        if let Some(lb) = &self.lb {
+            out.push_str(&format!(
+                "load balancing: {} rebalances, {} elements migrated, \
+                 {} particle moves, peak imbalance {:.3}\n",
+                lb.rebalances, lb.elems_moved, lb.particles_moved, lb.peak_imbalance
+            ));
+        }
         if let Some(findings) = &self.verify {
             out.push_str(&cmt_verify::render_findings(findings));
         }

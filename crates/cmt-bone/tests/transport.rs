@@ -57,6 +57,32 @@ fn socket_matches_inproc_under_verify() {
 }
 
 #[test]
+fn socket_matches_inproc_and_static_run_under_load_balancing() {
+    // clustered particle cloud + aggressive threshold: rebalances fire,
+    // and the partition-independent state hash must not move — across
+    // the balancer on/off axis AND the transport axis.
+    let particles = &["--particles-per-elem", "6", "--particle-cluster", "0.25"];
+    let lb = &["--lb-every", "2", "--lb-threshold", "1.05"];
+    let static_inproc = state_hash(particles);
+    let lb_inproc = {
+        let mut args = particles.to_vec();
+        args.extend_from_slice(lb);
+        state_hash(&args)
+    };
+    let lb_socket = {
+        let mut args = vec!["--transport", "socket"];
+        args.extend_from_slice(particles);
+        args.extend_from_slice(lb);
+        state_hash(&args)
+    };
+    assert_eq!(
+        static_inproc, lb_inproc,
+        "load balancing changed the physics"
+    );
+    assert_eq!(lb_inproc, lb_socket, "socket LB run diverged from inproc");
+}
+
+#[test]
 fn socket_matches_inproc_through_kill_and_rollback() {
     let fault = &[
         "--checkpoint-every",

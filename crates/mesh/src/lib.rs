@@ -36,6 +36,10 @@
 
 use cmt_core::face::{face_point_volume_index, Face};
 
+mod partition;
+
+pub use partition::ElemPartition;
+
 /// Factor `v` into three factors as close to `v^(1/3)` as possible,
 /// largest factor first in x (matching the paper's 256 -> 8 x 8 x 4 and
 /// 100 -> 5 x 5 x 4 splits).
@@ -133,6 +137,31 @@ impl MeshConfig {
     /// Total elements in the domain.
     pub fn total_elems(&self) -> usize {
         self.ranks() * self.elems_per_rank()
+    }
+
+    /// Global coordinates of the element with flattened id `gid`
+    /// (x fastest — the inverse of [`MeshConfig::elem_id`]).
+    pub fn elem_coords(&self, gid: usize) -> [usize; 3] {
+        let ge = self.global_elems();
+        debug_assert!(gid < self.total_elems());
+        [gid % ge[0], (gid / ge[0]) % ge[1], gid / (ge[0] * ge[1])]
+    }
+
+    /// Flattened global element id of the element at global coordinates.
+    pub fn elem_id(&self, gc: [usize; 3]) -> usize {
+        let ge = self.global_elems();
+        (gc[2] * ge[1] + gc[1]) * ge[0] + gc[0]
+    }
+
+    /// Owner rank of global element `gid` under the *initial* Cartesian
+    /// partition (each rank owns its `local_elems` block). Dynamic
+    /// repartitions are described by [`ElemPartition`] instead.
+    pub fn cartesian_owner(&self, gid: usize) -> usize {
+        let gc = self.elem_coords(gid);
+        let [lx, ly, lz] = self.local_elems;
+        let [px, py, _pz] = self.proc_dims;
+        let pc = [gc[0] / lx, gc[1] / ly, gc[2] / lz];
+        (pc[2] * py + pc[1]) * px + pc[0]
     }
 
     /// Global GLL point-grid dimensions of the continuous numbering.
@@ -383,67 +412,8 @@ impl RankMesh {
     ///
     /// Layout matches [`cmt_core::face::full2face`]: `[e][face][b][a]`.
     pub fn face_exchange_gids(&self) -> Vec<u64> {
-        let n = self.cfg.n;
-        let n2 = n * n;
-        let ge = self.cfg.global_elems();
-        // planes per axis: ex+1 interfaces non-periodically, ex when the
-        // ends are identified
-        let planes = |d: usize| {
-            if self.cfg.periodic {
-                ge[d] as u64
-            } else {
-                ge[d] as u64 + 1
-            }
-        };
-        // In-plane point grid: *element-local* tangential numbering
-        // (stride n, no endpoint merging). Merging tangential endpoints
-        // would make a face-edge point's id appear on the faces of four
-        // elements (two across the face x two along it); keeping each
-        // element column's points distinct preserves the exactly-two-
-        // sharers property while the two elements across a face still
-        // agree (they share the same tangential element coordinates).
-        let tang = |d: usize| (ge[d] * n) as u64;
-        let mut out = Vec::with_capacity(6 * n2 * self.nel());
-        // Per-axis id-space base offsets.
-        let mut base = [0u64; 3];
-        let mut acc = 0u64;
-        for d in 0..3 {
-            base[d] = acc;
-            let t = [0, 1, 2usize];
-            let (t1, t2) = match d {
-                0 => (t[1], t[2]),
-                1 => (t[0], t[2]),
-                _ => (t[0], t[1]),
-            };
-            acc += planes(d) * tang(t1) * tang(t2);
-        }
-        for le in 0..self.nel() {
-            let gc = self.global_elem_coords(le);
-            for f in Face::ALL {
-                let axis = f.axis();
-                let (t1, t2) = match axis {
-                    0 => (1usize, 2usize),
-                    1 => (0, 2),
-                    _ => (0, 1),
-                };
-                // global interface plane index along the face axis
-                let mut plane = gc[axis] + if f.sign() > 0 { 1 } else { 0 };
-                if self.cfg.periodic {
-                    plane %= ge[axis];
-                }
-                for p in 0..n2 {
-                    let a = p % n;
-                    let b = p / n;
-                    // face-local (a, b) map to tangential axes (t1, t2)
-                    let c1 = gc[t1] * n + a;
-                    let c2 = gc[t2] * n + b;
-                    let gid =
-                        base[axis] + ((plane as u64) * tang(t1) + c1 as u64) * tang(t2) + c2 as u64;
-                    out.push(gid);
-                }
-            }
-        }
-        out
+        let geids: Vec<usize> = (0..self.nel()).map(|le| self.global_elem_id(le)).collect();
+        face_exchange_gids_for(&self.cfg, &geids)
     }
 
     /// Whether GLL point `(i, j, k)` of local element `le` lies on the
@@ -496,6 +466,80 @@ impl RankMesh {
         }
         mult
     }
+}
+
+/// DG surface-exchange gids for an *arbitrary* list of global element
+/// ids — the same numbering as [`RankMesh::face_exchange_gids`] (which
+/// delegates here with its Cartesian block), usable for any
+/// element-to-rank assignment. Because each id depends only on the
+/// element's own global coordinates, the exactly-two-sharers property
+/// holds under every partition — the basis for the load balancer's
+/// claim that migrating elements never changes field results.
+///
+/// Layout matches [`cmt_core::face::full2face`]: `[e][face][b][a]`,
+/// elements in the order given.
+pub fn face_exchange_gids_for(cfg: &MeshConfig, geids: &[usize]) -> Vec<u64> {
+    let n = cfg.n;
+    let n2 = n * n;
+    let ge = cfg.global_elems();
+    // planes per axis: ex+1 interfaces non-periodically, ex when the
+    // ends are identified
+    let planes = |d: usize| {
+        if cfg.periodic {
+            ge[d] as u64
+        } else {
+            ge[d] as u64 + 1
+        }
+    };
+    // In-plane point grid: *element-local* tangential numbering
+    // (stride n, no endpoint merging). Merging tangential endpoints
+    // would make a face-edge point's id appear on the faces of four
+    // elements (two across the face x two along it); keeping each
+    // element column's points distinct preserves the exactly-two-
+    // sharers property while the two elements across a face still
+    // agree (they share the same tangential element coordinates).
+    let tang = |d: usize| (ge[d] * n) as u64;
+    let mut out = Vec::with_capacity(6 * n2 * geids.len());
+    // Per-axis id-space base offsets.
+    let mut base = [0u64; 3];
+    let mut acc = 0u64;
+    for d in 0..3 {
+        base[d] = acc;
+        let t = [0, 1, 2usize];
+        let (t1, t2) = match d {
+            0 => (t[1], t[2]),
+            1 => (t[0], t[2]),
+            _ => (t[0], t[1]),
+        };
+        acc += planes(d) * tang(t1) * tang(t2);
+    }
+    for &geid in geids {
+        let gc = cfg.elem_coords(geid);
+        for f in Face::ALL {
+            let axis = f.axis();
+            let (t1, t2) = match axis {
+                0 => (1usize, 2usize),
+                1 => (0, 2),
+                _ => (0, 1),
+            };
+            // global interface plane index along the face axis
+            let mut plane = gc[axis] + if f.sign() > 0 { 1 } else { 0 };
+            if cfg.periodic {
+                plane %= ge[axis];
+            }
+            for p in 0..n2 {
+                let a = p % n;
+                let b = p / n;
+                // face-local (a, b) map to tangential axes (t1, t2)
+                let c1 = gc[t1] * n + a;
+                let c2 = gc[t2] * n + b;
+                let gid =
+                    base[axis] + ((plane as u64) * tang(t1) + c1 as u64) * tang(t2) + c2 as u64;
+                out.push(gid);
+            }
+        }
+    }
+    out
 }
 
 #[cfg(test)]

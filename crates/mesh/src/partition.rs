@@ -1,0 +1,171 @@
+//! Dynamic element-to-rank assignment.
+//!
+//! The Cartesian block decomposition baked into [`crate::RankMesh`] is
+//! the *initial* partition; the `cmt-lb` load balancer moves elements
+//! between ranks at runtime. An [`ElemPartition`] is the shared,
+//! SPMD-identical description of who owns what: a dense owner vector
+//! indexed by global element id plus each element's local slot within
+//! its owner's element list. Every rank holds the same partition object
+//! and updates it with the same (deterministic) rebalance decisions, so
+//! ownership queries never need communication.
+//!
+//! Local slot convention: each rank keeps its owned elements sorted
+//! ascending by global element id. For the initial Cartesian partition
+//! this reproduces the classical `RankMesh` local ordering exactly (the
+//! local x-fastest enumeration of a Cartesian block is ascending in the
+//! global x-fastest id), so turning the partition machinery on changes
+//! nothing until the first migration.
+
+use crate::MeshConfig;
+
+/// A complete element-to-rank assignment, identical on every rank.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElemPartition {
+    ranks: usize,
+    /// Owner rank per global element id.
+    owner: Vec<u32>,
+    /// Position of the element within its owner's ascending-gid list.
+    local_index: Vec<u32>,
+}
+
+impl ElemPartition {
+    /// The initial Cartesian partition of `cfg` (each rank owns its
+    /// `local_elems` block, local slots in `RankMesh` order).
+    pub fn initial(cfg: &MeshConfig) -> Self {
+        let owner = (0..cfg.total_elems())
+            .map(|gid| cfg.cartesian_owner(gid) as u32)
+            .collect();
+        Self::from_owner(cfg.ranks(), owner)
+    }
+
+    /// Build a partition from an explicit owner vector. Local slots are
+    /// assigned in ascending-gid order per rank.
+    ///
+    /// # Panics
+    /// Panics if any owner is `>= ranks` or some rank owns no elements
+    /// (every rank must keep at least one element so collective plans
+    /// and checkpoint partners stay well-formed).
+    pub fn from_owner(ranks: usize, owner: Vec<u32>) -> Self {
+        let mut next_slot = vec![0u32; ranks];
+        let mut local_index = vec![0u32; owner.len()];
+        for (gid, &r) in owner.iter().enumerate() {
+            assert!((r as usize) < ranks, "element {gid} owned by rank {r}");
+            local_index[gid] = next_slot[r as usize];
+            next_slot[r as usize] += 1;
+        }
+        assert!(
+            next_slot.iter().all(|&c| c > 0),
+            "every rank must own at least one element"
+        );
+        ElemPartition {
+            ranks,
+            owner,
+            local_index,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.ranks
+    }
+
+    /// Total elements in the domain.
+    pub fn total_elems(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// Owner rank of global element `gid`.
+    #[inline]
+    pub fn owner_of(&self, gid: usize) -> usize {
+        self.owner[gid] as usize
+    }
+
+    /// Owner rank and local slot of global element `gid`.
+    #[inline]
+    pub fn slot_of(&self, gid: usize) -> (usize, usize) {
+        (self.owner[gid] as usize, self.local_index[gid] as usize)
+    }
+
+    /// The dense owner vector (indexed by global element id).
+    pub fn owner_vec(&self) -> &[u32] {
+        &self.owner
+    }
+
+    /// Global element ids owned by `rank`, ascending — the rank's local
+    /// element order (`owned_by(r)[slot] == gid` iff
+    /// `slot_of(gid) == (r, slot)`).
+    pub fn owned_by(&self, rank: usize) -> Vec<usize> {
+        self.owner
+            .iter()
+            .enumerate()
+            .filter(|&(_, &r)| r as usize == rank)
+            .map(|(gid, _)| gid)
+            .collect()
+    }
+
+    /// Elements owned per rank.
+    pub fn counts(&self) -> Vec<usize> {
+        let mut c = vec![0usize; self.ranks];
+        for &r in &self.owner {
+            c[r as usize] += 1;
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RankMesh;
+
+    #[test]
+    fn initial_matches_rank_mesh_layout() {
+        for (ranks, epr) in [(1usize, 8usize), (4, 8), (6, 4), (8, 1)] {
+            let cfg = MeshConfig::for_ranks(ranks, epr, 4, true);
+            let part = ElemPartition::initial(&cfg);
+            assert_eq!(part.total_elems(), cfg.total_elems());
+            for r in 0..ranks {
+                let mesh = RankMesh::new(cfg.clone(), r);
+                let owned = part.owned_by(r);
+                assert_eq!(owned.len(), mesh.nel(), "ranks={ranks} epr={epr}");
+                for le in 0..mesh.nel() {
+                    let gid = mesh.global_elem_id(le);
+                    // Cartesian local order is ascending-gid order, so the
+                    // partition's slots reproduce RankMesh's enumeration.
+                    assert_eq!(owned[le], gid);
+                    assert_eq!(part.slot_of(gid), (r, le));
+                    assert_eq!(part.owner_of(gid), r);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn from_owner_assigns_ascending_slots() {
+        // 6 elements over 3 ranks, interleaved ownership.
+        let part = ElemPartition::from_owner(3, vec![2, 0, 1, 0, 2, 1]);
+        assert_eq!(part.owned_by(0), vec![1, 3]);
+        assert_eq!(part.owned_by(1), vec![2, 5]);
+        assert_eq!(part.owned_by(2), vec![0, 4]);
+        assert_eq!(part.slot_of(3), (0, 1));
+        assert_eq!(part.slot_of(4), (2, 1));
+        assert_eq!(part.counts(), vec![2, 2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one element")]
+    fn empty_rank_is_rejected() {
+        let _ = ElemPartition::from_owner(3, vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn arbitrary_face_gids_match_cartesian_for_initial_partition() {
+        let cfg = MeshConfig::for_ranks(4, 8, 5, true);
+        let part = ElemPartition::initial(&cfg);
+        for r in 0..4 {
+            let mesh = RankMesh::new(cfg.clone(), r);
+            let via_part = crate::face_exchange_gids_for(&cfg, &part.owned_by(r));
+            assert_eq!(via_part, mesh.face_exchange_gids());
+        }
+    }
+}

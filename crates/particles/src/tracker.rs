@@ -1,10 +1,22 @@
-//! The particle tracker: storage, RK2 advection, and crystal-router
-//! migration.
+//! The particle tracker: cell-grid binned storage, RK2 advection, and
+//! crystal-router migration.
+//!
+//! Ownership is partition-aware: the set carries an
+//! [`ElemPartition`] (initially the Cartesian block decomposition, so
+//! nothing changes until a load balancer installs a new one with
+//! [`ParticleSet::set_partition`]), and every locate/migrate decision is
+//! an O(1) arithmetic-plus-vector-index lookup — no search, no hash.
+//! Particles are kept grouped by home element in a counting-sort cell
+//! grid ([`ParticleSet::ensure_bins`]): advection walks one element's
+//! residents at a time (one basis/element setup per *element* instead of
+//! per particle), the load monitor reads per-element populations
+//! directly off the bin offsets, and element migration drains a whole
+//! element's residents as one contiguous slice.
 
 use cmt_core::poly::Basis;
 use cmt_core::Field;
-use cmt_mesh::RankMesh;
-use simmpi::Rank;
+use cmt_mesh::{ElemPartition, RankMesh};
+use simmpi::{MpiOp, Rank};
 
 use crate::interp::ElementInterpolator;
 
@@ -30,22 +42,38 @@ pub struct MigrationStats {
 /// The per-rank particle population, bound to the rank's mesh block.
 pub struct ParticleSet {
     mesh: RankMesh,
+    part: ElemPartition,
+    /// Global ids of the elements this rank owns, ascending — the local
+    /// element order of every field buffer the particles interpolate.
+    owned: Vec<usize>,
     interp: ElementInterpolator,
     nodes_n: usize,
     lengths: [f64; 3],
     particles: Vec<Particle>,
+    /// Cell-grid bin offsets: while `binned`, `self.particles` is grouped
+    /// by home-element slot and `offsets[s]..offsets[s+1]` indexes slot
+    /// `s`'s residents.
+    offsets: Vec<u32>,
+    binned: bool,
 }
 
 impl ParticleSet {
-    /// An empty set on this rank's mesh.
+    /// An empty set on this rank's mesh, under the initial Cartesian
+    /// partition.
     pub fn new(mesh: RankMesh, basis: &Basis) -> Self {
         assert_eq!(mesh.config().n, basis.n, "basis order must match mesh");
         let ge = mesh.config().global_elems();
+        let part = ElemPartition::initial(mesh.config());
+        let owned = part.owned_by(mesh.rank());
         ParticleSet {
             interp: ElementInterpolator::new(basis),
             nodes_n: basis.n,
             lengths: [ge[0] as f64, ge[1] as f64, ge[2] as f64],
             particles: Vec::new(),
+            part,
+            owned,
+            offsets: Vec::new(),
+            binned: false,
             mesh,
         }
     }
@@ -70,14 +98,57 @@ impl ParticleSet {
         self.lengths
     }
 
-    /// Deterministically seed `per_elem` particles in each local element
+    /// The current element partition.
+    pub fn partition(&self) -> &ElemPartition {
+        &self.part
+    }
+
+    /// Global ids of this rank's owned elements, ascending — the local
+    /// element order expected of the carrier fields.
+    pub fn owned_elems(&self) -> &[usize] {
+        &self.owned
+    }
+
+    /// Install a new element partition (after a load-balancer element
+    /// migration). Resident particles of departing elements must have
+    /// been drained with [`ParticleSet::split_off_elems`] beforehand;
+    /// arrivals are re-added with [`ParticleSet::insert`].
+    pub fn set_partition(&mut self, part: ElemPartition) {
+        assert_eq!(part.total_elems(), self.mesh.config().total_elems());
+        self.owned = part.owned_by(self.mesh.rank());
+        self.part = part;
+        self.binned = false;
+    }
+
+    /// Deterministically seed `per_elem` particles in each owned element
     /// (a low-discrepancy-ish lattice offset by the global element id, so
     /// ids and positions are identical regardless of rank count).
     pub fn seed_uniform(&mut self, per_elem: usize) {
-        let nel = self.mesh.nel();
-        for le in 0..nel {
-            let geid = self.mesh.global_elem_id(le) as u64;
-            let gc = self.mesh.global_elem_coords(le);
+        self.seed_where(per_elem, |_| true);
+    }
+
+    /// Deterministically seed `per_elem` particles in each owned element
+    /// whose x extent lies within the first `frac` of the domain — a
+    /// clustered, imbalanced initial cloud (the load-balancer stress
+    /// shape). Seeding is keyed by global element id, so the cloud is
+    /// identical regardless of rank count or partition.
+    pub fn seed_clustered(&mut self, per_elem: usize, frac: f64) {
+        assert!(frac > 0.0 && frac <= 1.0, "cluster fraction in (0, 1]");
+        let ge = self.mesh.config().global_elems();
+        // at least one plane of elements, so the cloud is never empty
+        let cut = ((frac * ge[0] as f64).ceil() as usize).clamp(1, ge[0]);
+        let cfg = self.mesh.config().clone();
+        self.seed_where(per_elem, |gid| cfg.elem_coords(gid)[0] < cut);
+    }
+
+    fn seed_where(&mut self, per_elem: usize, want: impl Fn(usize) -> bool) {
+        for slot in 0..self.owned.len() {
+            let geid = self.owned[slot];
+            if !want(geid) {
+                continue;
+            }
+            let gc = self.mesh.config().elem_coords(geid);
+            let geid = geid as u64;
             for q in 0..per_elem as u64 {
                 // golden-ratio lattice inside the element, biased off the
                 // faces so a particle never sits exactly on a boundary
@@ -94,12 +165,14 @@ impl ParticleSet {
                 });
             }
         }
+        self.binned = false;
     }
 
-    /// Insert one particle (must land in this rank's block; use
+    /// Insert one particle (must land in an element this rank owns; use
     /// [`ParticleSet::migrate`] afterwards if unsure).
     pub fn insert(&mut self, p: Particle) {
         self.particles.push(p);
+        self.binned = false;
     }
 
     /// Wrap a position into the periodic box.
@@ -111,8 +184,22 @@ impl ParticleSet {
         out
     }
 
-    /// Owning rank, local element, and reference coordinates of a
-    /// position (after periodic wrap).
+    /// Global id of the element containing a (wrapped) position — pure
+    /// O(1) Cartesian arithmetic.
+    fn cell_of(&self, pos: [f64; 3]) -> usize {
+        let p = self.wrap(pos);
+        let ge = self.mesh.config().global_elems();
+        let mut gc = [0usize; 3];
+        for d in 0..3 {
+            gc[d] = (p[d].floor() as usize).min(ge[d] - 1);
+        }
+        self.mesh.config().elem_id(gc)
+    }
+
+    /// Owning rank, local element slot, and reference coordinates of a
+    /// position (after periodic wrap). The slot indexes the owner's
+    /// ascending-gid element order — for the initial Cartesian partition
+    /// this is exactly the classical `RankMesh` local element index.
     pub fn locate(&self, pos: [f64; 3]) -> (usize, usize, [f64; 3]) {
         let p = self.wrap(pos);
         let ge = self.mesh.config().global_elems();
@@ -123,8 +210,107 @@ impl ParticleSet {
             gc[d] = cell;
             rst[d] = 2.0 * (p[d] - cell as f64) - 1.0;
         }
-        let (rank, le) = self.mesh.owner_of(gc);
-        (rank, le, rst)
+        let (rank, slot) = self.part.slot_of(self.mesh.config().elem_id(gc));
+        (rank, slot, rst)
+    }
+
+    /// (Re)build the cell-grid bins: group `self.particles` by home
+    /// element via a stable counting sort. O(particles + owned elements);
+    /// a no-op when the grouping is already fresh.
+    ///
+    /// # Panics
+    /// Panics if a particle is not on this rank (migration was skipped).
+    pub fn ensure_bins(&mut self) {
+        if self.binned {
+            return;
+        }
+        let nel = self.owned.len();
+        let my_rank = self.mesh.rank();
+        let homes: Vec<u32> = self
+            .particles
+            .iter()
+            .map(|p| {
+                let gid = self.cell_of(p.pos);
+                let (rank, slot) = self.part.slot_of(gid);
+                assert_eq!(
+                    rank, my_rank,
+                    "particle {} at {:?} is not local; migrate() first",
+                    p.id, p.pos
+                );
+                slot as u32
+            })
+            .collect();
+        let mut offsets = vec![0u32; nel + 1];
+        for &h in &homes {
+            offsets[h as usize + 1] += 1;
+        }
+        for s in 1..=nel {
+            offsets[s] += offsets[s - 1];
+        }
+        let mut cursor: Vec<u32> = offsets[..nel].to_vec();
+        let mut grouped = vec![
+            Particle {
+                id: 0,
+                pos: [0.0; 3]
+            };
+            self.particles.len()
+        ];
+        for (p, &h) in self.particles.iter().zip(&homes) {
+            let c = &mut cursor[h as usize];
+            grouped[*c as usize] = *p;
+            *c += 1;
+        }
+        self.particles = grouped;
+        self.offsets = offsets;
+        self.binned = true;
+    }
+
+    /// Resident-particle count per owned element (bin populations), in
+    /// owned-element order. Rebuilds the bins if stale.
+    pub fn counts_per_owned(&mut self) -> Vec<u32> {
+        self.ensure_bins();
+        (0..self.owned.len())
+            .map(|s| self.offsets[s + 1] - self.offsets[s])
+            .collect()
+    }
+
+    /// The residents of owned-element slot `slot`, ascending by id
+    /// (migration sorts by id and the bin sort is stable). Rebuilds the
+    /// bins if stale.
+    pub fn residents_of(&mut self, slot: usize) -> &[Particle] {
+        self.ensure_bins();
+        &self.particles[self.offsets[slot] as usize..self.offsets[slot + 1] as usize]
+    }
+
+    /// Replace the resident population wholesale (checkpoint restore).
+    pub fn set_particles(&mut self, particles: Vec<Particle>) {
+        self.particles = particles;
+        self.binned = false;
+    }
+
+    /// Remove and return the residents of every owned element for which
+    /// `leaving(gid)` is true, grouped per element in ascending-gid
+    /// order — the load balancer's element-migration drain. Each group's
+    /// particles keep their bin order.
+    pub fn split_off_elems(
+        &mut self,
+        leaving: impl Fn(usize) -> bool,
+    ) -> Vec<(usize, Vec<Particle>)> {
+        self.ensure_bins();
+        let mut gone = Vec::new();
+        let mut keep = Vec::with_capacity(self.particles.len());
+        for slot in 0..self.owned.len() {
+            let gid = self.owned[slot];
+            let range = self.offsets[slot] as usize..self.offsets[slot + 1] as usize;
+            if leaving(gid) {
+                gone.push((gid, self.particles[range].to_vec()));
+            } else {
+                keep.extend_from_slice(&self.particles[range]);
+            }
+        }
+        self.particles = keep;
+        self.binned = false;
+        gone
     }
 
     /// RK2 (midpoint) advection with an analytic velocity field.
@@ -147,10 +333,12 @@ impl ParticleSet {
         for (p, w) in self.particles.iter_mut().zip(wrap_all) {
             p.pos = w;
         }
+        self.binned = false;
     }
 
     /// RK2 advection with the velocity interpolated from the carrier
-    /// fields resident on this rank.
+    /// fields resident on this rank, walking the cell grid one element at
+    /// a time (bins are rebuilt first if stale).
     ///
     /// Both stage evaluations use the element the particle started the
     /// step in: a midpoint that has just crossed an element face is
@@ -161,97 +349,95 @@ impl ParticleSet {
     ///
     /// # Panics
     /// Panics if a particle is not on this rank (migration was skipped)
-    /// or the field shapes do not match the mesh block.
+    /// or the field shapes do not match the owned-element block.
     pub fn advect_field(&mut self, dt: f64, vel: [&Field; 3]) {
         for f in vel {
             assert_eq!(f.n(), self.nodes_n, "field order mismatch");
-            assert_eq!(f.nel(), self.mesh.nel(), "field element count mismatch");
+            assert_eq!(f.nel(), self.owned.len(), "field element count mismatch");
         }
-        let my_rank = self.mesh.rank();
-        let mut moved: Vec<[f64; 3]> = Vec::with_capacity(self.particles.len());
-        for p in &self.particles {
-            let (rank, le, rst) = self.locate(p.pos);
-            assert_eq!(
-                rank, my_rank,
-                "particle {} at {:?} is not local; migrate() first",
-                p.id, p.pos
-            );
-            let mut v1 = [0.0; 3];
-            self.interp
-                .eval_many(&[vel[0], vel[1], vel[2]], le, rst, &mut v1);
-            let mid = [
-                p.pos[0] + 0.5 * dt * v1[0],
-                p.pos[1] + 0.5 * dt * v1[1],
-                p.pos[2] + 0.5 * dt * v1[2],
-            ];
-            // midpoint reference coords w.r.t. the *same* element (may
-            // extrapolate slightly past +-1)
-            let gc = self.mesh.global_elem_coords(le);
-            let mid_rst = [
-                2.0 * (mid[0] - gc[0] as f64) - 1.0,
-                2.0 * (mid[1] - gc[1] as f64) - 1.0,
-                2.0 * (mid[2] - gc[2] as f64) - 1.0,
-            ];
-            let mut v2 = [0.0; 3];
-            self.interp
-                .eval_many(&[vel[0], vel[1], vel[2]], le, mid_rst, &mut v2);
-            moved.push([
-                p.pos[0] + dt * v2[0],
-                p.pos[1] + dt * v2[1],
-                p.pos[2] + dt * v2[2],
-            ]);
+        self.ensure_bins();
+        for slot in 0..self.owned.len() {
+            let range = self.offsets[slot] as usize..self.offsets[slot + 1] as usize;
+            if range.is_empty() {
+                continue;
+            }
+            let gc = self.mesh.config().elem_coords(self.owned[slot]);
+            let corner = [gc[0] as f64, gc[1] as f64, gc[2] as f64];
+            for idx in range {
+                let p = self.particles[idx];
+                let rst = [
+                    2.0 * (p.pos[0] - corner[0]) - 1.0,
+                    2.0 * (p.pos[1] - corner[1]) - 1.0,
+                    2.0 * (p.pos[2] - corner[2]) - 1.0,
+                ];
+                let mut v1 = [0.0; 3];
+                self.interp
+                    .eval_many(&[vel[0], vel[1], vel[2]], slot, rst, &mut v1);
+                let mid = [
+                    p.pos[0] + 0.5 * dt * v1[0],
+                    p.pos[1] + 0.5 * dt * v1[1],
+                    p.pos[2] + 0.5 * dt * v1[2],
+                ];
+                // midpoint reference coords w.r.t. the *same* element
+                // (may extrapolate slightly past +-1)
+                let mid_rst = [
+                    2.0 * (mid[0] - corner[0]) - 1.0,
+                    2.0 * (mid[1] - corner[1]) - 1.0,
+                    2.0 * (mid[2] - corner[2]) - 1.0,
+                ];
+                let mut v2 = [0.0; 3];
+                self.interp
+                    .eval_many(&[vel[0], vel[1], vel[2]], slot, mid_rst, &mut v2);
+                let moved = [
+                    p.pos[0] + dt * v2[0],
+                    p.pos[1] + dt * v2[1],
+                    p.pos[2] + dt * v2[2],
+                ];
+                self.particles[idx].pos = self.wrap(moved);
+            }
         }
-        let wrapped: Vec<[f64; 3]> = moved.iter().map(|&m| self.wrap(m)).collect();
-        for (p, w) in self.particles.iter_mut().zip(wrapped) {
-            p.pos = w;
-        }
+        self.binned = false;
     }
 
-    /// Ship every particle that has left this rank's block to its new
+    /// Ship every particle that has left this rank's elements to its new
     /// owner via the crystal router (particle traffic is generally *not*
-    /// nearest-neighbor, which is exactly the router's use case).
+    /// nearest-neighbor, which is exactly the router's use case). The
+    /// traffic is badged as the `lb_migrate` mpiP operation — particle
+    /// ownership movement is load-balancer traffic whether triggered by
+    /// advection or by an element repartition.
     ///
     /// Collective over the world.
     pub fn migrate(&mut self, rank: &mut Rank) -> MigrationStats {
         let my_rank = self.mesh.rank();
         debug_assert_eq!(my_rank, rank.rank(), "mesh/world rank mismatch");
+        let p = self.part.ranks();
         let mut keep = Vec::with_capacity(self.particles.len());
-        let mut outgoing_by_rank: Vec<(usize, Vec<f64>)> = Vec::new();
-        let mut buckets: std::collections::HashMap<usize, Vec<f64>> =
-            std::collections::HashMap::new();
-        for p in self.particles.drain(..) {
-            let (owner, _, _) = {
-                // temporary split borrow: locate needs &self fields only
-                let ge = self.mesh.config().global_elems();
-                let mut pos = p.pos;
-                for d in 0..3 {
-                    pos[d] = pos[d].rem_euclid(self.lengths[d]);
-                }
-                let mut gc = [0usize; 3];
-                for d in 0..3 {
-                    gc[d] = (pos[d].floor() as usize).min(ge[d] - 1);
-                }
-                let (r, le) = self.mesh.owner_of(gc);
-                (r, le, ())
-            };
+        let mut buckets: Vec<Vec<f64>> = vec![Vec::new(); p];
+        let local: Vec<Particle> = std::mem::take(&mut self.particles);
+        for prt in local {
+            let owner = self.part.owner_of(self.cell_of(prt.pos));
             if owner == my_rank {
-                keep.push(p);
+                keep.push(prt);
             } else {
-                // wire format: [id as f64 bits via u64->f64 is lossy; use
-                // two f64 slots for the id halves? ids fit f64 exactly up
-                // to 2^53 — more than any particle count here]
-                let b = buckets.entry(owner).or_default();
-                b.push(p.id as f64);
-                b.extend_from_slice(&p.pos);
+                // wire format: 4 f64 per particle [id, x, y, z] — ids fit
+                // f64 exactly up to 2^53, far beyond any population here
+                let b = &mut buckets[owner];
+                b.push(prt.id as f64);
+                b.extend_from_slice(&prt.pos);
             }
         }
         let mut sent = 0;
-        for (owner, data) in buckets {
-            sent += data.len() / 4;
-            outgoing_by_rank.push((owner, data));
-        }
+        let outgoing: Vec<(usize, Vec<f64>)> = buckets
+            .into_iter()
+            .enumerate()
+            .filter(|(_, b)| !b.is_empty())
+            .map(|(owner, b)| {
+                sent += b.len() / 4;
+                (owner, b)
+            })
+            .collect();
         rank.set_context("particle_migration");
-        let arrived = rank.crystal_router(outgoing_by_rank);
+        let arrived = rank.with_op_badge(MpiOp::LbMigrate, |rank| rank.crystal_router(outgoing));
         rank.set_context("main");
         let mut received = 0;
         for (_src, data) in arrived {
@@ -267,6 +453,7 @@ impl ParticleSet {
         // deterministic ordering regardless of arrival interleaving
         keep.sort_by_key(|p| p.id);
         self.particles = keep;
+        self.binned = false;
         MigrationStats { sent, received }
     }
 
@@ -310,6 +497,52 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), 24);
+    }
+
+    #[test]
+    fn clustered_seeding_stays_in_the_front_slab() {
+        let mut set = single_rank_set([4, 2, 2], 4);
+        set.seed_clustered(5, 0.5);
+        // x-cut at ceil(0.5 * 4) = 2 element planes -> half the elements
+        assert_eq!(set.len(), 8 * 5);
+        assert!(set.particles().iter().all(|p| p.pos[0] < 2.0));
+        // same elements seeded by the uniform path carry identical ids
+        // and positions (seeding is keyed by global element id)
+        let mut uni = single_rank_set([4, 2, 2], 4);
+        uni.seed_uniform(5);
+        for p in set.particles() {
+            assert!(uni.particles().contains(p));
+        }
+    }
+
+    #[test]
+    fn bins_group_particles_by_element() {
+        let mut set = single_rank_set([2, 2, 1], 4);
+        set.seed_uniform(3);
+        let counts = set.counts_per_owned();
+        assert_eq!(counts, vec![3, 3, 3, 3]);
+        // grouped: walking the bins visits each particle exactly once,
+        // and every particle in slot s locates to slot s
+        set.ensure_bins();
+        for slot in 0..4 {
+            let range = set.offsets[slot] as usize..set.offsets[slot + 1] as usize;
+            for idx in range {
+                let (_, s, _) = set.locate(set.particles[idx].pos);
+                assert_eq!(s, slot);
+            }
+        }
+    }
+
+    #[test]
+    fn split_off_elems_drains_whole_elements() {
+        let mut set = single_rank_set([2, 1, 1], 4);
+        set.seed_uniform(2);
+        let gone = set.split_off_elems(|gid| gid == 1);
+        assert_eq!(gone.len(), 1);
+        assert_eq!(gone[0].0, 1);
+        assert_eq!(gone[0].1.len(), 2);
+        assert_eq!(set.len(), 2);
+        assert!(set.particles().iter().all(|p| p.pos[0] < 1.0));
     }
 
     #[test]
@@ -410,5 +643,26 @@ mod tests {
         // periodic wrap
         let (_, le2, _) = set.locate([-0.25, 2.5, 0.0]);
         assert_eq!(set.mesh.global_elem_coords(le2), [1, 0, 0]);
+    }
+
+    #[test]
+    fn locate_follows_the_installed_partition() {
+        // 2 elements, single rank mesh view, but a partition claiming
+        // element 1 belongs to "rank 1" of a 2-rank world: locate must
+        // report the partition's owner, not the Cartesian block's.
+        let cfg = MeshConfig {
+            n: 4,
+            proc_dims: [2, 1, 1],
+            local_elems: [1, 1, 1],
+            periodic: true,
+        };
+        let basis = Basis::new(4);
+        let mut set = ParticleSet::new(RankMesh::new(cfg, 0), &basis);
+        assert_eq!(set.locate([1.5, 0.5, 0.5]).0, 1);
+        // swap ownership
+        set.set_partition(ElemPartition::from_owner(2, vec![1, 0]));
+        assert_eq!(set.owned_elems(), &[1]);
+        assert_eq!(set.locate([1.5, 0.5, 0.5]).0, 0);
+        assert_eq!(set.locate([0.5, 0.5, 0.5]).0, 1);
     }
 }

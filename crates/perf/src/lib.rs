@@ -42,6 +42,19 @@ pub mod regions {
     /// mailbox scan for leaked messages and abandoned exchanges. Also
     /// isolates the verifier's cost in overhead comparisons.
     pub const VERIFY: &str = "verify (finalize sweep)";
+    /// Load-balancer monitor + decision: gather the per-element /
+    /// per-rank cost vector and run the deterministic repartition
+    /// policy.
+    pub const LB_MONITOR: &str = "lb monitor (gather + decide)";
+    /// Load-balancer migration: ship element state blocks and resident
+    /// particles to their new owners, then rebuild gather–scatter plans
+    /// and local buffers.
+    pub const LB_MIGRATE: &str = "lb migrate (ship + rebuild)";
+    /// Passive-particle advection (interpolate velocity at each particle,
+    /// RK2 push).
+    pub const PARTICLE_ADVECT: &str = "particle_advect";
+    /// Passive-particle ownership migration over the crystal router.
+    pub const PARTICLE_MIGRATE: &str = "particle_migrate (crystal router)";
 }
 
 pub use mpip::{MpipReport, SiteAggregate};

@@ -40,8 +40,13 @@ impl Rank {
         }
         let modeled = self.model_message(1) * round as f64;
         let ctx = std::mem::take(&mut self.context);
-        self.recorder
-            .record(MpiOp::Barrier, &ctx, start.elapsed(), bytes, modeled);
+        self.recorder.record(
+            self.badged(MpiOp::Barrier),
+            &ctx,
+            start.elapsed(),
+            bytes,
+            modeled,
+        );
         self.context = ctx;
     }
 
@@ -139,8 +144,13 @@ impl Rank {
         let per_msg = (buf.len() * std::mem::size_of::<T>()) as u64;
         let modeled = (0..nmsgs).map(|_| self.model_message(per_msg)).sum();
         let ctx = std::mem::take(&mut self.context);
-        self.recorder
-            .record(MpiOp::Bcast, &ctx, start.elapsed(), bytes, modeled);
+        self.recorder.record(
+            self.badged(MpiOp::Bcast),
+            &ctx,
+            start.elapsed(),
+            bytes,
+            modeled,
+        );
         self.context = ctx;
         buf
     }
@@ -212,8 +222,13 @@ impl Rank {
         let per_msg = (data.len() * std::mem::size_of::<T>()) as u64;
         let modeled = (0..nmsgs).map(|_| self.model_message(per_msg)).sum();
         let ctx = std::mem::take(&mut self.context);
-        self.recorder
-            .record(MpiOp::Reduce, &ctx, start.elapsed(), bytes, modeled);
+        self.recorder.record(
+            self.badged(MpiOp::Reduce),
+            &ctx,
+            start.elapsed(),
+            bytes,
+            modeled,
+        );
         self.context = ctx;
         if self.rank() == root {
             Some(acc)
@@ -335,8 +350,13 @@ impl Rank {
         let per_msg = (data.len() * std::mem::size_of::<T>()) as u64;
         let modeled = (0..nmsgs).map(|_| self.model_message(per_msg)).sum();
         let ctx = std::mem::take(&mut self.context);
-        self.recorder
-            .record(MpiOp::Allreduce, &ctx, start.elapsed(), bytes, modeled);
+        self.recorder.record(
+            self.badged(MpiOp::Allreduce),
+            &ctx,
+            start.elapsed(),
+            bytes,
+            modeled,
+        );
         self.context = ctx;
         acc
     }
@@ -416,8 +436,13 @@ impl Rank {
         let per_msg = (acc.len() * std::mem::size_of::<T>()) as u64;
         let modeled = (0..nmsgs).map(|_| self.model_message(per_msg)).sum();
         let ctx = std::mem::take(&mut self.context);
-        self.recorder
-            .record(MpiOp::Allreduce, &ctx, start.elapsed(), bytes, modeled);
+        self.recorder.record(
+            self.badged(MpiOp::Allreduce),
+            &ctx,
+            start.elapsed(),
+            bytes,
+            modeled,
+        );
         self.context = ctx;
     }
 
@@ -473,8 +498,13 @@ impl Rank {
         }
         let modeled = (0..nmsgs).map(|_| self.model_message(8)).sum();
         let ctx = std::mem::take(&mut self.context);
-        self.recorder
-            .record(MpiOp::Scan, &ctx, start.elapsed(), bytes, modeled);
+        self.recorder.record(
+            self.badged(MpiOp::Scan),
+            &ctx,
+            start.elapsed(),
+            bytes,
+            modeled,
+        );
         self.context = ctx;
         inclusive - v
     }
@@ -518,8 +548,13 @@ impl Rank {
             self.model_message(bytes)
         };
         let ctx = std::mem::take(&mut self.context);
-        self.recorder
-            .record(MpiOp::Gather, &ctx, start.elapsed(), bytes, modeled);
+        self.recorder.record(
+            self.badged(MpiOp::Gather),
+            &ctx,
+            start.elapsed(),
+            bytes,
+            modeled,
+        );
         self.context = ctx;
         out
     }
@@ -567,8 +602,13 @@ impl Rank {
             0.0
         };
         let ctx = std::mem::take(&mut self.context);
-        self.recorder
-            .record(MpiOp::Alltoallv, &ctx, start.elapsed(), bytes, modeled);
+        self.recorder.record(
+            self.badged(MpiOp::Alltoallv),
+            &ctx,
+            start.elapsed(),
+            bytes,
+            modeled,
+        );
         self.context = ctx;
         recvs
     }

@@ -187,8 +187,13 @@ impl Rank {
             arrived.push((msg.src, msg.data));
         }
         let ctx = std::mem::take(&mut self.context);
-        self.recorder
-            .record(MpiOp::CrystalRouter, &ctx, start.elapsed(), bytes, modeled);
+        self.recorder.record(
+            self.badged(MpiOp::CrystalRouter),
+            &ctx,
+            start.elapsed(),
+            bytes,
+            modeled,
+        );
         self.context = ctx;
     }
 }

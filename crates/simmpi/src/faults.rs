@@ -66,6 +66,10 @@ pub struct DelayFault {
     pub prob: f64,
     /// The injected delay.
     pub delay: Duration,
+    /// Restrict the hazard to one rank's sends (`delay:...,rank=R`).
+    /// `None` delays every rank. A single-rank delay turns that rank
+    /// into a deterministic straggler — the load-balancer test rig.
+    pub rank: Option<usize>,
 }
 
 /// Drop-and-retransmit hazard: each transmission attempt of a send is
@@ -142,6 +146,7 @@ impl FaultPlan {
             delay: Some(DelayFault {
                 prob: 0.25,
                 delay: Duration::from_micros(150),
+                rank: None,
             }),
             ..base
         }
@@ -160,8 +165,9 @@ impl FaultPlan {
     /// Parse the `--fault-plan` grammar: semicolon-separated clauses
     ///
     /// * `kill:rank=R,step=S` — schedule a rank kill (repeatable);
-    /// * `delay:prob=P,us=U` — delay each send with probability `P` by
-    ///   `U` microseconds;
+    /// * `delay:prob=P,us=U[,rank=R]` — delay each send with probability
+    ///   `P` by `U` microseconds; `rank=R` restricts the hazard to rank
+    ///   `R`'s sends (a deterministic straggler);
     /// * `drop:prob=P[,us=U][,retries=K]` — lose each transmission
     ///   attempt with probability `P`, retransmit after `U` microseconds
     ///   (default 200) with backoff, at most `K` retries (default 4);
@@ -196,6 +202,7 @@ impl FaultPlan {
                     plan.delay = Some(DelayFault {
                         prob: check_prob(get("prob")?, clause)?,
                         delay: Duration::from_micros(get("us")? as u64),
+                        rank: opt("rank").map(|r| r as usize),
                     })
                 }
                 "drop" => {
@@ -220,6 +227,13 @@ impl FaultPlan {
                 return Err(format!(
                     "fault plan kills rank {} but the world has {size} ranks",
                     k.rank
+                ));
+            }
+        }
+        if let Some(r) = self.delay.as_ref().and_then(|d| d.rank) {
+            if r >= size {
+                return Err(format!(
+                    "fault plan delays rank {r} but the world has {size} ranks"
                 ));
             }
         }
@@ -318,6 +332,20 @@ mod tests {
         let at3: Vec<usize> = plan.kills_at(3).map(|k| k.rank).collect();
         assert_eq!(at3, vec![1, 2]);
         assert_eq!(plan.kills_at(4).count(), 0);
+    }
+
+    #[test]
+    fn delay_rank_selector_parses_and_validates() {
+        let plan = FaultPlan::parse("delay:prob=1,us=300,rank=2;seed=5").unwrap();
+        let d = plan.delay.unwrap();
+        assert_eq!(d.rank, Some(2));
+        assert_eq!(d.delay, Duration::from_micros(300));
+        assert!(plan.validate(3).is_ok());
+        assert!(plan.validate(2).is_err(), "rank 2 needs a 3-rank world");
+        // No selector: delays everyone, validates anywhere.
+        let plan = FaultPlan::parse("delay:prob=0.5,us=10").unwrap();
+        assert_eq!(plan.delay.unwrap().rank, None);
+        assert!(plan.validate(1).is_ok());
     }
 
     #[test]

@@ -46,6 +46,8 @@ pub struct Rank {
     pub(crate) coll_seq: u64,
     pub(crate) user_seq: u64,
     pub(crate) faults: Option<FaultState>,
+    pub(crate) injected_delay_us: u64,
+    pub(crate) op_badge: Option<MpiOp>,
     pub(crate) discards: DiscardList,
     pub(crate) verify: Option<Arc<dyn VerifyHooks>>,
     pub(crate) finalized: bool,
@@ -262,6 +264,37 @@ impl Rank {
         self.discards.clone()
     }
 
+    /// Total injected-fault stall served by this rank so far, in
+    /// microseconds (delay hazards plus drop-retransmit backoff). The
+    /// hazards are drawn from seeded per-rank streams, so this counter is
+    /// bitwise deterministic — the load balancer's straggler signal,
+    /// usable in SPMD decisions where wall-clock time is not.
+    pub fn injected_delay_us(&self) -> u64 {
+        self.injected_delay_us
+    }
+
+    /// Run `f` with every collective/crystal-router statistics row
+    /// recorded under `op` instead of the operation's own kind. Library
+    /// layers with a first-class identity in the mpiP report — the
+    /// `cmt-lb` cost gather (`lb_gather`) and migration traffic
+    /// (`lb_migrate`) — badge their communication so it shows up as its
+    /// own line item *instead of* (never in addition to) the underlying
+    /// `MPI_Allreduce`/`crystal_router` row; total MPI time still sums
+    /// cleanly. Fault and wire-serialization rows keep their own kinds.
+    pub fn with_op_badge<R>(&mut self, op: MpiOp, f: impl FnOnce(&mut Rank) -> R) -> R {
+        let saved = self.op_badge.replace(op);
+        let out = f(self);
+        self.op_badge = saved;
+        out
+    }
+
+    /// The operation kind a statistics row should be recorded under:
+    /// the active badge if one is installed, else the operation itself.
+    #[inline]
+    pub(crate) fn badged(&self, op: MpiOp) -> MpiOp {
+        self.op_badge.unwrap_or(op)
+    }
+
     /// Inject configured message-level hazards for one outbound send of
     /// `bytes` bytes. Called before the operation's own timer starts, so
     /// the regular `MPI_Send`/`MPI_Isend` rows stay comparable across
@@ -272,8 +305,9 @@ impl Rank {
             return;
         };
         if let Some(d) = fs.plan.delay {
-            if fs.rng.unit_f64() < d.prob {
+            if d.rank.is_none_or(|r| r == self.rank) && fs.rng.unit_f64() < d.prob {
                 std::thread::sleep(d.delay);
+                self.injected_delay_us += d.delay.as_micros() as u64;
                 let ctx = std::mem::take(&mut self.context);
                 self.recorder
                     .record(MpiOp::FaultDelay, &ctx, d.delay, bytes, 0.0);
@@ -289,6 +323,7 @@ impl Rank {
                 // loop, so drops cost time but never corrupt delivery.
                 let backoff = dr.timeout.saturating_mul(1u32 << attempt.min(20));
                 std::thread::sleep(backoff);
+                self.injected_delay_us += backoff.as_micros() as u64;
                 let ctx = std::mem::take(&mut self.context);
                 self.recorder
                     .record(MpiOp::FaultRetransmit, &ctx, backoff, bytes, 0.0);

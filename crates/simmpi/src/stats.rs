@@ -51,6 +51,17 @@ pub enum MpiOp {
     /// transport (the socket backend). Recorded as its own row so wire
     /// overhead never silently folds into `MPI_Send`/`MPI_Wait`.
     TransportSer,
+    /// Load-balancer cost-vector gather (the `cmt-lb` allgather of
+    /// per-element and per-rank cost samples). Recorded *instead of* the
+    /// underlying collective row via [`crate::Rank::with_op_badge`], so
+    /// LB monitoring traffic is a first-class mpiP line item and never
+    /// double-counts against `MPI_Allreduce`.
+    LbGather,
+    /// Load-balancer migration traffic: element state blocks and resident
+    /// particles shipped to their new owners over the crystal router.
+    /// Badged over the underlying `crystal_router` row, same rule as
+    /// [`MpiOp::LbGather`].
+    LbMigrate,
 }
 
 impl MpiOp {
@@ -73,6 +84,8 @@ impl MpiOp {
             MpiOp::FaultDelay => "fault_delay",
             MpiOp::FaultRetransmit => "fault_retransmit",
             MpiOp::TransportSer => "transport_ser",
+            MpiOp::LbGather => "lb_gather",
+            MpiOp::LbMigrate => "lb_migrate",
         }
     }
 

@@ -768,6 +768,8 @@ impl WireCodec for MpiOp {
             MpiOp::FaultDelay => 13,
             MpiOp::FaultRetransmit => 14,
             MpiOp::TransportSer => 15,
+            MpiOp::LbGather => 16,
+            MpiOp::LbMigrate => 17,
         };
         put_u8(buf, code);
     }
@@ -789,6 +791,8 @@ impl WireCodec for MpiOp {
             13 => MpiOp::FaultDelay,
             14 => MpiOp::FaultRetransmit,
             15 => MpiOp::TransportSer,
+            16 => MpiOp::LbGather,
+            17 => MpiOp::LbMigrate,
             _ => return Err(WireError::Malformed("mpi op")),
         })
     }

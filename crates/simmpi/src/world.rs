@@ -306,6 +306,8 @@ where
         coll_seq: 0,
         user_seq: 0,
         faults,
+        injected_delay_us: 0,
+        op_badge: None,
         discards: DiscardList::default(),
         verify,
         finalized: false,
@@ -738,6 +740,53 @@ mod tests {
         let b = run();
         assert_eq!(count(&a), count(&b));
         assert!(count(&a).iter().sum::<u64>() > 0);
+    }
+
+    /// A rank-selected delay hazard stalls only the targeted rank, and
+    /// the stall total is exposed deterministically via
+    /// [`Rank::injected_delay_us`] — the load balancer's straggler
+    /// signal.
+    #[test]
+    fn rank_selected_delay_targets_one_rank() {
+        let plan = crate::FaultPlan::parse("delay:prob=1,us=100,rank=1;seed=2").unwrap();
+        let run = || {
+            World::new().with_fault_plan(plan.clone()).run(3, |rank| {
+                for i in 0..4u64 {
+                    let next = (rank.rank() + 1) % rank.size();
+                    let prev = (rank.rank() + rank.size() - 1) % rank.size();
+                    rank.send(next, i, &[i]);
+                    let _ = rank.recv::<u64>(prev, i);
+                }
+                rank.injected_delay_us()
+            })
+        };
+        let res = run();
+        assert_eq!(res.results[0], 0);
+        assert_eq!(res.results[1], 400, "prob=1: every send of rank 1 stalls");
+        assert_eq!(res.results[2], 0);
+        assert_eq!(run().results, res.results, "stall totals are deterministic");
+    }
+
+    /// `with_op_badge` relabels the underlying collective's statistics
+    /// row — the badged op appears *instead of* the collective, never in
+    /// addition, so total MPI time still sums cleanly.
+    #[test]
+    fn op_badge_replaces_underlying_row() {
+        let res = World::new().run(2, |rank| {
+            rank.with_context("lb", |rank| {
+                rank.with_op_badge(MpiOp::LbGather, |rank| {
+                    rank.allreduce_u64(&[rank.rank() as u64], ReduceOp::Sum)
+                })
+            });
+            // Outside the badge, the same collective books normally.
+            rank.allreduce_u64(&[1], ReduceOp::Sum);
+        });
+        for s in &res.stats {
+            let badged = s.site(MpiOp::LbGather, "lb").expect("lb_gather row");
+            assert_eq!(badged.calls, 1);
+            assert!(s.site(MpiOp::Allreduce, "lb").is_none(), "double-booked");
+            assert_eq!(s.site(MpiOp::Allreduce, "main").unwrap().calls, 1);
+        }
     }
 
     /// An invalid fault plan is rejected at `run` time.
