@@ -697,7 +697,7 @@ fn rank_main(rank: &mut Rank, cfg: &Config, mesh_cfg: &MeshConfig, collect: bool
     // ---- setup: partition, gs discovery, autotune ---------------------
     prof.enter(regions::SETUP);
     let owned0 = part.owned_by(rank.rank());
-    let gids = face_exchange_gids_for(mesh_cfg, &owned0);
+    let gids = face_exchange_gids_for(mesh_cfg, owned0);
     let handle = GsHandle::setup(rank, &gids);
     let (chosen, tune_report) = match cfg.method {
         Some(m) => (m, None),
@@ -742,7 +742,7 @@ fn rank_main(rank: &mut Rank, cfg: &Config, mesh_cfg: &MeshConfig, collect: bool
     let fixed_grain = kernel_tune.as_ref().map(|t| t.chosen.grain);
     let grain_for = |nel: usize| fixed_grain.unwrap_or_else(|| nel.div_ceil(workers * 4).max(1));
     let grain0 = grain_for(owned0.len());
-    let mut blk = build_block(cfg, owned0, handle, grain0, pool_on);
+    let mut blk = build_block(cfg, owned0.to_vec(), handle, grain0, pool_on);
     for f in 0..cfg.fields {
         let owned = &blk.owned;
         let vals = Field::from_fn(n, blk.nel, |e, i, j, k| {
@@ -836,10 +836,10 @@ fn rank_main(rank: &mut Rank, cfg: &Config, mesh_cfg: &MeshConfig, collect: bool
                     // (captured from SPMD-uniform state), so the
                     // collective gather-scatter setup is safe here.
                     let owned = ck_part.owned_by(rank.rank());
-                    let gids = face_exchange_gids_for(mesh_cfg, &owned);
+                    let gids = face_exchange_gids_for(mesh_cfg, owned);
                     let new_handle = GsHandle::setup(rank, &gids);
                     let grain = grain_for(owned.len());
-                    blk = build_block(cfg, owned, new_handle, grain, pool_on);
+                    blk = build_block(cfg, owned.to_vec(), new_handle, grain, pool_on);
                     if let Some(ps) = pset.as_mut() {
                         ps.set_partition(ck_part.clone());
                     }
@@ -1213,32 +1213,17 @@ fn rank_main(rank: &mut Rank, cfg: &Config, mesh_cfg: &MeshConfig, collect: bool
                     .into_iter()
                     .collect();
                 let shipped: usize = dep.values().map(|v| v.len()).sum();
-                let u_old = &blk.u;
-                let (arrivals, mstats) = migrate_blocks(rank, &part, &new_part, |gid| {
-                    let (_, slot) = part.slot_of(gid);
-                    let res = dep.get(&gid).map(|v| v.as_slice()).unwrap_or(&[]);
-                    let mut vals = Vec::with_capacity(cfg.fields * n3 + 1 + res.len() * 4);
-                    for uf in u_old {
-                        vals.extend_from_slice(&uf.as_slice()[slot * n3..(slot + 1) * n3]);
-                    }
-                    vals.push(res.len() as f64);
-                    for p in res {
-                        vals.push(p.id as f64);
-                        vals.extend_from_slice(&p.pos);
-                    }
-                    vals
-                });
-                // Rebuild the block on the new partition (collective gs
-                // setup — every rank is here, by the SPMD argument above).
+                // Rebuild the block on the new partition first (collective
+                // gs setup — every rank is here, by the SPMD argument
+                // above), so arrivals can unpack straight into it.
                 let owned = new_part.owned_by(me);
-                let gids = face_exchange_gids_for(mesh_cfg, &owned);
+                let gids = face_exchange_gids_for(mesh_cfg, owned);
                 let new_handle = GsHandle::setup(rank, &gids);
                 let grain = grain_for(owned.len());
-                let mut nb = build_block(cfg, owned, new_handle, grain, pool_on);
-                // Merge: kept elements copy over; gained elements consume
-                // the arrivals (both sides ascending by gid, so a single
-                // in-order walk pairs them up).
-                let mut arrivals = arrivals.into_iter();
+                let mut nb = build_block(cfg, owned.to_vec(), new_handle, grain, pool_on);
+                // Kept elements copy over; gained elements are written by
+                // the unpack callback below, each placed at its new local
+                // slot as its frame is walked — no intermediate copy.
                 for (slot, &gid) in nb.owned.iter().enumerate() {
                     if part.owner_of(gid) == me {
                         let (_, old_slot) = part.slot_of(gid);
@@ -1247,9 +1232,33 @@ fn rank_main(rank: &mut Rank, cfg: &Config, mesh_cfg: &MeshConfig, collect: bool
                                 &of.as_slice()[old_slot * n3..(old_slot + 1) * n3],
                             );
                         }
-                    } else {
-                        let (agid, data) = arrivals.next().expect("arrival for gained element");
-                        assert_eq!(agid, gid, "migration routing mismatch");
+                    }
+                }
+                let u_old = &blk.u;
+                let mut gained = 0usize;
+                let mstats = migrate_blocks(
+                    rank,
+                    &part,
+                    &new_part,
+                    |gid| {
+                        let (_, slot) = part.slot_of(gid);
+                        let res = dep.get(&gid).map(|v| v.as_slice()).unwrap_or(&[]);
+                        let mut vals = Vec::with_capacity(cfg.fields * n3 + 1 + res.len() * 4);
+                        for uf in u_old {
+                            vals.extend_from_slice(&uf.as_slice()[slot * n3..(slot + 1) * n3]);
+                        }
+                        vals.push(res.len() as f64);
+                        for p in res {
+                            vals.push(p.id as f64);
+                            vals.extend_from_slice(&p.pos);
+                        }
+                        vals
+                    },
+                    |gid, data| {
+                        assert_ne!(part.owner_of(gid), me, "arrival for a kept element");
+                        let (owner, slot) = new_part.slot_of(gid);
+                        assert_eq!(owner, me, "migration routing mismatch");
+                        gained += 1;
                         for (f, nf) in nb.u.iter_mut().enumerate() {
                             nf.as_mut_slice()[slot * n3..(slot + 1) * n3]
                                 .copy_from_slice(&data[f * n3..(f + 1) * n3]);
@@ -1263,9 +1272,14 @@ fn rank_main(rank: &mut Rank, cfg: &Config, mesh_cfg: &MeshConfig, collect: bool
                                 pos: [c[1], c[2], c[3]],
                             });
                         }
-                    }
-                }
-                assert!(arrivals.next().is_none(), "unconsumed migration arrivals");
+                    },
+                );
+                let expected_gained = nb
+                    .owned
+                    .iter()
+                    .filter(|&&gid| part.owner_of(gid) != me)
+                    .count();
+                assert_eq!(gained, expected_gained, "unconsumed migration arrivals");
                 ps.set_partition(new_part.clone());
                 blk = nb;
                 part = new_part;

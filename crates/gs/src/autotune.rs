@@ -154,6 +154,10 @@ mod tests {
 
     /// Tiny world: 2 ranks sharing one id.
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "timed kernel reps across a World; meaningless and slow under the interpreter"
+    )]
     fn autotune_runs_and_agrees_across_ranks() {
         let res = World::new().run(4, |rank| {
             // ids: rank-private ids plus one id shared by all
@@ -175,6 +179,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "timed kernel reps across a World; meaningless and slow under the interpreter"
+    )]
     fn allreduce_skipped_beyond_limit() {
         let res = World::new().run(2, |rank| {
             let ids: Vec<u64> = (0..100).map(|i| i + 100 * rank.rank() as u64).collect();

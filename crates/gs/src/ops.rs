@@ -173,7 +173,7 @@ impl GsHandle {
     /// # Panics
     /// Panics if `values.len() != self.nlocal()`.
     pub fn gs_op(&self, rank: &mut Rank, values: &mut [f64], op: GsOp, method: GsMethod) {
-        let pending = self.gs_op_start(rank, &[values], op, method);
+        let pending = self.gs_op_start(rank, &[&*values], op, method);
         self.gs_op_finish(rank, pending, &mut [values]);
     }
 
@@ -196,8 +196,9 @@ impl GsHandle {
         if fields.is_empty() {
             return;
         }
-        let views: Vec<&[f64]> = fields.iter().map(|f| &**f).collect();
-        let pending = self.gs_op_start(rank, &views, op, method);
+        // `gs_op_start` borrows the fields read-only via `AsRef`, so the
+        // `&mut` slices pass straight through — no per-call view vector.
+        let pending = self.gs_op_start(rank, &*fields, op, method);
         self.gs_op_finish(rank, pending, fields);
     }
 
@@ -223,10 +224,10 @@ impl GsHandle {
     ///
     /// # Panics
     /// Panics if any array's length differs from `self.nlocal()`.
-    pub fn gs_op_start(
+    pub fn gs_op_start<S: AsRef<[f64]>>(
         &self,
         rank: &mut Rank,
-        fields: &[&[f64]],
+        fields: &[S],
         op: GsOp,
         method: GsMethod,
     ) -> GsPending {
@@ -234,10 +235,10 @@ impl GsHandle {
         assert!(k > 0, "gs_op_start with no fields");
         for f in fields {
             assert_eq!(
-                f.len(),
+                f.as_ref().len(),
                 self.nlocal,
                 "gs_op_start on values of length {}, handle expects {}",
-                f.len(),
+                f.as_ref().len(),
                 self.nlocal
             );
         }
@@ -258,6 +259,7 @@ impl GsHandle {
         combined.resize(ng * k, 0.0);
         for (gi, g) in self.groups.iter().enumerate() {
             for (fi, f) in fields.iter().enumerate() {
+                let f = f.as_ref();
                 let mut acc = f[g.local_indices[0] as usize];
                 for &li in &g.local_indices[1..] {
                     acc = op.combine(acc, f[li as usize]);

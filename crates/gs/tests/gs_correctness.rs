@@ -64,6 +64,10 @@ fn run_and_compare(p: usize, ids_of: impl Fn(usize) -> Vec<u64> + Send + Sync, o
 }
 
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "multi-rank World exchange; too slow under the interpreter"
+)]
 fn all_methods_match_dense_reference_simple_overlap() {
     // each rank holds ids [r, r+1] mod p: a ring of pairwise sharing
     for p in [2usize, 3, 4, 6] {
@@ -76,6 +80,10 @@ fn all_methods_match_dense_reference_simple_overlap() {
 }
 
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "multi-rank World exchange; too slow under the interpreter"
+)]
 fn all_ops_supported() {
     for op in [GsOp::Add, GsOp::Mul, GsOp::Min, GsOp::Max] {
         run_and_compare(3, |r| vec![0, 1 + r as u64, 99], op);
@@ -83,18 +91,30 @@ fn all_ops_supported() {
 }
 
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "multi-rank World exchange; too slow under the interpreter"
+)]
 fn duplicate_local_ids_are_combined() {
     // a gid that appears twice on the same rank and also remotely
     run_and_compare(2, |r| vec![5, 5, 10 + r as u64, 5], GsOp::Add);
 }
 
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "multi-rank World exchange; too slow under the interpreter"
+)]
 fn single_rank_world_combines_locally() {
     run_and_compare(1, |_| vec![3, 3, 4, 3, 4, 5], GsOp::Add);
     run_and_compare(1, |_| vec![3, 3, 4, 3, 4, 5], GsOp::Max);
 }
 
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "multi-rank World exchange; too slow under the interpreter"
+)]
 fn randomized_id_maps_match_reference() {
     let mut rng = SmallRng::seed_from_u64(20150914);
     for trial in 0..6 {
@@ -118,6 +138,10 @@ fn randomized_id_maps_match_reference() {
 /// `finish` folds neighbor contributions in the same fixed order, for
 /// every method, on arbitrary id maps and world sizes.
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "multi-rank World exchange; too slow under the interpreter"
+)]
 fn split_phase_is_bitwise_identical_to_blocking_on_random_maps() {
     let mut rng = SmallRng::seed_from_u64(0x5417_0001);
     for _trial in 0..5 {
@@ -161,6 +185,10 @@ fn split_phase_is_bitwise_identical_to_blocking_on_random_maps() {
 /// tags keep their messages from cross-matching even when they finish in
 /// the reverse of start order.
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "multi-rank World exchange; too slow under the interpreter"
+)]
 fn overlapping_split_phase_exchanges_do_not_cross_match() {
     let p = 4;
     let ids_of = |r: usize| vec![r as u64, ((r + 1) % p) as u64, 50 + r as u64];
@@ -204,6 +232,10 @@ fn overlapping_split_phase_exchanges_do_not_cross_match() {
 /// `shared_slot_flags` marks exactly the slots any `gs_op` can change:
 /// a slot is flagged iff its global multiplicity exceeds one.
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "multi-rank World exchange; too slow under the interpreter"
+)]
 fn shared_slot_flags_match_multiplicities_and_gs_invariance() {
     let mut rng = SmallRng::seed_from_u64(0x5417_0002);
     for _trial in 0..4 {
@@ -245,6 +277,10 @@ fn shared_slot_flags_match_multiplicities_and_gs_invariance() {
 }
 
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "multi-rank World exchange; too slow under the interpreter"
+)]
 fn mesh_face_exchange_multiplicities() {
     // On a periodic conforming mesh, gs_op(Add) of all-ones over the
     // face-point gids yields each point's sharer count: interior face
@@ -285,6 +321,10 @@ fn mesh_face_exchange_multiplicities() {
 }
 
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "multi-rank World exchange; too slow under the interpreter"
+)]
 fn methods_agree_on_mesh_volume_ids() {
     let cfg = MeshConfig {
         n: 4,
@@ -318,6 +358,10 @@ fn methods_agree_on_mesh_volume_ids() {
 }
 
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "multi-rank World exchange; too slow under the interpreter"
+)]
 fn gs_op_many_equals_repeated_gs_op() {
     let p = 4;
     let cfg = MeshConfig::for_ranks(p, 8, 4, true);
@@ -355,6 +399,10 @@ fn gs_op_many_equals_repeated_gs_op() {
 }
 
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "multi-rank World exchange; too slow under the interpreter"
+)]
 fn gs_op_many_sends_fewer_messages_than_repeated_gs_op() {
     let p = 4;
     let cfg = MeshConfig::for_ranks(p, 8, 4, true);
@@ -399,6 +447,10 @@ fn gs_op_many_sends_fewer_messages_than_repeated_gs_op() {
 }
 
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "multi-rank World exchange; too slow under the interpreter"
+)]
 fn gs_op_many_empty_and_single_field() {
     let res = World::new().run(2, |rank| {
         let ids = vec![1u64, 2, 1];
@@ -414,6 +466,10 @@ fn gs_op_many_empty_and_single_field() {
 }
 
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "multi-rank World exchange; too slow under the interpreter"
+)]
 fn handle_stats_report_topology() {
     let res = World::new().run(2, |rank| {
         let ids = if rank.rank() == 0 {
@@ -436,6 +492,10 @@ fn handle_stats_report_topology() {
 }
 
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "multi-rank World exchange; too slow under the interpreter"
+)]
 fn ranks_with_no_ids_still_participate() {
     // rank 1 holds nothing; setup and gs_op are collectives, so it must
     // take part without deadlocking or corrupting anyone's data
@@ -458,6 +518,10 @@ fn ranks_with_no_ids_still_participate() {
 }
 
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "multi-rank World exchange; too slow under the interpreter"
+)]
 fn crystal_router_self_only_messages() {
     let res = World::new().run(4, |rank| {
         let me = rank.rank();
@@ -469,6 +533,10 @@ fn crystal_router_self_only_messages() {
 }
 
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "multi-rank World exchange; too slow under the interpreter"
+)]
 fn crystal_router_models_more_network_time_than_pairwise() {
     // The router moves every payload through log2(P) hops (plus routing
     // headers); direct pairwise sends it once. Under a network model the
@@ -497,6 +565,10 @@ fn crystal_router_models_more_network_time_than_pairwise() {
 }
 
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "multi-rank World exchange; too slow under the interpreter"
+)]
 fn gs_setup_records_communication() {
     let res = World::new().run(4, |rank| {
         let ids = vec![rank.rank() as u64, 42];

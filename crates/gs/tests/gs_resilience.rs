@@ -16,6 +16,10 @@ use simmpi::{FaultPlan, World};
 /// yields results bitwise identical to a fault-free run, for every
 /// exchange method, on randomized id maps.
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "multi-rank World exchange; too slow under the interpreter"
+)]
 fn message_faults_never_change_gs_results() {
     let mut rng = SmallRng::seed_from_u64(0xFA17_0001);
     let mut injected_total = 0u64;
@@ -89,6 +93,10 @@ fn message_faults_never_change_gs_results() {
 /// finishing) must not corrupt later exchanges or leak its in-flight
 /// messages into later matching, for every method.
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "multi-rank World exchange; too slow under the interpreter"
+)]
 fn dropped_pending_leaves_runtime_clean() {
     let p = 4;
     let ids_of = |r: usize| vec![r as u64, ((r + 1) % p) as u64, 30 + r as u64];

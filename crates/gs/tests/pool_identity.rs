@@ -41,6 +41,10 @@ fn run_rounds(
 }
 
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "multi-rank World exchange; too slow under the interpreter"
+)]
 fn pooled_gs_op_bitwise_matches_no_pool_all_methods_and_ops() {
     let p = 4;
     let mut rng = SmallRng::seed_from_u64(0x9001_0001);
@@ -68,6 +72,10 @@ fn pooled_gs_op_bitwise_matches_no_pool_all_methods_and_ops() {
 }
 
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "multi-rank World exchange; too slow under the interpreter"
+)]
 fn pooled_split_phase_bitwise_matches_no_pool_on_mesh_ids() {
     let p = 4;
     let cfg = MeshConfig::for_ranks(p, 8, 4, true);
@@ -111,6 +119,10 @@ fn pooled_split_phase_bitwise_matches_no_pool_on_mesh_ids() {
 }
 
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "multi-rank World exchange; too slow under the interpreter"
+)]
 fn pool_recycles_on_the_steady_state_path() {
     // White-box check on the mechanism itself: after warm-up, repeated
     // pairwise exchanges take every payload buffer from the pool (hits
@@ -140,6 +152,10 @@ fn pool_recycles_on_the_steady_state_path() {
 }
 
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "multi-rank World exchange; too slow under the interpreter"
+)]
 fn disabled_pool_world_takes_fresh_buffers() {
     let res = World::new().with_pooling(false).run(2, |rank| {
         let ids = vec![7u64, rank.rank() as u64];

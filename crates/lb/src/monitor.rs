@@ -123,6 +123,9 @@ pub fn gather_costs(
     let e = part.total_elems();
     let p = part.ranks();
     let me = rank.rank();
+    // cmt-lint: allow(CMT-L003) — the allgather's dense staging vector,
+    // O(E + P) once per monitor cadence; the collective must materialize
+    // the full global vector on every rank anyway.
     let mut slots = vec![0u64; e + p];
     let owned = part.owned_by(me);
     assert_eq!(counts.len(), owned.len(), "one count per owned element");
@@ -131,14 +134,17 @@ pub fn gather_costs(
         slots[owned[slot]] = c as u64;
     }
     slots[e + me] = my_delay_us;
-    let summed = rank.with_context("lb", |rank| {
+    let mut summed = rank.with_context("lb", |rank| {
         rank.with_op_badge(MpiOp::LbGather, |rank| {
             rank.allreduce_u64(&slots, ReduceOp::Sum)
         })
     });
+    // Split the summed vector in place: the O(E) particle prefix keeps
+    // the allreduce result's buffer, only the O(P) delay tail moves.
+    let delay_us = summed.split_off(e);
     GlobalCost {
-        particles: summed[..e].to_vec(),
-        delay_us: summed[e..].to_vec(),
+        particles: summed,
+        delay_us,
     }
 }
 

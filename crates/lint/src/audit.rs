@@ -1,0 +1,180 @@
+//! `cmt-lint --audit` — a `cargo-deny`-style dependency and license
+//! audit, self-contained because the workspace is (by policy)
+//! dependency-free: every crate is a path member, every crate inherits
+//! the workspace license. The audit proves both properties from the
+//! manifests, so a registry dependency or an unlicensed crate can't
+//! slip in unnoticed.
+//!
+//! Findings use `CMT-A###` codes (distinct from the `CMT-L###` source
+//! rules); CI runs this step non-blocking.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One audit finding.
+#[derive(Debug, Clone)]
+pub struct AuditFinding {
+    pub code: &'static str,
+    pub manifest: PathBuf,
+    pub message: String,
+}
+
+impl fmt::Display for AuditFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "audit[{}]: {}\n  --> {}",
+            self.code,
+            self.message,
+            self.manifest.display()
+        )
+    }
+}
+
+/// Audit every manifest under `root` (the workspace root and each
+/// `crates/*` member).
+pub fn audit_workspace(root: &Path) -> std::io::Result<Vec<AuditFinding>> {
+    let mut manifests = vec![root.join("Cargo.toml")];
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        for e in entries.flatten() {
+            let m = e.path().join("Cargo.toml");
+            if m.is_file() {
+                manifests.push(m);
+            }
+        }
+    }
+    manifests.sort();
+    let mut out = Vec::new();
+    for m in manifests {
+        let text = std::fs::read_to_string(&m)?;
+        audit_manifest(&m, &text, &mut out);
+    }
+    Ok(out)
+}
+
+/// Line-level TOML scan: sections + `key = value`. Good for exactly the
+/// shapes our manifests use; anything fancier would need a TOML parser
+/// this zero-dependency crate deliberately doesn't have.
+fn audit_manifest(path: &Path, text: &str, out: &mut Vec<AuditFinding>) {
+    let mut section = String::new();
+    let mut has_license = false;
+    let mut is_workspace_manifest = false;
+    for raw in text.lines() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            section = line.trim_matches(['[', ']']).to_string();
+            if section == "workspace" {
+                is_workspace_manifest = true;
+            }
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        let (key, value) = (key.trim(), value.trim());
+        if (section == "package" || section == "workspace.package")
+            && (key == "license" || key == "license-file" || key == "license.workspace")
+        {
+            has_license = true;
+        }
+        if section == "package" && key == "license" && value == "\"\"" {
+            has_license = false;
+        }
+        let in_dep_section = section == "dependencies"
+            || section == "dev-dependencies"
+            || section == "build-dependencies"
+            || section == "workspace.dependencies"
+            || section.ends_with(".dependencies");
+        if in_dep_section && external_dep(value) {
+            out.push(AuditFinding {
+                code: "CMT-A001",
+                manifest: path.to_path_buf(),
+                message: format!(
+                    "external (registry) dependency `{key} = {value}`: the workspace is \
+                     dependency-free by policy; vendor or reimplement instead"
+                ),
+            });
+        }
+    }
+    if !has_license && !is_workspace_manifest {
+        out.push(AuditFinding {
+            code: "CMT-A002",
+            manifest: path.to_path_buf(),
+            message: "no license declared (expected `license.workspace = true` or an explicit \
+                      `license = ...`)"
+                .to_string(),
+        });
+    }
+}
+
+/// Is a dependency value an external (registry/git) requirement?
+/// Path/workspace deps are internal; bare version strings and tables
+/// with `version`/`git` are external.
+fn external_dep(value: &str) -> bool {
+    if value.starts_with('"') {
+        return true; // `foo = "1.0"`
+    }
+    if value.starts_with('{') {
+        let has_internal = value.contains("path") || value.contains("workspace");
+        let has_external = value.contains("version") || value.contains("git");
+        return has_external || !has_internal;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(text: &str) -> Vec<AuditFinding> {
+        let mut out = Vec::new();
+        audit_manifest(Path::new("Cargo.toml"), text, &mut out);
+        out
+    }
+
+    #[test]
+    fn path_and_workspace_deps_are_clean() {
+        let f = run("[package]\nname = \"x\"\nlicense.workspace = true\n\
+             [dependencies]\nsimmpi = { path = \"../simmpi\" }\ncmt-core.workspace = true\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn registry_dep_is_flagged() {
+        let f = run("[package]\nname = \"x\"\nlicense = \"MIT\"\n\
+             [dependencies]\nserde = \"1.0\"\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].code, "CMT-A001");
+        assert!(f[0].message.contains("serde"));
+    }
+
+    #[test]
+    fn git_dep_is_flagged() {
+        let f = run("[package]\nname = \"x\"\nlicense = \"MIT\"\n\
+             [dependencies]\nsyn = { git = \"https://example.com/syn\" }\n");
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn missing_license_is_flagged() {
+        let f = run("[package]\nname = \"x\"\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].code, "CMT-A002");
+    }
+
+    #[test]
+    fn workspace_root_manifest_skips_license_check() {
+        let f = run("[workspace]\nmembers = [\"crates/*\"]\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn cmt_lint_dotted_license_key_counts() {
+        // `license.workspace = true` parses as key `license.workspace`.
+        let f = run("[package]\nname = \"x\"\nlicense.workspace = true\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

@@ -1,0 +1,424 @@
+//! A minimal Rust lexer.
+//!
+//! The analyzer needs tokens with accurate line/column spans, comments
+//! kept on the side (for `// SAFETY:` and `// cmt-lint: allow(..)`
+//! detection), and nothing else — no syntax tree, no name resolution.
+//! Hand-rolled because the workspace is dependency-free by design: the
+//! subset of Rust lexed here (idents, literals including raw strings,
+//! lifetimes vs. char literals, nested block comments, multi-char
+//! operators) is what the rule engine's structural scanner consumes.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokKind,
+    /// Token text as written (identifier name, operator spelling, the
+    /// literal including quotes for strings/chars).
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in chars) of the token's first character.
+    pub col: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (the scanner distinguishes by spelling).
+    Ident,
+    /// `'a` — a lifetime or loop label.
+    Lifetime,
+    /// Numeric literal, including suffix (`1.0e-3`, `0xff_u32`).
+    Number,
+    /// String / raw string / byte string literal, quotes included.
+    Str,
+    /// Char / byte-char literal, quotes included.
+    Char,
+    /// Operator or delimiter (`::`, `->`, `{`, `?`, ...).
+    Punct,
+}
+
+/// A comment captured out-of-band (not a token).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Comment text without the `//` / `/*` markers, trimmed.
+    pub text: String,
+}
+
+/// Lex `src` into tokens plus a side list of comments.
+///
+/// The lexer never fails: malformed trailing input degrades to
+/// single-char punct tokens, which is fine for a linter that only runs
+/// on code rustc already accepted.
+pub fn lex(src: &str) -> (Vec<Token>, Vec<Comment>) {
+    let chars: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut comments = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+
+    macro_rules! bump {
+        () => {{
+            if chars[i] == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let (tline, tcol) = (line, col);
+        // Whitespace.
+        if c.is_whitespace() {
+            bump!();
+            continue;
+        }
+        // Line comment (also captures doc comments).
+        if c == '/' && i + 1 < chars.len() && chars[i + 1] == '/' {
+            let mut text = String::new();
+            while i < chars.len() && chars[i] != '\n' {
+                text.push(chars[i]);
+                bump!();
+            }
+            let trimmed = text.trim_start_matches('/').trim_start_matches('!').trim();
+            comments.push(Comment {
+                line: tline,
+                text: trimmed.to_string(),
+            });
+            continue;
+        }
+        // Block comment, nested.
+        if c == '/' && i + 1 < chars.len() && chars[i + 1] == '*' {
+            let mut depth = 0usize;
+            let mut text = String::new();
+            while i < chars.len() {
+                if chars[i] == '/' && i + 1 < chars.len() && chars[i + 1] == '*' {
+                    depth += 1;
+                    bump!();
+                    bump!();
+                } else if chars[i] == '*' && i + 1 < chars.len() && chars[i + 1] == '/' {
+                    bump!();
+                    bump!();
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    text.push(chars[i]);
+                    bump!();
+                }
+            }
+            comments.push(Comment {
+                line: tline,
+                text: text.trim_matches(['*', '!', ' ', '\n']).to_string(),
+            });
+            continue;
+        }
+        // Raw / byte string prefixes: r"..", r#".."#, b"..", br#".."#.
+        if (c == 'r' || c == 'b') && raw_or_byte_string_at(&chars, i) {
+            let start = i;
+            if chars[i] == 'b' {
+                bump!();
+            }
+            let raw = i < chars.len() && chars[i] == 'r';
+            if raw {
+                bump!();
+            }
+            let mut hashes = 0usize;
+            while raw && i < chars.len() && chars[i] == '#' {
+                hashes += 1;
+                bump!();
+            }
+            debug_assert!(i < chars.len() && chars[i] == '"');
+            bump!(); // opening quote
+            loop {
+                if i >= chars.len() {
+                    break;
+                }
+                if !raw && chars[i] == '\\' {
+                    bump!();
+                    if i < chars.len() {
+                        bump!();
+                    }
+                    continue;
+                }
+                if chars[i] == '"' {
+                    if raw {
+                        // Need `"` followed by `hashes` hash marks.
+                        let mut ok = true;
+                        for k in 0..hashes {
+                            if i + 1 + k >= chars.len() || chars[i + 1 + k] != '#' {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        if ok {
+                            bump!();
+                            for _ in 0..hashes {
+                                bump!();
+                            }
+                            break;
+                        }
+                        bump!();
+                        continue;
+                    }
+                    bump!();
+                    break;
+                }
+                bump!();
+            }
+            toks.push(Token {
+                kind: TokKind::Str,
+                text: chars[start..i].iter().collect(),
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+        // Plain string.
+        if c == '"' {
+            let start = i;
+            bump!();
+            while i < chars.len() {
+                if chars[i] == '\\' {
+                    bump!();
+                    if i < chars.len() {
+                        bump!();
+                    }
+                    continue;
+                }
+                if chars[i] == '"' {
+                    bump!();
+                    break;
+                }
+                bump!();
+            }
+            toks.push(Token {
+                kind: TokKind::Str,
+                text: chars[start..i].iter().collect(),
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+        // Lifetime vs. char literal.
+        if c == '\'' {
+            if lifetime_at(&chars, i) {
+                let start = i;
+                bump!();
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    bump!();
+                }
+                toks.push(Token {
+                    kind: TokKind::Lifetime,
+                    text: chars[start..i].iter().collect(),
+                    line: tline,
+                    col: tcol,
+                });
+            } else {
+                let start = i;
+                bump!();
+                while i < chars.len() {
+                    if chars[i] == '\\' {
+                        bump!();
+                        if i < chars.len() {
+                            bump!();
+                        }
+                        continue;
+                    }
+                    if chars[i] == '\'' {
+                        bump!();
+                        break;
+                    }
+                    bump!();
+                }
+                toks.push(Token {
+                    kind: TokKind::Char,
+                    text: chars[start..i].iter().collect(),
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            continue;
+        }
+        // Identifier / keyword (including r#ident raw identifiers).
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                bump!();
+            }
+            toks.push(Token {
+                kind: TokKind::Ident,
+                text: chars[start..i].iter().collect(),
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+        // Number (integer or float, suffixes kept; `0..n` stops at `..`).
+        if c.is_ascii_digit() {
+            let start = i;
+            bump!();
+            while i < chars.len() {
+                let d = chars[i];
+                if d.is_alphanumeric() || d == '_' {
+                    // Exponent sign: 1e-3 / 1E+3.
+                    if (d == 'e' || d == 'E')
+                        && i + 1 < chars.len()
+                        && (chars[i + 1] == '+' || chars[i + 1] == '-')
+                        && i + 2 < chars.len()
+                        && chars[i + 2].is_ascii_digit()
+                    {
+                        bump!();
+                        bump!();
+                        continue;
+                    }
+                    bump!();
+                    continue;
+                }
+                if d == '.' && i + 1 < chars.len() && chars[i + 1].is_ascii_digit() {
+                    bump!();
+                    continue;
+                }
+                break;
+            }
+            toks.push(Token {
+                kind: TokKind::Number,
+                text: chars[start..i].iter().collect(),
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+        // Multi-char operators the scanner matches on.
+        let two: String = chars[i..chars.len().min(i + 2)].iter().collect();
+        if matches!(
+            two.as_str(),
+            "::" | "->" | "=>" | "==" | "!=" | "<=" | ">=" | "&&" | "||" | ".."
+        ) {
+            bump!();
+            bump!();
+            toks.push(Token {
+                kind: TokKind::Punct,
+                text: two,
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+        // Single-char punct.
+        bump!();
+        toks.push(Token {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line: tline,
+            col: tcol,
+        });
+    }
+    (toks, comments)
+}
+
+/// Is position `i` (at `r` or `b`) the start of a raw/byte string?
+fn raw_or_byte_string_at(chars: &[char], i: usize) -> bool {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+        if j < chars.len() && chars[j] == '"' {
+            return true; // b"..."
+        }
+    }
+    if j < chars.len() && chars[j] == 'r' {
+        j += 1;
+        while j < chars.len() && chars[j] == '#' {
+            j += 1;
+        }
+        return j < chars.len() && chars[j] == '"';
+    }
+    false
+}
+
+/// Disambiguate `'a` (lifetime/label) from `'a'` (char literal): a quote
+/// followed by an identifier is a lifetime unless the identifier is one
+/// char long and immediately followed by a closing quote.
+fn lifetime_at(chars: &[char], i: usize) -> bool {
+    let mut j = i + 1;
+    if j >= chars.len() || !(chars[j].is_alphabetic() || chars[j] == '_') {
+        return false; // '\n', '0', ... — char literal or malformed
+    }
+    while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+        j += 1;
+    }
+    !(j < chars.len() && chars[j] == '\'')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).0.into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_calls() {
+        let k = kinds("rank.gs_op_start(x)");
+        assert_eq!(k[0], (TokKind::Ident, "rank".into()));
+        assert_eq!(k[1], (TokKind::Punct, ".".into()));
+        assert_eq!(k[2], (TokKind::Ident, "gs_op_start".into()));
+        assert_eq!(k[3], (TokKind::Punct, "(".into()));
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let k = kinds("fn f<'a>(c: char) { let x = 'a'; let y = '\\n'; }");
+        assert!(k.iter().any(|t| t.0 == TokKind::Lifetime && t.1 == "'a"));
+        assert!(k.iter().any(|t| t.0 == TokKind::Char && t.1 == "'a'"));
+        assert!(k.iter().any(|t| t.0 == TokKind::Char && t.1 == "'\\n'"));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        // `unsafe` inside a string literal must not look like a token.
+        let k = kinds(r##"let s = "unsafe { }"; let r = r#"also unsafe"# ;"##);
+        assert!(!k.iter().any(|t| t.0 == TokKind::Ident && t.1 == "unsafe"));
+        assert_eq!(k.iter().filter(|t| t.0 == TokKind::Str).count(), 2);
+    }
+
+    #[test]
+    fn comments_are_captured_with_lines() {
+        let (toks, comments) = lex("// SAFETY: disjoint ranges\nlet x = 1; // trailing\n");
+        assert_eq!(comments.len(), 2);
+        assert_eq!(comments[0].line, 1);
+        assert!(comments[0].text.starts_with("SAFETY:"));
+        assert_eq!(comments[1].line, 2);
+        assert!(toks.iter().any(|t| t.text == "x"));
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let (toks, comments) = lex("/* outer /* inner */ still */ fn f() {}");
+        assert_eq!(comments.len(), 1);
+        assert!(toks.iter().any(|t| t.text == "fn"));
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let k = kinds("for i in 0..n { let x = 1.0e-3_f64; }");
+        assert!(k.contains(&(TokKind::Number, "0".into())));
+        assert!(k.contains(&(TokKind::Punct, "..".into())));
+        assert!(k.contains(&(TokKind::Number, "1.0e-3_f64".into())));
+    }
+
+    #[test]
+    fn spans_are_one_based() {
+        let (toks, _) = lex("a\n  b");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+}

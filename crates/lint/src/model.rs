@@ -1,0 +1,262 @@
+//! Workspace model: files, functions, call sites, and the name-resolved
+//! call graph the interprocedural rules traverse.
+//!
+//! Resolution is purely name-based (the analyzer has no type system):
+//! a call `x.foo(..)` is an edge to *every* workspace function named
+//! `foo`. That over-approximates — which is the right direction for a
+//! checker whose findings are reviewed — except for ubiquitous names
+//! (`new`, `len`, `push`, ...) where an edge to every `new` in the
+//! workspace would connect everything to everything; those names are
+//! never resolved (see [`crate::config::CALL_NAME_STOPLIST`]).
+
+use std::collections::{HashMap, HashSet};
+use std::path::Path;
+
+use crate::config;
+use crate::items::{scan_file, FileAnalysis};
+use crate::lexer::{TokKind, Token};
+
+/// Index of a function: (file index, fn index within the file).
+pub type FnId = (usize, usize);
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Callee name: last path segment (`cmt_gs::setup` -> `setup`,
+    /// `handle.gs_op_start` -> `gs_op_start`), or macro name for
+    /// `name!(..)` invocations (flagged by `is_macro`).
+    pub name: String,
+    /// `Type::name` qualifier when the call is written with a path
+    /// (`Vec::new`, `BufferPool::take`); `None` for method calls.
+    pub receiver_type: Option<String>,
+    /// Turbofish type arguments, identifiers only (`send::<Foo>` ->
+    /// `["Foo"]`), outermost level.
+    pub turbofish: Vec<String>,
+    pub is_macro: bool,
+    /// Whether this is a `.name(..)` method call.
+    pub is_method: bool,
+    /// Token index of the callee name.
+    pub tok: usize,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// The analyzed workspace.
+pub struct Workspace {
+    pub files: Vec<FileAnalysis>,
+    /// Call sites per function, indexed like the function list.
+    pub calls: HashMap<FnId, Vec<CallSite>>,
+    /// Functions by bare name.
+    pub fn_by_name: HashMap<String, Vec<FnId>>,
+    /// Type names with an `impl WireCodec for T` anywhere in the tree.
+    pub wirecodec_types: HashSet<String>,
+}
+
+impl Workspace {
+    /// Build the model from `(path, source)` pairs.
+    pub fn build(sources: Vec<(std::path::PathBuf, String)>) -> Workspace {
+        let files: Vec<FileAnalysis> = sources
+            .into_iter()
+            .map(|(p, src)| scan_file(p, &src))
+            .collect();
+        let mut fn_by_name: HashMap<String, Vec<FnId>> = HashMap::new();
+        let mut calls = HashMap::new();
+        let mut wirecodec_types = HashSet::new();
+        for (fi, fa) in files.iter().enumerate() {
+            for im in &fa.impls {
+                if im.trait_name.as_deref() == Some("WireCodec") {
+                    wirecodec_types.insert(im.type_name.clone());
+                }
+            }
+            for (gi, f) in fa.fns.iter().enumerate() {
+                fn_by_name.entry(f.name.clone()).or_default().push((fi, gi));
+                if let Some((open, close)) = f.body {
+                    calls.insert((fi, gi), extract_calls(&fa.toks, open, close));
+                }
+            }
+        }
+        Workspace {
+            files,
+            calls,
+            fn_by_name,
+            wirecodec_types,
+        }
+    }
+
+    pub fn fn_item(&self, id: FnId) -> &crate::items::FnItem {
+        &self.files[id.0].fns[id.1]
+    }
+
+    pub fn path(&self, id: FnId) -> &Path {
+        &self.files[id.0].path
+    }
+
+    /// Human-readable function label: `Type::name` or `name`.
+    pub fn fn_label(&self, id: FnId) -> String {
+        let f = self.fn_item(id);
+        match &f.impl_type {
+            Some(t) => format!("{}::{}", t, f.name),
+            None => f.name.clone(),
+        }
+    }
+
+    /// Call-graph successors of `id`, name-resolved against the
+    /// workspace, skipping stoplisted names.
+    pub fn callees(&self, id: FnId) -> Vec<FnId> {
+        let mut out = Vec::new();
+        let Some(sites) = self.calls.get(&id) else {
+            return out;
+        };
+        for c in sites {
+            if c.is_macro || config::CALL_NAME_STOPLIST.contains(&c.name.as_str()) {
+                continue;
+            }
+            if let Some(ids) = self.fn_by_name.get(&c.name) {
+                out.extend(ids.iter().copied());
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+/// Extract call sites from a body token range (exclusive of the braces).
+pub fn extract_calls(toks: &[Token], open: usize, close: usize) -> Vec<CallSite> {
+    let mut out = Vec::new();
+    let mut i = open + 1;
+    while i < close {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        // Keywords never name calls; `if x(..)` must not read `if` as
+        // a callee, and `match (..)` must not look like a call.
+        if config::KEYWORDS.contains(&t.text.as_str()) {
+            i += 1;
+            continue;
+        }
+        let name = t.text.clone();
+        let is_method = i > open + 1 && toks[i - 1].text == ".";
+        let receiver_type = if !is_method && i >= 2 && toks[i - 1].text == "::" {
+            // `Seg::name` — record the qualifying segment.
+            (toks[i - 2].kind == TokKind::Ident).then(|| toks[i - 2].text.clone())
+        } else {
+            None
+        };
+        // Look past an optional turbofish `::<..>` for the call paren.
+        let mut j = i + 1;
+        let mut turbofish = Vec::new();
+        if j + 1 < close && toks[j].text == "::" && toks[j + 1].text == "<" {
+            let mut depth = 0i64;
+            let mut k = j + 1;
+            while k < close {
+                match toks[k].text.as_str() {
+                    "<" => depth += 1,
+                    ">" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {
+                        if depth == 1 && toks[k].kind == TokKind::Ident {
+                            turbofish.push(toks[k].text.clone());
+                        }
+                    }
+                }
+                k += 1;
+            }
+            j = k + 1;
+        }
+        if j < close && toks[j].text == "!" {
+            // Macro invocation `name!(..)` / `name![..]` / `name!{..}`.
+            out.push(CallSite {
+                name,
+                receiver_type: None,
+                turbofish: Vec::new(),
+                is_macro: true,
+                is_method: false,
+                tok: i,
+                line: t.line,
+                col: t.col,
+            });
+            i += 1;
+            continue;
+        }
+        if j < close && toks[j].text == "(" {
+            out.push(CallSite {
+                name,
+                receiver_type,
+                turbofish,
+                is_macro: false,
+                is_method,
+                tok: i,
+                line: t.line,
+                col: t.col,
+            });
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn ws(src: &str) -> Workspace {
+        Workspace::build(vec![(PathBuf::from("a.rs"), src.to_string())])
+    }
+
+    #[test]
+    fn extracts_method_path_macro_and_turbofish_calls() {
+        let w = ws("fn f(rank: &mut Rank) {\n\
+               let v = Vec::with_capacity(4);\n\
+               rank.send::<f64>(1, TAG, &v);\n\
+               let s = format!(\"{}\", 1);\n\
+               helper(s);\n\
+             }\n\
+             fn helper(_s: String) {}\n");
+        let calls = &w.calls[&(0, 0)];
+        let wc = calls.iter().find(|c| c.name == "with_capacity").unwrap();
+        assert_eq!(wc.receiver_type.as_deref(), Some("Vec"));
+        let send = calls.iter().find(|c| c.name == "send").unwrap();
+        assert!(send.is_method);
+        assert_eq!(send.turbofish, vec!["f64".to_string()]);
+        assert!(calls.iter().any(|c| c.name == "format" && c.is_macro));
+        assert!(calls.iter().any(|c| c.name == "helper" && !c.is_method));
+    }
+
+    #[test]
+    fn call_graph_resolves_by_name() {
+        let w = ws("fn a() { b(); }\nfn b() { c(); }\nfn c() {}\n");
+        let a = w.fn_by_name["a"][0];
+        let b = w.fn_by_name["b"][0];
+        let c = w.fn_by_name["c"][0];
+        assert_eq!(w.callees(a), vec![b]);
+        assert_eq!(w.callees(b), vec![c]);
+    }
+
+    #[test]
+    fn stoplisted_names_do_not_resolve() {
+        let w = ws("fn a(v: &mut Vec<u8>) { v.push(1); }\nfn push(_v: u8) {}\n");
+        let a = w.fn_by_name["a"][0];
+        assert!(w.callees(a).is_empty());
+    }
+
+    #[test]
+    fn wirecodec_impls_collected() {
+        let w = ws("impl WireCodec for RankOutput { }\nimpl simmpi::WireCodec for Other { }\n");
+        assert!(w.wirecodec_types.contains("RankOutput"));
+        assert!(w.wirecodec_types.contains("Other"));
+    }
+
+    #[test]
+    fn keyword_before_paren_is_not_a_call() {
+        let w = ws("fn a(x: bool) { if x { } match x { _ => {} } while x { } }");
+        assert!(w.calls[&(0, 0)].is_empty());
+    }
+}

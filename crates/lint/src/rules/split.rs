@@ -1,0 +1,409 @@
+//! CMT-L001 — split-phase pairing.
+//!
+//! Every `gs_op_start` must reach a matching `gs_op_finish` (or an
+//! explicit `drop` drain) on every control-flow path of its function.
+//! Two findings fall out of the token-level analysis:
+//!
+//! * **unpaired** — the function binds the pending handle but contains
+//!   no finish/drain for it, and the handle does not escape (is not
+//!   returned or handed to another function): the exchange is silently
+//!   abandoned to `GsPending::drop` on *every* path, which purges the
+//!   traffic but never lands the combined values.
+//! * **early exit in flight** — a `return` / `?` / `break` between the
+//!   start and its finish: the happy path pairs up, but that exit path
+//!   abandons the exchange. This is the static twin of the
+//!   finalize-time abandoned-`GsPending` sweep in `cmt-verify`, which
+//!   only fires if the exit path actually executes.
+
+use crate::config;
+use crate::diag::Diagnostic;
+use crate::lexer::{TokKind, Token};
+use crate::model::{CallSite, FnId, Workspace};
+
+pub fn check(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (fi, fa) in ws.files.iter().enumerate() {
+        for (gi, f) in fa.fns.iter().enumerate() {
+            let Some((open, close)) = f.body else {
+                continue;
+            };
+            let id: FnId = (fi, gi);
+            let Some(calls) = ws.calls.get(&id) else {
+                continue;
+            };
+            for start in calls
+                .iter()
+                .filter(|c| config::SPLIT_START.contains(&c.name.as_str()))
+            {
+                check_one_start(
+                    ws,
+                    fa.path.clone(),
+                    &fa.toks,
+                    open,
+                    close,
+                    calls,
+                    start,
+                    &mut out,
+                );
+            }
+        }
+    }
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_one_start(
+    _ws: &Workspace,
+    path: std::path::PathBuf,
+    toks: &[Token],
+    open: usize,
+    close: usize,
+    calls: &[CallSite],
+    start: &CallSite,
+    out: &mut Vec<Diagnostic>,
+) {
+    // End of the start call's statement: next `;` at the statement's
+    // paren depth, or the end of the body for a tail expression.
+    let stmt_end = statement_end(toks, start.tok, close);
+
+    // The binding the pending handle lands in, when there is one. No
+    // `let` means the result is a tail expression or a direct argument
+    // — it escapes this function and pairing is the caller's job.
+    let Some(binding) = binding_name(toks, open, start.tok) else {
+        return;
+    };
+
+    // Nearest finish call after the start.
+    let finish = calls
+        .iter()
+        .filter(|c| config::SPLIT_FINISH.contains(&c.name.as_str()) && c.tok > start.tok)
+        .map(|c| c.tok)
+        .min();
+
+    // Explicit drain: `drop(binding)`.
+    let drained = calls.iter().any(|c| {
+        config::SPLIT_DRAIN.contains(&c.name.as_str())
+            && c.tok > stmt_end
+            && call_args_contain(toks, c, close, &binding)
+    });
+
+    // Escape: the binding is returned, wrapped into a constructor, or
+    // passed to some non-finish call after the start — the pending
+    // handle leaves this function and the pairing obligation with it.
+    let escapes = binding_escapes(toks, stmt_end, close, &binding);
+
+    match finish {
+        None => {
+            if !drained && !escapes {
+                out.push(Diagnostic {
+                    code: "CMT-L001",
+                    file: path,
+                    line: start.line,
+                    col: start.col,
+                    message: format!(
+                        "split-phase exchange started here is never finished: `{}` has no \
+                         matching `gs_op_finish` (or explicit drain) in this function",
+                        binding
+                    ),
+                    note: Some(
+                        "every control-flow path must reach gs_op_finish; dropping the pending \
+                         handle purges the in-flight traffic but never lands the combined values"
+                            .into(),
+                    ),
+                });
+            }
+        }
+        Some(fin_tok) => {
+            // Early exits strictly between the start statement and the
+            // finish call abandon the exchange on that path. A `break`
+            // out of a loop that *opened after the start* (a polling
+            // loop in the overlap window) stays inside the pairing and
+            // is fine — track loop frames opened during the scan.
+            let scan_from = stmt_end.max(open) + 1;
+            let mut loop_frames: Vec<bool> = Vec::new();
+            for (j, t) in toks.iter().enumerate().take(fin_tok).skip(scan_from) {
+                if t.kind == TokKind::Punct {
+                    match t.text.as_str() {
+                        "{" => loop_frames.push(is_loop_brace(toks, scan_from, j)),
+                        "}" => {
+                            loop_frames.pop();
+                        }
+                        _ => {}
+                    }
+                }
+                let early = match (t.kind, t.text.as_str()) {
+                    (TokKind::Ident, "return") => true,
+                    (TokKind::Ident, "break") => !loop_frames.iter().any(|&l| l),
+                    (TokKind::Punct, "?") => true,
+                    _ => false,
+                };
+                if !early {
+                    continue;
+                }
+                // A `return`/`break` whose expression itself finishes or
+                // drains the exchange is fine; that needs the finish to
+                // appear within the exit statement.
+                let exit_stmt_end = statement_end(toks, j, close);
+                let exits_clean = calls.iter().any(|c| {
+                    (config::SPLIT_FINISH.contains(&c.name.as_str())
+                        || config::SPLIT_DRAIN.contains(&c.name.as_str()))
+                        && c.tok > j
+                        && c.tok <= exit_stmt_end
+                });
+                if exits_clean {
+                    continue;
+                }
+                out.push(Diagnostic {
+                    code: "CMT-L001",
+                    file: path.clone(),
+                    line: t.line,
+                    col: t.col,
+                    message: format!(
+                        "early exit (`{}`) while split-phase exchange `{}` is in flight: this \
+                         path never reaches `gs_op_finish`",
+                        t.text, binding
+                    ),
+                    note: Some(format!(
+                        "exchange started at line {}; finish or drain it before exiting",
+                        start.line
+                    )),
+                });
+            }
+        }
+    }
+}
+
+/// Is the `{` at `brace` the body of a `loop` / `while` / `for`
+/// header? Scans back to the previous statement boundary.
+fn is_loop_brace(toks: &[Token], floor: usize, brace: usize) -> bool {
+    let mut j = brace;
+    while j > floor {
+        j -= 1;
+        let t = &toks[j];
+        if t.kind == TokKind::Punct && matches!(t.text.as_str(), "{" | "}" | ";") {
+            return false;
+        }
+        if t.kind == TokKind::Ident && matches!(t.text.as_str(), "loop" | "while" | "for") {
+            return true;
+        }
+    }
+    false
+}
+
+/// Token index of the `;` ending the statement containing `at` (at the
+/// statement's own nesting level), or the body end.
+fn statement_end(toks: &[Token], at: usize, close: usize) -> usize {
+    let mut depth = 0i64;
+    for (j, t) in toks.iter().enumerate().take(close).skip(at) {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    depth -= 1;
+                    if depth < 0 {
+                        return j;
+                    }
+                }
+                ";" if depth == 0 => return j,
+                _ => {}
+            }
+        }
+    }
+    close
+}
+
+/// Walk back from the call to the start of its statement looking for
+/// `let [mut] name = ...`.
+fn binding_name(toks: &[Token], open: usize, call_tok: usize) -> Option<String> {
+    let mut j = call_tok;
+    while j > open {
+        j -= 1;
+        let t = &toks[j];
+        if t.kind == TokKind::Punct && (t.text == ";" || t.text == "{" || t.text == "}") {
+            break;
+        }
+        if t.kind == TokKind::Ident && t.text == "let" {
+            let mut k = j + 1;
+            if toks.get(k).map(|t| t.text.as_str()) == Some("mut") {
+                k += 1;
+            }
+            let name = toks.get(k)?;
+            if name.kind == TokKind::Ident {
+                return Some(name.text.clone());
+            }
+            return None;
+        }
+    }
+    None
+}
+
+/// Do the parenthesized arguments of call `c` mention `binding`?
+fn call_args_contain(toks: &[Token], c: &CallSite, close: usize, binding: &str) -> bool {
+    // Find the opening paren after the callee name (skipping turbofish).
+    let mut j = c.tok + 1;
+    let mut angle = 0i64;
+    while j < close {
+        match toks[j].text.as_str() {
+            "<" => angle += 1,
+            ">" => angle -= 1,
+            "(" if angle == 0 => break,
+            _ => {}
+        }
+        j += 1;
+    }
+    if j >= close {
+        return false;
+    }
+    let mut depth = 0i64;
+    for t in &toks[j..close] {
+        match t.text.as_str() {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return false;
+                }
+            }
+            _ => {
+                if t.kind == TokKind::Ident && t.text == binding {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Does `binding` escape between `from` and `close` — returned, built
+/// into a value, or passed to a call?
+fn binding_escapes(toks: &[Token], from: usize, close: usize, binding: &str) -> bool {
+    for (j, t) in toks.iter().enumerate().take(close).skip(from) {
+        if t.kind != TokKind::Ident || t.text != binding {
+            continue;
+        }
+        let prev = toks[..j].last().map(|t| t.text.as_str()).unwrap_or("");
+        let next = toks.get(j + 1).map(|t| t.text.as_str()).unwrap_or("");
+        // `return p` / `Some(p)` / `(p, ..)` / `f(p)` / `push(p)` /
+        // struct literal field `pending: p` / tail `p }`.
+        if prev == "return" || prev == "(" || prev == "," || prev == ":" {
+            return true;
+        }
+        if next == "}" || next == "," || next == ")" {
+            // Tail position or argument position.
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Workspace;
+    use std::path::PathBuf;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        check(&Workspace::build(vec![(
+            PathBuf::from("t.rs"),
+            src.to_string(),
+        )]))
+    }
+
+    #[test]
+    fn paired_start_finish_is_clean() {
+        let d = run("fn f(h: &H, rank: &mut Rank) {\n\
+               let pending = h.gs_op_start(rank, &fields, op, m);\n\
+               compute();\n\
+               h.gs_op_finish(rank, pending, &mut fields);\n\
+             }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn missing_finish_is_flagged() {
+        let d = run("fn f(h: &H, rank: &mut Rank) {\n\
+               let pending = h.gs_op_start(rank, &fields, op, m);\n\
+               compute();\n\
+             }");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, "CMT-L001");
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn early_return_between_start_and_finish_is_flagged() {
+        let d = run("fn f(h: &H, rank: &mut Rank, bad: bool) {\n\
+               let pending = h.gs_op_start(rank, &fields, op, m);\n\
+               if bad {\n\
+                 return;\n\
+               }\n\
+               h.gs_op_finish(rank, pending, &mut fields);\n\
+             }");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 4);
+    }
+
+    #[test]
+    fn question_mark_between_start_and_finish_is_flagged() {
+        let d = run("fn f(h: &H, rank: &mut Rank) -> Result<(), E> {\n\
+               let pending = h.gs_op_start(rank, &fields, op, m);\n\
+               fallible()?;\n\
+               h.gs_op_finish(rank, pending, &mut fields);\n\
+               Ok(())\n\
+             }");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 3);
+    }
+
+    #[test]
+    fn explicit_drain_is_clean() {
+        let d = run("fn f(h: &H, rank: &mut Rank) {\n\
+               let pending = h.gs_op_start(rank, &fields, op, m);\n\
+               drop(pending);\n\
+             }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn break_out_of_polling_loop_inside_window_is_clean() {
+        let d = run("fn f(h: &H, rank: &mut Rank) {\n\
+               let pending = h.gs_op_start(rank, &fields, op, m);\n\
+               loop {\n\
+                 if rank.iprobe(src, tag) {\n\
+                   break;\n\
+                 }\n\
+                 compute_chunk();\n\
+               }\n\
+               h.gs_op_finish(rank, pending, &mut fields);\n\
+             }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn break_past_the_finish_is_flagged() {
+        let d = run("fn f(h: &H, rank: &mut Rank, xs: &[u64]) {\n\
+               for x in xs {\n\
+                 let pending = h.gs_op_start(rank, &fields, op, m);\n\
+                 if stop(x) {\n\
+                   break;\n\
+                 }\n\
+                 h.gs_op_finish(rank, pending, &mut fields);\n\
+               }\n\
+             }");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 5);
+    }
+
+    #[test]
+    fn escaping_pending_is_callers_problem() {
+        let d = run("fn f(h: &H, rank: &mut Rank) -> GsPending {\n\
+               let pending = h.gs_op_start(rank, &fields, op, m);\n\
+               pending\n\
+             }\n\
+             fn g(h: &H, rank: &mut Rank) {\n\
+               let pending = h.gs_op_start(rank, &fields, op, m);\n\
+               stash(pending);\n\
+             }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

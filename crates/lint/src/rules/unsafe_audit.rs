@@ -1,0 +1,164 @@
+//! CMT-L005 — unsafe-boundary audit.
+//!
+//! The workspace's `unsafe` lives behind a small audited boundary: the
+//! work-stealing pool's `SharedSliceMut` disjoint-range writes and job
+//! pointer erasure (`simmpi/src/workers.rs`), the counting global
+//! allocator (`perf/src/alloc.rs`), and the two drivers' disjoint-chunk
+//! scratch writes. Two requirements:
+//!
+//! * every `unsafe` site must carry a `// SAFETY:` comment (or, for an
+//!   `unsafe fn`, a `# Safety` doc section) naming the disjointness or
+//!   ownership invariant it relies on;
+//! * `unsafe` outside the audited file allowlist fails the build — new
+//!   unsafe code must be added to the boundary deliberately, in the
+//!   same commit that extends [`config::UNSAFE_FILE_ALLOWLIST`].
+
+use crate::config;
+use crate::diag::Diagnostic;
+use crate::items::UnsafeKind;
+use crate::model::Workspace;
+
+pub fn check(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for fa in &ws.files {
+        let path_str = fa.path.to_string_lossy().replace('\\', "/");
+        let allowlisted = config::UNSAFE_FILE_ALLOWLIST
+            .iter()
+            .any(|suffix| path_str.ends_with(suffix));
+        for site in &fa.unsafe_sites {
+            if !allowlisted {
+                out.push(Diagnostic {
+                    code: "CMT-L005",
+                    file: fa.path.clone(),
+                    line: site.line,
+                    col: site.col,
+                    message: "`unsafe` outside the audited boundary: this file is not in the \
+                              unsafe allowlist"
+                        .into(),
+                    note: Some(
+                        "keep the unsafe surface small: move the code behind an audited \
+                         abstraction, or extend UNSAFE_FILE_ALLOWLIST in cmt-lint's config \
+                         alongside review"
+                            .into(),
+                    ),
+                });
+                continue;
+            }
+            if !has_safety_comment(fa, site) {
+                let what = match site.kind {
+                    UnsafeKind::Block => "unsafe block",
+                    UnsafeKind::Fn => "unsafe fn",
+                    UnsafeKind::Impl => "unsafe impl",
+                };
+                out.push(Diagnostic {
+                    code: "CMT-L005",
+                    file: fa.path.clone(),
+                    line: site.line,
+                    col: site.col,
+                    message: format!(
+                        "{what} without a SAFETY comment naming the invariant it relies on"
+                    ),
+                    note: Some(
+                        "add `// SAFETY: <disjointness/ownership invariant>` directly above the \
+                         site (or a `# Safety` doc section on an unsafe fn)"
+                            .into(),
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// A `SAFETY:` comment on the site's line or within the 4 lines above
+/// it; for `unsafe fn` / `unsafe impl`, a `# Safety` doc section within
+/// the 14 lines above also satisfies the rule (rustdoc convention).
+fn has_safety_comment(fa: &crate::items::FileAnalysis, site: &crate::items::UnsafeSite) -> bool {
+    fa.comments.iter().any(|c| {
+        let near = c.line <= site.line && c.line + 4 >= site.line;
+        let doc_near = c.line <= site.line && c.line + 14 >= site.line;
+        (near && c.text.contains("SAFETY:"))
+            || (doc_near
+                && site.kind != UnsafeKind::Block
+                && (c.text.contains("# Safety") || c.text.contains("SAFETY:")))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn run_at(path: &str, src: &str) -> Vec<Diagnostic> {
+        check(&Workspace::build(vec![(
+            PathBuf::from(path),
+            src.to_string(),
+        )]))
+    }
+
+    const ALLOWED: &str = "crates/simmpi/src/workers.rs";
+
+    #[test]
+    fn commented_block_in_allowlisted_file_is_clean() {
+        let d = run_at(
+            ALLOWED,
+            "fn f(shared: &S) {\n\
+               // SAFETY: chunk ranges are disjoint by construction.\n\
+               let dst = unsafe { shared.range_mut(lo, hi) };\n\
+             }",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn uncommented_block_is_flagged() {
+        let d = run_at(
+            ALLOWED,
+            "fn f(shared: &S) {\n\
+               let dst = unsafe { shared.range_mut(lo, hi) };\n\
+             }",
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, "CMT-L005");
+        assert!(d[0].message.contains("SAFETY"));
+    }
+
+    #[test]
+    fn unsafe_fn_with_safety_doc_section_is_clean() {
+        let d = run_at(
+            ALLOWED,
+            "/// Returns a mutable view.\n\
+             ///\n\
+             /// # Safety\n\
+             /// The caller must ensure no two live borrows overlap.\n\
+             pub unsafe fn range_mut(&self, lo: usize, hi: usize) -> &mut [T] { x }",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn unsafe_outside_allowlist_is_flagged_even_with_comment() {
+        let d = run_at(
+            "crates/core/src/euler.rs",
+            "fn f() {\n\
+               // SAFETY: totally fine, promise.\n\
+               unsafe { transmute(x) }\n\
+             }",
+        );
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("outside the audited boundary"));
+    }
+
+    #[test]
+    fn unsafe_impl_send_needs_comment() {
+        let d = run_at(ALLOWED, "unsafe impl Send for JobPtr {}");
+        assert_eq!(d.len(), 1);
+        let d = run_at(
+            ALLOWED,
+            "// SAFETY: the pointee is only dereferenced while the owning\n\
+             // frame is alive.\n\
+             unsafe impl Send for JobPtr {}",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

@@ -1,0 +1,109 @@
+//! CMT-L004 — wire-codec completeness.
+//!
+//! The socket transport can only serialize payload element types in
+//! `simmpi::wire`'s closed registry; anything else compiles fine, runs
+//! fine on the `inproc` backend, and panics the first time it crosses a
+//! process boundary. Compound values are supposed to ship through a
+//! [`WireCodec`] impl (encode to `Vec<u8>`, send the bytes), which is
+//! how driver results and checkpoint payloads travel.
+//!
+//! The rule checks every *resolvable* payload position — a transport
+//! call with an explicit turbofish (`send::<T>`) — and rejects element
+//! types that are neither wire-registered primitives nor covered by a
+//! workspace `impl WireCodec`. Unannotated call sites are type-inferred
+//! by rustc and invisible to a syntactic pass; the dynamic registry
+//! panic still backstops those.
+
+use crate::config;
+use crate::diag::Diagnostic;
+use crate::model::Workspace;
+
+pub fn check(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (fi, fa) in ws.files.iter().enumerate() {
+        for (gi, _f) in fa.fns.iter().enumerate() {
+            let Some(calls) = ws.calls.get(&(fi, gi)) else {
+                continue;
+            };
+            for c in calls {
+                if c.is_macro || !config::PAYLOAD_APIS.contains(&c.name.as_str()) {
+                    continue;
+                }
+                // Outermost turbofish identifiers; `send::<f64>` ->
+                // ["f64"], `crystal_router::<RoutedMsg<f64>>` ->
+                // ["RoutedMsg"].
+                let Some(elem) = c.turbofish.first() else {
+                    continue;
+                };
+                if config::WIRE_PRIMITIVES.contains(&elem.as_str()) {
+                    continue;
+                }
+                if ws.wirecodec_types.contains(elem) {
+                    continue;
+                }
+                out.push(Diagnostic {
+                    code: "CMT-L004",
+                    file: fa.path.clone(),
+                    line: c.line,
+                    col: c.col,
+                    message: format!(
+                        "`{}` crosses the transport in `{}` but is neither a registered wire \
+                         primitive nor covered by a WireCodec impl; it will panic on the socket \
+                         backend",
+                        elem, c.name
+                    ),
+                    note: Some(
+                        "implement simmpi::WireCodec for the type and ship its encoded bytes, or \
+                         register the element type in simmpi::wire's payload registry"
+                            .into(),
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        check(&Workspace::build(vec![(
+            PathBuf::from("t.rs"),
+            src.to_string(),
+        )]))
+    }
+
+    #[test]
+    fn registered_primitives_are_clean() {
+        let d = run("fn f(rank: &mut Rank) {\n\
+               rank.send::<f64>(1, TAG, &xs);\n\
+               let v = rank.recv::<u64>(0, TAG);\n\
+               rank.crystal_router::<RoutedMsg<f64>>(msgs);\n\
+             }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn unregistered_struct_is_flagged() {
+        let d = run("fn f(rank: &mut Rank) { rank.send::<ParticleRecord>(1, TAG, &xs); }");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, "CMT-L004");
+        assert!(d[0].message.contains("ParticleRecord"));
+    }
+
+    #[test]
+    fn wirecodec_covered_type_is_clean() {
+        let d = run("impl WireCodec for ParticleRecord { }\n\
+             fn f(rank: &mut Rank) { rank.bcast::<ParticleRecord>(0, xs); }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn inferred_sites_are_skipped() {
+        let d = run("fn f(rank: &mut Rank) { rank.send(1, TAG, &xs); }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

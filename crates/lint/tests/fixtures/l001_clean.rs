@@ -1,0 +1,24 @@
+//! CMT-L001 clean fixture: a paired start/finish, an explicit drain,
+//! and a polling-loop `break` inside the overlap window.
+
+fn advance(h: &GsHandle, rank: &mut Rank) {
+    let pending = h.gs_op_start(rank, &[&u[..]], GsOp::Add, ExchangeMethod::PairwiseNbr);
+    overlap_compute();
+    h.gs_op_finish(rank, pending, &mut [&mut u[..]]);
+}
+
+fn abort_exchange(h: &GsHandle, rank: &mut Rank) {
+    let pending = h.gs_op_start(rank, &[&u[..]], GsOp::Add, ExchangeMethod::PairwiseNbr);
+    drop(pending);
+}
+
+fn poll_window(h: &GsHandle, rank: &mut Rank) {
+    let pending = h.gs_op_start(rank, &[&u[..]], GsOp::Add, ExchangeMethod::PairwiseNbr);
+    loop {
+        if rank.iprobe(0, TAG) {
+            break;
+        }
+        compute_chunk();
+    }
+    h.gs_op_finish(rank, pending, &mut [&mut u[..]]);
+}

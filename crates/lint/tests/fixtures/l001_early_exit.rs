@@ -1,0 +1,17 @@
+//! CMT-L001 bad fixture: the happy path pairs up, but an early `return`
+//! and a `?` both abandon the in-flight exchange on their exit path.
+
+fn advance_with_halt(h: &GsHandle, rank: &mut Rank, halt: bool) {
+    let pending = h.gs_op_start(rank, &[&u[..]], GsOp::Add, ExchangeMethod::CrystalRouter);
+    if halt {
+        return;
+    }
+    h.gs_op_finish(rank, pending, &mut [&mut u[..]]);
+}
+
+fn advance_fallible(h: &GsHandle, rank: &mut Rank) -> Result<(), StepError> {
+    let pending = h.gs_op_start(rank, &[&u[..]], GsOp::Mul, ExchangeMethod::PairwiseNbr);
+    check_budget(rank)?;
+    h.gs_op_finish(rank, pending, &mut [&mut u[..]]);
+    Ok(())
+}

@@ -1,0 +1,8 @@
+//! CMT-L001 bad fixture: the pending handle is bound but the function
+//! contains no `gs_op_finish` and no drain — the exchange is silently
+//! abandoned on every path.
+
+fn advance_fields(h: &GsHandle, rank: &mut Rank, fields: &mut Vec<f64>) {
+    let pending = h.gs_op_start(rank, &[&fields[..]], GsOp::Add, ExchangeMethod::PairwiseNbr);
+    overlap_compute(fields);
+}

@@ -1,0 +1,17 @@
+//! CMT-L002 clean fixture: every branch of the rank-dependent `if`
+//! executes the same collective skeleton, and the rank-independent
+//! branch is out of the rule's scope.
+
+fn share_seed(rank: &mut Rank, seed: u64) {
+    if rank.rank() == 0 {
+        rank.bcast(0, vec![seed]);
+    } else {
+        rank.bcast(0, Vec::new());
+    }
+}
+
+fn maybe_sync(rank: &mut Rank, verbose: bool) {
+    if verbose {
+        rank.barrier();
+    }
+}

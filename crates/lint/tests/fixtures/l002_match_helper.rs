@@ -1,0 +1,18 @@
+//! CMT-L002 bad fixture: the barrier hides two calls deep behind
+//! helpers, and only the rank-0 arm of the match reaches it — the
+//! interprocedural skeleton still sees through.
+
+fn drain_queue(rank: &mut Rank) {
+    sync_epoch(rank);
+}
+
+fn sync_epoch(rank: &mut Rank) {
+    rank.barrier();
+}
+
+fn collect_stats(rank: &mut Rank) {
+    match rank.rank() {
+        0 => drain_queue(rank),
+        _ => log_skip(),
+    }
+}

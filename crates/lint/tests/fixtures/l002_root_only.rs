@@ -1,0 +1,9 @@
+//! CMT-L002 bad fixture: only rank 0 executes the gather — every other
+//! rank never enters the collective and the job deadlocks.
+
+fn report(rank: &mut Rank, rows: Vec<u64>) {
+    if rank.rank() == 0 {
+        let all = rank.gather(0, rows);
+        print_rows(all);
+    }
+}

@@ -1,0 +1,11 @@
+//! CMT-L003 bad fixture: the allocation hides one call deep — the rule
+//! walks the call graph from the root and reports the concrete chain.
+
+fn deriv(u: &[f64], du: &mut [f64]) {
+    stage_unpack(u, du);
+}
+
+fn stage_unpack(u: &[f64], du: &mut [f64]) {
+    let scratch = u.to_vec();
+    copy_out(scratch, du);
+}

@@ -1,0 +1,12 @@
+//! CMT-L003 clean fixture: the root stages through the pool barrier,
+//! and the allocating setup function is not reachable from any root.
+
+fn gs_op_start(rank: &mut Rank, plan: &Plan) {
+    let staging = rank.pool().take();
+    pack_faces(plan, staging);
+}
+
+fn build_plan(topo: &Topology) -> Plan {
+    let faces = topo.faces().to_vec();
+    Plan { faces }
+}

@@ -1,0 +1,8 @@
+//! CMT-L003 bad fixture: allocation constructs directly inside a
+//! zero-alloc steady-state root.
+
+fn gs_op_finish(rank: &mut Rank, halo: &mut Halo) {
+    let staged = halo.inbox.clone();
+    let label = format!("finish-{}", rank.rank());
+    scatter_back(halo, staged, label);
+}

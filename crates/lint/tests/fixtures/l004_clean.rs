@@ -1,0 +1,14 @@
+//! CMT-L004 clean fixture: registered primitives pass, and a compound
+//! type covered by a workspace WireCodec impl passes.
+
+impl WireCodec for CheckpointBlob {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.bytes);
+    }
+}
+
+fn exchange(rank: &mut Rank, xs: &[f64], blob: &CheckpointBlob) {
+    rank.isend::<f64>(1, FIELD_TAG, xs);
+    let counts = rank.recv::<u64>(0, COUNT_TAG);
+    rank.bcast::<CheckpointBlob>(0, vec![blob.clone()]);
+}

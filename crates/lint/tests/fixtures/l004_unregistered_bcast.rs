@@ -1,0 +1,6 @@
+//! CMT-L004 bad fixture: broadcast of an unregistered compound row type.
+
+fn share_diag(rank: &mut Rank, rows: Vec<DiagRow>) {
+    let all = rank.bcast::<DiagRow>(0, rows);
+    consume(all);
+}

@@ -1,0 +1,7 @@
+//! CMT-L004 bad fixture: a struct payload crosses the transport with no
+//! wire registration and no WireCodec impl — compiles, runs on inproc,
+//! panics on the socket backend.
+
+fn ship_particles(rank: &mut Rank, recs: &[ParticleRecord]) {
+    rank.isend::<ParticleRecord>(1, PART_TAG, recs);
+}

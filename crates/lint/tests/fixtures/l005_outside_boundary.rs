@@ -1,0 +1,7 @@
+//! CMT-L005 bad fixture: `unsafe` outside the audited file allowlist is
+//! rejected even when the site carries a justification comment.
+
+fn reinterpret(x: u64) -> f64 {
+    // SAFETY: same size, promise.
+    unsafe { std::mem::transmute(x) }
+}

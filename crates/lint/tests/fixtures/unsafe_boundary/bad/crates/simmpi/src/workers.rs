@@ -1,0 +1,7 @@
+//! CMT-L005 bad fixture: inside the audited boundary (the path suffix
+//! matches the allowlist) but the site has no safety justification.
+
+fn write_chunk(shared: &SharedSliceMut<f64>, lo: usize, hi: usize) {
+    let dst = unsafe { shared.range_mut(lo, hi) };
+    fill(dst);
+}

@@ -1,0 +1,17 @@
+//! CMT-L005 clean fixture: an audited file whose sites name their
+//! invariants.
+
+fn bump(counter: &Cell<u64>, layout: Layout) {
+    // SAFETY: the pointer comes from the live allocation above and is
+    // only read within this call.
+    let v = unsafe { *probe(layout) };
+    counter.set(counter.get() + v);
+}
+
+/// Reads one counter word.
+///
+/// # Safety
+/// The caller must pass a layout that is currently live.
+unsafe fn probe(layout: Layout) -> *const u64 {
+    layout.as_ptr()
+}

@@ -1,0 +1,240 @@
+//! Fixture-corpus integration tests: every rule family gets known-bad
+//! snippets asserted down to exact codes and line numbers, and a
+//! known-clean snippet asserted finding-free. The fixtures live under
+//! `tests/fixtures/` (a subdirectory, so cargo never compiles them) and
+//! are analyzed through the same [`cmt_lint::analyze`] entry point the
+//! CLI uses.
+
+use std::path::{Path, PathBuf};
+
+use cmt_lint::diag::{Diagnostic, Filter};
+
+fn fixture(rel: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(rel)
+}
+
+fn analyze_fixture(rel: &str) -> Vec<Diagnostic> {
+    cmt_lint::analyze(&[fixture(rel)], &Filter::default()).expect("fixture analysis failed")
+}
+
+/// `(code, line)` pairs, sorted, for exact-span assertions.
+fn spans(diags: &[Diagnostic]) -> Vec<(&'static str, u32)> {
+    let mut v: Vec<(&'static str, u32)> = diags.iter().map(|d| (d.code, d.line)).collect();
+    v.sort();
+    v
+}
+
+// --------------------------------------------------------------- L001
+
+#[test]
+fn l001_unpaired_start_is_flagged_at_the_start_call() {
+    let d = analyze_fixture("l001_unpaired.rs");
+    assert_eq!(spans(&d), [("CMT-L001", 6)], "{d:#?}");
+    assert!(d[0].message.contains("never finished"), "{}", d[0].message);
+}
+
+#[test]
+fn l001_early_exits_are_flagged_at_the_exit_tokens() {
+    let d = analyze_fixture("l001_early_exit.rs");
+    // The `return` on line 7 and the `?` on line 14.
+    assert_eq!(spans(&d), [("CMT-L001", 7), ("CMT-L001", 14)], "{d:#?}");
+    for diag in &d {
+        assert!(diag.message.contains("early exit"), "{}", diag.message);
+    }
+}
+
+#[test]
+fn l001_paired_drained_and_polling_forms_are_clean() {
+    let d = analyze_fixture("l001_clean.rs");
+    assert!(d.is_empty(), "{d:#?}");
+}
+
+// --------------------------------------------------------------- L002
+
+#[test]
+fn l002_root_only_collective_is_flagged_at_the_branch() {
+    let d = analyze_fixture("l002_root_only.rs");
+    assert_eq!(spans(&d), [("CMT-L002", 5)], "{d:#?}");
+    let note = d[0].note.as_deref().unwrap_or("");
+    assert!(note.contains("gather"), "{note}");
+}
+
+#[test]
+fn l002_collective_behind_helpers_is_flagged_at_the_match() {
+    let d = analyze_fixture("l002_match_helper.rs");
+    assert_eq!(spans(&d), [("CMT-L002", 14)], "{d:#?}");
+    let note = d[0].note.as_deref().unwrap_or("");
+    assert!(note.contains("drain_queue"), "{note}");
+}
+
+#[test]
+fn l002_symmetric_skeletons_are_clean() {
+    let d = analyze_fixture("l002_clean.rs");
+    assert!(d.is_empty(), "{d:#?}");
+}
+
+// --------------------------------------------------------------- L003
+
+#[test]
+fn l003_allocs_in_a_root_are_flagged_per_construct() {
+    let d = analyze_fixture("l003_hot_clone.rs");
+    assert_eq!(spans(&d), [("CMT-L003", 5), ("CMT-L003", 6)], "{d:#?}");
+    let messages: Vec<&str> = d.iter().map(|d| d.message.as_str()).collect();
+    assert!(
+        messages.iter().any(|m| m.contains(".clone()")),
+        "{messages:?}"
+    );
+    assert!(
+        messages.iter().any(|m| m.contains("format!")),
+        "{messages:?}"
+    );
+}
+
+#[test]
+fn l003_alloc_behind_a_helper_reports_the_call_chain() {
+    let d = analyze_fixture("l003_alloc_chain.rs");
+    assert_eq!(spans(&d), [("CMT-L003", 9)], "{d:#?}");
+    let note = d[0].note.as_deref().unwrap_or("");
+    assert!(note.contains("deriv -> stage_unpack"), "{note}");
+}
+
+#[test]
+fn l003_pooled_root_and_unreachable_setup_are_clean() {
+    let d = analyze_fixture("l003_clean.rs");
+    assert!(d.is_empty(), "{d:#?}");
+}
+
+// --------------------------------------------------------------- L004
+
+#[test]
+fn l004_unregistered_send_payload_is_flagged() {
+    let d = analyze_fixture("l004_unregistered_send.rs");
+    assert_eq!(spans(&d), [("CMT-L004", 6)], "{d:#?}");
+    assert!(d[0].message.contains("ParticleRecord"), "{}", d[0].message);
+}
+
+#[test]
+fn l004_unregistered_bcast_payload_is_flagged() {
+    let d = analyze_fixture("l004_unregistered_bcast.rs");
+    assert_eq!(spans(&d), [("CMT-L004", 4)], "{d:#?}");
+    assert!(d[0].message.contains("DiagRow"), "{}", d[0].message);
+}
+
+#[test]
+fn l004_primitives_and_wirecodec_types_are_clean() {
+    let d = analyze_fixture("l004_clean.rs");
+    assert!(d.is_empty(), "{d:#?}");
+}
+
+// --------------------------------------------------------------- L005
+
+#[test]
+fn l005_unsafe_outside_the_boundary_is_flagged_despite_comment() {
+    let d = analyze_fixture("l005_outside_boundary.rs");
+    assert_eq!(spans(&d), [("CMT-L005", 6)], "{d:#?}");
+    assert!(
+        d[0].message.contains("outside the audited boundary"),
+        "{}",
+        d[0].message
+    );
+}
+
+#[test]
+fn l005_uncommented_site_in_audited_file_is_flagged() {
+    let d = analyze_fixture("unsafe_boundary/bad/crates/simmpi/src/workers.rs");
+    assert_eq!(spans(&d), [("CMT-L005", 5)], "{d:#?}");
+    assert!(d[0].message.contains("SAFETY"), "{}", d[0].message);
+}
+
+#[test]
+fn l005_commented_sites_in_audited_file_are_clean() {
+    let d = analyze_fixture("unsafe_boundary/good/crates/perf/src/alloc.rs");
+    assert!(d.is_empty(), "{d:#?}");
+}
+
+// ---------------------------------------------------- corpus sweeps
+
+const BAD_FIXTURES: &[&str] = &[
+    "l001_unpaired.rs",
+    "l001_early_exit.rs",
+    "l002_root_only.rs",
+    "l002_match_helper.rs",
+    "l003_hot_clone.rs",
+    "l003_alloc_chain.rs",
+    "l004_unregistered_send.rs",
+    "l004_unregistered_bcast.rs",
+    "l005_outside_boundary.rs",
+    "unsafe_boundary/bad/crates/simmpi/src/workers.rs",
+];
+
+const CLEAN_FIXTURES: &[&str] = &[
+    "l001_clean.rs",
+    "l002_clean.rs",
+    "l003_clean.rs",
+    "l004_clean.rs",
+    "unsafe_boundary/good/crates/perf/src/alloc.rs",
+];
+
+#[test]
+fn every_bad_fixture_yields_findings_only_for_its_own_family() {
+    for rel in BAD_FIXTURES {
+        let family = if rel.contains("unsafe_boundary") {
+            "CMT-L005".to_string()
+        } else {
+            format!("CMT-{}", rel[..4].to_uppercase())
+        };
+        let d = analyze_fixture(rel);
+        assert!(!d.is_empty(), "{rel}: expected findings, got none");
+        for diag in &d {
+            assert_eq!(diag.code, family, "{rel}: cross-family finding {diag}");
+        }
+    }
+}
+
+#[test]
+fn every_clean_fixture_is_finding_free() {
+    for rel in CLEAN_FIXTURES {
+        let d = analyze_fixture(rel);
+        assert!(d.is_empty(), "{rel}: {d:#?}");
+    }
+}
+
+// --------------------------------------------------------- CLI layer
+
+#[test]
+fn cli_exits_nonzero_on_bad_fixtures_and_zero_on_clean() {
+    let bin = env!("CARGO_BIN_EXE_cmt-lint");
+    let bad = std::process::Command::new(bin)
+        .arg(fixture("l003_hot_clone.rs"))
+        .output()
+        .expect("spawn cmt-lint");
+    assert_eq!(bad.status.code(), Some(1), "{bad:?}");
+    let stdout = String::from_utf8_lossy(&bad.stdout);
+    assert!(stdout.contains("CMT-L003"), "{stdout}");
+
+    let clean = std::process::Command::new(bin)
+        .arg(fixture("l001_clean.rs"))
+        .output()
+        .expect("spawn cmt-lint");
+    assert_eq!(clean.status.code(), Some(0), "{clean:?}");
+}
+
+#[test]
+fn cli_allow_flag_suppresses_a_family_and_deny_reasserts_it() {
+    let bin = env!("CARGO_BIN_EXE_cmt-lint");
+    let allowed = std::process::Command::new(bin)
+        .args(["--allow", "CMT-L003"])
+        .arg(fixture("l003_hot_clone.rs"))
+        .output()
+        .expect("spawn cmt-lint");
+    assert_eq!(allowed.status.code(), Some(0), "{allowed:?}");
+
+    let denied = std::process::Command::new(bin)
+        .args(["--allow", "CMT-L003", "--deny", "CMT-L003"])
+        .arg(fixture("l003_hot_clone.rs"))
+        .output()
+        .expect("spawn cmt-lint");
+    assert_eq!(denied.status.code(), Some(1), "{denied:?}");
+}

@@ -1,0 +1,38 @@
+//! Self-check: the shipped workspace must be finding-free. This is the
+//! test-suite twin of the CI `cmt-lint --workspace` gate — any source
+//! change that starts an exchange without finishing it, skews a
+//! collective skeleton, allocates on a hot path, ships an unregistered
+//! payload type, or grows the unsafe boundary fails here first.
+
+use std::path::Path;
+
+use cmt_lint::diag::Filter;
+
+#[test]
+fn shipped_workspace_is_finding_free() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels below the workspace root");
+    assert!(
+        root.join("Cargo.toml").is_file(),
+        "workspace root not found at {}",
+        root.display()
+    );
+    let roots = cmt_lint::workspace_source_roots(root);
+    assert!(
+        roots.len() > 10,
+        "expected every crate's src tree, got {roots:#?}"
+    );
+    let diags = cmt_lint::analyze(&roots, &Filter::default()).expect("workspace analysis failed");
+    assert!(
+        diags.is_empty(),
+        "the shipped workspace must be cmt-lint clean; fix the finding or add a justified \
+         in-source allow:\n{}",
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -26,6 +26,12 @@ pub struct ElemPartition {
     owner: Vec<u32>,
     /// Position of the element within its owner's ascending-gid list.
     local_index: Vec<u32>,
+    /// Every rank's owned gids (ascending), CSR layout: rank `r` owns
+    /// `owned_flat[owned_offsets[r]..owned_offsets[r + 1]]`. Built once
+    /// at construction so [`ElemPartition::owned_by`] is a borrow, not a
+    /// scan-and-collect — it sits on the LB monitor/migrate paths.
+    owned_flat: Vec<usize>,
+    owned_offsets: Vec<usize>,
 }
 
 impl ElemPartition {
@@ -57,10 +63,27 @@ impl ElemPartition {
             next_slot.iter().all(|&c| c > 0),
             "every rank must own at least one element"
         );
+        // CSR owned lists: prefix-sum the per-rank counts, then place
+        // each gid at its (rank base + local slot). Ascending gid order
+        // per rank falls out of local_index's construction above.
+        let mut owned_offsets = vec![0usize; ranks + 1];
+        let mut base = 0usize;
+        for r in 0..ranks {
+            let c = next_slot[r] as usize;
+            owned_offsets[r] = base;
+            base += c;
+        }
+        owned_offsets[ranks] = base;
+        let mut owned_flat = vec![0usize; owner.len()];
+        for (gid, &r) in owner.iter().enumerate() {
+            owned_flat[owned_offsets[r as usize] + local_index[gid] as usize] = gid;
+        }
         ElemPartition {
             ranks,
             owner,
             local_index,
+            owned_flat,
+            owned_offsets,
         }
     }
 
@@ -93,14 +116,10 @@ impl ElemPartition {
 
     /// Global element ids owned by `rank`, ascending — the rank's local
     /// element order (`owned_by(r)[slot] == gid` iff
-    /// `slot_of(gid) == (r, slot)`).
-    pub fn owned_by(&self, rank: usize) -> Vec<usize> {
-        self.owner
-            .iter()
-            .enumerate()
-            .filter(|&(_, &r)| r as usize == rank)
-            .map(|(gid, _)| gid)
-            .collect()
+    /// `slot_of(gid) == (r, slot)`). A borrow of the precomputed CSR
+    /// list: free to call on the LB monitor/migrate paths.
+    pub fn owned_by(&self, rank: usize) -> &[usize] {
+        &self.owned_flat[self.owned_offsets[rank]..self.owned_offsets[rank + 1]]
     }
 
     /// Elements owned per rank.
@@ -164,7 +183,7 @@ mod tests {
         let part = ElemPartition::initial(&cfg);
         for r in 0..4 {
             let mesh = RankMesh::new(cfg.clone(), r);
-            let via_part = crate::face_exchange_gids_for(&cfg, &part.owned_by(r));
+            let via_part = crate::face_exchange_gids_for(&cfg, part.owned_by(r));
             assert_eq!(via_part, mesh.face_exchange_gids());
         }
     }

@@ -169,13 +169,14 @@ impl AxOperator {
             let (a, b) = (lo * n3, hi * n3);
             // SAFETY: chunk ranges partition 0..nel, so every chunk
             // touches a disjoint [a, b) range of each shared buffer.
-            self.apply_slices(
-                hi - lo,
-                &us[a..b],
-                unsafe { w_sh.range_mut(a, b) },
-                unsafe { t1_sh.range_mut(a, b) },
-                unsafe { t2_sh.range_mut(a, b) },
-            );
+            let (wv, t1v, t2v) = unsafe {
+                (
+                    w_sh.range_mut(a, b),
+                    t1_sh.range_mut(a, b),
+                    t2_sh.range_mut(a, b),
+                )
+            };
+            self.apply_slices(hi - lo, &us[a..b], wv, t1v, t2v);
         });
     }
 }

@@ -43,9 +43,6 @@ pub struct MigrationStats {
 pub struct ParticleSet {
     mesh: RankMesh,
     part: ElemPartition,
-    /// Global ids of the elements this rank owns, ascending — the local
-    /// element order of every field buffer the particles interpolate.
-    owned: Vec<usize>,
     interp: ElementInterpolator,
     nodes_n: usize,
     lengths: [f64; 3],
@@ -64,14 +61,12 @@ impl ParticleSet {
         assert_eq!(mesh.config().n, basis.n, "basis order must match mesh");
         let ge = mesh.config().global_elems();
         let part = ElemPartition::initial(mesh.config());
-        let owned = part.owned_by(mesh.rank());
         ParticleSet {
             interp: ElementInterpolator::new(basis),
             nodes_n: basis.n,
             lengths: [ge[0] as f64, ge[1] as f64, ge[2] as f64],
             particles: Vec::new(),
             part,
-            owned,
             offsets: Vec::new(),
             binned: false,
             mesh,
@@ -106,7 +101,7 @@ impl ParticleSet {
     /// Global ids of this rank's owned elements, ascending — the local
     /// element order expected of the carrier fields.
     pub fn owned_elems(&self) -> &[usize] {
-        &self.owned
+        self.part.owned_by(self.mesh.rank())
     }
 
     /// Install a new element partition (after a load-balancer element
@@ -115,7 +110,6 @@ impl ParticleSet {
     /// arrivals are re-added with [`ParticleSet::insert`].
     pub fn set_partition(&mut self, part: ElemPartition) {
         assert_eq!(part.total_elems(), self.mesh.config().total_elems());
-        self.owned = part.owned_by(self.mesh.rank());
         self.part = part;
         self.binned = false;
     }
@@ -142,8 +136,8 @@ impl ParticleSet {
     }
 
     fn seed_where(&mut self, per_elem: usize, want: impl Fn(usize) -> bool) {
-        for slot in 0..self.owned.len() {
-            let geid = self.owned[slot];
+        for slot in 0..self.owned_elems().len() {
+            let geid = self.owned_elems()[slot];
             if !want(geid) {
                 continue;
             }
@@ -224,7 +218,7 @@ impl ParticleSet {
         if self.binned {
             return;
         }
-        let nel = self.owned.len();
+        let nel = self.owned_elems().len();
         let my_rank = self.mesh.rank();
         let homes: Vec<u32> = self
             .particles
@@ -269,7 +263,7 @@ impl ParticleSet {
     /// owned-element order. Rebuilds the bins if stale.
     pub fn counts_per_owned(&mut self) -> Vec<u32> {
         self.ensure_bins();
-        (0..self.owned.len())
+        (0..self.owned_elems().len())
             .map(|s| self.offsets[s + 1] - self.offsets[s])
             .collect()
     }
@@ -299,8 +293,8 @@ impl ParticleSet {
         self.ensure_bins();
         let mut gone = Vec::new();
         let mut keep = Vec::with_capacity(self.particles.len());
-        for slot in 0..self.owned.len() {
-            let gid = self.owned[slot];
+        for slot in 0..self.owned_elems().len() {
+            let gid = self.owned_elems()[slot];
             let range = self.offsets[slot] as usize..self.offsets[slot + 1] as usize;
             if leaving(gid) {
                 gone.push((gid, self.particles[range].to_vec()));
@@ -353,15 +347,19 @@ impl ParticleSet {
     pub fn advect_field(&mut self, dt: f64, vel: [&Field; 3]) {
         for f in vel {
             assert_eq!(f.n(), self.nodes_n, "field order mismatch");
-            assert_eq!(f.nel(), self.owned.len(), "field element count mismatch");
+            assert_eq!(
+                f.nel(),
+                self.owned_elems().len(),
+                "field element count mismatch"
+            );
         }
         self.ensure_bins();
-        for slot in 0..self.owned.len() {
+        for slot in 0..self.owned_elems().len() {
             let range = self.offsets[slot] as usize..self.offsets[slot + 1] as usize;
             if range.is_empty() {
                 continue;
             }
-            let gc = self.mesh.config().elem_coords(self.owned[slot]);
+            let gc = self.mesh.config().elem_coords(self.owned_elems()[slot]);
             let corner = [gc[0] as f64, gc[1] as f64, gc[2] as f64];
             for idx in range {
                 let p = self.particles[idx];

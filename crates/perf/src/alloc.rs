@@ -59,21 +59,30 @@ mod global {
         BYTES.with(|c| c.set(c.get() + bytes as u64));
     }
 
+    // SAFETY: every method defers to the `System` allocator unchanged —
+    // same layout, same pointer discipline — so `GlobalAlloc`'s contract
+    // holds exactly as `System` upholds it; `tick` only touches
+    // `Cell`-based thread-locals, which neither allocate nor unwind.
     unsafe impl GlobalAlloc for CountingAlloc {
+        // SAFETY: caller's `GlobalAlloc::alloc` obligations forwarded
+        // verbatim to `System.alloc`.
         unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
             tick(layout.size());
             System.alloc(layout)
         }
 
+        // SAFETY: forwarded verbatim to `System.alloc_zeroed`.
         unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
             tick(layout.size());
             System.alloc_zeroed(layout)
         }
 
+        // SAFETY: forwarded verbatim to `System.dealloc`.
         unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
             System.dealloc(ptr, layout)
         }
 
+        // SAFETY: forwarded verbatim to `System.realloc`.
         unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
             tick(new_size);
             System.realloc(ptr, layout, new_size)

@@ -111,6 +111,8 @@ fn open_inline<T: Msg, E: Msg>(src: usize, tag: u64, vals: &[E], out: &mut Vec<T
     }
     out.extend(
         vals.iter()
+            // cmt-lint: allow(CMT-L003) — `T` is an inline-eligible
+            // scalar (f64/u64/u8); this clone is a register copy.
             .map(|v| (v as &dyn Any).downcast_ref::<T>().unwrap().clone()),
     );
 }
@@ -222,6 +224,9 @@ impl Envelope {
             },
             Payload::Shared(a) => match a.downcast::<Vec<T>>() {
                 Ok(arc) => match Arc::try_unwrap(arc) {
+                    // cmt-lint: allow(CMT-L003) — one box *shell* (not a
+                    // payload copy) so the uniquely-held broadcast buffer
+                    // can adopt into the pool; the shell itself recycles.
                     Ok(v) => pool.adopt(Box::new(v)),
                     Err(arc) => {
                         let mut buf = pool.take::<T>();

@@ -78,7 +78,15 @@ pub struct SharedSliceMut<'a, T> {
     _marker: PhantomData<&'a mut [T]>,
 }
 
+// SAFETY: the wrapper owns an exclusive (&mut) borrow of the slice for
+// 'a, and hands out sub-slices only through `range_mut`, whose contract
+// requires disjoint ranges across threads — so sending or sharing the
+// handle itself cannot create aliased access that the borrow checker
+// would have rejected on the original `&mut [T]`.
 unsafe impl<T: Send> Send for SharedSliceMut<'_, T> {}
+// SAFETY: as above — `&SharedSliceMut` exposes no `&T` access at all,
+// only the range-disjoint `range_mut`, so cross-thread sharing is as
+// safe as the caller's disjointness contract.
 unsafe impl<T: Send> Sync for SharedSliceMut<'_, T> {}
 
 impl<'a, T> SharedSliceMut<'a, T> {
