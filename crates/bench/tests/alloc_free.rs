@@ -115,6 +115,41 @@ fn cmt_bone_worker_pool_adds_no_steady_state_allocations() {
     }
 }
 
+/// The simd kernel tier keeps the zero-allocation steady state: vector
+/// dispatch uses stack scratch only (the transposed-D buffer lives on
+/// the stack, dealias reuses the caller's scratch), so the compute
+/// regions show the same zero differential as the scalar tiers — with
+/// the worker pool on, the shape where a hidden per-call allocation
+/// would be multiplied by chunk count.
+#[test]
+fn cmt_bone_simd_variant_adds_no_steady_state_allocations() {
+    assert!(cmt_perf::alloc::counting(), "counting allocator not active");
+    let cfg = |steps: usize| Config {
+        variant: cmt_core::KernelVariant::Simd,
+        workers: 4,
+        dealias_m: Some(8),
+        ..bone_cfg(
+            GsMethod::PairwiseExchange,
+            Pipeline::Overlapped,
+            true,
+            steps,
+        )
+    };
+    let long = cmt_bone::run(&cfg(6));
+    let short = cmt_bone::run(&cfg(2));
+    for prefix in ["ax_cmt", "dealias"] {
+        let (a_l, b_l) = region_allocs(&long.profile, prefix);
+        let (a_s, b_s) = region_allocs(&short.profile, prefix);
+        let (allocs, bytes) = (a_l.saturating_sub(a_s), b_l.saturating_sub(b_s));
+        assert_eq!(
+            (allocs, bytes),
+            (0, 0),
+            "{prefix}*: simd tier leaked {allocs} allocs / {bytes} bytes \
+             per 4 steady-state steps"
+        );
+    }
+}
+
 #[test]
 fn nekbone_dssum_regions_allocation_free_at_steady_state() {
     assert!(cmt_perf::alloc::counting(), "counting allocator not active");

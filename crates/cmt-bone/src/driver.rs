@@ -912,7 +912,8 @@ fn rank_main(rank: &mut Rank, cfg: &Config, mesh_cfg: &MeshConfig, collect: bool
                             // workload)
                             if let Some((m, up, down)) = dealias_ops.as_ref() {
                                 prof.enter(regions::DEALIAS);
-                                kernels::tensor3_apply(
+                                kernels::tensor3_apply_variant(
+                                    cfg.variant,
                                     *m,
                                     n,
                                     up,
@@ -920,7 +921,8 @@ fn rank_main(rank: &mut Rank, cfg: &Config, mesh_cfg: &MeshConfig, collect: bool
                                     dealias_fine,
                                     nel,
                                 );
-                                kernels::tensor3_apply(
+                                kernels::tensor3_apply_variant(
+                                    cfg.variant,
                                     n,
                                     *m,
                                     down,
@@ -1078,17 +1080,34 @@ fn rank_main(rank: &mut Rank, cfg: &Config, mesh_cfg: &MeshConfig, collect: bool
                                             t_sh.range_mut(2 * c * big3, 2 * (c + 1) * big3)
                                         };
                                         let (t1, t2) = ts.split_at_mut(big3);
-                                        kernels::tensor3_apply_scratch(
-                                            m, n, up, rhs_c, fine_c, nel_c, t1, t2,
+                                        kernels::tensor3_apply_scratch_variant(
+                                            cfg.variant,
+                                            m,
+                                            n,
+                                            up,
+                                            rhs_c,
+                                            fine_c,
+                                            nel_c,
+                                            t1,
+                                            t2,
                                         );
-                                        kernels::tensor3_apply_scratch(
-                                            n, m, down, fine_c, rhs_c, nel_c, t1, t2,
+                                        kernels::tensor3_apply_scratch_variant(
+                                            cfg.variant,
+                                            n,
+                                            m,
+                                            down,
+                                            fine_c,
+                                            rhs_c,
+                                            nel_c,
+                                            t1,
+                                            t2,
                                         );
                                     });
                                     let (wa, wb) = pool.drain_worker_allocs();
                                     prof.charge_allocs(wa, wb);
                                 } else {
-                                    kernels::tensor3_apply(
+                                    kernels::tensor3_apply_variant(
+                                        cfg.variant,
                                         *m,
                                         n,
                                         up,
@@ -1096,7 +1115,8 @@ fn rank_main(rank: &mut Rank, cfg: &Config, mesh_cfg: &MeshConfig, collect: bool
                                         fine,
                                         nel,
                                     );
-                                    kernels::tensor3_apply(
+                                    kernels::tensor3_apply_variant(
+                                        cfg.variant,
                                         n,
                                         *m,
                                         down,
@@ -1439,12 +1459,26 @@ fn run_inner(cfg: &Config, collect: bool) -> (RunReport, Vec<SolutionDump>) {
         hash::fnv1a(&mut state_hash, &gid.to_le_bytes());
         hash::fnv1a(&mut state_hash, &h.to_le_bytes());
     }
+    // The variant that actually ran: the autotune winner under
+    // `--variant auto`, otherwise the configured variant resolved for
+    // this n; the ISA only applies to the simd tier.
+    let kernel_variant = kernel_autotune_rep
+        .as_ref()
+        .map(|t: &KernelAutotuneReport| t.effective)
+        .unwrap_or_else(|| cfg.variant.resolve(cfg.n));
+    let kernel_isa = if kernel_variant == cmt_core::KernelVariant::Simd {
+        cmt_core::kernels::simd::active_isa().name()
+    } else {
+        "-"
+    };
     let report = RunReport {
         mesh_summary: mesh_cfg.summary(),
         mesh: mesh_cfg,
         chosen_method: chosen.expect("at least one rank"),
         autotune: autotune_rep,
         kernel_autotune: kernel_autotune_rep,
+        kernel_variant,
+        kernel_isa,
         profile: merged.report(),
         comm: MpipReport::from_stats(&result.stats),
         rank_wall_s: rank_wall,
@@ -1529,6 +1563,68 @@ mod tests {
                 assert_eq!(serial.checksum, hybrid.checksum);
             }
         }
+    }
+
+    /// The simd tier's end-to-end contract: runtime-dispatched
+    /// lane-parallel kernels must not change a single bit relative to
+    /// the scalar `opt` run — on both transports, under the dynamic
+    /// checker, and through a kill + rollback recovery.
+    #[test]
+    fn simd_variant_is_bitwise_identical_to_opt() {
+        let base = Config {
+            method: Some(GsMethod::PairwiseExchange),
+            dealias_m: Some(7),
+            ..small_cfg()
+        };
+        let opt = run(&base);
+        let simd_cfg = Config {
+            variant: KernelVariant::Simd,
+            ..base.clone()
+        };
+        let simd = run(&simd_cfg);
+        assert_eq!(opt.state_hash, simd.state_hash, "simd diverged from opt");
+        assert_eq!(opt.checksum, simd.checksum);
+        assert_eq!(simd.kernel_variant, KernelVariant::Simd);
+        assert!(["avx2", "sse2", "scalar"].contains(&simd.kernel_isa));
+        assert!(simd.render().contains(&format!(
+            "kernel variant: simd (effective isa: {})",
+            simd.kernel_isa
+        )));
+
+        // multi-process socket backend (thread mode): same bits
+        let socket = run(&Config {
+            transport: simmpi::TransportKind::Socket(simmpi::SocketConfig {
+                addr: None,
+                threads: true,
+            }),
+            ..simd_cfg.clone()
+        });
+        assert_eq!(opt.state_hash, socket.state_hash, "socket simd diverged");
+        assert_eq!(socket.kernel_isa, simd.kernel_isa);
+
+        // verified run stays clean and identical
+        let verified = run(&Config {
+            verify: true,
+            ..simd_cfg.clone()
+        });
+        assert_eq!(opt.state_hash, verified.state_hash);
+        assert!(verified.verify.as_ref().is_some_and(|f| f.is_empty()));
+
+        // kill + rollback recovery lands on the same bits
+        let ckpt = Config {
+            steps: 8,
+            checkpoint_every: 2,
+            ..simd_cfg
+        };
+        let clean = run(&ckpt);
+        let recovered = run(&Config {
+            fault_plan: Some(simmpi::FaultPlan::parse("kill:rank=2,step=5").unwrap()),
+            ..ckpt
+        });
+        assert_eq!(
+            clean.state_hash, recovered.state_hash,
+            "simd recovery diverged"
+        );
     }
 
     /// `--variant auto`: the startup kernel autotune must produce a

@@ -237,7 +237,9 @@ fn rank_main(
     }
     let mut u0 = u.clone();
     let mut rhs: Vec<Field> = (0..NVARS).map(|_| Field::zeros(n, nel)).collect();
-    let mut flux = Field::zeros(n, nel);
+    // one flux field per conserved variable: the fused pointwise pass
+    // evaluates each point's full flux vector once per axis
+    let mut flux: Vec<Field> = (0..NVARS).map(|_| Field::zeros(n, nel)).collect();
     let mut scratch = Field::zeros(n, nel);
     let fpe = face::face_values_per_element(n);
     let mut faces_own: Vec<Vec<f64>> = (0..NVARS).map(|_| vec![0.0; fpe * nel]).collect();
@@ -292,7 +294,7 @@ fn rank_main(
 
     let eval_rhs = |u: &[Field],
                     rhs: &mut [Field],
-                    flux: &mut Field,
+                    flux: &mut [Field],
                     scratch: &mut Field,
                     faces_own: &mut [Vec<f64>],
                     faces_nbr: &mut [Vec<f64>],
@@ -305,27 +307,33 @@ fn rank_main(
         }
         for (axis, dir) in [(0, DerivDir::R), (1, DerivDir::S), (2, DerivDir::T)] {
             let scale = geom.dscale(axis);
-            for c in 0..NVARS {
-                {
-                    let fs = flux.as_mut_slice();
-                    for idx in 0..n3 * nel {
-                        let uu = [
-                            u[0].as_slice()[idx],
-                            u[1].as_slice()[idx],
-                            u[2].as_slice()[idx],
-                            u[3].as_slice()[idx],
-                            u[4].as_slice()[idx],
-                        ];
-                        fs[idx] = gas.flux(&uu, axis)[c];
-                    }
+            // fused pointwise pass: one full flux-vector evaluation per
+            // point per axis, scattered to all five component fields (the
+            // unfused loop recomputed the vector per component — 15 flux
+            // evaluations per point per stage instead of 3). Component
+            // values are unchanged, so the per-component derivative and
+            // accumulation below stay bitwise identical.
+            for idx in 0..n3 * nel {
+                let uu = [
+                    u[0].as_slice()[idx],
+                    u[1].as_slice()[idx],
+                    u[2].as_slice()[idx],
+                    u[3].as_slice()[idx],
+                    u[4].as_slice()[idx],
+                ];
+                let f = gas.flux(&uu, axis);
+                for (c, &fc) in f.iter().enumerate() {
+                    flux[c].as_mut_slice()[idx] = fc;
                 }
+            }
+            for c in 0..NVARS {
                 kernels::deriv(
                     cfg.variant,
                     dir,
                     n,
                     nel,
                     &basis.d,
-                    flux.as_slice(),
+                    flux[c].as_slice(),
                     scratch.as_mut_slice(),
                 );
                 rhs[c].axpy(-scale, scratch);

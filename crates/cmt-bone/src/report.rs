@@ -36,6 +36,13 @@ pub struct RunReport {
     /// chunk-grain timings averaged across ranks, when the kernel
     /// autotune ran.
     pub kernel_autotune: Option<cmt_core::kernels::autotune::KernelAutotuneReport>,
+    /// The derivative-kernel variant that actually ran: the configured
+    /// variant resolved for this `n`, or the autotune winner under
+    /// `--variant auto`.
+    pub kernel_variant: cmt_core::KernelVariant,
+    /// The instruction set the simd kernel tier dispatched to
+    /// (`avx2` / `sse2` / `scalar`); `-` when a non-simd variant ran.
+    pub kernel_isa: &'static str,
     /// Region profile merged over all ranks (Fig. 4).
     pub profile: ProfileReport,
     /// mpiP-style communication statistics (Figs. 8-10).
@@ -150,6 +157,11 @@ impl RunReport {
         out.push_str(&format!(
             "chosen gs method: {}\n",
             self.chosen_method.name()
+        ));
+        out.push_str(&format!(
+            "kernel variant: {} (effective isa: {})\n",
+            self.kernel_variant.name(),
+            self.kernel_isa
         ));
         if let Some(lb) = &self.lb {
             out.push_str(&format!(

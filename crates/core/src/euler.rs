@@ -74,7 +74,10 @@ pub struct EulerSolver {
     u: Vec<Field>,
     u0: Vec<Field>,
     rhs: Vec<Field>,
-    flux: Field,
+    /// All five flux components of the current axis, filled by one fused
+    /// pointwise pass per axis (each point's conserved state is loaded and
+    /// its full flux vector computed once, not once per component).
+    flux: Vec<Field>,
     scratch: Field,
     faces_own: Vec<Vec<f64>>,
     faces_nbr: Vec<Vec<f64>>,
@@ -109,7 +112,7 @@ impl EulerSolver {
             u: (0..NVARS).map(|_| Field::zeros(cfg.n, nel)).collect(),
             u0: (0..NVARS).map(|_| Field::zeros(cfg.n, nel)).collect(),
             rhs: (0..NVARS).map(|_| Field::zeros(cfg.n, nel)).collect(),
-            flux: Field::zeros(cfg.n, nel),
+            flux: (0..NVARS).map(|_| Field::zeros(cfg.n, nel)).collect(),
             scratch: Field::zeros(cfg.n, nel),
             faces_own: (0..NVARS).map(|_| vec![0.0; fpe * nel]).collect(),
             faces_nbr: (0..NVARS).map(|_| vec![0.0; fpe * nel]).collect(),
@@ -315,31 +318,36 @@ impl EulerSolver {
         }
         for (axis, dir) in [(0, DerivDir::R), (1, DerivDir::S), (2, DerivDir::T)] {
             let scale = self.geom.dscale(axis);
-            for c in 0..NVARS {
-                // pointwise flux component
-                {
-                    let fs = self.flux.as_mut_slice();
-                    for e in 0..nel {
-                        for p in 0..n3 {
-                            let idx = e * n3 + p;
-                            let u = [
-                                self.u[0].as_slice()[idx],
-                                self.u[1].as_slice()[idx],
-                                self.u[2].as_slice()[idx],
-                                self.u[3].as_slice()[idx],
-                                self.u[4].as_slice()[idx],
-                            ];
-                            fs[idx] = gas.flux(&u, axis)[c];
-                        }
+            // fused pointwise pass: evaluate the full five-component flux
+            // vector of each point once and scatter it to all component
+            // fields (the unfused loop recomputed it per component — five
+            // evaluations per point per axis). Per-component values are
+            // unchanged, so the derivative/accumulation below is bitwise
+            // identical to the unfused form.
+            for e in 0..nel {
+                for p in 0..n3 {
+                    let idx = e * n3 + p;
+                    let u = [
+                        self.u[0].as_slice()[idx],
+                        self.u[1].as_slice()[idx],
+                        self.u[2].as_slice()[idx],
+                        self.u[3].as_slice()[idx],
+                        self.u[4].as_slice()[idx],
+                    ];
+                    let f = gas.flux(&u, axis);
+                    for (c, &fc) in f.iter().enumerate() {
+                        self.flux[c].as_mut_slice()[idx] = fc;
                     }
                 }
+            }
+            for c in 0..NVARS {
                 kernels::deriv(
                     self.cfg.variant,
                     dir,
                     n,
                     nel,
                     &self.basis.d,
-                    self.flux.as_slice(),
+                    self.flux[c].as_slice(),
                     self.scratch.as_mut_slice(),
                 );
                 self.rhs[c].axpy(-scale, &self.scratch);
@@ -393,9 +401,9 @@ impl EulerSolver {
                         nel,
                         &self.basis.d,
                         self.u[c].as_slice(),
-                        self.flux.as_mut_slice(),
+                        self.flux[c].as_mut_slice(),
                     );
-                    self.flux.scale(self.geom.dscale(axis));
+                    self.flux[c].scale(self.geom.dscale(axis));
                     for e in 0..nel {
                         for f in Face::ALL {
                             if f.axis() != axis {
@@ -408,7 +416,7 @@ impl EulerSolver {
                                 let jump =
                                     0.5 * (self.faces_nbr[c][off + p] - self.faces_own[c][off + p]);
                                 let vi = face::face_point_volume_index(n, f, p);
-                                self.flux.as_mut_slice()[e * n3 + vi] += lift * sign * jump;
+                                self.flux[c].as_mut_slice()[e * n3 + vi] += lift * sign * jump;
                             }
                         }
                     }
@@ -419,11 +427,11 @@ impl EulerSolver {
                         n,
                         nel,
                         &self.basis.d,
-                        self.flux.as_slice(),
+                        self.flux[c].as_slice(),
                         self.scratch.as_mut_slice(),
                     );
                     self.rhs[c].axpy(nu * self.geom.dscale(axis), &self.scratch);
-                    face::full2face(n, nel, self.flux.as_slice(), &mut self.qfaces_own);
+                    face::full2face(n, nel, self.flux[c].as_slice(), &mut self.qfaces_own);
                     let qown = std::mem::take(&mut self.qfaces_own);
                     let mut qnbr = std::mem::take(&mut self.qfaces_nbr);
                     self.exchange_single(&qown, &mut qnbr);

@@ -182,6 +182,12 @@ impl KernelAutotuneReport {
                 self.chosen.variant.name()
             ));
         }
+        if self.effective == KernelVariant::Simd {
+            out.push_str(&format!(
+                "  (effective isa: {})\n",
+                super::simd::active_isa().name()
+            ));
+        }
         out
     }
 }
@@ -194,13 +200,34 @@ mod tests {
     #[test]
     fn candidate_grid_covers_variants_and_grains() {
         let c = candidates(8);
-        // grains 1, 2, 4, 8 for each of the 5 variants
-        assert_eq!(c.len(), 5 * 4);
+        // grains 1, 2, 4, 8 for each of the 6 variants
+        assert_eq!(c.len(), 6 * 4);
         for v in KernelVariant::ALL {
             assert!(c.iter().any(|k| k.variant == v && k.grain == 8));
         }
         // single-element rank: one grain only
-        assert_eq!(candidates(1).len(), 5);
+        assert_eq!(candidates(1).len(), 6);
+    }
+
+    #[test]
+    fn simd_winner_reports_effective_isa() {
+        let cands = candidates(2);
+        let mut avgs = vec![1.0; cands.len()];
+        let idx = cands
+            .iter()
+            .position(|c| c.variant == KernelVariant::Simd)
+            .unwrap();
+        avgs[idx] = 0.25;
+        let rep = KernelAutotuneReport::from_avg_times(10, cands, avgs);
+        assert_eq!(rep.effective, KernelVariant::Simd);
+        let table = rep.table("test");
+        assert!(
+            table.contains(&format!(
+                "effective isa: {}",
+                crate::kernels::simd::active_isa().name()
+            )),
+            "{table}"
+        );
     }
 
     #[test]

@@ -25,14 +25,22 @@
 //!   length-`N` inner products (the analogue of Nek's generated `mxm`
 //!   routines), dispatched for the paper's range `N in 5..=25` and a bit
 //!   beyond.
+//! * [`batched`] / [`unroll`] — all-element cache-blocked and
+//!   unroll-and-jam variants (summation-order preserving);
+//! * [`simd`] — hand-written lane-parallel AVX2/SSE2 kernels behind
+//!   runtime CPU-feature dispatch, **bitwise identical** to [`opt`]
+//!   because every lane keeps the scalar accumulation order.
 //!
 //! All variants compute bit-for-bit comparable results (same summation
-//! order is *not* guaranteed, so tests compare with a tight tolerance).
+//! order is *not* guaranteed across variants in general, so tests
+//! compare with a tight tolerance; `simd` vs `opt` specifically is
+//! asserted bitwise).
 
 pub mod autotune;
 pub mod basic;
 pub mod batched;
 pub mod opt;
+pub mod simd;
 pub mod specialized;
 pub mod unroll;
 
@@ -77,16 +85,22 @@ pub enum KernelVariant {
     Batched,
     /// Unroll-and-jam: multiple output streams per input pass ([`unroll`]).
     UnrollJam,
+    /// Hand-written lane-parallel vector kernels with runtime ISA
+    /// dispatch ([`simd`]); bitwise identical to [`KernelVariant::Optimized`]
+    /// on every ISA (including the scalar fallback).
+    Simd,
 }
 
 impl KernelVariant {
-    /// All variants, baseline first.
-    pub const ALL: [KernelVariant; 5] = [
+    /// All variants, baseline first. New variants are appended so the
+    /// `ALL`-index wire encoding of older variants stays stable.
+    pub const ALL: [KernelVariant; 6] = [
         KernelVariant::Basic,
         KernelVariant::Optimized,
         KernelVariant::Specialized,
         KernelVariant::Batched,
         KernelVariant::UnrollJam,
+        KernelVariant::Simd,
     ];
 
     /// Human-readable name used in bench/figure output.
@@ -97,6 +111,7 @@ impl KernelVariant {
             KernelVariant::Specialized => "specialized",
             KernelVariant::Batched => "batched",
             KernelVariant::UnrollJam => "unrolljam",
+            KernelVariant::Simd => "simd",
         }
     }
 
@@ -107,6 +122,11 @@ impl KernelVariant {
     /// back to the optimized kernels. Every layer that *reports* a
     /// variant (the PAPI model, the autotuner, bench tables) must resolve
     /// first, or it attributes measurements to code that never ran.
+    ///
+    /// [`KernelVariant::Simd`] resolves to itself for every `n`: its
+    /// ISA narrowing (avx2 -> sse2 -> scalar) is a *runtime* dispatch
+    /// reported separately as the effective ISA
+    /// ([`simd::active_isa`]), not a variant substitution.
     pub fn resolve(self, n: usize) -> KernelVariant {
         match self {
             KernelVariant::Specialized if !specialized::is_specialized(n) => {
@@ -167,6 +187,9 @@ pub fn deriv(
         (KernelVariant::UnrollJam, DerivDir::R) => unroll::deriv_r(n, nel, d, u, out),
         (KernelVariant::UnrollJam, DerivDir::S) => unroll::deriv_s(n, nel, d, u, out),
         (KernelVariant::UnrollJam, DerivDir::T) => unroll::deriv_t(n, nel, d, u, out),
+        (KernelVariant::Simd, DerivDir::R) => simd::deriv_r(n, nel, d, u, out),
+        (KernelVariant::Simd, DerivDir::S) => simd::deriv_s(n, nel, d, u, out),
+        (KernelVariant::Simd, DerivDir::T) => simd::deriv_t(n, nel, d, u, out),
     }
     effective
 }
@@ -294,6 +317,50 @@ pub fn tensor3_apply_scratch(
                 }
             }
         }
+    }
+}
+
+/// Variant-dispatched form of [`tensor3_apply`] (scratch allocated
+/// internally per call): [`KernelVariant::Simd`] routes through the
+/// vector dealias kernels, every other variant through the scalar
+/// implementation. Results are bitwise identical either way.
+pub fn tensor3_apply_variant(
+    variant: KernelVariant,
+    m: usize,
+    n: usize,
+    j_mat: &[f64],
+    u: &[f64],
+    out: &mut [f64],
+    nel: usize,
+) {
+    let big = m.max(n);
+    let mut t1 = vec![0.0; big * big * big];
+    let mut t2 = vec![0.0; big * big * big];
+    tensor3_apply_scratch_variant(variant, m, n, j_mat, u, out, nel, &mut t1, &mut t2);
+}
+
+/// Variant-dispatched form of [`tensor3_apply_scratch`]: the
+/// [`KernelVariant::Simd`] family routes the dealias contraction through
+/// its vector kernels (bitwise identical to the scalar path); every
+/// other variant runs the scalar implementation. This is what the
+/// drivers' dealias call sites use so `--variant simd`/`auto` covers
+/// the interpolation contractions too.
+#[allow(clippy::too_many_arguments)]
+pub fn tensor3_apply_scratch_variant(
+    variant: KernelVariant,
+    m: usize,
+    n: usize,
+    j_mat: &[f64],
+    u: &[f64],
+    out: &mut [f64],
+    nel: usize,
+    t1: &mut [f64],
+    t2: &mut [f64],
+) {
+    if variant == KernelVariant::Simd {
+        simd::tensor3_apply_scratch(m, n, j_mat, u, out, nel, t1, t2);
+    } else {
+        tensor3_apply_scratch(m, n, j_mat, u, out, nel, t1, t2);
     }
 }
 

@@ -123,16 +123,31 @@ pub fn advect_volume_rhs_slices(
     assert_eq!(u.len(), n3 * nel, "u length");
     assert_eq!(rhs.len(), n3 * nel, "rhs length");
     assert_eq!(scratch.len(), n3 * nel, "scratch length");
-    rhs.fill(0.0);
+    // Fused accumulation: the first contributing axis *assigns*
+    // `0.0 + a*s` (the explicit `0.0 +` preserves the zero-fill-then-add
+    // value sequence bitwise — `-0.0` inputs round-trip identically, and
+    // LLVM may not fold `0.0 + x`), later axes accumulate. This removes
+    // the separate zero-fill pass over `rhs` between contractions.
+    let mut wrote = false;
     for (axis, dir) in [(0, DerivDir::R), (1, DerivDir::S), (2, DerivDir::T)] {
         if vel[axis] == 0.0 {
             continue;
         }
         kernels::deriv(variant, dir, n, nel, &basis.d, u, scratch);
         let a = -vel[axis] * geom.dscale(axis);
-        for (r, &s) in rhs.iter_mut().zip(scratch.iter()) {
-            *r += a * s;
+        if wrote {
+            for (r, &s) in rhs.iter_mut().zip(scratch.iter()) {
+                *r += a * s;
+            }
+        } else {
+            for (r, &s) in rhs.iter_mut().zip(scratch.iter()) {
+                *r = 0.0 + a * s;
+            }
+            wrote = true;
         }
+    }
+    if !wrote {
+        rhs.fill(0.0); // zero velocity: no axis contributed
     }
 }
 

@@ -205,6 +205,7 @@ pub const HOT_ROOTS: &[&str] = &[
     "deriv",
     "grad",
     "tensor3_apply_scratch",
+    "tensor3_apply_scratch_variant",
     "gather_costs",
     "migrate_blocks",
 ];
@@ -318,4 +319,5 @@ pub const UNSAFE_FILE_ALLOWLIST: &[&str] = &[
     "crates/perf/src/alloc.rs",
     "crates/cmt-bone/src/driver.rs",
     "crates/nekbone/src/ax.rs",
+    "crates/core/src/kernels/simd.rs",
 ];

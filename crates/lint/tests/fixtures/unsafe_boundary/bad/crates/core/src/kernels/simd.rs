@@ -1,0 +1,9 @@
+//! CMT-L005 bad fixture: a simd dispatch site inside the audited
+//! kernels boundary whose intrinsic call names no invariant.
+
+fn deriv_r_dispatch(n: usize, nel: usize, d: &[f64], u: &[f64], out: &mut [f64]) {
+    match active_isa() {
+        SimdIsa::Avx2 => unsafe { avx2::deriv_r(n, nel, d, u, out) },
+        _ => opt::deriv_r(n, nel, d, u, out),
+    }
+}

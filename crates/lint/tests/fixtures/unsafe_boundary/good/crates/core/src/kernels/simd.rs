@@ -1,0 +1,12 @@
+//! CMT-L005 clean fixture: a simd dispatch site naming the runtime
+//! feature-detection invariant that discharges the intrinsic call.
+
+fn deriv_r_dispatch(n: usize, nel: usize, d: &[f64], u: &[f64], out: &mut [f64]) {
+    match active_isa() {
+        // SAFETY: this arm is reached only after `active_isa()` observed
+        // avx2 via `is_x86_feature_detected!`, so the `#[target_feature]`
+        // contract of `avx2::deriv_r` holds on this machine.
+        SimdIsa::Avx2 => unsafe { avx2::deriv_r(n, nel, d, u, out) },
+        _ => opt::deriv_r(n, nel, d, u, out),
+    }
+}

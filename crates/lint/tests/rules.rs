@@ -154,6 +154,19 @@ fn l005_commented_sites_in_audited_file_are_clean() {
     assert!(d.is_empty(), "{d:#?}");
 }
 
+#[test]
+fn l005_unannotated_simd_intrinsic_dispatch_is_flagged() {
+    let d = analyze_fixture("unsafe_boundary/bad/crates/core/src/kernels/simd.rs");
+    assert_eq!(spans(&d), [("CMT-L005", 6)], "{d:#?}");
+    assert!(d[0].message.contains("SAFETY"), "{}", d[0].message);
+}
+
+#[test]
+fn l005_feature_detection_justified_simd_dispatch_is_clean() {
+    let d = analyze_fixture("unsafe_boundary/good/crates/core/src/kernels/simd.rs");
+    assert!(d.is_empty(), "{d:#?}");
+}
+
 // ---------------------------------------------------- corpus sweeps
 
 const BAD_FIXTURES: &[&str] = &[
@@ -167,6 +180,7 @@ const BAD_FIXTURES: &[&str] = &[
     "l004_unregistered_bcast.rs",
     "l005_outside_boundary.rs",
     "unsafe_boundary/bad/crates/simmpi/src/workers.rs",
+    "unsafe_boundary/bad/crates/core/src/kernels/simd.rs",
 ];
 
 const CLEAN_FIXTURES: &[&str] = &[
@@ -175,6 +189,7 @@ const CLEAN_FIXTURES: &[&str] = &[
     "l003_clean.rs",
     "l004_clean.rs",
     "unsafe_boundary/good/crates/perf/src/alloc.rs",
+    "unsafe_boundary/good/crates/core/src/kernels/simd.rs",
 ];
 
 #[test]

@@ -110,8 +110,15 @@ impl AxOperator {
         assert_eq!(t2.len(), n3 * nel, "t2 length");
         let stiff_coef = self.h / 2.0;
         let mass_coef = self.lambda * (self.h / 2.0).powi(3);
-        w.fill(0.0);
-        for dir in DerivDir::ALL {
+        // Fused accumulation: the first direction *assigns* `0.0 + t2`
+        // (the explicit `0.0 +` keeps the zero-fill-then-add value
+        // sequence bitwise — `-0.0` round-trips and LLVM may not fold
+        // `0.0 + x`), removing the upfront `w.fill(0.0)` pass; the mass
+        // term rides the last direction's accumulation loop as a second
+        // add per point, the same per-point op sequence as a separate
+        // trailing pass.
+        let last = DerivDir::ALL.len() - 1;
+        for (di, dir) in DerivDir::ALL.into_iter().enumerate() {
             // t1 = D_a u
             deriv(self.variant, dir, n, nel, &self.basis.d, u, t1);
             // t1 *= stiff_coef * W (per-element repeated weight pattern)
@@ -123,14 +130,24 @@ impl AxOperator {
             }
             // t2 = D_a^T t1 (adjoint contraction: use the transposed matrix)
             deriv(self.variant, dir, n, nel, &self.basis.dt, t1, t2);
-            for (wv, &tv) in w.iter_mut().zip(t2.iter()) {
-                *wv += tv;
-            }
-        }
-        // mass term: w += lambda * (h/2)^3 * W .* u
-        for e in 0..nel {
-            for (p, &g) in self.gw.iter().enumerate() {
-                w[e * n3 + p] += mass_coef * g * u[e * n3 + p];
+            if di == 0 {
+                for (wv, &tv) in w.iter_mut().zip(t2.iter()) {
+                    *wv = 0.0 + tv;
+                }
+            } else if di == last {
+                // final direction + mass term:
+                // w += t2; w += lambda (h/2)^3 W .* u
+                for e in 0..nel {
+                    let base = e * n3;
+                    for (p, &g) in self.gw.iter().enumerate() {
+                        w[base + p] += t2[base + p];
+                        w[base + p] += mass_coef * g * u[base + p];
+                    }
+                }
+            } else {
+                for (wv, &tv) in w.iter_mut().zip(t2.iter()) {
+                    *wv += tv;
+                }
             }
         }
     }

@@ -13,7 +13,7 @@ use simmpi::{FaultPlan, SocketConfig, TransportKind};
 fn usage() -> ! {
     eprintln!(
         "usage: nekbone [--ranks P] [--elems NEL_PER_RANK] [--n N] [--iters K]\n\
-         \x20              [--tol T] [--variant basic|opt|spec|batched|unroll]\n\
+         \x20              [--tol T] [--variant basic|opt|spec|batched|unroll|simd|auto]\n\
          \x20              [--workers W]\n\
          \x20              [--method pairwise|crystal|allreduce] [--quiet]\n\
          \x20              [--checkpoint-every K] [--checkpoint-dir PATH]\n\
@@ -32,7 +32,11 @@ fn usage() -> ! {
          --verify runs the cmt-verify dynamic checker (deadlock, collective\n\
          matching, message leaks, races); exit status 1 on findings.\n\
          --chaos-sched overlays seeded message delays to perturb the schedule.\n\
-         --no-pool disables message-buffer recycling (allocate per message)."
+         --no-pool disables message-buffer recycling (allocate per message).\n\
+         --variant auto autotunes the ax derivative kernel at startup (variant\n\
+         x chunk grain, averaged across ranks); --variant simd dispatches to\n\
+         the widest vector unit present (avx2/sse2, scalar fallback) with\n\
+         bitwise-identical results."
     );
     std::process::exit(2);
 }
@@ -57,16 +61,16 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage())
             }
-            "--variant" => {
-                cfg.variant = match args.next().as_deref() {
-                    Some("basic") => KernelVariant::Basic,
-                    Some("opt") => KernelVariant::Optimized,
-                    Some("spec") => KernelVariant::Specialized,
-                    Some("batched") => KernelVariant::Batched,
-                    Some("unroll") => KernelVariant::UnrollJam,
-                    _ => usage(),
-                }
-            }
+            "--variant" => match args.next().as_deref() {
+                Some("basic") => cfg.variant = KernelVariant::Basic,
+                Some("opt") => cfg.variant = KernelVariant::Optimized,
+                Some("spec") => cfg.variant = KernelVariant::Specialized,
+                Some("batched") => cfg.variant = KernelVariant::Batched,
+                Some("unroll") => cfg.variant = KernelVariant::UnrollJam,
+                Some("simd") => cfg.variant = KernelVariant::Simd,
+                Some("auto") => cfg.kernel_autotune = true,
+                _ => usage(),
+            },
             "--workers" => cfg.workers = parse_usize(args.next()),
             "--method" => {
                 cfg.method = match args.next().as_deref() {

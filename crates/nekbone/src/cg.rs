@@ -196,9 +196,27 @@ pub fn cg_solve_resilient(
             "CG breakdown: p^T A p = {pap} (operator not SPD?)"
         );
         let alpha = rz / pap;
-        x.axpy(alpha, &p);
-        r.axpy(-alpha, &w);
-        let rz_new = glsc3(rank, &r, &r, inv_mult);
+        // Fused triple pass: x += alpha p, r -= alpha w, and the local
+        // <r, r> partial in one sweep. Each array's per-index update and
+        // the ascending-index accumulation match the separate
+        // axpy/axpy/glsc3 passes exactly, so the residual history stays
+        // bitwise identical (the kill+rollback test pins this).
+        let rz_new = {
+            let xs = x.as_mut_slice();
+            let rs = r.as_mut_slice();
+            let ps = p.as_slice();
+            let ws = w.as_slice();
+            let mut local = 0.0;
+            for i in 0..xs.len() {
+                xs[i] += alpha * ps[i];
+                rs[i] += -alpha * ws[i];
+                local += rs[i] * rs[i] * inv_mult[i];
+            }
+            rank.set_context("glsc3");
+            let out = rank.allreduce_scalar(local, ReduceOp::Sum);
+            rank.set_context("main");
+            out
+        };
         let beta = rz_new / rz;
         rz = rz_new;
         // p = r + beta p

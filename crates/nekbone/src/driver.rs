@@ -3,6 +3,7 @@
 use std::path::PathBuf;
 use std::time::Instant;
 
+use cmt_core::kernels::autotune::{time_candidates, KernelAutotuneOptions, KernelAutotuneReport};
 use cmt_core::{Field, KernelVariant};
 use cmt_gs::{autotune, AutotuneOptions, AutotuneReport, GsHandle, GsMethod};
 use cmt_mesh::{MeshConfig, RankMesh};
@@ -10,7 +11,7 @@ use cmt_perf::{MpipReport, ProfileReport, Profiler};
 use cmt_resilience::{hash, load_checkpoint, Resilience};
 use cmt_verify::Verifier;
 use simmpi::{
-    FaultPlan, NetworkModel, Rank, TransportKind, WireCodec, WireError, WireReader, World,
+    FaultPlan, NetworkModel, Rank, ReduceOp, TransportKind, WireCodec, WireError, WireReader, World,
 };
 use std::sync::Arc;
 
@@ -35,8 +36,14 @@ pub struct Config {
     pub tol: f64,
     /// Mass coefficient `lambda` of the Helmholtz operator.
     pub lambda: f64,
-    /// Kernel implementation.
+    /// Kernel implementation (ignored when `kernel_autotune` is set —
+    /// the startup kernel autotune picks it instead).
     pub variant: KernelVariant,
+    /// Autotune the `ax` derivative kernel at startup (`--variant
+    /// auto`): time every variant × chunk-grain candidate on this run's
+    /// `(N, elems)` shape, average across ranks, and run the winner —
+    /// the same Fig. 7 protocol CMT-bone applies to compute.
+    pub kernel_autotune: bool,
     /// Worker threads per rank for the hybrid MPI+X element loops (1 =
     /// pure MPI; >1 shares the `ax` element loop across a work-stealing
     /// pool while ranks stay the communication unit).
@@ -85,6 +92,7 @@ impl Default for Config {
             tol: 0.0,
             lambda: 0.1,
             variant: KernelVariant::Optimized,
+            kernel_autotune: false,
             workers: 1,
             periodic: true,
             method: None,
@@ -113,6 +121,17 @@ pub struct NekboneReport {
     pub chosen_method: GsMethod,
     /// Startup tuning table (the Fig. 7 Nekbone rows), if autotuned.
     pub autotune: Option<AutotuneReport>,
+    /// The `ax`-kernel tuning table (`--variant auto`): variant ×
+    /// chunk-grain timings averaged across ranks, when the kernel
+    /// autotune ran.
+    pub kernel_autotune: Option<KernelAutotuneReport>,
+    /// The derivative-kernel variant that actually ran: the configured
+    /// variant resolved for this `n`, or the autotune winner under
+    /// `--variant auto`.
+    pub kernel_variant: KernelVariant,
+    /// The instruction set the simd kernel tier dispatched to
+    /// (`avx2` / `sse2` / `scalar`); `-` when a non-simd variant ran.
+    pub kernel_isa: &'static str,
     /// Region profile merged over ranks.
     pub profile: ProfileReport,
     /// Communication statistics.
@@ -147,6 +166,11 @@ impl NekboneReport {
             "chosen gs method: {}\n",
             self.chosen_method.name()
         ));
+        out.push_str(&format!(
+            "kernel variant: {} (effective isa: {})\n",
+            self.kernel_variant.name(),
+            self.kernel_isa
+        ));
         if let Some(findings) = &self.verify {
             out.push_str(&cmt_verify::render_findings(findings));
         }
@@ -155,6 +179,10 @@ impl NekboneReport {
             out.push_str(
                 "mini-app   | method             |      avg (s) |      min (s) |      max (s)\n",
             );
+            out.push_str(&t.table("Nekbone"));
+        }
+        if let Some(t) = &self.kernel_autotune {
+            out.push_str("\nKernel autotune (variant x grain, rank-averaged):\n");
             out.push_str(&t.table("Nekbone"));
         }
         out.push_str("\nExecution profile:\n");
@@ -173,11 +201,70 @@ impl NekboneReport {
 struct RankOutput {
     profiler: Profiler,
     autotune: Option<AutotuneReport>,
+    kernel_autotune: Option<KernelAutotuneReport>,
     chosen: GsMethod,
     cg: CgStats,
     checksum: f64,
     state_hash: u64,
     wall_s: f64,
+}
+
+// `KernelVariant` and the kernel-autotune report live in `cmt-core`,
+// which does not depend on `simmpi` — the orphan rule keeps us from
+// implementing `WireCodec` for them there, so they are encoded
+// field-by-field with local helpers (as the CMT-bone driver does).
+
+fn encode_variant(v: KernelVariant, buf: &mut Vec<u8>) {
+    let idx = KernelVariant::ALL
+        .iter()
+        .position(|&m| m == v)
+        .expect("variant in ALL") as u8;
+    idx.encode(buf);
+}
+
+fn decode_variant(r: &mut WireReader<'_>) -> Result<KernelVariant, WireError> {
+    let idx = u8::decode(r)? as usize;
+    KernelVariant::ALL
+        .get(idx)
+        .copied()
+        .ok_or(WireError::Malformed("unknown kernel variant"))
+}
+
+fn encode_kernel_tune(t: &KernelAutotuneReport, buf: &mut Vec<u8>) {
+    encode_variant(t.chosen.variant, buf);
+    t.chosen.grain.encode(buf);
+    encode_variant(t.effective, buf);
+    t.timings.len().encode(buf);
+    for timing in &t.timings {
+        encode_variant(timing.candidate.variant, buf);
+        timing.candidate.grain.encode(buf);
+        timing.avg_s.encode(buf);
+    }
+}
+
+fn decode_kernel_tune(r: &mut WireReader<'_>) -> Result<KernelAutotuneReport, WireError> {
+    use cmt_core::kernels::autotune::{KernelCandidate, KernelTiming};
+    let chosen = KernelCandidate {
+        variant: decode_variant(r)?,
+        grain: usize::decode(r)?,
+    };
+    let effective = decode_variant(r)?;
+    let n = r.count(17)?;
+    let mut timings = Vec::with_capacity(n);
+    for _ in 0..n {
+        timings.push(KernelTiming {
+            candidate: KernelCandidate {
+                variant: decode_variant(r)?,
+                grain: usize::decode(r)?,
+            },
+            avg_s: f64::decode(r)?,
+        });
+    }
+    Ok(KernelAutotuneReport {
+        chosen,
+        effective,
+        timings,
+    })
 }
 
 // Wire codecs so the socket transport can ship each rank's measurement
@@ -201,6 +288,13 @@ impl WireCodec for RankOutput {
     fn encode(&self, buf: &mut Vec<u8>) {
         self.profiler.encode(buf);
         self.autotune.encode(buf);
+        match &self.kernel_autotune {
+            None => false.encode(buf),
+            Some(t) => {
+                true.encode(buf);
+                encode_kernel_tune(t, buf);
+            }
+        }
         self.chosen.encode(buf);
         self.cg.encode(buf);
         self.checksum.encode(buf);
@@ -211,6 +305,11 @@ impl WireCodec for RankOutput {
         Ok(RankOutput {
             profiler: Profiler::decode(r)?,
             autotune: Option::decode(r)?,
+            kernel_autotune: if bool::decode(r)? {
+                Some(decode_kernel_tune(r)?)
+            } else {
+                None
+            },
             chosen: GsMethod::decode(r)?,
             cg: CgStats::decode(r)?,
             checksum: f64::decode(r)?,
@@ -261,11 +360,35 @@ fn rank_main(rank: &mut Rank, cfg: &Config, mesh_cfg: &MeshConfig) -> RankOutput
         .into_iter()
         .map(|m| 1.0 / m)
         .collect();
+    // Kernel autotune (`--variant auto`): time every variant × chunk
+    // grain on this rank's `(N, elems)` shape, average across ranks (the
+    // gs-autotune protocol), and let every rank adopt the same winner
+    // for the `ax` kernel.
+    let kernel_tune = cfg.kernel_autotune.then(|| {
+        let basis = cmt_core::poly::Basis::new(cfg.n);
+        let (cands, local) = time_candidates(
+            cfg.n,
+            mesh.nel(),
+            &basis.d,
+            KernelAutotuneOptions::default(),
+        );
+        rank.set_context("kernel_autotune");
+        let avg: Vec<f64> = local
+            .iter()
+            .map(|&t| rank.allreduce_scalar(t, ReduceOp::Sum) / rank.size() as f64)
+            .collect();
+        rank.set_context("main");
+        KernelAutotuneReport::from_avg_times(cfg.n, cands, avg)
+    });
     prof.exit();
 
     let n = cfg.n;
     let nel = mesh.nel();
-    let op = AxOperator::new(n, 1.0, cfg.lambda, cfg.variant);
+    let variant = kernel_tune
+        .as_ref()
+        .map(|t| t.effective)
+        .unwrap_or(cfg.variant);
+    let op = AxOperator::new(n, 1.0, cfg.lambda, variant);
 
     // Consistent right-hand side: a smooth function of the global point
     // id (identical for every replica of a shared point), mass-weighted
@@ -339,6 +462,7 @@ fn rank_main(rank: &mut Rank, cfg: &Config, mesh_cfg: &MeshConfig) -> RankOutput
     RankOutput {
         profiler: prof,
         autotune: tune_report,
+        kernel_autotune: kernel_tune,
         chosen,
         cg,
         checksum,
@@ -426,6 +550,7 @@ pub fn run(cfg: &Config) -> NekboneReport {
 
     let mut merged = Profiler::new();
     let mut autotune_rep = None;
+    let mut kernel_autotune_rep: Option<KernelAutotuneReport> = None;
     let mut chosen = None;
     let mut cg = None;
     let mut checksum = f64::NAN;
@@ -436,17 +561,32 @@ pub fn run(cfg: &Config) -> NekboneReport {
         if out.autotune.is_some() && autotune_rep.is_none() {
             autotune_rep = out.autotune;
         }
+        if out.kernel_autotune.is_some() && kernel_autotune_rep.is_none() {
+            kernel_autotune_rep = out.kernel_autotune;
+        }
         chosen.get_or_insert(out.chosen);
         cg.get_or_insert(out.cg);
         checksum = out.checksum;
         hash::fnv1a(&mut state_hash, &out.state_hash.to_le_bytes());
         wall.push(out.wall_s);
     }
+    let kernel_variant = kernel_autotune_rep
+        .as_ref()
+        .map(|t| t.effective)
+        .unwrap_or_else(|| cfg.variant.resolve(cfg.n));
+    let kernel_isa = if kernel_variant == KernelVariant::Simd {
+        cmt_core::kernels::simd::active_isa().name()
+    } else {
+        "-"
+    };
     NekboneReport {
         mesh_summary: mesh_cfg.summary(),
         mesh: mesh_cfg,
         chosen_method: chosen.expect("ranks > 0"),
         autotune: autotune_rep,
+        kernel_autotune: kernel_autotune_rep,
+        kernel_variant,
+        kernel_isa,
         profile: merged.report(),
         comm: MpipReport::from_stats(&result.stats),
         cg: cg.expect("ranks > 0"),
@@ -682,6 +822,50 @@ mod tests {
             workers: 0,
             ..small_cfg()
         });
+    }
+
+    /// The simd tier must not change a single bit of the CG trajectory
+    /// relative to the scalar `opt` kernels — on both transports.
+    #[test]
+    fn simd_variant_is_bitwise_identical_to_opt() {
+        let base = small_cfg();
+        let opt = run(&base);
+        let simd = run(&Config {
+            variant: KernelVariant::Simd,
+            ..base.clone()
+        });
+        assert_eq!(opt.state_hash, simd.state_hash, "simd diverged from opt");
+        assert_eq!(opt.checksum, simd.checksum);
+        assert_eq!(opt.cg.res_history, simd.cg.res_history);
+        assert_eq!(simd.kernel_variant, KernelVariant::Simd);
+        assert!(["avx2", "sse2", "scalar"].contains(&simd.kernel_isa));
+        assert!(simd.render().contains("kernel variant: simd"));
+
+        let socket = run(&Config {
+            variant: KernelVariant::Simd,
+            transport: TransportKind::Socket(simmpi::SocketConfig {
+                addr: None,
+                threads: true,
+            }),
+            ..base
+        });
+        assert_eq!(opt.state_hash, socket.state_hash, "socket simd diverged");
+    }
+
+    /// `--variant auto`: the startup kernel autotune must produce a
+    /// report and every rank must adopt its effective winner.
+    #[test]
+    fn kernel_autotune_runs_and_reports() {
+        let rep = run(&Config {
+            kernel_autotune: true,
+            ..small_cfg()
+        });
+        let t = rep.kernel_autotune.as_ref().expect("kernel autotune ran");
+        assert_eq!(rep.kernel_variant, t.effective);
+        assert!(!t.timings.is_empty());
+        let text = rep.render();
+        assert!(text.contains("Kernel autotune"));
+        assert!(text.contains("kernel variant:"));
     }
 
     #[test]

@@ -1,0 +1,72 @@
+//! CLI-level checks of nekbone's `--variant` surface. The help text
+//! used to list only `basic|opt|spec|batched|unroll` while the library
+//! already shipped more tiers; these tests pin the parser and the usage
+//! string to the full variant set, including `simd` and `auto`.
+
+use std::process::Command;
+
+const SMALL: &[&str] = &[
+    "--ranks", "2", "--n", "5", "--elems", "4", "--iters", "12", "--method", "pairwise", "--quiet",
+];
+
+fn run_bin(extra: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_nekbone"))
+        .args(SMALL)
+        .args(extra)
+        .output()
+        .expect("spawn nekbone")
+}
+
+fn state_hash(extra: &[&str]) -> String {
+    let out = run_bin(extra);
+    assert!(
+        out.status.success(),
+        "nekbone {extra:?} failed:\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf8 output");
+    let line = stdout
+        .lines()
+        .find(|l| l.contains("state "))
+        .unwrap_or_else(|| panic!("no state line in output:\n{stdout}"));
+    line.split("state ")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .expect("state hash token")
+        .to_string()
+}
+
+#[test]
+fn every_variant_spelling_is_accepted_and_simd_matches_opt() {
+    let opt = state_hash(&["--variant", "opt"]);
+    for v in ["basic", "spec", "batched", "unroll", "simd", "auto"] {
+        let h = state_hash(&["--variant", v]);
+        if v == "simd" {
+            assert_eq!(h, opt, "--variant simd diverged from opt");
+        }
+        assert_eq!(h.len(), 16, "--variant {v}: malformed state hash {h}");
+    }
+}
+
+#[test]
+fn unknown_variant_fails_with_usage_listing_all_tiers() {
+    let out = run_bin(&["--variant", "avx512"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("basic|opt|spec|batched|unroll|simd|auto"),
+        "usage does not list every variant:\n{err}"
+    );
+}
+
+#[test]
+fn help_lists_simd_and_auto() {
+    let out = Command::new(env!("CARGO_BIN_EXE_nekbone"))
+        .arg("--help")
+        .output()
+        .expect("spawn nekbone");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("simd"), "help misses simd:\n{err}");
+    assert!(err.contains("auto"), "help misses auto:\n{err}");
+}

@@ -127,6 +127,22 @@ pub fn kernel_model(variant: KernelVariant, dir: DerivDir) -> KernelModel {
                 ..base
             }
         }
+        // Hand-vectorized lane-parallel kernels: no FMA contraction (the
+        // scalar accumulation order is preserved bitwise, so mul and add
+        // stay separate — twice the arithmetic instructions per flop of
+        // the FMA model), but each broadcast D entry feeds a full vector
+        // of outputs (half the loads) and the accumulators stay in
+        // registers across the reduction (well under half the per-output
+        // loop/reduction overhead).
+        (Simd, d) => {
+            let base = kernel_model(Optimized, d);
+            KernelModel {
+                arith_ipf: base.arith_ipf * 2.0,
+                load_ipl: base.load_ipl * 0.5,
+                overhead_ipp: base.overhead_ipp * 0.4,
+                ..base
+            }
+        }
         // Unroll-and-jam: several output streams per pass over the input,
         // so each loaded value feeds multiple accumulators — fewer loads
         // per flop and less per-output loop overhead.
@@ -220,6 +236,10 @@ impl CacheModel {
             // the batched kernels tolerate large-N spilling best
             (KernelVariant::Batched, DerivDir::T) => (0.1, 0.5),
             (KernelVariant::Batched, DerivDir::S) => (0.8, 2.5),
+            // lane-parallel kernels keep their accumulators in registers,
+            // so the strided duds round-trips each output once instead of
+            // n times — a milder spill penalty than the scalar kernels
+            (KernelVariant::Simd, DerivDir::S) => (0.9, 3.0),
             (_, DerivDir::S) => (1.2, 4.0),
             (KernelVariant::Basic, _) => (0.6, 2.0),
             (_, DerivDir::T) => (0.2, 1.0),

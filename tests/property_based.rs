@@ -65,7 +65,11 @@ fn new_variants_and_pooled_dispatch_are_bitwise_identical() {
                 &u,
                 &mut reference,
             );
-            for variant in [KernelVariant::Batched, KernelVariant::UnrollJam] {
+            for variant in [
+                KernelVariant::Batched,
+                KernelVariant::UnrollJam,
+                KernelVariant::Simd,
+            ] {
                 let mut out = vec![0.0; u.len()];
                 deriv(variant, dir, n, nel, &basis.d, &u, &mut out);
                 assert_eq!(reference, out, "n={n} {variant:?} {dir:?} not bitwise");
@@ -91,6 +95,112 @@ fn new_variants_and_pooled_dispatch_are_bitwise_identical() {
                     );
                 });
                 assert_eq!(reference, out, "n={n} workers={workers} {dir:?}");
+            }
+        }
+    }
+}
+
+/// The simd tier's ISA ladder: every instruction set the host supports
+/// — and the forced scalar fallback — produces results bitwise
+/// identical to the `opt` reference, for all three derivative
+/// directions, the dealias contractions (both up- and down-sampling),
+/// and the fused RK stage update, across the paper's N range and ragged
+/// element counts. This is the lane-parallel determinism contract: the
+/// vector units only ever change *which outputs* are computed together,
+/// never the per-output accumulation order.
+#[test]
+fn simd_isas_are_bitwise_identical_to_opt_including_dealias() {
+    use cmt_core::kernels::simd::{self, SimdIsa};
+    use cmt_core::kernels::tensor3_apply_scratch;
+    let mut rng = SmallRng::seed_from_u64(0x7E57_0009);
+    let isas: Vec<SimdIsa> = SimdIsa::ALL.into_iter().filter(|i| i.available()).collect();
+    assert!(
+        isas.contains(&SimdIsa::Scalar),
+        "scalar fallback must always be available"
+    );
+    for n in 2usize..=25 {
+        // ragged counts: never a multiple of either vector width
+        for nel in [1usize, 3, 7] {
+            let n3 = n * n * n;
+            let basis = Basis::new(n);
+            let u: Vec<f64> = (0..n3 * nel).map(|_| rng.range_f64(-1.0, 1.0)).collect();
+            for (dir, simd_deriv) in [
+                (
+                    DerivDir::R,
+                    simd::deriv_r_with as fn(SimdIsa, usize, usize, &[f64], &[f64], &mut [f64]),
+                ),
+                (DerivDir::S, simd::deriv_s_with),
+                (DerivDir::T, simd::deriv_t_with),
+            ] {
+                let mut reference = vec![0.0; u.len()];
+                deriv(
+                    KernelVariant::Optimized,
+                    dir,
+                    n,
+                    nel,
+                    &basis.d,
+                    &u,
+                    &mut reference,
+                );
+                for &isa in &isas {
+                    let mut out = vec![0.0; u.len()];
+                    simd_deriv(isa, n, nel, &basis.d, &u, &mut out);
+                    assert_eq!(reference, out, "n={n} nel={nel} {dir:?} {isa:?}");
+                }
+            }
+            // dealias round trip: up to the fine mesh and back down
+            let m = n + 3;
+            let xn = gll_nodes(n);
+            let xm = gll_nodes(m);
+            let up = interp_matrix(&xn, &xm);
+            let down = interp_matrix(&xm, &xn);
+            let big3 = m * m * m;
+            let (mut t1, mut t2) = (vec![0.0; big3], vec![0.0; big3]);
+            let mut fine_ref = vec![0.0; big3 * nel];
+            tensor3_apply_scratch(m, n, &up, &u, &mut fine_ref, nel, &mut t1, &mut t2);
+            let mut coarse_ref = vec![0.0; n3 * nel];
+            tensor3_apply_scratch(
+                n,
+                m,
+                &down,
+                &fine_ref,
+                &mut coarse_ref,
+                nel,
+                &mut t1,
+                &mut t2,
+            );
+            for &isa in &isas {
+                let mut fine = vec![0.0; big3 * nel];
+                simd::tensor3_apply_scratch_with(
+                    isa, m, n, &up, &u, &mut fine, nel, &mut t1, &mut t2,
+                );
+                assert_eq!(fine_ref, fine, "n={n}->m={m} nel={nel} {isa:?}");
+                let mut coarse = vec![0.0; n3 * nel];
+                simd::tensor3_apply_scratch_with(
+                    isa,
+                    n,
+                    m,
+                    &down,
+                    &fine,
+                    &mut coarse,
+                    nel,
+                    &mut t1,
+                    &mut t2,
+                );
+                assert_eq!(coarse_ref, coarse, "m={m}->n={n} nel={nel} {isa:?}");
+            }
+            // fused RK stage update
+            let u0: Vec<f64> = (0..n3 * nel).map(|_| rng.range_f64(-1.0, 1.0)).collect();
+            let rhs: Vec<f64> = (0..n3 * nel).map(|_| rng.range_f64(-1.0, 1.0)).collect();
+            let (a, b, cdt) = (0.3, 0.7, 0.01);
+            let mut scalar = u.clone();
+            for i in 0..scalar.len() {
+                scalar[i] = a * u0[i] + b * scalar[i] + cdt * rhs[i];
+            }
+            for &isa in &isas {
+                let mut v = u.clone();
+                simd::rk_stage_update_with(isa, a, b, cdt, &mut v, &u0, &rhs);
+                assert_eq!(scalar, v, "rk stage n={n} nel={nel} {isa:?}");
             }
         }
     }
